@@ -1,0 +1,38 @@
+"""Shared driver for the Table 3-5 benches."""
+
+from repro.experiments import (
+    EVAL_ALGORITHMS,
+    consistency_check,
+    print_table,
+    run_evaluation_table,
+    table_headers,
+    table_rows,
+)
+
+#: Query sizes evaluated per sequence (the paper runs 1-15; these keep
+#: the Python engine within a laptop budget).
+SIZES = (1, 3, 5, 7, 9)
+
+
+def run_table(sequence: str, datasets, benchmark, title: str):
+    points = run_evaluation_table(sequence, datasets, sizes=SIZES,
+                                  time_budget=30.0)
+    for name in sorted(datasets):
+        print_table(f"{title} - dataset {name}", table_headers(),
+                    table_rows(points, name))
+    assert consistency_check(points), "engines disagree on answer counts"
+
+    # benchmark one representative evaluation (tw on the largest dataset)
+    from repro.datalog import evaluate
+    from repro.experiments import SEQUENCES, example11_tbox
+    from repro.queries import chain_cq
+    from repro.rewriting import OMQ, rewrite
+
+    tbox = example11_tbox()
+    query = chain_cq(SEQUENCES[sequence][:7])
+    ndl = rewrite(OMQ(tbox, query), method="tw")
+    largest = datasets[max(datasets, key=lambda k: len(datasets[k]))]
+    completed = largest.complete(tbox)
+    benchmark.pedantic(lambda: evaluate(ndl, completed),
+                       iterations=1, rounds=3)
+    return points

@@ -1,0 +1,79 @@
+"""Ablation: magic sets vs full materialisation.
+
+Appendix D.4 notes the RDFox version used in the paper "simply
+materialise[d] all the predicates without using magic sets".  This
+bench quantifies what was left on the table: for each optimal rewriter
+we compare the tuples materialised (and the time taken) by plain
+bottom-up evaluation against the magic-sets transformed program, for
+both all-answers evaluation and single-candidate checking.
+"""
+
+import time
+
+from repro.datalog import evaluate
+from repro.datalog.magic import evaluate_magic
+from repro.experiments import SEQUENCES, example11_tbox, print_table
+from repro.queries import chain_cq
+from repro.rewriting import OMQ, rewrite
+
+METHODS = ("lin", "log", "tw")
+
+
+def _run(tbox, completed, sequence: str, size: int):
+    rows = []
+    query = chain_cq(SEQUENCES[sequence][:size])
+    for method in METHODS:
+        ndl = rewrite(OMQ(tbox, query), method=method)
+        start = time.perf_counter()
+        base = evaluate(ndl, completed)
+        base_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        magic = evaluate_magic(ndl, completed)
+        magic_seconds = time.perf_counter() - start
+        assert base.answers == magic.answers
+        candidate_tuples = None
+        if base.answers:
+            candidate = sorted(base.answers)[0]
+            bound = evaluate_magic(ndl, completed, candidate=candidate)
+            assert candidate in bound.answers
+            candidate_tuples = bound.generated_tuples
+        rows.append((sequence, size, method, len(base.answers),
+                     base.generated_tuples, base_seconds,
+                     magic.generated_tuples, magic_seconds,
+                     candidate_tuples))
+    return rows
+
+
+def test_magic_ablation(paper_data, benchmark):
+    datasets, _ = paper_data
+    tbox = example11_tbox()
+    completed = datasets["2.ttl"].complete(tbox)
+
+    def run():
+        rows = []
+        for sequence in ("sequence1", "sequence3"):
+            for size in (5, 9):
+                rows.extend(_run(tbox, completed, sequence, size))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print_table(
+        "Ablation - magic sets (dataset 2.ttl)",
+        ["sequence", "atoms", "rewriter", "answers", "tuples",
+         "seconds", "magic tuples", "magic s", "1-cand tuples"],
+        [[seq, size, method, answers, tuples, f"{base_s:.3f}",
+          magic_tuples, f"{magic_s:.3f}",
+          "-" if cand is None else cand]
+         for (seq, size, method, answers, tuples, base_s,
+              magic_tuples, magic_s, cand) in rows])
+    # on near-empty results the magic predicates themselves dominate,
+    # so no useful per-case bound exists; the meaningful guarantees are
+    # that answers agree (asserted in _run), that single-candidate
+    # checking is at least as focused as all-answers magic, and that in
+    # aggregate magic materialises far less than full materialisation
+    for (_, _, _, _, _, _, magic_tuples, _, cand) in rows:
+        if cand is not None:
+            assert cand <= magic_tuples
+    total_base = sum(row[4] for row in rows)
+    total_magic = sum(row[6] for row in rows)
+    assert total_magic <= total_base

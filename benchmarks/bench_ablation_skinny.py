@@ -1,0 +1,26 @@
+"""Ablation: the Lemma 5 skinny transformation.
+
+Applies the Huffman-based transformation to the Log rewriting and
+compares size, depth and evaluation statistics against the raw
+program — the depth/size trade-off behind Theorem 6.
+"""
+
+from repro.experiments import print_table, skinny_comparison
+
+
+def test_skinny_ablation(paper_data, benchmark):
+    datasets, _ = paper_data
+    abox = datasets["2.ttl"]
+    points = benchmark.pedantic(
+        lambda: skinny_comparison(abox, sizes=(5, 9, 13)),
+        iterations=1, rounds=1)
+    print_table(
+        "Ablation - Lemma 5 skinny transformation (dataset 2.ttl)",
+        ["sequence", "atoms", "variant", "clauses", "depth", "width",
+         "seconds", "tuples"],
+        [[p.sequence, p.atoms, p.variant, p.clauses, p.depth, p.width,
+          f"{p.seconds:.3f}", p.generated_tuples] for p in points])
+    by_variant = {}
+    for p in points:
+        by_variant.setdefault(p.variant, []).append(p)
+    assert len(by_variant["log+skinny"]) == len(by_variant["log"])

@@ -1,0 +1,31 @@
+"""Figure 1: the complexity landscape of OMQ answering.
+
+Regenerates both halves of Figure 1 — (a) combined complexity and
+(b) polynomial-size rewriting existence — from
+``repro.complexity.landscape`` and prints them; the benchmark measures
+the classification function itself.
+"""
+
+import math
+
+from repro.complexity import (
+    combined_complexity,
+    landscape_grid,
+    rewriting_size_status,
+)
+from repro.experiments import print_table
+
+
+def test_figure1_grid(benchmark):
+    grid = benchmark(landscape_grid)
+    print_table(
+        "Figure 1: combined complexity (a) and rewriting sizes (b)",
+        ["depth", "query shape", "combined", "rewriting sizes"],
+        [[row["depth"], row["shape"], row["combined"], row["rewritings"]]
+         for row in grid])
+    # spot-check the paper's headline cells
+    assert combined_complexity(2, 1, 3) == "NL"
+    assert combined_complexity(2, 5, math.inf) == "LOGCFL"
+    assert combined_complexity(math.inf, 1, 3) == "LOGCFL"
+    assert combined_complexity(math.inf, 1, math.inf) == "NP"
+    assert not rewriting_size_status(2, 1, 3).poly_pe

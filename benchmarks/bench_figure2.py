@@ -1,0 +1,55 @@
+"""Figure 2: sizes of NDL-rewritings of the three OMQ sequences.
+
+Regenerates the barcharts of Section 6: Tw/Lin/Log grow linearly while
+the UCQ-style stand-ins (Rapid/Clipper ~ ucq/perfectref, Presto ~ the
+factorised variant) grow exponentially or hit their budget (the
+paper's timeouts, shown as "-").
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALGORITHMS,
+    SEQUENCES,
+    ascii_barchart,
+    example11_tbox,
+    rewriting_sizes,
+    size_table,
+)
+from repro.experiments.reporting import print_table
+from repro.queries import chain_cq
+from repro.rewriting import OMQ, rewrite
+
+
+@pytest.fixture(scope="module")
+def size_points():
+    return rewriting_sizes(max_atoms=15, perfectref_budget=4000)
+
+
+def test_figure2_barcharts(size_points, benchmark):
+    tbox = example11_tbox()
+    query = chain_cq(SEQUENCES["sequence1"])
+
+    benchmark(lambda: rewrite(OMQ(tbox, query), method="tw"))
+
+    for sequence in SEQUENCES:
+        print()
+        print(ascii_barchart(size_points, sequence))
+    # the paper's qualitative claims
+    for sequence in SEQUENCES:
+        for algorithm in ("tw", "lin", "log"):
+            sizes = [p.clauses for p in size_points
+                     if p.sequence == sequence and p.algorithm == algorithm]
+            assert all(s is not None and s <= 60 for s in sizes), (
+                sequence, algorithm)
+    ucq_seq1 = [p.clauses for p in size_points
+                if p.sequence == "sequence1" and p.algorithm == "ucq"]
+    assert ucq_seq1[-1] > 4 * ucq_seq1[8]
+
+
+@pytest.mark.parametrize("algorithm", ["tw", "lin", "log", "ucq", "presto"])
+def test_rewriting_construction_speed(benchmark, algorithm):
+    """Time to construct the 15-atom Sequence 1 rewriting."""
+    tbox = example11_tbox()
+    omq = OMQ(tbox, chain_cq(SEQUENCES["sequence1"]))
+    benchmark(lambda: rewrite(omq, method=algorithm))

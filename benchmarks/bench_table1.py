@@ -1,0 +1,30 @@
+"""Table 1: the number of clauses of each rewriting, per sequence and
+query size (the tabular form of Figure 2, including the "-" timeouts).
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALGORITHMS,
+    SEQUENCES,
+    print_table,
+    rewriting_sizes,
+    size_table,
+)
+
+
+@pytest.fixture(scope="module")
+def size_points():
+    return rewriting_sizes(max_atoms=15, perfectref_budget=4000)
+
+
+def test_table1(size_points, benchmark):
+    benchmark(lambda: size_table(size_points, "sequence1"))
+    headers = ["atoms"] + list(ALGORITHMS)
+    for sequence, labels in SEQUENCES.items():
+        print_table(f"Table 1 - {sequence} ({labels})", headers,
+                    size_table(size_points, sequence))
+    # sanity: every size present for the optimal rewriters
+    for point in size_points:
+        if point.algorithm in ("tw", "lin", "log"):
+            assert point.clauses is not None

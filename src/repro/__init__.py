@@ -1,0 +1,91 @@
+"""repro: a reproduction of "The Complexity of Ontology-Based Data
+Access with OWL 2 QL and Bounded Treewidth Queries" (Bienvenu, Kikot,
+Kontchakov, Podolskii, Ryzhikov, Zakharyaschev - PODS 2017).
+
+The package implements the paper end to end:
+
+* an OWL 2 QL (DL-Lite_R) ontology language with saturation-based
+  reasoning, generating words and ontology depth (:mod:`repro.ontology`);
+* conjunctive queries, shape classification and tree decompositions
+  (:mod:`repro.queries`);
+* data instances and the canonical model / certain-answer semantics
+  (:mod:`repro.data`, :mod:`repro.chase`);
+* a nonrecursive-datalog engine with the Section 3.1 fragment analysis
+  and the Lemma 3/Lemma 5 transformations (:mod:`repro.datalog`);
+* the three optimal NDL rewriters **Lin**, **Log** and **Tw** of
+  Section 3 plus UCQ/PerfectRef/Presto-style baselines
+  (:mod:`repro.rewriting`);
+* the Figure 1 complexity landscape (:mod:`repro.complexity`);
+* the hardness gadgets of Sections 4-5 with reference solvers
+  (:mod:`repro.hardness`);
+* harnesses regenerating every table and figure
+  (:mod:`repro.experiments`);
+* the Section 6 optimisation layer: a SQL backend running rewritings as
+  SQLite views/tables (:mod:`repro.sql`), magic sets
+  (:mod:`repro.datalog.magic`), an NDL optimiser with Tw*-style
+  inlining and emptiness pruning (:mod:`repro.datalog.optimize`) and
+  the cost-based adaptive splitting strategy
+  (:mod:`repro.rewriting.adaptive`).
+
+Quickstart::
+
+    from repro import TBox, CQ, ABox, OMQ, answer
+
+    tbox = TBox.parse("roles: P, R, S\\nP <= S\\nP <= R-")
+    query = CQ.parse("R(x, y), S(y, z)", answer_vars=["x"])
+    data = ABox.parse("R(a, b), A_P(b)")
+    print(answer(OMQ(tbox, query), data).answers)
+"""
+
+from .chase import certain_answers, is_certain_answer
+from .data import ABox
+from .datalog import (
+    NDLQuery,
+    Program,
+    evaluate,
+    evaluate_magic,
+    magic_transform,
+    optimize,
+)
+from .ontology import Role, TBox
+from .queries import CQ, chain_cq
+from .rewriting import (
+    OMQ,
+    adaptive_rewrite,
+    answer,
+    answer_adaptive,
+    lin_rewrite,
+    log_rewrite,
+    rewrite,
+    tw_rewrite,
+    ucq_rewrite,
+)
+from .sql import evaluate_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABox",
+    "CQ",
+    "NDLQuery",
+    "OMQ",
+    "Program",
+    "Role",
+    "TBox",
+    "adaptive_rewrite",
+    "answer",
+    "answer_adaptive",
+    "certain_answers",
+    "chain_cq",
+    "evaluate",
+    "evaluate_magic",
+    "evaluate_sql",
+    "magic_transform",
+    "optimize",
+    "is_certain_answer",
+    "lin_rewrite",
+    "log_rewrite",
+    "rewrite",
+    "tw_rewrite",
+    "ucq_rewrite",
+]

@@ -1,0 +1,23 @@
+"""Chase substrate: canonical models, homomorphisms, certain answers."""
+
+from .canonical import CanonicalModel, Element, element_str, individual
+from .certain import (
+    canonical_model_for,
+    certain_answers,
+    depth_bound,
+    is_certain_answer,
+)
+from .homomorphism import find_homomorphism, homomorphisms
+
+__all__ = [
+    "CanonicalModel",
+    "Element",
+    "canonical_model_for",
+    "certain_answers",
+    "depth_bound",
+    "element_str",
+    "find_homomorphism",
+    "homomorphisms",
+    "individual",
+    "is_certain_answer",
+]

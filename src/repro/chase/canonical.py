@@ -1,0 +1,220 @@
+"""The canonical model (chase) ``C_{T,A}`` of Section 2.
+
+Elements are the individuals of ``A`` plus labelled nulls
+``a . rho_1 ... rho_n`` where ``rho_1 ... rho_n`` ranges over the
+generating words ``W_T`` whose first letter is forced at ``a``
+(``T, A |= Exists(rho_1)(a)``).  Since ``W_T`` may be infinite, the
+model is explored lazily up to a *depth bound*; for answering a CQ
+``q`` a bound of ``|var(q)|`` suffices, because a homomorphic image of
+a connected component of ``q`` inside a tree of nulls spans at most
+``|var(q)|`` consecutive levels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..data.abox import ABox, Constant
+from ..ontology.depth import Word, successor_roles
+from ..ontology.terms import Atomic, Exists, Role
+
+#: An element of the canonical model: an individual with a (possibly
+#: empty) word of roles attached.  Individuals are ``(a, ())``.
+Element = Tuple[Constant, Word]
+
+
+def individual(constant: Constant) -> Element:
+    return (constant, ())
+
+
+def element_str(element: Element) -> str:
+    constant, word = element
+    if not word:
+        return constant
+    return constant + "." + ".".join(str(role) for role in word)
+
+
+class CanonicalModel:
+    """A lazily explored canonical model ``C_{T,A}``.
+
+    Parameters
+    ----------
+    tbox, abox:
+        the knowledge base.
+    max_depth:
+        longest word of nulls to explore.  ``None`` uses the ontology
+        depth when finite and must be supplied otherwise (callers use
+        ``|var(q)|``).
+    """
+
+    def __init__(self, tbox, abox: ABox, max_depth: Optional[int] = None):
+        self.tbox = tbox
+        self.abox = abox
+        if max_depth is None:
+            from ..ontology.depth import chase_depth
+
+            depth = chase_depth(tbox)
+            if depth is math.inf:
+                raise ValueError(
+                    "an explicit max_depth is required for infinite-depth "
+                    "ontologies")
+            max_depth = int(depth)
+        self.max_depth = max_depth
+        self._entailed_concepts: Dict[Constant, Set] = {}
+        self._compute_individual_concepts()
+        self._successor_cache: Dict[Role, List[Role]] = {}
+
+    # -- individual-level entailments ------------------------------------
+
+    def _compute_individual_concepts(self) -> None:
+        tbox, abox = self.tbox, self.abox
+        top_supers = tbox.concept_supers(_top())
+        for constant in abox.individuals:
+            self._entailed_concepts[constant] = set(top_supers)
+        for predicate in abox.unary_predicates:
+            supers = tbox.concept_supers(Atomic(predicate))
+            for constant in abox.unary(predicate):
+                self._entailed_concepts[constant].update(supers)
+        for predicate in abox.binary_predicates:
+            role = Role(predicate)
+            forward = tbox.concept_supers(Exists(role))
+            backward = tbox.concept_supers(Exists(role.inverse()))
+            for first, second in abox.binary(predicate):
+                self._entailed_concepts[first].update(forward)
+                self._entailed_concepts[second].update(backward)
+
+    def entailed_concepts(self, constant: Constant) -> FrozenSet:
+        """Basic concepts ``tau`` with ``T, A |= tau(a)``."""
+        return frozenset(self._entailed_concepts.get(constant, ()))
+
+    # -- elements ----------------------------------------------------------
+
+    @property
+    def individuals(self) -> FrozenSet[Constant]:
+        return self.abox.individuals
+
+    def is_individual(self, element: Element) -> bool:
+        return not element[1]
+
+    def _successors_of_role(self, role: Role) -> List[Role]:
+        if role not in self._successor_cache:
+            self._successor_cache[role] = successor_roles(self.tbox, role)
+        return self._successor_cache[role]
+
+    def children(self, element: Element) -> List[Element]:
+        """The witnesses ``element . rho`` present in the model."""
+        constant, word = element
+        if len(word) >= self.max_depth:
+            return []
+        tbox = self.tbox
+        if word:
+            letters = self._successors_of_role(word[-1])
+        else:
+            concepts = self._entailed_concepts.get(constant, ())
+            letters = [role for role in sorted(tbox.roles)
+                       if not tbox.is_reflexive(role)
+                       and Exists(role) in concepts]
+        return [(constant, word + (letter,)) for letter in letters]
+
+    def parent(self, element: Element) -> Optional[Element]:
+        constant, word = element
+        if not word:
+            return None
+        return (constant, word[:-1])
+
+    def elements(self) -> Iterator[Element]:
+        """All elements up to the depth bound (individuals first)."""
+        stack: List[Element] = []
+        for constant in sorted(self.abox.individuals):
+            root = individual(constant)
+            yield root
+            stack.extend(self.children(root))
+        while stack:
+            element = stack.pop()
+            yield element
+            stack.extend(self.children(element))
+
+    def size(self) -> int:
+        return sum(1 for _ in self.elements())
+
+    # -- satisfaction --------------------------------------------------------
+
+    def satisfies_concept(self, name: str, element: Element) -> bool:
+        """``C_{T,A} |= name(element)``."""
+        constant, word = element
+        if not word:
+            return Atomic(name) in self._entailed_concepts.get(constant, ())
+        return self.tbox.entails_concept(Exists(word[-1].inverse()),
+                                         Atomic(name))
+
+    def satisfies_role(self, predicate: str, first: Element,
+                       second: Element) -> bool:
+        """``C_{T,A} |= predicate(first, second)``."""
+        role = Role(predicate)
+        if self.is_individual(first) and self.is_individual(second):
+            if self._data_role_holds(role, first[0], second[0]):
+                return True
+        if first == second and self.tbox.is_reflexive(role):
+            return True
+        # child edge: second = first . sigma
+        if (second[0] == first[0] and len(second[1]) == len(first[1]) + 1
+                and second[1][:-1] == first[1]):
+            return self.tbox.entails_role(second[1][-1], role)
+        # parent edge: first = second . sigma
+        if (first[0] == second[0] and len(first[1]) == len(second[1]) + 1
+                and first[1][:-1] == second[1]):
+            return self.tbox.entails_role(first[1][-1].inverse(), role)
+        return False
+
+    def _data_role_holds(self, role: Role, first: Constant,
+                         second: Constant) -> bool:
+        for sub in self.tbox.role_subs(role):
+            if self.abox.has_role(sub, first, second):
+                return True
+        # data predicates outside the ontology signature
+        return self.abox.has_role(role, first, second)
+
+    def role_neighbours(self, predicate: str,
+                        element: Element) -> Iterator[Element]:
+        """All ``v`` with ``C_{T,A} |= predicate(element, v)``."""
+        role = Role(predicate)
+        tbox = self.tbox
+        seen: Set[Element] = set()
+        if self.is_individual(element):
+            constant = element[0]
+            for sub in tbox.role_subs(role):
+                for first, second in self.abox.role_pairs(sub):
+                    if first == constant:
+                        candidate = individual(second)
+                        if candidate not in seen:
+                            seen.add(candidate)
+                            yield candidate
+            if role.name not in tbox.role_names:
+                for first, second in self.abox.role_pairs(role):
+                    if first == constant:
+                        candidate = individual(second)
+                        if candidate not in seen:
+                            seen.add(candidate)
+                            yield candidate
+        if tbox.is_reflexive(role) and element not in seen:
+            seen.add(element)
+            yield element
+        for child in self.children(element):
+            if tbox.entails_role(child[1][-1], role) and child not in seen:
+                seen.add(child)
+                yield child
+        parent = self.parent(element)
+        if parent is not None and parent not in seen:
+            if tbox.entails_role(element[1][-1].inverse(), role):
+                yield parent
+
+    def __repr__(self) -> str:
+        return (f"CanonicalModel({len(self.abox.individuals)} individuals, "
+                f"max_depth={self.max_depth})")
+
+
+def _top():
+    from ..ontology.terms import TOP
+
+    return TOP

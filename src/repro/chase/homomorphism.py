@@ -1,0 +1,152 @@
+"""Backtracking homomorphism search from CQs into canonical models.
+
+``T, A |= q(a)`` iff there is a homomorphism ``h : q -> C_{T,A}`` with
+``h(x) = a`` (Section 2), so this module is the semantic reference point
+for every rewriting in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..queries.cq import CQ, Atom, Variable
+from .canonical import CanonicalModel, Element, individual
+
+
+def _variable_order(query: CQ,
+                    preassigned: Sequence[Variable]) -> List[Variable]:
+    """Order variables so each (after the first of its component) is
+    adjacent to an already-placed variable — keeps the search guided."""
+    graph = query.gaifman()
+    order: List[Variable] = [v for v in preassigned if v in query.variables]
+    placed = set(order)
+    frontier: List[Variable] = list(order)
+    while len(placed) < len(query.variables):
+        index = 0
+        while index < len(frontier):
+            for neighbour in sorted(graph.neighbors(frontier[index])):
+                if neighbour not in placed:
+                    placed.add(neighbour)
+                    order.append(neighbour)
+                    frontier.append(neighbour)
+            index += 1
+        if len(placed) < len(query.variables):
+            # start a fresh connected component
+            fresh = min(query.variables - placed)
+            placed.add(fresh)
+            order.append(fresh)
+            frontier = [fresh]
+    return order
+
+
+def _atom_checks(query: CQ, order: Sequence[Variable]):
+    """For each position in the order, the atoms fully assigned there."""
+    position = {var: i for i, var in enumerate(order)}
+    checks: List[List[Atom]] = [[] for _ in order]
+    for atom in query.atoms:
+        latest = max(position[arg] for arg in atom.args)
+        checks[latest].append(atom)
+    return checks
+
+
+def _candidates(model: CanonicalModel, query: CQ, var: Variable,
+                assignment: Dict[Variable, Element]) -> Iterator[Element]:
+    """Candidate images for ``var``: via an already-assigned neighbour when
+    possible, the whole (bounded) domain otherwise."""
+    for atom in query.binary_atoms():
+        first, second = atom.args
+        if first == second:
+            continue
+        if first == var and second in assignment:
+            inverse = atom.predicate
+            # need u with predicate(u, h(second)); enumerate via inverse
+            for candidate in _inverse_neighbours(model, atom.predicate,
+                                                 assignment[second]):
+                yield candidate
+            return
+        if second == var and first in assignment:
+            yield from model.role_neighbours(atom.predicate,
+                                             assignment[first])
+            return
+    yield from model.elements()
+
+
+def _inverse_neighbours(model: CanonicalModel, predicate: str,
+                        element: Element) -> Iterator[Element]:
+    """All ``u`` with ``predicate(u, element)`` in the model."""
+    from ..ontology.terms import Role
+
+    role = Role(predicate, True)
+    tbox = model.tbox
+    seen = set()
+    if model.is_individual(element):
+        constant = element[0]
+        for sub in tbox.role_subs(role):
+            for first, second in model.abox.role_pairs(sub):
+                if first == constant and (cand := individual(second)) not in seen:
+                    seen.add(cand)
+                    yield cand
+        if role.name not in tbox.role_names:
+            for first, second in model.abox.role_pairs(role):
+                if first == constant and (cand := individual(second)) not in seen:
+                    seen.add(cand)
+                    yield cand
+    if tbox.is_reflexive(role) and element not in seen:
+        seen.add(element)
+        yield element
+    for child in model.children(element):
+        if tbox.entails_role(child[1][-1], role) and child not in seen:
+            seen.add(child)
+            yield child
+    parent = model.parent(element)
+    if parent is not None and parent not in seen:
+        if tbox.entails_role(element[1][-1].inverse(), role):
+            yield parent
+
+
+def _satisfied(model: CanonicalModel, atom: Atom,
+               assignment: Dict[Variable, Element]) -> bool:
+    if atom.is_unary:
+        return model.satisfies_concept(atom.predicate,
+                                       assignment[atom.args[0]])
+    return model.satisfies_role(atom.predicate, assignment[atom.args[0]],
+                                assignment[atom.args[1]])
+
+
+def find_homomorphism(
+        model: CanonicalModel, query: CQ,
+        fixed: Optional[Dict[Variable, Element]] = None
+) -> Optional[Dict[Variable, Element]]:
+    """A homomorphism ``q -> C_{T,A}`` extending ``fixed``, or ``None``."""
+    for hom in homomorphisms(model, query, fixed):
+        return hom
+    return None
+
+
+def homomorphisms(
+        model: CanonicalModel, query: CQ,
+        fixed: Optional[Dict[Variable, Element]] = None
+) -> Iterator[Dict[Variable, Element]]:
+    """All homomorphisms ``q -> C_{T,A}`` extending ``fixed``."""
+    fixed = dict(fixed or {})
+    order = _variable_order(query, list(fixed))
+    checks = _atom_checks(query, order)
+    assignment: Dict[Variable, Element] = {}
+
+    def extend(position: int) -> Iterator[Dict[Variable, Element]]:
+        if position == len(order):
+            yield dict(assignment)
+            return
+        var = order[position]
+        if var in fixed:
+            candidates: Iterator[Element] = iter([fixed[var]])
+        else:
+            candidates = _candidates(model, query, var, assignment)
+        for candidate in candidates:
+            assignment[var] = candidate
+            if all(_satisfied(model, atom, assignment)
+                   for atom in checks[position]):
+                yield from extend(position + 1)
+            del assignment[var]
+
+    yield from extend(0)

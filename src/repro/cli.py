@@ -1,0 +1,179 @@
+"""Command-line interface: rewrite and answer OMQs from files.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro rewrite --tbox onto.txt --query "R(x,y), S(y,z)" \
+        --answers x --method lin
+    python -m repro answer --tbox onto.txt --data data.txt \
+        --query "R(x,y)" --answers x,y
+    python -m repro classify --tbox onto.txt --query "R(x,y), S(y,z)"
+    python -m repro landscape
+
+The TBox file uses the :meth:`repro.ontology.TBox.parse` syntax and the
+data file the :meth:`repro.data.ABox.parse` syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .chase.consistency import is_consistent
+from .data import ABox
+from .ontology import TBox
+from .queries import CQ
+from .rewriting import OMQ, answer, rewrite
+
+
+def _load_tbox(path: str) -> TBox:
+    with open(path) as handle:
+        return TBox.parse(handle.read())
+
+
+def _load_query(text: str, answers: Optional[str]) -> CQ:
+    answer_vars = [v.strip() for v in answers.split(",")] if answers else []
+    return CQ.parse(text, answer_vars=answer_vars)
+
+
+def _cmd_rewrite(args) -> int:
+    tbox = _load_tbox(args.tbox)
+    query = _load_query(args.query, args.answers)
+    ndl = rewrite(OMQ(tbox, query), method=args.method, over=args.over)
+    print(f"# method={args.method} clauses={len(ndl)} "
+          f"width={ndl.width()} depth={ndl.depth()}")
+    print(ndl)
+    return 0
+
+
+def _cmd_answer(args) -> int:
+    tbox = _load_tbox(args.tbox)
+    query = _load_query(args.query, args.answers)
+    with open(args.data) as handle:
+        abox = ABox.parse(handle.read())
+    if not is_consistent(tbox, abox):
+        print("# data is INCONSISTENT with the ontology: every tuple is "
+              "a certain answer", file=sys.stderr)
+        return 2
+    result = answer(OMQ(tbox, query), abox, method=args.method,
+                    engine=args.engine, optimize_program=args.optimize,
+                    magic=args.magic)
+    for row in sorted(result.answers):
+        print("\t".join(row) if row else "true")
+    if not result.answers and query.is_boolean:
+        print("false")
+    print(f"# {len(result.answers)} answers, "
+          f"{result.generated_tuples} tuples materialised",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    from .sql import compile_query
+
+    tbox = _load_tbox(args.tbox)
+    query = _load_query(args.query, args.answers)
+    ndl = rewrite(OMQ(tbox, query), method=args.method)
+    compilation = compile_query(ndl, materialised=args.materialised)
+    print(compilation.script())
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    tbox = _load_tbox(args.tbox)
+    query = _load_query(args.query, args.answers)
+    omq = OMQ(tbox, query)
+    from .complexity import combined_complexity
+
+    import math
+
+    depth = omq.depth
+    leaves = omq.leaves if omq.leaves is not None else math.inf
+    treewidth = 1 if query.is_tree_shaped else omq.treewidth
+    print(f"class:    {omq.omq_class()}")
+    print(f"depth:    {depth}")
+    print(f"shape:    tree={query.is_tree_shaped} linear={query.is_linear} "
+          f"leaves={omq.leaves} treewidth={omq.treewidth}")
+    print(f"combined: {combined_complexity(depth, treewidth, leaves)}")
+    return 0
+
+
+def _cmd_landscape(_args) -> int:
+    from .complexity import landscape_grid
+    from .experiments.reporting import format_table
+
+    grid = landscape_grid()
+    print(format_table(
+        ["depth", "query shape", "combined", "rewriting sizes"],
+        [[row["depth"], row["shape"], row["combined"], row["rewritings"]]
+         for row in grid]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OMQ rewriting and answering "
+                    "(Bienvenu et al., PODS 2017 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_data=False):
+        p.add_argument("--tbox", required=True,
+                       help="path to the ontology file")
+        p.add_argument("--query", required=True,
+                       help="CQ body, e.g. 'R(x,y), S(y,z)'")
+        p.add_argument("--answers", default=None,
+                       help="comma-separated answer variables")
+        if with_data:
+            p.add_argument("--data", required=True,
+                           help="path to the data file")
+        p.add_argument("--method", default="auto",
+                       help="auto|lin|log|tw|tw_star|ucq|perfectref|presto")
+
+    rewrite_parser = sub.add_parser("rewrite",
+                                    help="print the NDL rewriting")
+    common(rewrite_parser)
+    rewrite_parser.add_argument("--over", default="complete",
+                                choices=("complete", "arbitrary"))
+    rewrite_parser.set_defaults(func=_cmd_rewrite)
+
+    answer_parser = sub.add_parser("answer",
+                                   help="compute certain answers")
+    common(answer_parser, with_data=True)
+    answer_parser.add_argument("--engine", default="python",
+                               choices=("python", "sql", "sql-views"),
+                               help="evaluation backend")
+    answer_parser.add_argument("--optimize", action="store_true",
+                               help="run the Appendix D.4 optimiser on "
+                                    "the rewriting first")
+    answer_parser.add_argument("--magic", action="store_true",
+                               help="apply the magic-sets transformation")
+    answer_parser.set_defaults(func=_cmd_answer)
+
+    sql_parser = sub.add_parser(
+        "sql", help="print the rewriting compiled to SQL (Section 6's "
+                    "'views in standard DBMSs')")
+    common(sql_parser)
+    sql_parser.add_argument("--materialised", action="store_true",
+                            help="CREATE TABLE statements instead of views")
+    sql_parser.set_defaults(func=_cmd_sql)
+
+    classify_parser = sub.add_parser("classify",
+                                     help="classify the OMQ (Figure 1)")
+    common(classify_parser)
+    classify_parser.set_defaults(func=_cmd_classify)
+
+    landscape_parser = sub.add_parser("landscape",
+                                      help="print the Figure 1 grid")
+    landscape_parser.set_defaults(func=_cmd_landscape)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

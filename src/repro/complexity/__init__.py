@@ -1,0 +1,24 @@
+"""Complexity landscape (Figure 1) and NDL fragment analysis."""
+
+from .fragments import FragmentReport, analyse
+from .landscape import (
+    LOGCFL,
+    NL,
+    NP,
+    RewritingSizeStatus,
+    combined_complexity,
+    landscape_grid,
+    rewriting_size_status,
+)
+
+__all__ = [
+    "FragmentReport",
+    "LOGCFL",
+    "NL",
+    "NP",
+    "RewritingSizeStatus",
+    "analyse",
+    "combined_complexity",
+    "landscape_grid",
+    "rewriting_size_status",
+]

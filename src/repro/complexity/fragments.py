@@ -1,0 +1,57 @@
+"""OMQ-level checks of the NL/LOGCFL fragment conditions of Section 3.1.
+
+The theorems of Section 3 promise that the optimal rewriters always
+land inside evaluable fragments; these helpers verify that promise on
+concrete rewritings (used by the test suite and the ablation benches).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..datalog.analysis import (
+    is_linear,
+    is_skinny,
+    max_edb_atoms,
+    minimal_weight_function,
+    skinny_depth,
+)
+from ..datalog.program import NDLQuery
+
+
+@dataclass(frozen=True)
+class FragmentReport:
+    """Diagnostics of an NDL query against the Section 3.1 fragments."""
+
+    clauses: int
+    width: int
+    depth: int
+    linear: bool
+    skinny: bool
+    skinny_depth: float
+    goal_weight: int
+
+    @property
+    def in_nl_fragment(self) -> bool:
+        """Theorem 2: linear programs of bounded width evaluate in NL."""
+        return self.linear
+
+    def in_logcfl_fragment(self, constant: float, size: int) -> bool:
+        """Theorem 6: bounded width and ``sd <= c log |Pi|``."""
+        return self.skinny_depth <= constant * math.log2(max(2, size))
+
+
+def analyse(query: NDLQuery) -> FragmentReport:
+    """A :class:`FragmentReport` for an NDL query."""
+    program = query.program
+    nu = minimal_weight_function(program)
+    return FragmentReport(
+        clauses=len(program),
+        width=query.width(),
+        depth=program.depth(query.goal),
+        linear=is_linear(program),
+        skinny=is_skinny(program),
+        skinny_depth=skinny_depth(query),
+        goal_weight=nu.get(query.goal, 1),
+    )

@@ -1,0 +1,124 @@
+"""The complexity landscape of Figure 1.
+
+``combined_complexity`` encodes Figure 1(a): the combined complexity of
+answering OMQs as a function of the bounds on ontology depth, query
+treewidth and (for tree-shaped CQs) number of leaves.
+``rewriting_size_status`` encodes Figure 1(b): which rewriting targets
+admit polynomial-size rewritings in each cell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+Bound = Union[int, float]  # an int bound or math.inf
+
+NL = "NL"
+LOGCFL = "LOGCFL"
+NP = "NP"
+
+
+def combined_complexity(depth: Bound, treewidth: Bound,
+                        leaves: Bound) -> str:
+    """The combined complexity of OMQ answering (Figure 1a).
+
+    Parameters are the *bounds* defining the OMQ class: maximal ontology
+    depth, maximal CQ treewidth and, for tree-shaped CQs
+    (``treewidth == 1``), maximal number of leaves (``math.inf`` for
+    "unbounded").  The classification:
+
+    * trees, bounded depth, bounded leaves            -> NL
+    * trees, bounded depth, unbounded leaves          -> LOGCFL
+    * bounded treewidth >= 2, bounded depth           -> LOGCFL
+    * trees, unbounded depth, bounded leaves          -> LOGCFL
+    * everything else                                 -> NP
+    """
+    bounded_depth = depth is not math.inf
+    if treewidth is math.inf:
+        return NP
+    if treewidth <= 1:
+        bounded_leaves = leaves is not math.inf
+        if bounded_depth and bounded_leaves:
+            return NL
+        if bounded_depth or bounded_leaves:
+            return LOGCFL
+        return NP
+    if bounded_depth:
+        return LOGCFL
+    return NP
+
+
+@dataclass(frozen=True)
+class RewritingSizeStatus:
+    """Size status of the three rewriting targets in one cell of
+    Figure 1(b)."""
+
+    poly_ndl: bool
+    poly_pe: bool
+    poly_fo: str  # unconditional "yes"/"no" or the equivalence condition
+    note: str = ""
+
+    def row(self) -> str:
+        ndl = "poly NDL" if self.poly_ndl else "no poly NDL"
+        pe = "poly PE" if self.poly_pe else "no poly PE"
+        return f"{ndl}; {pe}; poly FO {self.poly_fo}"
+
+
+def rewriting_size_status(depth: Bound, treewidth: Bound,
+                          leaves: Bound) -> RewritingSizeStatus:
+    """The rewriting-size landscape of Figure 1(b)."""
+    bounded_depth = depth is not math.inf
+    if treewidth is math.inf:
+        if bounded_depth and depth <= 1:
+            # depth-1 ontologies admit polynomial Pi_2-PE rewritings
+            return RewritingSizeStatus(
+                True, True, "yes", note="poly Pi_2-PE")
+        if bounded_depth and depth <= 2:
+            return RewritingSizeStatus(
+                True, True, "yes", note="poly Pi_4-PE")
+        if bounded_depth:
+            return RewritingSizeStatus(True, True, "yes", note="poly PE")
+        return RewritingSizeStatus(
+            False, False, "iff NP/poly subset NC^1")
+    if treewidth <= 1:
+        bounded_leaves = leaves is not math.inf
+        if bounded_depth and bounded_leaves:
+            return RewritingSizeStatus(
+                True, False, "iff NL/poly subset NC^1")
+        if bounded_depth:
+            return RewritingSizeStatus(
+                True, False, "iff LOGCFL/poly subset NC^1")
+        if bounded_leaves:
+            return RewritingSizeStatus(
+                True, False, "iff NL/poly subset NC^1")
+        return RewritingSizeStatus(
+            False, False, "iff NP/poly subset NC^1")
+    if bounded_depth:
+        return RewritingSizeStatus(
+            True, False, "iff LOGCFL/poly subset NC^1")
+    return RewritingSizeStatus(False, False, "iff NP/poly subset NC^1")
+
+
+def landscape_grid() -> List[Dict[str, str]]:
+    """The Figure 1 grid as rows (one per depth bound x shape bound),
+    used by the ``bench_figure1`` target to print the figure."""
+    rows = []
+    depth_bounds: List[Bound] = [0, 1, 2, 3, math.inf]
+    shapes = [("trees, <=2 leaves", 1, 2),
+              ("trees, <=l leaves", 1, 5),
+              ("trees, unbounded leaves", 1, math.inf),
+              ("treewidth <=t", 2, math.inf),
+              ("unbounded treewidth", math.inf, math.inf)]
+    for depth in depth_bounds:
+        for label, treewidth, leaves in shapes:
+            complexity = combined_complexity(depth, treewidth, leaves)
+            sizes = rewriting_size_status(depth, treewidth, leaves)
+            rows.append({
+                "depth": "inf" if depth is math.inf else str(depth),
+                "shape": label,
+                "combined": complexity,
+                "rewritings": sizes.row(),
+            })
+    return rows

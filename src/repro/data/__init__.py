@@ -1,0 +1,23 @@
+"""Data-instance substrate: ABoxes and synthetic data generators."""
+
+from .abox import ABox, Constant, GroundAtom
+from .generator import (
+    TABLE2_SPECS,
+    DatasetSpec,
+    chain_abox,
+    erdos_renyi_abox,
+    paper_datasets,
+    random_abox,
+)
+
+__all__ = [
+    "ABox",
+    "Constant",
+    "DatasetSpec",
+    "GroundAtom",
+    "TABLE2_SPECS",
+    "chain_abox",
+    "erdos_renyi_abox",
+    "paper_datasets",
+    "random_abox",
+]

@@ -1,0 +1,170 @@
+"""Data instances (ABoxes): finite sets of unary and binary ground atoms."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from ..ontology.terms import TOP, Atomic, Exists, Role
+
+Constant = str
+GroundAtom = Tuple[str, Tuple[Constant, ...]]
+
+
+class ABox:
+    """A data instance ``A``: unary atoms ``A(a)`` and binary ``P(a, b)``.
+
+    The class also offers the derived views used in Section 2:
+    ``rho(a, b) in A`` for roles (``P(a, b)`` for direct roles and
+    ``P(b, a)`` for inverses) and completion w.r.t. a TBox.
+    """
+
+    def __init__(self, atoms: Iterable[GroundAtom] = ()):
+        self._unary: Dict[str, Set[Constant]] = {}
+        self._binary: Dict[str, Set[Tuple[Constant, Constant]]] = {}
+        self._individuals: Set[Constant] = set()
+        for predicate, args in atoms:
+            self.add(predicate, *args)
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, predicate: str, *args: Constant) -> None:
+        """Add a ground atom ``predicate(args)``."""
+        if len(args) == 1:
+            self._unary.setdefault(predicate, set()).add(args[0])
+        elif len(args) == 2:
+            self._binary.setdefault(predicate, set()).add(tuple(args))
+        else:
+            raise ValueError("ABox atoms must be unary or binary")
+        self._individuals.update(args)
+
+    @classmethod
+    def parse(cls, text: str) -> "ABox":
+        """Parse atoms like ``A(a), P(a, b)`` (comma/newline separated)."""
+        import re
+
+        abox = cls()
+        pattern = re.compile(
+            r"([A-Za-z_][\w'\-]*)\(\s*([\w'.]+)\s*(?:,\s*([\w'.]+)\s*)?\)")
+        for match in pattern.finditer(text):
+            predicate, first, second = match.groups()
+            if second is None:
+                abox.add(predicate, first)
+            else:
+                abox.add(predicate, first, second)
+        return abox
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def individuals(self) -> FrozenSet[Constant]:
+        """``ind(A)``."""
+        return frozenset(self._individuals)
+
+    @property
+    def unary_predicates(self) -> FrozenSet[str]:
+        return frozenset(self._unary)
+
+    @property
+    def binary_predicates(self) -> FrozenSet[str]:
+        return frozenset(self._binary)
+
+    def unary(self, predicate: str) -> FrozenSet[Constant]:
+        return frozenset(self._unary.get(predicate, ()))
+
+    def binary(self, predicate: str) -> FrozenSet[Tuple[Constant, Constant]]:
+        return frozenset(self._binary.get(predicate, ()))
+
+    def has_unary(self, predicate: str, constant: Constant) -> bool:
+        return constant in self._unary.get(predicate, ())
+
+    def has_binary(self, predicate: str, first: Constant,
+                   second: Constant) -> bool:
+        return (first, second) in self._binary.get(predicate, ())
+
+    def has_role(self, role: Role, first: Constant, second: Constant) -> bool:
+        """``role(first, second) in A`` in the paper's derived sense."""
+        if role.inverted:
+            return self.has_binary(role.name, second, first)
+        return self.has_binary(role.name, first, second)
+
+    def role_pairs(self, role: Role) -> Iterator[Tuple[Constant, Constant]]:
+        """All pairs ``(a, b)`` with ``role(a, b) in A``."""
+        pairs = self._binary.get(role.name, ())
+        if role.inverted:
+            return ((second, first) for first, second in pairs)
+        return iter(pairs)
+
+    def atoms(self) -> Iterator[GroundAtom]:
+        for predicate, constants in sorted(self._unary.items()):
+            for constant in sorted(constants):
+                yield (predicate, (constant,))
+        for predicate, pairs in sorted(self._binary.items()):
+            for pair in sorted(pairs):
+                yield (predicate, pair)
+
+    def __len__(self) -> int:
+        return (sum(len(v) for v in self._unary.values())
+                + sum(len(v) for v in self._binary.values()))
+
+    def __contains__(self, atom: GroundAtom) -> bool:
+        predicate, args = atom
+        if len(args) == 1:
+            return self.has_unary(predicate, args[0])
+        return self.has_binary(predicate, *args)
+
+    def __repr__(self) -> str:
+        return (f"ABox({len(self)} atoms, "
+                f"{len(self._individuals)} individuals)")
+
+    # -- completion ---------------------------------------------------------
+
+    def complete(self, tbox) -> "ABox":
+        """The completion of ``A`` for ``T`` (Section 2): the closure of
+        the data under all entailed ground atoms over ``ind(A)``.
+
+        Since OWL 2 QL axioms have single atoms on the left, completion is
+        a single pass over the data through the concept/role hierarchies.
+        """
+        completed = ABox()
+        entailed_concepts: Dict[Constant, Set] = {
+            individual: set() for individual in self._individuals}
+        for predicate, constants in self._unary.items():
+            supers = tbox.concept_supers(Atomic(predicate))
+            for constant in constants:
+                entailed_concepts[constant].update(supers)
+        for predicate, pairs in self._binary.items():
+            role = Role(predicate)
+            forward = tbox.concept_supers(Exists(role))
+            backward = tbox.concept_supers(Exists(role.inverse()))
+            role_supers = tbox.role_supers(role)
+            for first, second in pairs:
+                entailed_concepts[first].update(forward)
+                entailed_concepts[second].update(backward)
+                for sup in role_supers:
+                    if sup.inverted:
+                        completed.add(sup.name, second, first)
+                    else:
+                        completed.add(sup.name, first, second)
+        for role in tbox.roles:
+            if tbox.is_reflexive(role) and not role.inverted:
+                for individual in self._individuals:
+                    completed.add(role.name, individual, individual)
+        top_supers = tbox.concept_supers(TOP)
+        for individual, concepts in entailed_concepts.items():
+            concepts.update(top_supers)
+            for concept in concepts:
+                if isinstance(concept, Atomic):
+                    completed.add(concept.name, individual)
+        # keep any data predicates outside the ontology signature
+        for predicate, constants in self._unary.items():
+            for constant in constants:
+                completed.add(predicate, constant)
+        for predicate, pairs in self._binary.items():
+            for pair in pairs:
+                completed.add(predicate, *pair)
+        return completed
+
+    def is_complete_for(self, tbox) -> bool:
+        """True if ``A`` already contains every entailed ground atom."""
+        completed = self.complete(tbox)
+        return len(completed) == len(self)

@@ -1,0 +1,232 @@
+"""Bottom-up evaluation of NDL queries over data instances.
+
+This is the library's stand-in for the RDFox engine used in the paper's
+experiments: every IDB predicate is materialised once, in dependence
+order, with no magic sets or program optimisation — exactly the
+behaviour Appendix D.4 attributes to RDFox.  Joins are left-deep hash
+joins with greedy atom ordering and eager projection of dead variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..data.abox import ABox
+from .program import ADOM, Clause, Equality, Literal, NDLQuery, Program
+
+Row = Tuple[str, ...]
+Relation = Set[Row]
+
+
+@dataclass
+class EvaluationResult:
+    """Answers plus the statistics reported in Tables 3-5."""
+
+    answers: FrozenSet[Row]
+    generated_tuples: int
+    relation_sizes: Dict[str, int] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.answers)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+def edb_relations(abox: ABox) -> Dict[str, Relation]:
+    """The EDB relations of a data instance, including the active domain."""
+    relations: Dict[str, Relation] = {}
+    for predicate in abox.unary_predicates:
+        relations[predicate] = {(c,) for c in abox.unary(predicate)}
+    for predicate in abox.binary_predicates:
+        relations[predicate] = set(abox.binary(predicate))
+    relations[ADOM] = {(c,) for c in abox.individuals}
+    return relations
+
+
+def evaluate(query: NDLQuery, abox: ABox,
+             extra_relations: Optional[Dict[str, Relation]] = None
+             ) -> EvaluationResult:
+    """Evaluate ``(Pi, G)`` over ``abox`` and return the goal relation.
+
+    ``generated_tuples`` counts the materialised IDB facts (the paper's
+    "number of generated tuples" columns).  ``extra_relations`` supplies
+    additional EDB relations of arbitrary arity (used by the OBDA
+    mapping layer for wide source schemas); their constants join the
+    active domain.
+    """
+    program = query.program.restrict_to(query.goal)
+    relations = edb_relations(abox)
+    if extra_relations:
+        adom = relations[ADOM]
+        for name, rows in extra_relations.items():
+            relations[name] = set(rows)
+            for row in rows:
+                adom.update((constant,) for constant in row)
+    order = program.topological_order()
+    assert order is not None  # Program construction guarantees this
+    sizes: Dict[str, int] = {}
+    for predicate in order:
+        rows: Relation = set()
+        for clause in program.clauses_for(predicate):
+            rows |= _evaluate_clause(clause, relations)
+        relations[predicate] = rows
+        sizes[predicate] = len(rows)
+    answers = frozenset(relations.get(query.goal, set()))
+    return EvaluationResult(answers, sum(sizes.values()), sizes)
+
+
+def _equality_mapping(clause: Clause) -> Dict[str, str]:
+    """Union-find over the clause's equalities, preferring head variables
+    as class representatives."""
+    parent: Dict[str, str] = {}
+
+    def find(v: str) -> str:
+        parent.setdefault(v, v)
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return root
+
+    head_vars = set(clause.head.args)
+    for eq in clause.body_equalities:
+        left, right = find(eq.left), find(eq.right)
+        if left == right:
+            continue
+        if right in head_vars and left not in head_vars:
+            left, right = right, left
+        parent[right] = left
+    return {v: find(v) for v in parent}
+
+
+#: Multiplier applied to the estimated output of a cross product so the
+#: planner only resorts to one when no connected atom remains.
+_CROSS_PRODUCT_PENALTY = 1 << 20
+
+
+def _fanout(atom: Literal, bound: Set[str], relations: Dict[str, Relation],
+            key_cache: Dict[Tuple[str, Tuple[int, ...]], int]
+            ) -> Tuple[float, int]:
+    """Estimated number of matches per input row when joining ``atom``
+    next, given the variables in ``bound`` are already available.
+
+    The estimate is ``|R| / distinct-keys(R, bound positions)`` — the
+    average bucket size of the hash index the join would build.  Atoms
+    with no bound variable are cross products and are heavily penalised.
+    The secondary component breaks ties towards smaller relations.
+    """
+    relation = relations.get(atom.predicate, ())
+    size = len(relation)
+    if size == 0:
+        # an empty relation empties the join: take it immediately
+        return (-1.0, 0)
+    bound_positions = tuple(i for i, arg in enumerate(atom.args)
+                            if arg in bound)
+    if not bound_positions:
+        return (float(size) * _CROSS_PRODUCT_PENALTY, size)
+    cache_key = (atom.predicate, bound_positions)
+    distinct = key_cache.get(cache_key)
+    if distinct is None:
+        distinct = len({tuple(row[i] for i in bound_positions)
+                        for row in relation})
+        key_cache[cache_key] = distinct
+    return (size / max(distinct, 1), size)
+
+
+def _order_atoms(atoms: List[Literal],
+                 relations: Dict[str, Relation]) -> List[Literal]:
+    """Greedy join order driven by fanout estimates.
+
+    At every step the atom with the smallest estimated matches-per-row
+    is joined next; cross products are deferred until no connected atom
+    remains.  This mirrors a System-R style greedy planner and keeps
+    intermediate results small on the star- and chain-shaped clause
+    bodies our rewritings produce.
+    """
+    remaining = list(atoms)
+    ordered: List[Literal] = []
+    bound: Set[str] = set()
+    key_cache: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+    while remaining:
+        best = min(remaining,
+                   key=lambda atom: _fanout(atom, bound, relations,
+                                            key_cache))
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= set(best.args)
+    return ordered
+
+
+def _evaluate_clause(clause: Clause,
+                     relations: Dict[str, Relation]) -> Relation:
+    mapping = _equality_mapping(clause)
+    head = clause.head.rename(mapping)
+    atoms = [atom.rename(mapping) for atom in clause.body_literals]
+    if not atoms:
+        # a fact: only possible for nullary heads (range restriction
+        # would have added __adom__ atoms otherwise)
+        return {()} if not head.args else set()
+
+    remaining = list(atoms)
+    key_cache: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+    schema: List[str] = []
+    rows: List[Row] = [()]
+    while remaining:
+        bound = set(schema)
+        atom = min(remaining,
+                   key=lambda a: _fanout(a, bound, relations, key_cache))
+        remaining.remove(atom)
+        relation = relations.get(atom.predicate, set())
+        if not relation:
+            return set()
+        positions = {v: i for i, v in enumerate(schema)}
+        bound_positions = [i for i, arg in enumerate(atom.args)
+                           if arg in positions]
+        # detect repeated variables inside the atom, e.g. P(x, x)
+        first_seen: Dict[str, int] = {}
+        same_as: List[Optional[int]] = []
+        for i, arg in enumerate(atom.args):
+            same_as.append(first_seen.get(arg))
+            first_seen.setdefault(arg, i)
+        filtered = [row for row in relation
+                    if all(same_as[i] is None or row[i] == row[same_as[i]]
+                           for i in range(len(row)))]
+        index: Dict[Row, List[Row]] = {}
+        for row in filtered:
+            key = tuple(row[i] for i in bound_positions)
+            index.setdefault(key, []).append(row)
+        new_vars = [arg for i, arg in enumerate(atom.args)
+                    if arg not in positions and first_seen[arg] == i]
+        # project away variables that neither the head nor any remaining
+        # body atom will ever look at again
+        keep = set(head.args)
+        for later in remaining:
+            keep.update(later.args)
+        out_schema = [v for v in schema + new_vars if v in keep]
+        out_positions: List[Tuple[bool, int]] = []
+        for v in out_schema:
+            if v in positions:
+                out_positions.append((True, positions[v]))
+            else:
+                out_positions.append((False, first_seen[v]))
+        out_rows: Set[Row] = set()
+        for row in rows:
+            key = tuple(row[positions[atom.args[i]]]
+                        for i in bound_positions)
+            for match in index.get(key, ()):
+                out_rows.add(tuple(
+                    row[i] if from_row else match[i]
+                    for from_row, i in out_positions))
+        schema = out_schema
+        rows = list(out_rows)
+        if not rows:
+            return set()
+
+    positions = {v: i for i, v in enumerate(schema)}
+    result: Relation = set()
+    for row in rows:
+        result.add(tuple(row[positions[arg]] for arg in head.args))
+    return result

@@ -1,0 +1,223 @@
+"""Magic-sets transformation for NDL queries.
+
+Appendix D.4 observes that the RDFox version used in the paper's
+experiments "simply materialise[d] all the predicates without using
+magic sets or optimising programs before execution", and Section 6
+lists goal-directed execution among the promising optimisations.  This
+module supplies the missing piece: the classical magic-sets rewriting
+specialised to *nonrecursive* programs.
+
+For every IDB predicate reachable from the goal we compute the
+*adornments* (bound/free patterns) with which it is called; each
+adorned predicate ``Q^a`` receives a magic predicate ``magic_Q^a``
+collecting the bindings that can actually reach ``Q`` during top-down
+evaluation, and every rule for ``Q`` is guarded by it.  Bottom-up
+evaluation of the transformed program then materialises only the
+*relevant* part of each relation — often orders of magnitude fewer
+tuples (``benchmarks/bench_ablation_magic.py``).
+
+The sideways-information-passing strategy is "EDB SIP": inside a
+clause, the magic guard and all EDB atoms (plus equalities) pass their
+bindings to every IDB atom.  Earlier IDB atoms are deliberately *not*
+passed sideways: doing so can make the transformed program recursive
+(two calls to the same predicate in one body create a
+``magic_Q <-> Q`` cycle), whereas with EDB-only passing every new
+dependence edge follows the original acyclic call order, so the result
+is again a valid NDL program.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..data.abox import ABox
+from .evaluate import EvaluationResult, evaluate
+from .program import Clause, Equality, Literal, NDLQuery, Program
+
+#: EDB predicate through which callers seed a bound-goal evaluation.
+MAGIC_SEED = "__magic_seed__"
+
+Adornment = str  # a string over {'b', 'f'}, one letter per argument
+
+
+def _adorned_name(predicate: str, adornment: Adornment) -> str:
+    return f"{predicate}__{adornment}" if adornment else f"{predicate}__e"
+
+
+def _magic_name(predicate: str, adornment: Adornment) -> str:
+    return f"__magic_{_adorned_name(predicate, adornment)}"
+
+
+def _bound_args(literal: Literal, adornment: Adornment) -> Tuple[str, ...]:
+    return tuple(arg for arg, letter in zip(literal.args, adornment)
+                 if letter == "b")
+
+
+def _close_under_equalities(bound: Set[str],
+                            equalities: Sequence[Equality]) -> None:
+    """Extend ``bound`` with variables equated to bound ones."""
+    changed = True
+    while changed:
+        changed = False
+        for equality in equalities:
+            if equality.left in bound and equality.right not in bound:
+                bound.add(equality.right)
+                changed = True
+            elif equality.right in bound and equality.left not in bound:
+                bound.add(equality.left)
+                changed = True
+
+
+@dataclass(frozen=True)
+class MagicTransform:
+    """The result of :func:`magic_transform`.
+
+    ``query`` is the transformed NDL query; ``adornment`` the goal
+    adornment it was built for; ``seeded`` tells whether the goal has
+    bound positions, in which case evaluation must supply the
+    ``__magic_seed__`` relation (see :func:`evaluate_magic`).
+    """
+
+    query: NDLQuery
+    adornment: Adornment
+
+    @property
+    def seeded(self) -> bool:
+        return "b" in self.adornment
+
+
+def magic_transform(query: NDLQuery,
+                    adornment: Optional[Adornment] = None) -> MagicTransform:
+    """Apply the magic-sets transformation for a goal adornment.
+
+    ``adornment`` defaults to all-free (compute every answer); pass
+    ``'b' * len(answer_vars)`` to specialise for answer checking — the
+    bound values are then supplied at evaluation time through the
+    ``__magic_seed__`` EDB relation.
+    """
+    program = query.program.restrict_to(query.goal)
+    idb = program.idb_predicates
+    if adornment is None:
+        adornment = "f" * len(query.answer_vars)
+    goal_arity = _goal_arity(program, query)
+    if len(adornment) != goal_arity:
+        raise ValueError(
+            f"adornment {adornment!r} does not match the goal arity "
+            f"{goal_arity}")
+    if set(adornment) - {"b", "f"}:
+        raise ValueError(f"adornment must be over 'b'/'f': {adornment!r}")
+
+    clauses: List[Clause] = []
+    seen: Set[Tuple[str, Adornment]] = set()
+    worklist: List[Tuple[str, Adornment]] = [(query.goal, adornment)]
+    while worklist:
+        predicate, current = worklist.pop()
+        if (predicate, current) in seen:
+            continue
+        seen.add((predicate, current))
+        for clause in program.clauses_for(predicate):
+            new_clauses, calls = _transform_clause(clause, current, idb)
+            clauses.extend(new_clauses)
+            worklist.extend(calls)
+
+    # the seed: an all-free goal is unconditionally relevant, a bound
+    # goal receives its binding from the __magic_seed__ EDB relation
+    goal_literal = Literal(query.goal,
+                           tuple(f"v{i}" for i in range(goal_arity)))
+    bound = _bound_args(goal_literal, adornment)
+    magic_head = Literal(_magic_name(query.goal, adornment), bound)
+    if bound:
+        clauses.append(Clause(magic_head,
+                              (Literal(MAGIC_SEED, bound),)))
+    else:
+        clauses.append(Clause(magic_head, ()))
+
+    transformed = NDLQuery(Program(clauses),
+                           _adorned_name(query.goal, adornment),
+                           query.answer_vars)
+    return MagicTransform(transformed, adornment)
+
+
+def _goal_arity(program: Program, query: NDLQuery) -> int:
+    for clause in program.clauses_for(query.goal):
+        return len(clause.head.args)
+    return len(query.answer_vars)
+
+
+def _transform_clause(clause: Clause, adornment: Adornment,
+                      idb: FrozenSet[str]
+                      ) -> Tuple[List[Clause], List[Tuple[str, Adornment]]]:
+    """The guarded rule plus the magic rules for one clause."""
+    head = clause.head
+    equalities = clause.body_equalities
+    edb_atoms = [atom for atom in clause.body_literals
+                 if atom.predicate not in idb]
+    idb_atoms = [atom for atom in clause.body_literals
+                 if atom.predicate in idb]
+
+    magic_guard = Literal(_magic_name(head.predicate, adornment),
+                          _bound_args(head, adornment))
+    bound: Set[str] = set(magic_guard.args)
+    for atom in edb_atoms:
+        bound.update(atom.args)
+    _close_under_equalities(bound, equalities)
+
+    clauses: List[Clause] = []
+    calls: List[Tuple[str, Adornment]] = []
+    adorned_body: List[object] = [magic_guard]
+    adorned_body.extend(edb_atoms)
+    adorned_body.extend(equalities)
+    for atom in idb_atoms:
+        # adornments reflect only what the magic rule below can really
+        # bind (guard + EDB + equalities); marking sibling-IDB-bound
+        # positions as 'b' would force __adom__ padding in the magic
+        # rule and, worse, could make the program recursive
+        sub_adornment = "".join(
+            "b" if arg in bound else "f" for arg in atom.args)
+        calls.append((atom.predicate, sub_adornment))
+        sub_bound = _bound_args(atom, sub_adornment)
+        magic_body: List[object] = [magic_guard]
+        magic_body.extend(edb_atoms)
+        magic_body.extend(equalities)
+        clauses.append(Clause(
+            Literal(_magic_name(atom.predicate, sub_adornment), sub_bound),
+            tuple(magic_body)))
+        adorned_body.append(
+            Literal(_adorned_name(atom.predicate, sub_adornment),
+                    atom.args))
+    clauses.append(Clause(
+        Literal(_adorned_name(head.predicate, adornment), head.args),
+        tuple(adorned_body)))
+    return clauses, calls
+
+
+def evaluate_magic(query: NDLQuery, abox: ABox,
+                   candidate: Optional[Tuple[str, ...]] = None,
+                   extra_relations=None) -> EvaluationResult:
+    """Evaluate with magic sets: all answers, or check one candidate.
+
+    Without ``candidate`` this computes the same answers as
+    :func:`repro.datalog.evaluate.evaluate` but materialises only the
+    goal-relevant tuples.  With ``candidate`` the goal is fully bound,
+    which prunes much more aggressively; the result then contains the
+    candidate iff it is an answer.
+    """
+    if candidate is None:
+        transform = magic_transform(query)
+        return evaluate(transform.query, abox,
+                        extra_relations=extra_relations)
+    if len(candidate) != len(query.answer_vars):
+        raise ValueError("candidate arity mismatch")
+    transform = magic_transform(query, "b" * len(query.answer_vars))
+    relations = dict(extra_relations or {})
+    relations[MAGIC_SEED] = {tuple(candidate)}
+    return evaluate(transform.query, abox, extra_relations=relations)
+
+
+def is_answer_magic(query: NDLQuery, abox: ABox,
+                    candidate: Tuple[str, ...]) -> bool:
+    """Goal-directed membership check for one candidate tuple."""
+    result = evaluate_magic(query, abox, candidate=candidate)
+    return tuple(candidate) in result.answers

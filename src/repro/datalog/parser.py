@@ -1,0 +1,107 @@
+"""A text format for NDL programs and queries.
+
+The syntax is exactly what :class:`~repro.datalog.program.Program`
+prints: one clause per line, ``head <- atom & atom & ...`` with
+equalities written ``x = y``, facts written ``head.``, and ``#``
+comments.  An optional ``goal G(x, y)`` line turns the program into an
+:class:`~repro.datalog.program.NDLQuery` (this is also the first line
+of ``NDLQuery.__str__``, so printing and parsing round-trip).
+
+Example::
+
+    goal G(x)
+    G(x) <- R(x, y) & Q(y)
+    Q(y) <- A(y)
+    Q(y) <- B(y) & y = z & C(z)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .program import Clause, Equality, Literal, NDLQuery, Program
+
+_ATOM = re.compile(r"^([A-Za-z_][\w'\-]*)\s*\(\s*([^()]*)\s*\)$")
+_EQUALITY = re.compile(r"^([\w'\-]+)\s*=\s*([\w'\-]+)$")
+_GOAL = re.compile(r"^goal\s+(.+)$")
+
+
+class ProgramParseError(ValueError):
+    """Raised on malformed program text, with the offending line."""
+
+    def __init__(self, message: str, line: str):
+        super().__init__(f"{message}: {line!r}")
+        self.line = line
+
+
+def _parse_literal(text: str, line: str) -> Literal:
+    match = _ATOM.match(text.strip())
+    if not match:
+        raise ProgramParseError(f"cannot parse atom {text!r}", line)
+    predicate, arg_text = match.groups()
+    args = tuple(part.strip() for part in arg_text.split(",")
+                 if part.strip()) if arg_text.strip() else ()
+    return Literal(predicate, args)
+
+
+def _parse_body_atom(text: str, line: str):
+    text = text.strip()
+    equality = _EQUALITY.match(text)
+    if equality and "(" not in text:
+        return Equality(equality.group(1), equality.group(2))
+    return _parse_literal(text, line)
+
+
+def _parse_clause(line: str) -> Clause:
+    if "<-" in line:
+        head_text, body_text = line.split("<-", 1)
+        body = tuple(_parse_body_atom(part, line)
+                     for part in body_text.split("&"))
+    else:
+        head_text = line.rstrip(".")
+        body = ()
+    return Clause(_parse_literal(head_text, line), body)
+
+
+def parse_program(text: str) -> Program:
+    """Parse a program (no ``goal`` line)."""
+    program, goal = _parse(text)
+    if goal is not None:
+        raise ProgramParseError(
+            "unexpected goal line; use parse_query", "goal ...")
+    return program
+
+
+def parse_query(text: str,
+                goal: Optional[str] = None,
+                answer_vars: Tuple[str, ...] = ()) -> NDLQuery:
+    """Parse an NDL query.
+
+    The goal and its parameters come from a ``goal G(x, ...)`` line in
+    the text, or from the ``goal``/``answer_vars`` arguments; the
+    in-text line wins when both are present.
+    """
+    program, goal_literal = _parse(text)
+    if goal_literal is not None:
+        return NDLQuery(program, goal_literal.predicate, goal_literal.args)
+    if goal is None:
+        raise ProgramParseError("no goal line and no goal argument", text)
+    return NDLQuery(program, goal, tuple(answer_vars))
+
+
+def _parse(text: str) -> Tuple[Program, Optional[Literal]]:
+    clauses: List[Clause] = []
+    goal: Optional[Literal] = None
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        goal_match = _GOAL.match(line)
+        if goal_match:
+            if goal is not None:
+                raise ProgramParseError("duplicate goal line", raw)
+            goal = _parse_literal(goal_match.group(1), raw)
+            continue
+        clauses.append(_parse_clause(line))
+    return Program(clauses), goal

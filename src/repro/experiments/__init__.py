@@ -1,0 +1,46 @@
+"""Experiment harnesses regenerating every table and figure."""
+
+from .ablation import AblationPoint, skinny_comparison, splitting_comparison
+from .datasets import DEFAULT_SCALE, TABLE2_HEADERS, table2
+from .figure2 import (
+    ALGORITHMS,
+    SEQUENCES,
+    SizePoint,
+    ascii_barchart,
+    example11_tbox,
+    rewriting_sizes,
+    size_table,
+)
+from .reporting import format_table, print_table
+from .tables import (
+    EVAL_ALGORITHMS,
+    EvaluationPoint,
+    consistency_check,
+    run_evaluation_table,
+    table_headers,
+    table_rows,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AblationPoint",
+    "DEFAULT_SCALE",
+    "EVAL_ALGORITHMS",
+    "EvaluationPoint",
+    "SEQUENCES",
+    "SizePoint",
+    "TABLE2_HEADERS",
+    "ascii_barchart",
+    "consistency_check",
+    "example11_tbox",
+    "format_table",
+    "print_table",
+    "rewriting_sizes",
+    "run_evaluation_table",
+    "size_table",
+    "skinny_comparison",
+    "splitting_comparison",
+    "table2",
+    "table_headers",
+    "table_rows",
+]

@@ -1,0 +1,128 @@
+"""Figure 2 / Table 1: sizes of NDL-rewritings produced by the six
+algorithms on the three OMQ sequences of Section 6.
+
+The sequences are linear CQs over ``{R, S}`` coupled with the ontology
+of Example 11 (``P <= S``, ``P <= R-``), all lying in ``OMQ(1, 1, 2)``.
+Clause counts for Tw/Lin/Log grow linearly while the UCQ-style
+baselines (our Rapid/Clipper/Presto stand-ins) grow exponentially, as
+in the paper's barcharts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..ontology.tbox import TBox
+from ..queries.cq import CQ, chain_cq
+from ..rewriting.api import OMQ, rewrite
+
+#: The three query sequences of Section 6 / Appendix D.1.
+SEQUENCES: Dict[str, str] = {
+    "sequence1": "RRSRSRSRRSRRSSR",
+    "sequence2": "SRRRRRSRSRRRRRR",
+    "sequence3": "SRRSSRSRSRRSRRS",
+}
+
+#: The algorithms of Figure 2: ours plus the baseline stand-ins
+#: (see DESIGN.md for the substitution table).
+ALGORITHMS = ("tw", "lin", "log", "ucq", "perfectref", "presto")
+
+TIMEOUT = "-"
+
+
+def example11_tbox() -> TBox:
+    """The ontology of Example 11: ``P(x,y) -> S(x,y)`` and
+    ``P(x,y) -> R(y,x)`` (normalisation axioms added automatically)."""
+    return TBox.parse("""
+        roles: P, R, S
+        P <= S
+        P <= R-
+    """)
+
+
+@dataclass(frozen=True)
+class SizePoint:
+    """One bar of Figure 2: the size of one rewriting."""
+
+    sequence: str
+    atoms: int
+    algorithm: str
+    clauses: Optional[int]  # None = exceeded budget (the paper's "-")
+
+
+def rewriting_sizes(max_atoms: int = 15,
+                    algorithms: Sequence[str] = ALGORITHMS,
+                    sequences: Optional[Dict[str, str]] = None,
+                    perfectref_budget: int = 40000) -> List[SizePoint]:
+    """Compute all Figure 2 bars up to ``max_atoms`` query atoms."""
+    tbox = example11_tbox()
+    points: List[SizePoint] = []
+    sequences = sequences or SEQUENCES
+    dead: set = set()
+    for name, labels in sequences.items():
+        for atoms in range(1, max_atoms + 1):
+            query = chain_cq(labels[:atoms])
+            omq = OMQ(tbox, query)
+            for algorithm in algorithms:
+                if (name, algorithm) in dead:
+                    points.append(SizePoint(name, atoms, algorithm, None))
+                    continue
+                try:
+                    if algorithm == "perfectref":
+                        from ..rewriting.perfectref import perfectref_rewrite
+
+                        ndl = perfectref_rewrite(
+                            tbox, query, max_cqs=perfectref_budget)
+                    else:
+                        ndl = rewrite(omq, method=algorithm)
+                    points.append(
+                        SizePoint(name, atoms, algorithm, len(ndl)))
+                except RuntimeError:
+                    # exponential blow-up: the paper's "-" (timeout)
+                    dead.add((name, algorithm))
+                    points.append(SizePoint(name, atoms, algorithm, None))
+    return points
+
+
+def size_table(points: Sequence[SizePoint],
+               sequence: str) -> List[List[object]]:
+    """Rows of Table 1 for one sequence: one row per number of atoms,
+    one column per algorithm."""
+    by_atoms: Dict[int, Dict[str, Optional[int]]] = {}
+    for point in points:
+        if point.sequence == sequence:
+            by_atoms.setdefault(point.atoms, {})[point.algorithm] = (
+                point.clauses)
+    rows = []
+    for atoms in sorted(by_atoms):
+        row: List[object] = [atoms]
+        for algorithm in ALGORITHMS:
+            clauses = by_atoms[atoms].get(algorithm)
+            row.append(TIMEOUT if clauses is None else clauses)
+        rows.append(row)
+    return rows
+
+
+def ascii_barchart(points: Sequence[SizePoint], sequence: str,
+                   algorithms: Sequence[str] = ("tw", "lin", "log", "ucq"),
+                   width: int = 50) -> str:
+    """A terminal rendering of one Figure 2 barchart (log scale)."""
+    import math
+
+    lines = [f"Figure 2 - {sequence} (clauses, log scale)"]
+    relevant = [p for p in points if p.sequence == sequence
+                and p.algorithm in algorithms and p.clauses]
+    if not relevant:
+        return "\n".join(lines)
+    top = max(p.clauses for p in relevant)
+    for algorithm in algorithms:
+        lines.append(f"  {algorithm}:")
+        for point in sorted(relevant, key=lambda p: p.atoms):
+            if point.algorithm != algorithm:
+                continue
+            bar = int(width * math.log(point.clauses + 1)
+                      / math.log(top + 1))
+            lines.append(f"    {point.atoms:2d} "
+                         f"{'#' * bar} {point.clauses}")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""The W[1]-hardness gadget of Theorem 16 (Section 4.2): reduction from
+PartitionedClique to OMQ answering with the number of CQ leaves as the
+parameter.
+
+The ontology ``T_G`` unfolds every way of picking one vertex per
+partition into a branch of ``p`` blocks of length ``2M`` (vertex ``v_j``
+owning block positions ``2j-1`` and ``2j``), marking selected vertices
+with ``SS`` and their graph-neighbours with ``YY``; the CQ ``q_G`` forks
+into ``p - 1`` branches that verify evenly spaced ``YY`` markers, so
+``T_G, {A(a)} |= q_G`` iff the graph has a clique with one vertex per
+partition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..data.abox import ABox
+from ..ontology.axioms import ConceptInclusion, RoleInclusion
+from ..ontology.tbox import TBox
+from ..ontology.terms import Atomic, Exists, Role
+from ..queries.cq import CQ, Atom
+
+
+@dataclass(frozen=True)
+class PartitionedGraph:
+    """A graph on vertices ``1..n`` with a partition into ``p`` parts."""
+
+    vertices: int
+    edges: Tuple[FrozenSet[int], ...]
+    partition: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def of(cls, vertices: int, edges: Sequence[Sequence[int]],
+           partition: Sequence[Sequence[int]]) -> "PartitionedGraph":
+        frozen_edges = tuple(frozenset(edge) for edge in edges)
+        for edge in frozen_edges:
+            if len(edge) != 2 or not all(1 <= v <= vertices for v in edge):
+                raise ValueError(f"bad edge {sorted(edge)}")
+        parts = tuple(tuple(sorted(part)) for part in partition)
+        covered = [v for part in parts for v in part]
+        if sorted(covered) != list(range(1, vertices + 1)):
+            raise ValueError("partition must cover each vertex once")
+        return cls(vertices, frozen_edges, parts)
+
+    def adjacent(self, first: int, second: int) -> bool:
+        return frozenset((first, second)) in self.edges
+
+
+def has_partitioned_clique(graph: PartitionedGraph) -> bool:
+    """Brute-force reference solver: a clique with one vertex per part."""
+    for combo in itertools.product(*graph.partition):
+        if all(graph.adjacent(a, b)
+               for a, b in itertools.combinations(combo, 2)):
+            return True
+    return False
+
+
+def clique_tbox(graph: PartitionedGraph) -> TBox:
+    """The ontology ``T_G`` in normal form.
+
+    Block positions are 1-based: vertex ``v_j`` owns positions ``2j-1``
+    and ``2j`` of each block of length ``2M``.
+    """
+    m2 = 2 * graph.vertices
+    p = len(graph.partition)
+    axioms: List[object] = []
+    s_role, y_role, u_role = Role("S"), Role("Y"), Role("U")
+
+    def chain_role(position: int, vertex: int) -> Role:
+        return Role(f"L{position}_{vertex}")
+
+    for vertex in graph.partition[0]:
+        axioms.append(ConceptInclusion(Atomic("A"),
+                                       Exists(chain_role(1, vertex))))
+    for vertex in range(1, graph.vertices + 1):
+        for position in range(1, m2):
+            axioms.append(ConceptInclusion(
+                Exists(chain_role(position, vertex).inverse()),
+                Exists(chain_role(position + 1, vertex))))
+    for part_index in range(p - 1):
+        for vertex in graph.partition[part_index]:
+            for successor in graph.partition[part_index + 1]:
+                axioms.append(ConceptInclusion(
+                    Exists(chain_role(m2, vertex).inverse()),
+                    Exists(chain_role(1, successor))))
+    for vertex in range(1, graph.vertices + 1):
+        own = (2 * vertex - 1, 2 * vertex)
+        for position in range(1, m2 + 1):
+            role = chain_role(position, vertex)
+            axioms.append(RoleInclusion(role, u_role.inverse()))
+            if position in own:
+                axioms.append(RoleInclusion(role, s_role.inverse()))
+        for neighbour in range(1, graph.vertices + 1):
+            if graph.adjacent(vertex, neighbour):
+                for position in (2 * neighbour - 1, 2 * neighbour):
+                    axioms.append(RoleInclusion(chain_role(position, vertex),
+                                                y_role.inverse()))
+    for vertex in graph.partition[-1]:
+        axioms.append(ConceptInclusion(
+            Exists(chain_role(m2, vertex).inverse()), Atomic("B")))
+    # B(x) -> exists y (U(x, y) & U(y, x)), via the helper role PP
+    pp = Role("PP")
+    axioms.append(ConceptInclusion(Atomic("B"), Exists(pp)))
+    axioms.append(RoleInclusion(pp, u_role))
+    axioms.append(RoleInclusion(pp, u_role.inverse()))
+    return TBox(axioms)
+
+
+def clique_query(graph: PartitionedGraph) -> CQ:
+    """The Boolean CQ ``q_G``: ``B(y)`` plus, for each ``1 <= i < p``,
+    the branch ``U^{2M-2} (YY U^{2M-2})^i SS`` from ``y`` to ``z_i``."""
+    m2 = 2 * graph.vertices
+    p = len(graph.partition)
+    atoms: List[Atom] = [Atom("B", ("y",))]
+    for i in range(1, p):
+        labels: List[str] = ["U"] * (m2 - 2)
+        for _ in range(i):
+            labels += ["Y", "Y"] + ["U"] * (m2 - 2)
+        labels += ["S", "S"]
+        previous = "y"
+        for step, label in enumerate(labels):
+            is_last = step == len(labels) - 1
+            current = f"z{i}" if is_last else f"w{i}_{step}"
+            atoms.append(Atom(label, (previous, current)))
+            previous = current
+    return CQ(atoms, ())
+
+
+def clique_abox() -> ABox:
+    """The single-atom data instance ``{A(a)}``."""
+    return ABox([("A", ("a",))])
+
+
+def clique_omq(graph: PartitionedGraph) -> Tuple[TBox, CQ, ABox]:
+    """The full Theorem 16 instance ``(T_G, q_G, {A(a)})``."""
+    return clique_tbox(graph), clique_query(graph), clique_abox()

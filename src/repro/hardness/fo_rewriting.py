@@ -1,0 +1,108 @@
+"""Theorem 19: the SAT OMQs ``Q_phi`` have polynomial FO-rewritings.
+
+Corollary 18 shows no *polynomial-time algorithm* can construct FO- or
+NDL-rewritings of the OMQs ``Q_phi = (T_dagger, q_phi)`` unless
+P = NP; Theorem 19 complements it: polynomial-*size* FO-rewritings do
+exist.  The rewriting is
+
+    q'_phi  =  forall x y ((x = y) & A(x) & phi*)
+               or exists x y ((x != y) & q*_phi(x, y)),
+
+where ``phi*`` is ``true`` iff ``phi`` is satisfiable and ``q*_phi``
+is the polynomial rewriting over instances with at least two constants
+of [25, Corollary 14].  The theorem's point is precisely that the
+*existence* of the small rewriting does not contradict Corollary 18:
+writing it down requires deciding SAT once, which is exactly what no
+polynomial-time constructor can do.
+
+We reproduce the construction faithfully:
+
+* :func:`phi_star` decides satisfiability (with the library's DPLL
+  solver standing in for the oracle);
+* :func:`single_constant_rewriting` builds the first disjunct, which by
+  the proof of Theorem 17 is an FO-rewriting of ``Q_phi`` over all
+  data instances with a single constant;
+* :func:`fo_rewriting` assembles the full ``q'_phi`` with the second
+  disjunct kept abstract (a caller-supplied ``q*_phi``), defaulting to
+  the sound single-constant fragment.
+
+``tests/test_fo_rewriting.py`` verifies equation (2) against the
+certain-answer oracle on single-constant instances for both
+satisfiable and unsatisfiable CNFs, and checks the size bound is
+polynomial (in fact constant) in ``|phi|``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data.abox import ABox
+from ..queries.fo import (
+    FOAnd,
+    FOAtom,
+    FOEq,
+    FOExists,
+    FOFalse,
+    FOForall,
+    FOFormula,
+    FONot,
+    FOTrue,
+    evaluate_fo,
+    fo_and,
+    fo_or,
+)
+from .sat import CNF, is_satisfiable
+
+
+def phi_star(cnf: CNF) -> FOFormula:
+    """``phi*``: ``true`` if ``phi`` is satisfiable, else ``false``.
+
+    This is the one non-uniform ingredient of Theorem 19 — a single
+    bit whose computation is NP-hard, hard-wired into the rewriting.
+    """
+    return FOTrue() if is_satisfiable(cnf) else FOFalse()
+
+
+def single_constant_rewriting(cnf: CNF) -> FOFormula:
+    """The first disjunct of ``q'_phi``:
+    ``forall x y ((x = y) & A(x) & phi*)``.
+
+    Over a data instance with exactly one constant ``a`` this holds iff
+    ``A(a)`` is in the data and ``phi`` is satisfiable — which, by the
+    proof of Theorem 17, is exactly when ``T_dagger, A |= q_phi``.
+    """
+    body = fo_and(FOEq("x", "y"), FOAtom("A", ("x",)), phi_star(cnf))
+    return FOForall(("x", "y"), body)
+
+
+def multi_constant_guard() -> FOFormula:
+    """``exists x y (x != y)``: the guard selecting instances with at
+    least two constants (where [25, Corollary 14] applies)."""
+    return FOExists(("x", "y"), FONot(FOEq("x", "y")))
+
+
+def fo_rewriting(cnf: CNF,
+                 q_star: Optional[FOFormula] = None) -> FOFormula:
+    """The full Theorem 19 rewriting ``q'_phi``.
+
+    ``q_star`` is the body of the second disjunct — the rewriting over
+    instances with >= 2 constants of [25, Corollary 14], with free
+    variables ``x`` and ``y``.  The paper only needs its existence; by
+    default we plug in ``false``, making the result a *sound* rewriting
+    everywhere and a complete one on single-constant instances (the
+    case Theorems 17 and 19 revolve around).
+    """
+    if q_star is None:
+        q_star = FOFalse()
+    second = FOExists(("x", "y"),
+                      fo_and(FONot(FOEq("x", "y")), q_star))
+    return fo_or(single_constant_rewriting(cnf), second)
+
+
+def holds_single_constant(cnf: CNF, abox: ABox) -> bool:
+    """Evaluate ``q'_phi`` over a (single-constant) instance.
+
+    The Boolean rewriting has no free variables, so this is plain
+    sentence evaluation of (2)'s right-hand side.
+    """
+    return evaluate_fo(fo_rewriting(cnf), abox)

@@ -1,0 +1,116 @@
+"""The W[2]-hardness gadget of Theorem 15 (Section 4.1, Appendix B.1):
+reduction from p-HittingSet to OMQ answering with the ontology depth as
+the parameter.
+
+Given a hypergraph ``H = (V, E)`` and ``k``, the ontology ``T_H^k``
+(depth ``2k``) generates a tree whose level-``k`` points encode the
+size-``k`` subsets of ``V``, with "pendant" chains checking hyperedge
+intersection, and the star-shaped Boolean CQ ``q_H^k`` has one ray per
+hyperedge; then ``T_H^k, {V^0_0(a)} |= q_H^k`` iff ``H`` has a hitting
+set of size ``k``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..data.abox import ABox
+from ..ontology.axioms import ConceptInclusion, RoleInclusion
+from ..ontology.tbox import TBox
+from ..ontology.terms import Atomic, Exists, Role
+from ..queries.cq import CQ, Atom
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """A hypergraph on vertices ``1..n`` with hyperedges as vertex sets."""
+
+    vertices: int
+    edges: Tuple[FrozenSet[int], ...]
+
+    @classmethod
+    def of(cls, vertices: int, edges: Sequence[Sequence[int]]
+           ) -> "Hypergraph":
+        frozen = tuple(frozenset(edge) for edge in edges)
+        for edge in frozen:
+            if not edge or not all(1 <= v <= vertices for v in edge):
+                raise ValueError(f"bad hyperedge {sorted(edge)}")
+        return cls(vertices, frozen)
+
+
+def has_hitting_set(hypergraph: Hypergraph, k: int) -> bool:
+    """Brute-force reference solver: is there ``A`` with ``|A| = k`` and
+    ``e intersect A != empty`` for every hyperedge ``e``?"""
+    if k > hypergraph.vertices:
+        return False
+    universe = range(1, hypergraph.vertices + 1)
+    for subset in itertools.combinations(universe, k):
+        chosen = set(subset)
+        if all(edge & chosen for edge in hypergraph.edges):
+            return True
+    return False
+
+
+def hitting_set_tbox(hypergraph: Hypergraph, k: int) -> TBox:
+    """The ontology ``T_H^k`` in OWL 2 QL normal form, using the helper
+    roles ``u^l_i`` and ``h^l_j`` of Appendix B.1."""
+    n = hypergraph.vertices
+    axioms: List[object] = []
+    p_role = Role("P")
+    for level in range(1, k + 1):
+        for target in range(1, n + 1):
+            up = Role(f"u{level}_{target}")
+            # u^l_{i'}(x, z) -> P(z, x) and V^l_{i'}(z)
+            axioms.append(RoleInclusion(up, p_role.inverse()))
+            axioms.append(ConceptInclusion(Exists(up.inverse()),
+                                           Atomic(f"V{level}_{target}")))
+            for source in range(0, target):
+                # V^{l-1}_i(x) -> exists z u^l_{i'}(x, z), i < i'
+                axioms.append(ConceptInclusion(
+                    Atomic(f"V{level - 1}_{source}"), Exists(up)))
+    for level in range(1, k + 1):
+        for j, edge in enumerate(hypergraph.edges, start=1):
+            for vertex in sorted(edge):
+                axioms.append(ConceptInclusion(
+                    Atomic(f"V{level}_{vertex}"),
+                    Atomic(f"E{level}_{j}")))
+    for level in range(1, k + 1):
+        for j in range(1, len(hypergraph.edges) + 1):
+            down = Role(f"h{level}_{j}")
+            # E^l_j(x) -> exists z h^l_j(x, z), h(x, z) -> P(x, z) and
+            # E^{l-1}_j(z)
+            axioms.append(ConceptInclusion(Atomic(f"E{level}_{j}"),
+                                           Exists(down)))
+            axioms.append(RoleInclusion(down, p_role))
+            axioms.append(ConceptInclusion(Exists(down.inverse()),
+                                           Atomic(f"E{level - 1}_{j}")))
+    return TBox(axioms)
+
+
+def hitting_set_query(hypergraph: Hypergraph, k: int) -> CQ:
+    """The star-shaped Boolean CQ ``q_H^k`` with one ray of length ``k``
+    per hyperedge, ending in ``E^0_j``."""
+    atoms: List[Atom] = []
+    for j in range(1, len(hypergraph.edges) + 1):
+        previous = "y"
+        for level in range(k - 1, -1, -1):
+            current = f"z{level}_{j}"
+            atoms.append(Atom("P", (previous, current)))
+            previous = current
+        atoms.append(Atom(f"E0_{j}", (f"z0_{j}",)))
+    return CQ(atoms, ())
+
+
+def hitting_set_abox() -> ABox:
+    """The single-atom data instance ``{V^0_0(a)}``."""
+    return ABox([("V0_0", ("a",))])
+
+
+def hitting_set_omq(hypergraph: Hypergraph,
+                    k: int) -> Tuple[TBox, CQ, ABox]:
+    """The full Theorem 15 instance ``(T_H^k, q_H^k, {V^0_0(a)})``."""
+    return (hitting_set_tbox(hypergraph, k),
+            hitting_set_query(hypergraph, k),
+            hitting_set_abox())

@@ -1,0 +1,209 @@
+"""The fixed-ontology LOGCFL-hardness gadget of Theorem 22 (Section 5,
+Appendix C.4): reduction from Greibach's hardest context-free language.
+
+``T_DDAGGER`` is a fixed ontology such that a word ``w`` over the
+alphabet of the hardest LOGCFL language ``L`` belongs to ``L`` iff
+``T_ddagger, {A(a)} |= q_w`` for the linear Boolean CQ ``q_w`` produced
+by a (logspace) transducer.
+
+The base language ``B0`` is the two-pair Dyck language
+``S -> SS | eps | a1 S b1 | a2 S b2``; ``L`` wraps it in blocks
+``[x1#x2#...#xn]`` from each of which one *choice* must be drawn.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..data.abox import ABox
+from ..ontology.axioms import ConceptInclusion, RoleInclusion
+from ..ontology.tbox import TBox
+from ..ontology.terms import Atomic, Exists, Role
+from ..queries.cq import CQ, Atom
+
+#: The alphabet of the base language B0.
+SIGMA0 = ("a1", "b1", "a2", "b2")
+#: The full alphabet of the hardest language L.
+SIGMA = SIGMA0 + ("[", "]", "#")
+
+_SYMBOL_NAMES = {"[": "LB", "]": "RB", "#": "HH",
+                 "a1": "a1", "b1": "b1", "a2": "a2", "b2": "b2"}
+
+
+def _r(symbol: str) -> str:
+    return f"R{_SYMBOL_NAMES[symbol]}"
+
+
+def _s(symbol: str) -> str:
+    return f"S{_SYMBOL_NAMES[symbol]}"
+
+
+def in_b0(word: Sequence[str]) -> bool:
+    """Membership in the Dyck base language ``B0`` (stack check)."""
+    stack: List[str] = []
+    pairs = {"b1": "a1", "b2": "a2"}
+    for symbol in word:
+        if symbol in ("a1", "a2"):
+            stack.append(symbol)
+        elif symbol in pairs:
+            if not stack or stack.pop() != pairs[symbol]:
+                return False
+        else:
+            return False
+    return not stack
+
+
+def parse_blocks(word: Sequence[str]) -> Optional[List[List[List[str]]]]:
+    """Split a block-formed word into blocks of choices, or ``None``
+    when the word is not block-formed."""
+    if not word or word[0] != "[" or word[-1] != "]":
+        return None
+    blocks: List[List[List[str]]] = []
+    current: Optional[List[List[str]]] = None
+    content = 0
+    for index, symbol in enumerate(word):
+        if symbol == "[":
+            if current is not None:
+                return None
+            current = [[]]
+            content = 0
+        elif symbol == "]":
+            if current is None or content == 0:
+                return None  # unmatched or empty block "[]"
+            blocks.append(current)
+            current = None
+            if index + 1 < len(word) and word[index + 1] != "[":
+                return None
+        elif symbol == "#":
+            if current is None:
+                return None
+            current.append([])
+            content += 1
+        elif symbol in SIGMA0:
+            if current is None:
+                return None
+            current[-1].append(symbol)
+            content += 1
+        else:
+            return None
+    if current is not None:
+        return None
+    return blocks
+
+
+def is_block_formed(word: Sequence[str]) -> bool:
+    return parse_blocks(word) is not None
+
+
+def in_hardest_language(word: Sequence[str]) -> bool:
+    """Membership in the hardest LOGCFL language ``L``: a sequence of
+    blocks from each of which some choice concatenates into ``B0``."""
+    blocks = parse_blocks(word)
+    if blocks is None:
+        return False
+    for combo in itertools.product(*blocks):
+        chosen: List[str] = []
+        for choice in combo:
+            chosen.extend(choice)
+        if in_b0(chosen):
+            return True
+    return False
+
+
+def ddagger_tbox() -> TBox:
+    """The fixed ontology ``T_ddagger`` (axioms (11) and (16)-(21) of
+    Appendix C.4, in normal form with helper roles)."""
+    axioms: List[object] = []
+
+    def double_step(trigger: str, outer: Role, first_r: str, first_s: str,
+                    inner: Role, second_s: str, second_r: str,
+                    target: str) -> None:
+        """``trigger(x) -> exists y (R(x,y) & S(y,x) &
+        exists z (S'(y,z) & R'(z,y) & target(z)))``."""
+        axioms.append(ConceptInclusion(Atomic(trigger), Exists(outer)))
+        axioms.append(RoleInclusion(outer, Role(first_r)))
+        axioms.append(RoleInclusion(outer.inverse(), Role(first_s)))
+        axioms.append(ConceptInclusion(Exists(outer.inverse()),
+                                       Exists(inner)))
+        axioms.append(RoleInclusion(inner, Role(second_s)))
+        axioms.append(RoleInclusion(inner.inverse(), Role(second_r)))
+        axioms.append(ConceptInclusion(Exists(inner.inverse()),
+                                       Atomic(target)))
+
+    # (11): the base-language gadget, for i = 1, 2
+    for i in (1, 2):
+        double_step("D", Role(f"g{i}"), _r(f"a{i}"), _s(f"b{i}"),
+                    Role(f"f{i}"), _s(f"a{i}"), _r(f"b{i}"), "D")
+    # (16): A(x) -> D(x)
+    axioms.append(ConceptInclusion(Atomic("A"), Atomic("D")))
+    # (17): D -> exists y (R[(x,y) & S[(y,x))
+    t1 = Role("t1")
+    axioms.append(ConceptInclusion(Atomic("D"), Exists(t1)))
+    axioms.append(RoleInclusion(t1, Role(_r("["))))
+    axioms.append(RoleInclusion(t1.inverse(), Role(_s("["))))
+    # (18): the skip-prefix gadget
+    double_step("D", Role("t2"), _r("["), _s("#"),
+                Role("t3"), _s("["), _r("#"), "F")
+    # (19): D -> exists y (R](x,y) & S](y,x))
+    t4 = Role("t4")
+    axioms.append(ConceptInclusion(Atomic("D"), Exists(t4)))
+    axioms.append(RoleInclusion(t4, Role(_r("]"))))
+    axioms.append(RoleInclusion(t4.inverse(), Role(_s("]"))))
+    # (20): the skip-suffix gadget
+    double_step("D", Role("t5"), _r("#"), _s("]"),
+                Role("t6"), _s("#"), _r("]"), "F")
+    # (21): F -> exists y (Rc(x,y) & Sc(y,x)) for c in Sigma0 + {#}
+    for symbol in SIGMA0 + ("#",):
+        u = Role(f"u{_SYMBOL_NAMES[symbol]}")
+        axioms.append(ConceptInclusion(Atomic("F"), Exists(u)))
+        axioms.append(RoleInclusion(u, Role(_r(symbol))))
+        axioms.append(RoleInclusion(u.inverse(), Role(_s(symbol))))
+    return TBox(axioms)
+
+
+def word_query(word: Sequence[str]) -> CQ:
+    """The transducer of Theorem 22: a linear Boolean CQ ``q_w``.
+
+    Block-formed words yield
+    ``A(u_0) & gamma_w(u_0, v_0, ..., u_{n+1}) & A(u_{n+1})``;
+    non-block-formed words yield a prefix ending in the error concept
+    ``E(u_i)`` (false in the canonical model, as ``E`` never holds)."""
+    atoms: List[Atom] = [Atom("A", ("u0",))]
+    for index, symbol in enumerate(word):
+        if symbol not in SIGMA:
+            atoms.append(Atom("Err", (f"u{index}",)))
+            return CQ(atoms, ())
+        atoms.append(Atom(_r(symbol), (f"u{index}", f"v{index}")))
+        atoms.append(Atom(_s(symbol), (f"v{index}", f"u{index + 1}")))
+    if is_block_formed(word):
+        atoms.append(Atom("A", (f"u{len(word)}",)))
+    else:
+        atoms.append(Atom("Err", (f"u{len(word)}",)))
+    return CQ(atoms, ())
+
+
+def word_abox() -> ABox:
+    """The fixed data instance ``{A(a)}``."""
+    return ABox([("A", ("a",))])
+
+
+def word_omq(word: Sequence[str]) -> Tuple[TBox, CQ, ABox]:
+    """The full Theorem 22 instance ``(T_ddagger, q_w, {A(a)})``."""
+    return ddagger_tbox(), word_query(word), word_abox()
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``"[a1a2#b2b1]"`` into symbols of ``SIGMA``."""
+    tokens: List[str] = []
+    index = 0
+    while index < len(text):
+        if text[index] in "[]#":
+            tokens.append(text[index])
+            index += 1
+        else:
+            tokens.append(text[index:index + 2])
+            index += 2
+    if any(token not in SIGMA for token in tokens):
+        raise ValueError(f"not a word over Sigma: {text!r}")
+    return tokens

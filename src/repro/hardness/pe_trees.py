@@ -1,0 +1,96 @@
+"""Theorem 21 / Theorem 28 (Appendix C.3): evaluating PE-queries over
+the tree instances ``A_m^alpha`` is NP-hard.
+
+For the 3-CNF ``phi_k`` consisting of *all* clauses over ``k``
+variables (``m = 8 * C(k, 3)`` of them), the construction builds a
+polynomial-size PE-query ``q_m(x)`` such that
+``A_m^alpha |= q_m(root)`` iff the CNF ``phi_k^{-alpha}`` (the clauses
+*not* flagged by ``alpha``) is satisfiable — reducing 3-SAT to
+PE-evaluation over trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from ..queries.pe import And, Or, PEAtom, PEQuery, conj, disj
+
+#: In ``A_m^alpha`` (see :func:`repro.hardness.sat.tree_abox`), ``Pm``
+#: is the left-child edge (bit 0) and ``Pp`` the right-child edge.
+LEFT, RIGHT = "Pm", "Pp"
+
+
+def all_three_clauses(k: int) -> List[Tuple[int, int, int]]:
+    """Every 3-literal clause over variables ``1..k`` with three
+    distinct variables (the CNF ``phi_k`` of Appendix C.3)."""
+    clauses = []
+    for trio in itertools.combinations(range(1, k + 1), 3):
+        for signs in itertools.product((1, -1), repeat=3):
+            clauses.append(tuple(sign * var
+                                 for sign, var in zip(signs, trio)))
+    return clauses
+
+
+def _p_pm(first: str, second: str) -> Or:
+    """``P_pm(x, y) = Pm(x, y) | Pp(x, y)`` (any tree edge)."""
+    return disj(PEAtom(LEFT, (first, second)), PEAtom(RIGHT, (first, second)))
+
+
+def pe_query_qm(k: int) -> Tuple[PEQuery, List[Tuple[int, int, int]]]:
+    """The PE-query ``q_m(x)`` of Theorem 28 plus the clause list.
+
+    The number of clauses must be a power of two for the tree
+    instances; ``k = 3`` gives exactly ``m = 8``.
+    """
+    clauses = all_three_clauses(k)
+    m = len(clauses)
+    if m & (m - 1):
+        raise ValueError(
+            f"phi_{k} has {m} clauses - not a power of two; use k = 3 "
+            "or pad the clause list")
+    bits = m.bit_length() - 1
+
+    def literal_var(literal: int) -> str:
+        return f"x{literal}" if literal > 0 else f"xn{-literal}"
+
+    parts: List[object] = []
+    # r: the clause variables z_i sit at the leaf addressed by i-1
+    for i in range(1, m + 1):
+        previous = "x"
+        address = i - 1
+        for level in range(bits):
+            is_last = level == bits - 1
+            current = f"z{i}" if is_last else f"y{level + 1}_{i}"
+            predicate = (RIGHT if (address >> (bits - 1 - level)) & 1
+                         else LEFT)
+            parts.append(PEAtom(predicate, (previous, current)))
+            previous = current
+    # s: each propositional variable picks a leaf pair (x_j, x'_j) with
+    # exactly one of them carrying B0 (the truth value)
+    for j in range(1, k + 1):
+        previous = "x"
+        for level in range(1, bits):
+            current = f"u{level}_{j}"
+            parts.append(_p_pm(previous, current))
+            previous = current
+        positive, negative = literal_var(j), literal_var(-j)
+        parts.append(disj(
+            conj(_p_pm(previous, positive), _p_pm(negative, previous),
+                 PEAtom("B0", (positive,))),
+            conj(_p_pm(previous, negative), _p_pm(positive, previous),
+                 PEAtom("B0", (negative,)))))
+    # t: clause i is inert (B0 at its leaf: it was deleted by alpha) or
+    # one of its literals is true
+    for i, clause in enumerate(clauses, start=1):
+        parts.append(disj(
+            PEAtom("B0", (f"z{i}",)),
+            *[PEAtom("B0", (literal_var(literal),))
+              for literal in clause]))
+    return PEQuery(And(tuple(parts)), ("x",)), clauses
+
+
+def cnf_minus_alpha(clauses: Sequence[Tuple[int, ...]],
+                    alpha: Sequence[int]) -> List[List[int]]:
+    """``phi^{-alpha}``: the clauses not flagged by ``alpha``."""
+    return [list(clause) for clause, bit in zip(clauses, alpha) if not bit]

@@ -1,0 +1,249 @@
+"""The fixed-ontology NP-hardness gadget of Theorem 17 (Section 5,
+Appendix C.1) and its Theorem 20 variant.
+
+``T_DAGGER`` is a *fixed* infinite-depth ontology such that answering
+Boolean tree-shaped OMQs ``(T_DAGGER, q_phi)`` over the single-atom data
+``{A(a)}`` decides SAT: the canonical model spins an infinite binary
+tree of truth assignments, and the star-shaped ``q_phi`` maps into it
+iff the CNF ``phi`` is satisfiable.
+
+Also provided: a DPLL SAT solver (the reference semantics), the
+modified query ``q_bar_phi(x)`` of Appendix C.2 and the binary-tree data
+instances ``A_m^alpha`` used by Theorem 20's monotone-function argument.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.abox import ABox
+from ..ontology.axioms import ConceptInclusion, RoleInclusion
+from ..ontology.tbox import TBox
+from ..ontology.terms import Atomic, Exists, Role
+from ..queries.cq import CQ, Atom
+
+#: A CNF formula: a list of clauses, each a list of non-zero ints
+#: (DIMACS style: ``3`` means ``p3``, ``-3`` means ``not p3``).
+CNF = Sequence[Sequence[int]]
+
+
+def _dagger_axioms() -> List[object]:
+    """The axioms of ``T_dagger`` in normal form (Appendix C.1), with
+    helper roles ``up/um`` (upsilon+-) and ``hp/hm/h0`` (eta+-0)."""
+    axioms: List[object] = []
+    pp, pm, p0 = Role("Pp"), Role("Pm"), Role("P0")
+
+    def branch(upsilon: Role, sign_role: Role, b_concept: str,
+               eta: Role, eta_sign: Role) -> None:
+        # A(x) -> exists y upsilon(x, y);
+        # upsilon(x, y) -> sign(y, x) & P0(y, x) & B_pm(y) & A(y)
+        axioms.append(ConceptInclusion(Atomic("A"), Exists(upsilon)))
+        axioms.append(RoleInclusion(upsilon, sign_role.inverse()))
+        axioms.append(RoleInclusion(upsilon, p0.inverse()))
+        axioms.append(ConceptInclusion(Exists(upsilon.inverse()),
+                                       Atomic(b_concept)))
+        axioms.append(ConceptInclusion(Exists(upsilon.inverse()),
+                                       Atomic("A")))
+        # B_pm(y) -> exists x' eta(y, x'); eta(y, x') -> eta_sign(y, x')
+        # & B0(x')
+        axioms.append(ConceptInclusion(Atomic(b_concept), Exists(eta)))
+        axioms.append(RoleInclusion(eta, eta_sign))
+        axioms.append(ConceptInclusion(Exists(eta.inverse()), Atomic("B0")))
+
+    branch(Role("up"), pp, "Bm", Role("hm"), pm)
+    branch(Role("um"), pm, "Bp", Role("hp"), pp)
+    # B0(x) -> exists y eta0(x, y);
+    # eta0(x, y) -> Pp(x, y) & Pm(x, y) & P0(x, y) & B0(y)
+    h0 = Role("h0")
+    axioms.append(ConceptInclusion(Atomic("B0"), Exists(h0)))
+    for sign_role in (pp, pm, p0):
+        axioms.append(RoleInclusion(h0, sign_role))
+    axioms.append(ConceptInclusion(Exists(h0.inverse()), Atomic("B0")))
+    return axioms
+
+
+#: The fixed ontology of Theorem 17.
+def dagger_tbox() -> TBox:
+    return TBox(_dagger_axioms())
+
+
+def _sign_predicate(literal_sign: int) -> str:
+    return {1: "Pp", -1: "Pm", 0: "P0"}[literal_sign]
+
+
+def _clause_sign(clause: Sequence[int], variable: int) -> int:
+    for literal in clause:
+        if abs(literal) == variable:
+            return 1 if literal > 0 else -1
+    return 0
+
+
+def _is_tautological(clause: Sequence[int]) -> bool:
+    literals = set(clause)
+    return any(-literal in literals for literal in literals)
+
+
+def sat_query(cnf: CNF, variables: Optional[int] = None) -> CQ:
+    """The Boolean star CQ ``q_phi`` of Theorem 17: centre ``A(y)`` and
+    one ray per clause encoding the clause's literals over
+    ``Pp/Pm/P0``.
+
+    The paper's encoding gives each (clause, variable) position exactly
+    one of ``Pp``/``Pm``/``P0``, so it cannot represent a clause
+    containing both ``p`` and ``not p``; such tautological clauses are
+    always satisfied and are dropped up front (which preserves
+    satisfiability, hence the reduction).
+    """
+    kept = [clause for clause in cnf if not _is_tautological(clause)]
+    k = variables if variables is not None else max(
+        (abs(l) for clause in cnf for l in clause), default=1)
+    atoms: List[Atom] = [Atom("A", ("y",))]
+    for j, clause in enumerate(kept, start=1):
+        previous = "y"  # z^k_j = y; atoms run P(z^l_j, z^{l-1}_j)
+        for level in range(k, 0, -1):
+            current = f"z{level - 1}_{j}"
+            predicate = _sign_predicate(_clause_sign(clause, level))
+            atoms.append(Atom(predicate, (previous, current)))
+            previous = current
+        atoms.append(Atom("B0", (f"z0_{j}",)))
+    return CQ(atoms, ())
+
+
+def sat_abox() -> ABox:
+    """The fixed data instance ``{A(a)}``."""
+    return ABox([("A", ("a",))])
+
+
+def sat_omq(cnf: CNF, variables: Optional[int] = None
+            ) -> Tuple[TBox, CQ, ABox]:
+    """The full Theorem 17 instance ``(T_dagger, q_phi, {A(a)})``."""
+    return dagger_tbox(), sat_query(cnf, variables), sat_abox()
+
+
+# -- reference SAT solver ---------------------------------------------------
+
+
+def dpll(cnf: CNF) -> Optional[Dict[int, bool]]:
+    """A DPLL SAT solver with unit propagation; returns a satisfying
+    assignment or ``None``."""
+    clauses = [frozenset(clause) for clause in cnf]
+    assignment: Dict[int, bool] = {}
+
+    def propagate(clauses, assignment):
+        changed = True
+        while changed:
+            changed = False
+            pending = []
+            for clause in clauses:
+                live = []
+                satisfied = False
+                for literal in clause:
+                    var, value = abs(literal), literal > 0
+                    if var in assignment:
+                        if assignment[var] == value:
+                            satisfied = True
+                            break
+                    else:
+                        live.append(literal)
+                if satisfied:
+                    continue
+                if not live:
+                    return None
+                if len(live) == 1:
+                    literal = live[0]
+                    assignment[abs(literal)] = literal > 0
+                    changed = True
+                else:
+                    pending.append(frozenset(live))
+            clauses = pending
+        return clauses
+
+    def solve(clauses, assignment):
+        clauses = propagate(clauses, assignment)
+        if clauses is None:
+            return None
+        if not clauses:
+            return assignment
+        literal = next(iter(clauses[0]))
+        for value in (literal > 0, literal <= 0):
+            attempt = dict(assignment)
+            attempt[abs(literal)] = value
+            result = solve(clauses, attempt)
+            if result is not None:
+                return result
+        return None
+
+    return solve(clauses, assignment)
+
+
+def is_satisfiable(cnf: CNF) -> bool:
+    return dpll(cnf) is not None
+
+
+# -- Theorem 20: the q_bar variant and the A_m^alpha tree instances ----------
+
+
+def sat_query_bar(cnf: CNF, variables: Optional[int] = None) -> CQ:
+    """The modified query ``q_bar_phi(x)`` of Appendix C.2 (one answer
+    variable; requires the number of clauses to be a power of two)."""
+    m = len(cnf)
+    if m & (m - 1) or m == 0:
+        raise ValueError("q_bar_phi needs a power-of-two number of clauses")
+    if any(_is_tautological(clause) for clause in cnf):
+        # unlike sat_query, the clause *positions* carry meaning here
+        # (the alpha flags address them), so dropping is not an option
+        raise ValueError("q_bar_phi cannot encode tautological clauses")
+    bits = m.bit_length() - 1
+    k = variables if variables is not None else max(
+        (abs(l) for clause in cnf for l in clause), default=1)
+    atoms: List[Atom] = [Atom("P0", ("y1", "x"))]
+    for level in range(2, k + 1):
+        atoms.append(Atom("P0", (f"y{level}", f"y{level - 1}")))
+    centre = f"y{k}"
+    for j, clause in enumerate(cnf, start=1):
+        previous = centre  # z^k_j = y^k; atoms run P(z^l_j, z^{l-1}_j)
+        for level in range(k, 0, -1):
+            current = f"z{level - 1}_{j}"
+            predicate = _sign_predicate(_clause_sign(clause, level))
+            atoms.append(Atom(predicate, (previous, current)))
+            previous = current
+        # the address part: bit l of (j-1) selects Pm (0) or Pp (1)
+        for bit in range(bits):
+            current = f"z{-bit - 1}_{j}"
+            predicate = "Pp" if (j - 1) >> bit & 1 else "Pm"
+            atoms.append(Atom(predicate, (previous, current)))
+            previous = current
+        atoms.append(Atom("B0", (previous,)))
+    return CQ(atoms, ("x",))
+
+
+def tree_abox(alpha: Sequence[int]) -> ABox:
+    """The data instance ``A_m^alpha``: a full binary tree over ``Pm``
+    (left) / ``Pp`` (right) with ``A`` at the root and ``B0`` at the
+    leaves selected by the bit-vector ``alpha``."""
+    m = len(alpha)
+    if m & (m - 1) or m == 0:
+        raise ValueError("alpha must have power-of-two length")
+    bits = m.bit_length() - 1
+    abox = ABox([("A", ("t",))])
+    for depth in range(bits):
+        for index in range(1 << depth):
+            node = _node_name(depth, index)
+            abox.add("Pm", node, _node_name(depth + 1, 2 * index))
+            abox.add("Pp", node, _node_name(depth + 1, 2 * index + 1))
+    for index, bit in enumerate(alpha):
+        if bit:
+            abox.add("B0", _node_name(bits, index))
+    return abox
+
+
+def _node_name(depth: int, index: int) -> str:
+    return "t" if depth == 0 else f"t{depth}_{index}"
+
+
+def monotone_function(cnf: CNF, alpha: Sequence[int]) -> bool:
+    """``f_phi(alpha)``: satisfiability of ``phi`` with the clauses
+    flagged by ``alpha`` removed (Lemma 26's reference function)."""
+    remaining = [clause for clause, bit in zip(cnf, alpha) if not bit]
+    return is_satisfiable(remaining)

@@ -1,0 +1,17 @@
+"""The OBDA mapping layer: GAV mappings, ``M(D)`` and unfolding."""
+
+from .mapping import (
+    Database,
+    Mapping,
+    MappingAssertion,
+    SourceAtom,
+    evaluate_over_database,
+)
+
+__all__ = [
+    "Database",
+    "Mapping",
+    "MappingAssertion",
+    "SourceAtom",
+    "evaluate_over_database",
+]

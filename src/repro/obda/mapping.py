@@ -1,0 +1,209 @@
+"""GAV mappings: connecting the ontology vocabulary to a data schema.
+
+Section 1 of the paper describes the full OBDA setting: a mapping ``M``
+relates the source schema to the ontology vocabulary, the certain
+answers are ``T, M(D) |= q(a)``, and for GAV mappings the FO/NDL
+rewriting ``q'`` can be *unfolded* through ``M`` so that it can be
+evaluated directly over the source database ``D`` without materialising
+``M(D)``.
+
+A GAV mapping is a set of assertions ``S(x) <- phi(x, y)`` with ``S`` a
+unary/binary ontology predicate and ``phi`` a conjunction of source
+atoms (of arbitrary arity).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..data.abox import ABox
+from ..datalog.evaluate import evaluate
+from ..datalog.program import ADOM, Clause, Equality, Literal, NDLQuery, Program
+
+
+@dataclass(frozen=True)
+class SourceAtom:
+    """An atom over the source schema (any arity)."""
+
+    relation: str
+    args: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class MappingAssertion:
+    """One GAV assertion ``target(head_vars) <- body``."""
+
+    target: str
+    head_vars: Tuple[str, ...]
+    body: Tuple[SourceAtom, ...]
+
+    def __post_init__(self):
+        bound = {var for atom in self.body for var in atom.args}
+        if not set(self.head_vars) <= bound:
+            raise ValueError(
+                f"unsafe mapping assertion for {self.target}: head "
+                "variables must occur in the body")
+
+    def __str__(self) -> str:
+        body = " & ".join(str(atom) for atom in self.body)
+        return f"{self.target}({', '.join(self.head_vars)}) <- {body}"
+
+
+class Database:
+    """A source database instance: named relations of constant tuples."""
+
+    def __init__(self):
+        self._relations: Dict[str, set] = {}
+
+    def add(self, relation: str, *row: str) -> None:
+        self._relations.setdefault(relation, set()).add(tuple(row))
+
+    def rows(self, relation: str) -> frozenset:
+        return frozenset(self._relations.get(relation, ()))
+
+    @property
+    def relations(self) -> frozenset:
+        return frozenset(self._relations)
+
+    @property
+    def constants(self) -> frozenset:
+        return frozenset(constant
+                         for rows in self._relations.values()
+                         for row in rows
+                         for constant in row)
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._relations.values())
+
+
+class Mapping:
+    """A GAV mapping ``M``: a finite set of assertions."""
+
+    def __init__(self, assertions: Iterable[MappingAssertion] = ()):
+        self.assertions: List[MappingAssertion] = list(assertions)
+
+    def add(self, target: str, head_vars: Sequence[str],
+            body: Sequence[Tuple[str, Sequence[str]]]) -> None:
+        """Convenience: ``add("A", ["x"], [("emp", ["x", "d"])])``."""
+        atoms = tuple(SourceAtom(rel, tuple(args)) for rel, args in body)
+        self.assertions.append(
+            MappingAssertion(target, tuple(head_vars), atoms))
+
+    def assertions_for(self, target: str) -> List[MappingAssertion]:
+        return [a for a in self.assertions if a.target == target]
+
+    @property
+    def targets(self) -> frozenset:
+        return frozenset(a.target for a in self.assertions)
+
+    # -- materialisation ---------------------------------------------------
+
+    def apply(self, database: Database) -> ABox:
+        """``M(D)``: the virtual ABox, materialised.
+
+        Each assertion is evaluated as a conjunctive query over the
+        source database.
+        """
+        abox = ABox()
+        for assertion in self.assertions:
+            for row in self._evaluate_body(assertion, database):
+                abox.add(assertion.target, *row)
+        return abox
+
+    @staticmethod
+    def _evaluate_body(assertion: MappingAssertion,
+                       database: Database) -> Iterable[Tuple[str, ...]]:
+        bindings: List[Dict[str, str]] = [{}]
+        for atom in assertion.body:
+            rows = database.rows(atom.relation)
+            extended: List[Dict[str, str]] = []
+            for binding in bindings:
+                for row in rows:
+                    if len(row) != len(atom.args):
+                        continue
+                    candidate = dict(binding)
+                    consistent = True
+                    for var, value in zip(atom.args, row):
+                        if candidate.get(var, value) != value:
+                            consistent = False
+                            break
+                        candidate[var] = value
+                    if consistent:
+                        extended.append(candidate)
+            bindings = extended
+            if not bindings:
+                return []
+        return {tuple(binding[var] for var in assertion.head_vars)
+                for binding in bindings}
+
+    # -- unfolding -----------------------------------------------------------
+
+    def unfold(self, query: NDLQuery) -> NDLQuery:
+        """Unfold an NDL rewriting through the mapping: every ontology
+        EDB atom is replaced by the union of its mapping definitions,
+        yielding an NDL query over the *source schema* (so ``M(D)``
+        never needs to be materialised — the classical OBDA pipeline of
+        Section 1)."""
+        program = query.program
+        idb = program.idb_predicates
+        fresh = itertools.count()
+        clauses: List[Clause] = []
+        defined: Dict[str, str] = {}
+        for target in sorted(self.targets):
+            name = f"_m_{target}"
+            defined[target] = name
+            for assertion in self.assertions_for(target):
+                suffix = f"_m{next(fresh)}"
+                rename = {
+                    var: (var if var in assertion.head_vars
+                          else var + suffix)
+                    for atom in assertion.body for var in atom.args}
+                body = tuple(Literal(atom.relation,
+                                     tuple(rename[v] for v in atom.args))
+                             for atom in assertion.body)
+                clauses.append(
+                    Clause(Literal(name, assertion.head_vars), body))
+        adom_clauses_needed = False
+        for clause in program.clauses:
+            body: List[object] = []
+            for atom in clause.body:
+                if isinstance(atom, Literal) and atom.predicate not in idb:
+                    if atom.predicate in defined:
+                        body.append(Literal(defined[atom.predicate],
+                                            atom.args))
+                    elif atom.predicate == ADOM:
+                        adom_clauses_needed = True
+                        body.append(Literal("_m_adom", atom.args))
+                    else:
+                        # an ontology predicate with no mapping assertion
+                        # has an empty extension; drop the clause
+                        body = None
+                        break
+                else:
+                    body.append(atom)
+            if body is not None:
+                clauses.append(Clause(clause.head, tuple(body)))
+        if adom_clauses_needed:
+            for target in sorted(self.targets):
+                arity = len(self.assertions_for(target)[0].head_vars)
+                for position in range(arity):
+                    args = tuple(f"v{i}" for i in range(arity))
+                    clauses.append(Clause(
+                        Literal("_m_adom", (args[position],)),
+                        (Literal(defined[target], args),)))
+        return NDLQuery(Program(clauses), query.goal, query.answer_vars)
+
+
+def evaluate_over_database(query: NDLQuery, mapping: Mapping,
+                           database: Database):
+    """Evaluate an unfolded NDL query directly over the source database
+    (source relations of any arity become EDB facts of the engine)."""
+    unfolded = mapping.unfold(query)
+    extra = {relation: set(database.rows(relation))
+             for relation in database.relations}
+    return evaluate(unfolded, ABox(), extra_relations=extra)

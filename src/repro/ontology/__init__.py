@@ -1,0 +1,37 @@
+"""OWL 2 QL ontology substrate: terms, axioms, TBoxes and reasoning."""
+
+from .axioms import (
+    Axiom,
+    ConceptDisjointness,
+    ConceptInclusion,
+    Irreflexivity,
+    Reflexivity,
+    RoleDisjointness,
+    RoleInclusion,
+)
+from .depth import EPSILON, Word, word_str, words
+from .tbox import TBox, surrogate_name
+from .terms import TOP, Atomic, Concept, Exists, Role, Top, parse_concept
+
+__all__ = [
+    "Axiom",
+    "Atomic",
+    "Concept",
+    "ConceptDisjointness",
+    "ConceptInclusion",
+    "EPSILON",
+    "Exists",
+    "Irreflexivity",
+    "Reflexivity",
+    "Role",
+    "RoleDisjointness",
+    "RoleInclusion",
+    "TBox",
+    "TOP",
+    "Top",
+    "Word",
+    "parse_concept",
+    "surrogate_name",
+    "word_str",
+    "words",
+]

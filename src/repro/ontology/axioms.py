@@ -1,0 +1,92 @@
+"""OWL 2 QL axiom forms (Section 2 of the paper).
+
+An ontology is a finite set of sentences of the forms::
+
+    forall x (tau(x) -> tau'(x))            ConceptInclusion
+    forall x (tau(x) & tau'(x) -> bottom)   ConceptDisjointness
+    forall xy (rho(x,y) -> rho'(x,y))       RoleInclusion
+    forall xy (rho(x,y) & rho'(x,y) -> bottom)  RoleDisjointness
+    forall x rho(x,x)                       Reflexivity
+    forall x (rho(x,x) -> bottom)           Irreflexivity
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .terms import Concept, Role
+
+
+@dataclass(frozen=True)
+class ConceptInclusion:
+    """``tau(x) -> tau'(x)``."""
+
+    lhs: Concept
+    rhs: Concept
+
+    def __str__(self) -> str:
+        return f"{self.lhs} <= {self.rhs}"
+
+
+@dataclass(frozen=True)
+class RoleInclusion:
+    """``rho(x, y) -> rho'(x, y)``."""
+
+    lhs: Role
+    rhs: Role
+
+    def __str__(self) -> str:
+        return f"{self.lhs} <= {self.rhs}"
+
+
+@dataclass(frozen=True)
+class ConceptDisjointness:
+    """``tau(x) & tau'(x) -> bottom``."""
+
+    lhs: Concept
+    rhs: Concept
+
+    def __str__(self) -> str:
+        return f"{self.lhs} & {self.rhs} <= bottom"
+
+
+@dataclass(frozen=True)
+class RoleDisjointness:
+    """``rho(x, y) & rho'(x, y) -> bottom``."""
+
+    lhs: Role
+    rhs: Role
+
+    def __str__(self) -> str:
+        return f"{self.lhs} & {self.rhs} <= bottom"
+
+
+@dataclass(frozen=True)
+class Reflexivity:
+    """``forall x rho(x, x)``."""
+
+    role: Role
+
+    def __str__(self) -> str:
+        return f"refl({self.role})"
+
+
+@dataclass(frozen=True)
+class Irreflexivity:
+    """``rho(x, x) -> bottom``."""
+
+    role: Role
+
+    def __str__(self) -> str:
+        return f"irrefl({self.role})"
+
+
+Axiom = Union[
+    ConceptInclusion,
+    RoleInclusion,
+    ConceptDisjointness,
+    RoleDisjointness,
+    Reflexivity,
+    Irreflexivity,
+]

@@ -1,0 +1,175 @@
+"""Generating words ``W_T`` and the existential depth of an ontology.
+
+The canonical model of ``(T, A)`` (Section 2) is built from labelled
+nulls ``a . rho_1 ... rho_n`` whose tails ``rho_1 ... rho_n`` range over
+the set ``W_T`` of words satisfying
+
+* ``T |/= rho_i(x, x)`` for every ``i``, and
+* ``T |= Exists(rho_i-) <= Exists(rho_{i+1})`` but
+  ``T |/= rho_i <= rho_{i+1}-`` for every ``i < n``.
+
+The *depth* of ``T`` is 0 when no user axiom has an existential on the
+right-hand side, the maximal length of a word in ``W_T`` when that set
+is finite, and infinity otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Tuple
+
+from .axioms import ConceptInclusion
+from .terms import Concept, Exists, Role
+
+#: A word of ``W_T`` — a tuple of roles (the empty tuple is ``epsilon``).
+Word = Tuple[Role, ...]
+
+EPSILON: Word = ()
+
+
+def is_letter(tbox, role: Role) -> bool:
+    """True if ``role`` may occur in a word of ``W_T`` (not reflexive)."""
+    return not tbox.is_reflexive(role)
+
+
+def successor_roles(tbox, role: Role) -> List[Role]:
+    """Roles that may follow ``role`` inside a word of ``W_T``."""
+    result = []
+    for candidate in sorted(tbox.roles):
+        if not is_letter(tbox, candidate):
+            continue
+        if not tbox.entails_concept(Exists(role.inverse()), Exists(candidate)):
+            continue
+        if tbox.entails_role(role, candidate.inverse()):
+            continue
+        result.append(candidate)
+    return result
+
+
+def initial_roles(tbox, concept: Concept) -> List[Role]:
+    """Roles ``rho`` with ``T |= concept <= Exists(rho)`` usable as a
+    first letter (``rho`` not entailed reflexive)."""
+    return [role for role in sorted(tbox.roles)
+            if is_letter(tbox, role)
+            and tbox.entails_concept(concept, Exists(role))]
+
+
+def successor_graph(tbox) -> Dict[Role, List[Role]]:
+    """The one-step successor relation on letters of ``W_T``."""
+    letters = [role for role in sorted(tbox.roles) if is_letter(tbox, role)]
+    return {role: successor_roles(tbox, role) for role in letters}
+
+
+def _has_existential_rhs(tbox) -> bool:
+    for axiom in tbox.user_axioms:
+        if isinstance(axiom, ConceptInclusion) and isinstance(
+                axiom.rhs, Exists):
+            return True
+    return False
+
+
+def chase_depth(tbox):
+    """The longest generating word in ``W_T`` (an ``int`` or ``math.inf``).
+
+    Unlike :func:`ontology_depth`, this has no special case for depth-0
+    ontologies: normalisation axioms ``A_rho <= Exists(rho)`` introduce
+    words of length 1, which the canonical model must contain.
+    """
+    graph = successor_graph(tbox)
+    order, on_cycle = _topological_order(graph)
+    if on_cycle:
+        return math.inf
+    longest: Dict[Role, int] = {}
+    for role in reversed(order):
+        longest[role] = 1 + max(
+            (longest[succ] for succ in graph[role]), default=0)
+    return max(longest.values(), default=0)
+
+
+def letter_count(tbox) -> int:
+    """The number of letters available to ``W_T`` words."""
+    return sum(1 for role in tbox.roles if is_letter(tbox, role))
+
+
+def ontology_depth(tbox):
+    """The existential depth of ``tbox`` (an ``int`` or ``math.inf``).
+
+    Computed as the longest path in the letter-successor graph; any cycle
+    makes ``W_T`` infinite.  Per the paper's convention, an ontology whose
+    user axioms have no existential right-hand sides has depth 0 even
+    though normalisation may introduce words of length 1.
+    """
+    if not _has_existential_rhs(tbox):
+        return 0
+    return chase_depth(tbox)
+
+
+def _topological_order(graph: Dict[Role, List[Role]]):
+    """Topological order of ``graph``; also reports whether it has a cycle."""
+    state: Dict[Role, int] = {}
+    order: List[Role] = []
+    has_cycle = False
+
+    def visit(node: Role) -> None:
+        nonlocal has_cycle
+        stack = [(node, iter(graph.get(node, ())))]
+        state[node] = 1
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                mark = state.get(succ, 0)
+                if mark == 1:
+                    has_cycle = True
+                elif mark == 0:
+                    state[succ] = 1
+                    stack.append((succ, iter(graph.get(succ, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                state[current] = 2
+                order.append(current)
+                stack.pop()
+
+    for node in graph:
+        if state.get(node, 0) == 0:
+            visit(node)
+    order.reverse()
+    return order, has_cycle
+
+
+def words(tbox, max_length) -> Iterator[Word]:
+    """Enumerate the words of ``W_T`` of length at most ``max_length``,
+    including the empty word ``epsilon``."""
+    yield EPSILON
+    if max_length <= 0:
+        return
+    graph = successor_graph(tbox)
+    stack: List[Word] = [(role,) for role in graph]
+    while stack:
+        word = stack.pop()
+        yield word
+        if len(word) < max_length:
+            for succ in graph[word[-1]]:
+                stack.append(word + (succ,))
+
+
+def extensions(tbox, word: Word, concept_of_root: Concept,
+               max_length: int) -> Iterator[Word]:
+    """Words of ``W_T`` extending ``word`` by one letter, where the empty
+    word is rooted at an element satisfying ``concept_of_root``."""
+    if len(word) >= max_length:
+        return
+    if word:
+        candidates = successor_roles(tbox, word[-1])
+    else:
+        candidates = initial_roles(tbox, concept_of_root)
+    for role in candidates:
+        yield word + (role,)
+
+
+def word_str(word: Word) -> str:
+    """Human-readable form of a word (``'eps'`` for the empty word)."""
+    if not word:
+        return "eps"
+    return ".".join(str(role) for role in word)

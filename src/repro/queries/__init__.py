@@ -1,0 +1,31 @@
+"""Conjunctive-query substrate: CQs, shapes and tree decompositions."""
+
+from .cq import CQ, Atom, Variable, binary, chain_cq, role_atom, unary
+from .fo import FOFormula, cq_to_fo, evaluate_fo, fo_and, fo_or, holds_fo
+from .pe import And, Or, PEAtom, PEEq, PEQuery, evaluate_pe, pe_to_ndl
+from .treedecomp import TreeDecomposition, tree_decomposition
+
+__all__ = [
+    "And",
+    "Atom",
+    "CQ",
+    "TreeDecomposition",
+    "Variable",
+    "Or",
+    "PEAtom",
+    "PEEq",
+    "PEQuery",
+    "FOFormula",
+    "binary",
+    "chain_cq",
+    "cq_to_fo",
+    "evaluate_fo",
+    "fo_and",
+    "fo_or",
+    "holds_fo",
+    "role_atom",
+    "evaluate_pe",
+    "pe_to_ndl",
+    "tree_decomposition",
+    "unary",
+]

@@ -1,0 +1,273 @@
+"""First-order formulas with equality — the most general rewriting
+target of the paper (Section 2 and Figure 1b).
+
+The paper measures three rewriting targets: PE (positive existential),
+NDL and full FO.  PE and NDL have dedicated modules; this one supplies
+full FO with negation, both quantifiers and equality, which is needed
+for Theorem 19's polynomial FO-rewriting of the SAT OMQs ``Q_phi``
+(``repro.hardness.fo_rewriting``) and for expressing rewritings, like
+that one, that are *not* monotone.
+
+Evaluation is over the FO-structure ``I_A`` of a data instance (domain
+``ind(A)``, relations as in the data) — the right-hand side of the
+rewriting equation (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple, Union
+
+from ..data.abox import ABox, Constant
+
+Variable = str
+
+
+@dataclass(frozen=True)
+class FOAtom:
+    """A relational atom ``P(args)``."""
+
+    predicate: str
+    args: Tuple[Variable, ...]
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset(self.args)
+
+    def size(self) -> int:
+        return 1 + len(self.args)
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class FOEq:
+    """``left = right``."""
+
+    left: Variable
+    right: Variable
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset((self.left, self.right))
+
+    def size(self) -> int:
+        return 3
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class FONot:
+    """Negation."""
+
+    child: "FOFormula"
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.child.free_variables
+
+    def size(self) -> int:
+        return 1 + self.child.size()
+
+    def __str__(self) -> str:
+        return f"~{self.child}"
+
+
+@dataclass(frozen=True)
+class FOAnd:
+    """Conjunction (n-ary)."""
+
+    children: Tuple["FOFormula", ...]
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for child in self.children:
+            result |= child.free_variables
+        return result
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class FOOr:
+    """Disjunction (n-ary)."""
+
+    children: Tuple["FOFormula", ...]
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for child in self.children:
+            result |= child.free_variables
+        return result
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class FOExists:
+    """``exists variables child``."""
+
+    variables: Tuple[Variable, ...]
+    child: "FOFormula"
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.child.free_variables - set(self.variables)
+
+    def size(self) -> int:
+        return 1 + len(self.variables) + self.child.size()
+
+    def __str__(self) -> str:
+        return f"E {' '.join(self.variables)} . {self.child}"
+
+
+@dataclass(frozen=True)
+class FOForall:
+    """``forall variables child``."""
+
+    variables: Tuple[Variable, ...]
+    child: "FOFormula"
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.child.free_variables - set(self.variables)
+
+    def size(self) -> int:
+        return 1 + len(self.variables) + self.child.size()
+
+    def __str__(self) -> str:
+        return f"A {' '.join(self.variables)} . {self.child}"
+
+
+@dataclass(frozen=True)
+class FOTrue:
+    """The constant ``true`` (``phi*`` of Theorem 19 when satisfiable)."""
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FOFalse:
+    """The constant ``false``."""
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "false"
+
+
+FOFormula = Union[FOAtom, FOEq, FONot, FOAnd, FOOr,
+                  FOExists, FOForall, FOTrue, FOFalse]
+
+
+def fo_and(*children: FOFormula) -> FOFormula:
+    """N-ary conjunction with the obvious simplifications."""
+    flat = [c for c in children if not isinstance(c, FOTrue)]
+    if any(isinstance(c, FOFalse) for c in flat):
+        return FOFalse()
+    if not flat:
+        return FOTrue()
+    if len(flat) == 1:
+        return flat[0]
+    return FOAnd(tuple(flat))
+
+
+def fo_or(*children: FOFormula) -> FOFormula:
+    """N-ary disjunction with the obvious simplifications."""
+    flat = [c for c in children if not isinstance(c, FOFalse)]
+    if any(isinstance(c, FOTrue) for c in flat):
+        return FOTrue()
+    if not flat:
+        return FOFalse()
+    if len(flat) == 1:
+        return flat[0]
+    return FOOr(tuple(flat))
+
+
+def holds_fo(formula: FOFormula, abox: ABox,
+             assignment: Dict[Variable, Constant]) -> bool:
+    """Does ``I_A |= formula`` under an assignment of its free
+    variables?  Quantifiers range over ``ind(A)`` (active-domain
+    semantics, the standard reading of (2))."""
+    if isinstance(formula, FOAtom):
+        constants = tuple(assignment[arg] for arg in formula.args)
+        return (formula.predicate, constants) in abox
+    if isinstance(formula, FOEq):
+        return assignment[formula.left] == assignment[formula.right]
+    if isinstance(formula, FONot):
+        return not holds_fo(formula.child, abox, assignment)
+    if isinstance(formula, FOAnd):
+        return all(holds_fo(child, abox, assignment)
+                   for child in formula.children)
+    if isinstance(formula, FOOr):
+        return any(holds_fo(child, abox, assignment)
+                   for child in formula.children)
+    if isinstance(formula, FOTrue):
+        return True
+    if isinstance(formula, FOFalse):
+        return False
+    if isinstance(formula, (FOExists, FOForall)):
+        domain = sorted(abox.individuals)
+        witness = isinstance(formula, FOExists)
+
+        def extend(index: int, current: Dict[Variable, Constant]) -> bool:
+            if index == len(formula.variables):
+                return holds_fo(formula.child, abox, current)
+            variable = formula.variables[index]
+            results = (extend(index + 1, {**current, variable: value})
+                       for value in domain)
+            return any(results) if witness else all(results)
+
+        return extend(0, dict(assignment))
+    raise TypeError(f"not an FO formula: {formula!r}")
+
+
+def evaluate_fo(formula: FOFormula, abox: ABox,
+                answer_vars: Iterable[Variable] = (),
+                candidate: Tuple[Constant, ...] = ()) -> bool:
+    """``I_A |= formula(candidate)`` for the given answer variables."""
+    answer_vars = tuple(answer_vars)
+    if len(candidate) != len(answer_vars):
+        raise ValueError("candidate arity mismatch")
+    missing = formula.free_variables - set(answer_vars)
+    if missing:
+        raise ValueError(
+            f"free variables {sorted(missing)} are not answer variables")
+    return holds_fo(formula, abox, dict(zip(answer_vars, candidate)))
+
+
+def cq_to_fo(cq) -> FOFormula:
+    """A CQ as an FO sentence/formula (its existential closure over the
+    non-answer variables)."""
+    atoms = [FOAtom(atom.predicate, atom.args) for atom in cq.atoms]
+    matrix = fo_and(*atoms)
+    bound = tuple(sorted(cq.existential_vars))
+    if bound:
+        return FOExists(bound, matrix)
+    return matrix

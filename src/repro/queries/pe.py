@@ -1,0 +1,264 @@
+"""Positive existential (PE) queries (Section 2, Appendix C.3).
+
+A PE-formula is built from unary/binary atoms with conjunction,
+disjunction and existential quantification.  The paper measures the
+*size* of PE-rewritings (Figure 1b) and proves that PE-query evaluation
+is NP-hard already over the tree-shaped data instances ``A_m^alpha``
+(Theorem 21); this module provides the formula representation and a
+backtracking evaluator used by that reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from ..data.abox import ABox, Constant
+
+Variable = str
+
+
+@dataclass(frozen=True)
+class PEAtom:
+    """An atom ``P(args)`` inside a PE-formula."""
+
+    predicate: str
+    args: Tuple[Variable, ...]
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(self.args)
+
+    def size(self) -> int:
+        return 1 + len(self.args)
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class PEEq:
+    """An equality ``left = right`` (Section 2 allows equality in
+    FO/PE-rewritings)."""
+
+    left: Variable
+    right: Variable
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset((self.left, self.right))
+
+    def size(self) -> int:
+        return 3
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of PE-formulas."""
+
+    children: Tuple[object, ...]
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for child in self.children:
+            result |= child.variables
+        return result
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of PE-formulas."""
+
+    children: Tuple[object, ...]
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for child in self.children:
+            result |= child.variables
+        return result
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class PEQuery:
+    """A PE-query ``exists z phi(x, z)`` with answer variables ``x``."""
+
+    matrix: object
+    answer_vars: Tuple[Variable, ...] = ()
+
+    def size(self) -> int:
+        """``|q'|``: the number of symbols (Figure 1b's size measure)."""
+        return self.matrix.size() + len(self.answer_vars)
+
+    def __str__(self) -> str:
+        return (f"q({', '.join(self.answer_vars)}) := exists ... "
+                f"{self.matrix}")
+
+
+def conj(*children) -> And:
+    return And(tuple(children))
+
+
+def disj(*children) -> Or:
+    return Or(tuple(children))
+
+
+def holds(formula, abox: ABox,
+          assignment: Dict[Variable, Constant]) -> bool:
+    """Does ``formula`` hold in ``abox`` under a *total* assignment?"""
+    if isinstance(formula, PEAtom):
+        constants = tuple(assignment[arg] for arg in formula.args)
+        return (formula.predicate, constants) in abox
+    if isinstance(formula, PEEq):
+        return assignment[formula.left] == assignment[formula.right]
+    if isinstance(formula, And):
+        return all(holds(child, abox, assignment)
+                   for child in formula.children)
+    if isinstance(formula, Or):
+        return any(holds(child, abox, assignment)
+                   for child in formula.children)
+    raise TypeError(f"not a PE formula: {formula!r}")
+
+
+def _free_atoms(formula) -> Iterator[PEAtom]:
+    if isinstance(formula, PEAtom):
+        yield formula
+    elif isinstance(formula, (And, Or)):
+        for child in formula.children:
+            yield from _free_atoms(child)
+
+
+def evaluate_pe(query: PEQuery, abox: ABox,
+                candidate: Tuple[Constant, ...]) -> bool:
+    """``I_A |= q'(candidate)``: backtracking search for values of the
+    existential variables (PE-evaluation is NP-hard in general —
+    Theorem 21 — so worst-case exponential behaviour is expected)."""
+    if len(candidate) != len(query.answer_vars):
+        raise ValueError("candidate arity mismatch")
+    assignment: Dict[Variable, Constant] = dict(
+        zip(query.answer_vars, candidate))
+    variables = sorted(query.matrix.variables - set(query.answer_vars))
+    domain = sorted(abox.individuals)
+
+    # guided ordering: prefer variables constrained by binary atoms
+    # whose other end is already assigned
+    def search(remaining) -> bool:
+        if not remaining:
+            return holds(query.matrix, abox, assignment)
+        var = _pick(remaining, assignment)
+        rest = [v for v in remaining if v != var]
+        for value in _candidates(var, abox, assignment, domain):
+            assignment[var] = value
+            if not _obviously_false(query.matrix, abox, assignment):
+                if search(rest):
+                    del assignment[var]
+                    return True
+            del assignment[var]
+        return False
+
+    def _pick(remaining, assignment):
+        for atom in _free_atoms(query.matrix):
+            if len(atom.args) == 2:
+                first, second = atom.args
+                if first in assignment and second in remaining:
+                    return second
+                if second in assignment and first in remaining:
+                    return first
+        return remaining[0]
+
+    def _candidates(var, abox, assignment, domain):
+        for atom in _mandatory_atoms(query.matrix):
+            if len(atom.args) == 2 and var in atom.args:
+                first, second = atom.args
+                if first in assignment and second == var:
+                    return sorted({b for a, b in abox.binary(atom.predicate)
+                                   if a == assignment[first]})
+                if second in assignment and first == var:
+                    return sorted({a for a, b in abox.binary(atom.predicate)
+                                   if b == assignment[second]})
+        return domain
+
+    return search(variables)
+
+
+def _mandatory_atoms(formula) -> Iterator[PEAtom]:
+    """Atoms that must hold in every disjunct (conjunctive spine)."""
+    if isinstance(formula, PEAtom):
+        yield formula
+    elif isinstance(formula, And):
+        for child in formula.children:
+            yield from _mandatory_atoms(child)
+
+
+def pe_to_ndl(query: PEQuery, goal_name: str = "PEG"):
+    """Compile a PE-query into an equivalent NDL query.
+
+    Conjunctions are flattened into clause bodies; every disjunction
+    becomes an IDB predicate over its *interface* (the variables shared
+    with the rest of the formula), with one clause per disjunct.  The
+    compilation is linear in the formula size; evaluation cost then
+    depends on the interface widths — consistent with Theorem 21, which
+    shows PE-evaluation is NP-hard in general.
+    """
+    import itertools as _it
+
+    from ..datalog.program import Clause, Literal, NDLQuery, Program
+
+    counter = _it.count()
+    clauses = []
+
+    def compile_node(node, outside: FrozenSet[Variable]):
+        if isinstance(node, PEAtom):
+            return [Literal(node.predicate, node.args)]
+        if isinstance(node, PEEq):
+            from ..datalog.program import Equality
+
+            return [Equality(node.left, node.right)]
+        if isinstance(node, And):
+            body = []
+            for index, child in enumerate(node.children):
+                sibling_vars: FrozenSet[Variable] = frozenset()
+                for j, other in enumerate(node.children):
+                    if j != index:
+                        sibling_vars |= other.variables
+                body.extend(compile_node(child, outside | sibling_vars))
+            return body
+        if isinstance(node, Or):
+            args = tuple(sorted(node.variables & outside))
+            head = Literal(f"_pe{next(counter)}", args)
+            for child in node.children:
+                clauses.append(Clause(head, tuple(
+                    compile_node(child, frozenset(args)))))
+            return [head]
+        raise TypeError(f"not a PE formula: {node!r}")
+
+    goal_body = compile_node(query.matrix, frozenset(query.answer_vars))
+    clauses.append(Clause(Literal(goal_name, tuple(query.answer_vars)),
+                          tuple(goal_body)))
+    return NDLQuery(Program(clauses), goal_name, tuple(query.answer_vars))
+
+
+def _obviously_false(formula, abox, assignment) -> bool:
+    """Partial-assignment pruning on the conjunctive spine."""
+    for atom in _mandatory_atoms(formula):
+        if all(arg in assignment for arg in atom.args):
+            constants = tuple(assignment[arg] for arg in atom.args)
+            if (atom.predicate, constants) not in abox:
+                return True
+    return False

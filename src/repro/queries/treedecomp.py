@@ -1,0 +1,153 @@
+"""Tree decompositions of conjunctive queries (Section 3.2).
+
+For tree-shaped CQs we build the natural width-1 decomposition whose
+bags are the edges of the Gaifman graph (Example 8); for arbitrary CQs
+we fall back on the min-fill-in heuristic from networkx, which is exact
+on trees and a good upper bound in general.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+import networkx as nx
+from networkx.algorithms.approximation import treewidth_min_fill_in
+
+from .cq import CQ, Variable
+
+
+class TreeDecomposition:
+    """A pair ``(T, lambda)``: a tree with a bag of variables per node."""
+
+    def __init__(self, tree: nx.Graph, bags: Dict[int, FrozenSet[Variable]]):
+        self.tree = tree
+        self.bags = dict(bags)
+        if set(tree.nodes) != set(self.bags):
+            raise ValueError("every tree node needs a bag")
+
+    @property
+    def width(self) -> int:
+        """``max |bag| - 1``."""
+        return max((len(bag) for bag in self.bags.values()), default=0) - 1
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self.tree.nodes)
+
+    def bag(self, node: int) -> FrozenSet[Variable]:
+        return self.bags[node]
+
+    def neighbours(self, node: int) -> List[int]:
+        return sorted(self.tree.neighbors(node))
+
+    def validate(self, query: CQ) -> None:
+        """Check the three tree-decomposition conditions for ``query``.
+
+        Raises ``ValueError`` on violation; used in tests and as a safety
+        net in the Log rewriter.
+        """
+        if self.tree.number_of_nodes() and not nx.is_tree(self.tree):
+            raise ValueError("decomposition graph is not a tree")
+        covered = set()
+        for bag in self.bags.values():
+            covered |= bag
+        if not query.variables <= covered:
+            raise ValueError("some variable occurs in no bag")
+        for atom in query.binary_atoms():
+            pair = set(atom.args)
+            if not any(pair <= bag for bag in self.bags.values()):
+                raise ValueError(f"edge of atom {atom} is in no bag")
+        for variable in query.variables:
+            nodes = [node for node, bag in self.bags.items()
+                     if variable in bag]
+            subtree = self.tree.subgraph(nodes)
+            if nodes and not nx.is_connected(subtree):
+                raise ValueError(
+                    f"bags containing {variable} are not connected")
+
+    def __repr__(self) -> str:
+        return (f"TreeDecomposition({self.tree.number_of_nodes()} nodes, "
+                f"width={self.width})")
+
+
+def tree_decomposition(query: CQ) -> TreeDecomposition:
+    """A tree decomposition of the Gaifman graph of ``query``.
+
+    Width 1 (the natural edge decomposition) for tree-shaped queries;
+    min-fill-in heuristic otherwise.
+    """
+    graph = query.gaifman()
+    if graph.number_of_nodes() == 0:
+        tree = nx.Graph()
+        tree.add_node(0)
+        return TreeDecomposition(tree, {0: frozenset()})
+    if nx.is_tree(graph):
+        return _edge_decomposition(graph)
+    width, junction = treewidth_min_fill_in(graph)
+    tree = nx.Graph()
+    bags: Dict[int, FrozenSet[Variable]] = {}
+    index = {bag: i for i, bag in enumerate(junction.nodes)}
+    for bag, i in index.items():
+        tree.add_node(i)
+        bags[i] = frozenset(bag)
+    for first, second in junction.edges:
+        tree.add_edge(index[first], index[second])
+    # a disconnected Gaifman graph yields a junction *forest*; chaining the
+    # components preserves all three decomposition conditions
+    components = [sorted(component)
+                  for component in nx.connected_components(tree)]
+    for previous, current in zip(components, components[1:]):
+        tree.add_edge(previous[0], current[0])
+    decomposition = TreeDecomposition(tree, bags)
+    decomposition.validate(query)
+    return decomposition
+
+
+def _edge_decomposition(graph: nx.Graph) -> TreeDecomposition:
+    """One bag per edge of a tree graph, chained along the tree, matching
+    the chain of bags in Example 8 for linear queries."""
+    tree = nx.Graph()
+    bags: Dict[int, FrozenSet[Variable]] = {}
+    if graph.number_of_edges() == 0:
+        for i, node in enumerate(sorted(graph.nodes)):
+            tree.add_node(i)
+            bags[i] = frozenset({node})
+            if i:
+                tree.add_edge(i - 1, i)
+        return TreeDecomposition(tree, bags)
+    root = min(graph.nodes)
+    anchor_bag: Dict[Variable, int] = {}
+    counter = 0
+    for parent, child in nx.bfs_edges(graph, root):
+        node_id = counter
+        counter += 1
+        tree.add_node(node_id)
+        bags[node_id] = frozenset({parent, child})
+        if parent in anchor_bag:
+            tree.add_edge(anchor_bag[parent], node_id)
+        else:
+            # the first bag containing the BFS root anchors it
+            anchor_bag[parent] = node_id
+        anchor_bag[child] = node_id
+    # vertices of degree 0 inside a connected tree cannot occur, but a
+    # disconnected Gaifman graph (forest) is chained component by component
+    isolated = [node for node in graph.nodes if graph.degree(node) == 0]
+    previous = 0 if counter else None
+    for node in sorted(isolated):
+        node_id = counter
+        counter += 1
+        tree.add_node(node_id)
+        bags[node_id] = frozenset({node})
+        if previous is not None:
+            tree.add_edge(previous, node_id)
+        previous = node_id
+    return TreeDecomposition(tree, bags)
+
+
+def subtree_components(tree: nx.Graph, nodes: FrozenSet[int],
+                       split: int) -> List[FrozenSet[int]]:
+    """The components of the subtree induced by ``nodes`` after removing
+    ``split`` (the subtrees ``D_1, ..., D_k`` of Section 3.2)."""
+    subgraph = tree.subgraph(nodes - {split})
+    return [frozenset(component)
+            for component in nx.connected_components(subgraph)]

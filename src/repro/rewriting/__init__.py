@@ -1,0 +1,42 @@
+"""Query rewriting: the three optimal NDL rewriters, the baselines and
+the cost-based adaptive strategy of Section 6."""
+
+from .adaptive import (
+    AdaptiveChoice,
+    DataStatistics,
+    adaptive_rewrite,
+    answer_adaptive,
+    estimate_cost,
+)
+from .api import METHODS, OMQ, answer, rewrite
+from .lin import lin_rewrite
+from .log import log_rewrite
+from .pe_rewriter import pe_rewrite
+from .perfectref import perfectref_rewrite
+from .presto import presto_rewrite
+from .tree_witness import TreeWitness, tree_witnesses
+from .tw import inline_single_use, splitting_vertex, tw_rewrite
+from .ucq import ucq_rewrite
+
+__all__ = [
+    "AdaptiveChoice",
+    "DataStatistics",
+    "METHODS",
+    "OMQ",
+    "TreeWitness",
+    "adaptive_rewrite",
+    "answer",
+    "answer_adaptive",
+    "estimate_cost",
+    "inline_single_use",
+    "lin_rewrite",
+    "log_rewrite",
+    "pe_rewrite",
+    "perfectref_rewrite",
+    "presto_rewrite",
+    "rewrite",
+    "splitting_vertex",
+    "tree_witnesses",
+    "tw_rewrite",
+    "ucq_rewrite",
+]

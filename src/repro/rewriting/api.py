@@ -1,0 +1,159 @@
+"""The public OMQ-answering API: classify, rewrite, evaluate.
+
+``OMQ`` bundles an ontology with a CQ; :func:`rewrite` dispatches to
+the three optimal rewriters of Section 3 (and the baselines), and
+:func:`answer` runs the full classical OBDA pipeline of reduction (1):
+rewrite, then evaluate the NDL query over the data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..data.abox import ABox
+from ..datalog.evaluate import EvaluationResult, evaluate
+from ..datalog.program import NDLQuery
+from ..queries.cq import CQ
+from .lin import lin_rewrite
+from .log import log_rewrite
+from .perfectref import perfectref_rewrite
+from .presto import presto_rewrite
+from .tw import tw_rewrite
+from .ucq import ucq_rewrite
+
+#: The rewriters compared in Section 6 / Appendix D.
+METHODS = ("lin", "log", "tw", "tw_star", "ucq", "perfectref", "presto")
+
+
+@dataclass(frozen=True)
+class OMQ:
+    """An ontology-mediated query ``Q(x) = (T, q(x))``."""
+
+    tbox: object
+    query: CQ
+
+    @property
+    def depth(self):
+        """The existential depth of the ontology (int or ``inf``)."""
+        return self.tbox.depth()
+
+    @property
+    def leaves(self) -> Optional[int]:
+        """Leaves of the CQ when tree-shaped, else ``None``."""
+        if not self.query.is_tree_shaped:
+            return None
+        return self.query.number_of_leaves
+
+    @property
+    def treewidth(self) -> int:
+        return self.query.treewidth()
+
+    def omq_class(self) -> str:
+        """The ``OMQ(d, t, l)`` class label of Section 1 this OMQ sits in
+        (the most specific of the three tractable classes when any)."""
+        depth = self.depth
+        finite = depth is not math.inf
+        if self.query.is_tree_shaped:
+            leaves = self.query.number_of_leaves
+            if finite:
+                return f"OMQ({depth}, 1, {leaves})"
+            return f"OMQ(inf, 1, {leaves})"
+        if finite:
+            return f"OMQ({depth}, {self.treewidth}, inf)"
+        return f"OMQ(inf, {self.treewidth}, inf)"
+
+    def __str__(self) -> str:
+        return f"({self.tbox!r}, {self.query})"
+
+
+def rewrite(omq: OMQ, method: str = "auto",
+            over: str = "complete") -> NDLQuery:
+    """Rewrite an OMQ into an NDL query.
+
+    ``method`` is one of ``auto``, ``lin``, ``log``, ``tw``, ``tw_star``,
+    ``ucq``, ``perfectref``, ``presto``; ``auto`` picks the optimal
+    rewriter for the OMQ's tractable class (Lin for bounded-depth
+    tree-shaped CQs, Tw for infinite depth with tree-shaped CQs, Log
+    otherwise).  ``over`` selects complete vs arbitrary data instances
+    (``perfectref`` is always over arbitrary instances).
+    """
+    tbox, query = omq.tbox, omq.query
+    if method == "auto":
+        if omq.depth is not math.inf:
+            method = "lin" if query.is_tree_shaped else "log"
+        elif query.is_tree_shaped:
+            method = "tw"
+        else:
+            raise ValueError(
+                "no rewriter applies: infinite-depth ontology with a "
+                "non-tree-shaped CQ (OMQ answering is NP-hard there)")
+    if method == "lin":
+        return lin_rewrite(tbox, query, over=over)
+    if method == "log":
+        return log_rewrite(tbox, query, over=over)
+    if method == "tw":
+        return tw_rewrite(tbox, query, over=over)
+    if method == "tw_star":
+        return tw_rewrite(tbox, query, over=over, inline=True)
+    if method == "ucq":
+        return ucq_rewrite(tbox, query, over=over)
+    if method == "presto":
+        return presto_rewrite(tbox, query, over=over)
+    if method == "perfectref":
+        return perfectref_rewrite(tbox, query)
+    raise ValueError(f"unknown rewriting method {method!r}; "
+                     f"expected one of {('auto',) + METHODS}")
+
+
+#: Evaluation backends accepted by :func:`answer`.
+ENGINES = ("python", "sql", "sql-views")
+
+
+def answer(omq: OMQ, abox: ABox, method: str = "auto",
+           engine: str = "python", optimize_program: bool = False,
+           magic: bool = False) -> EvaluationResult:
+    """Certain answers to ``omq`` over ``abox`` via rewriting.
+
+    Rewrites over complete data instances and evaluates over the
+    completion of ``abox`` (the classical reduction (1) combined with
+    Section 2's completeness assumption); ``perfectref`` evaluates its
+    arbitrary-instance rewriting over the raw data.
+
+    Optional pipeline stages (all answer-preserving):
+
+    * ``method="adaptive"`` picks the cheapest of the Section 3
+      rewriters for this data via the Section 6 cost model;
+    * ``optimize_program`` runs the Appendix D.4 optimiser (emptiness
+      pruning, deduplication, Tw*-style inlining) on the rewriting;
+    * ``magic`` applies the magic-sets transformation before
+      evaluation;
+    * ``engine`` selects the evaluator: the native Python engine, SQL
+      with full materialisation (``"sql"``) or SQL views
+      (``"sql-views"``).
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if method == "adaptive":
+        from .adaptive import adaptive_rewrite
+
+        data = abox.complete(omq.tbox)
+        ndl = adaptive_rewrite(omq, data).query
+    else:
+        ndl = rewrite(omq, method=method)
+        data = abox if method == "perfectref" else abox.complete(omq.tbox)
+        if optimize_program:
+            from ..datalog.optimize import optimize
+
+            ndl = optimize(ndl, data)
+    if magic:
+        from ..datalog.magic import magic_transform
+
+        ndl = magic_transform(ndl).query
+    if engine == "python":
+        return evaluate(ndl, data)
+    from ..sql.engine import evaluate_sql
+
+    return evaluate_sql(ndl, data, materialised=(engine == "sql"))

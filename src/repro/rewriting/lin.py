@@ -1,0 +1,188 @@
+"""The Lin rewriter (Section 3.3): linear NDL-rewritings for
+``OMQ(d, 1, l)`` — bounded-depth ontologies with bounded-leaf
+tree-shaped CQs — evaluable in NL (Theorem 12).
+
+The tree-shaped CQ is rooted and cut into *slices* ``z^0, ..., z^M`` by
+distance from the root; one predicate ``G^w_n`` per slice ``n`` and
+type ``w`` threads the slices in a linear chain.  Only *productive*
+types (those that can be extended to a full match, cf. the "dead ends"
+discussion of Appendix A.6.3) get predicates, keeping the program at
+most ``|q| * |T|^(2 d l)`` large.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.program import Clause, Literal, NDLQuery, Program
+from ..datalog.transform import linear_star_transform
+from ..ontology.depth import EPSILON, chase_depth
+from ..queries.cq import CQ, Atom, Variable
+from .types import (
+    Type,
+    at_atoms,
+    candidate_words,
+    enumerate_words,
+    pair_compatible,
+    type_key,
+)
+
+
+def lin_rewrite(tbox, query: CQ, root: Optional[Variable] = None,
+                over: str = "complete") -> NDLQuery:
+    """The linear NDL-rewriting of ``(T, q)`` of Theorem 12.
+
+    Parameters
+    ----------
+    root:
+        the variable to root the tree at (defaults to an answer variable
+        when one exists).
+    over:
+        ``"complete"`` for a rewriting over complete data instances,
+        ``"arbitrary"`` to compose with the Lemma 3 transformation.
+    """
+    if not query.is_tree_shaped:
+        raise ValueError("the Lin rewriter needs a tree-shaped CQ")
+    if not query.is_connected:
+        raise ValueError("the Lin rewriter needs a connected CQ")
+    depth = chase_depth(tbox)
+    if depth is math.inf:
+        raise ValueError(
+            "the Lin rewriter needs an ontology of finite depth")
+    if root is None:
+        root = (query.answer_vars[0] if query.answer_vars
+                else min(query.variables))
+
+    slices = _slices(query, root)
+    words = enumerate_words(tbox, int(depth))
+    candidates: Dict[Variable, List] = {
+        var: candidate_words(tbox, query, var, words)
+        for var in query.variables}
+
+    # answer variables occurring in q_n (the atoms at distance >= n)
+    answer_per_slice = _answer_vars_per_slice(query, slices)
+
+    local_types: List[List[Type]] = [
+        _local_types(tbox, query, slice_vars, candidates)
+        for slice_vars in slices]
+
+    last = len(slices) - 1
+    # backward pass: keep types that can be extended down to slice M
+    productive: List[Dict[Tuple, Type]] = [dict() for _ in slices]
+    for assignment in local_types[last]:
+        productive[last][type_key(assignment)] = assignment
+    for n in range(last - 1, -1, -1):
+        for assignment in local_types[n]:
+            if any(_pair_ok(tbox, query, slices[n], slices[n + 1],
+                            assignment, succ)
+                   for succ in productive[n + 1].values()):
+                productive[n][type_key(assignment)] = assignment
+    # forward pass: keep types reachable from slice 0 (prunes the
+    # "dead ends" of Appendix A.6.3 in the other direction)
+    for n in range(1, last + 1):
+        reachable = {
+            key: assignment
+            for key, assignment in productive[n].items()
+            if any(_pair_ok(tbox, query, slices[n - 1], slices[n],
+                            prev, assignment)
+                   for prev in productive[n - 1].values())}
+        productive[n] = reachable
+
+    clauses: List[Clause] = []
+    names: Dict[Tuple[int, Tuple], str] = {}
+
+    def predicate(n: int, assignment: Type) -> Literal:
+        key = (n, type_key(assignment))
+        if key not in names:
+            names[key] = f"G{n}_{len(names)}"
+        existential = tuple(sorted(set(slices[n]) - set(query.answer_vars)))
+        return Literal(names[key], existential + answer_per_slice[n])
+
+    for n in range(last):
+        crossing = _atoms_touching(query, slices[n], slices[n + 1])
+        for current in productive[n].values():
+            for succ in productive[n + 1].values():
+                if not _pair_ok(tbox, query, slices[n], slices[n + 1],
+                                current, succ):
+                    continue
+                union = dict(current)
+                union.update(succ)
+                body = at_atoms(tbox, crossing, union)
+                body.append(predicate(n + 1, succ))
+                clauses.append(Clause(predicate(n, current), tuple(body)))
+    final_atoms = _atoms_touching(query, slices[last], slices[last])
+    for assignment in productive[last].values():
+        body = at_atoms(tbox, final_atoms, assignment)
+        clauses.append(Clause(predicate(last, assignment), tuple(body)))
+
+    goal = Literal("G", tuple(query.answer_vars))
+    for assignment in productive[0].values():
+        clauses.append(Clause(goal, (predicate(0, assignment),)))
+
+    result = NDLQuery(Program(clauses), "G", tuple(query.answer_vars))
+    if over == "arbitrary":
+        result = linear_star_transform(result, tbox)
+    return result
+
+
+def _slices(query: CQ, root: Variable) -> List[Tuple[Variable, ...]]:
+    """``z^0, ..., z^M``: variables grouped by distance from the root."""
+    distances = query.distances_from(root)
+    if set(distances) != query.variables:
+        raise ValueError("query must be connected to be sliced")
+    deepest = max(distances.values())
+    slices = [tuple(sorted(v for v, d in distances.items() if d == n))
+              for n in range(deepest + 1)]
+    return slices
+
+
+def _answer_vars_per_slice(query: CQ, slices) -> List[Tuple[Variable, ...]]:
+    """``x^n``: the answer variables occurring in ``q_n``, which consists
+    of the atoms whose variables all sit at distance >= n."""
+    result = []
+    for n in range(len(slices)):
+        allowed: Set[Variable] = set()
+        for far in slices[n:]:
+            allowed.update(far)
+        occurring = {var for atom in query.atoms
+                     if set(atom.args) <= allowed for var in atom.args}
+        result.append(tuple(v for v in query.answer_vars if v in occurring))
+    return result
+
+
+def _local_types(tbox, query: CQ, slice_vars, candidates) -> List[Type]:
+    """All locally compatible types for a slice (the per-variable
+    conditions; slices of a rooted tree have no internal edges)."""
+    types: List[Type] = [{}]
+    for var in slice_vars:
+        types = [dict(assignment, **{var: word})
+                 for assignment in types
+                 for word in candidates[var]]
+    return types
+
+
+def _pair_ok(tbox, query: CQ, current_slice, next_slice,
+             current: Type, succ: Type) -> bool:
+    """Compatibility of ``(w, s)`` with ``(z^n, z^{n+1})``: the crossing
+    binary atoms must satisfy the three-way condition."""
+    next_set = set(next_slice)
+    current_set = set(current_slice)
+    for atom in query.binary_atoms():
+        first, second = atom.args
+        if first in current_set and second in next_set:
+            if not pair_compatible(tbox, atom, current[first], succ[second]):
+                return False
+        elif second in current_set and first in next_set:
+            if not pair_compatible(tbox, atom, succ[first], current[second]):
+                return False
+    return True
+
+
+def _atoms_touching(query: CQ, slice_vars, next_vars) -> List[Atom]:
+    """Atoms with a variable in ``slice_vars`` and all variables within
+    the two slices — the scope of ``At^{w u s}`` for one chain step."""
+    scope = set(slice_vars) | set(next_vars)
+    touch = set(slice_vars)
+    return [atom for atom in query.atoms
+            if set(atom.args) <= scope and set(atom.args) & touch]

@@ -1,0 +1,75 @@
+"""Tree-witness PE-rewritings (the positive-existential target of
+Figure 1b).
+
+The PE-rewriting factorises the tree-witness UCQ like the Presto-style
+NDL rewriting — one disjunction per cluster of overlapping tree
+witnesses — but stays a single positive-existential formula, as in the
+hand-written PE-rewriting of Appendix A.6.1.  Witness roots ``tr`` are
+glued by explicit equalities (Section 2 allows equality in
+FO/PE-rewritings).
+
+Figure 1(b)'s message is visible experimentally: PE-rewritings blow up
+within clusters while the optimal NDL-rewritings stay linear
+(``benchmarks/bench_rewriting_targets.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..ontology.tbox import surrogate_name
+from ..queries.cq import CQ, Atom
+from ..queries.pe import And, Or, PEAtom, PEEq, PEQuery
+from .presto import _clusters, _interface_vars
+from .tree_witness import TreeWitness, independent_subsets, tree_witnesses
+
+
+def pe_rewrite(tbox, query: CQ) -> PEQuery:
+    """The tree-witness PE-rewriting of ``(T, q)`` over complete data
+    instances, as a :class:`repro.queries.pe.PEQuery`."""
+    witnesses = tree_witnesses(tbox, query)
+    clusters = _clusters(witnesses)
+    regions: List[FrozenSet[Atom]] = []
+    for cluster in clusters:
+        region: Set[Atom] = set()
+        for witness in cluster:
+            region |= witness.atoms
+        regions.append(frozenset(region))
+    covered: Set[Atom] = set()
+    for region in regions:
+        covered |= region
+
+    parts: List[object] = [PEAtom(atom.predicate, atom.args)
+                           for atom in query.atoms
+                           if atom not in covered]
+    global_vars = set(query.answer_vars)
+    for atom in query.atoms:
+        if atom not in covered:
+            global_vars.update(atom.args)
+    for cluster, region in zip(clusters, regions):
+        interface = set(_interface_vars(query, region))
+        visible = interface | set(query.answer_vars)
+        disjuncts: List[object] = []
+        for chosen in independent_subsets(cluster):
+            chosen_cover: Set[Atom] = set()
+            for witness in chosen:
+                chosen_cover |= witness.atoms
+            remaining = [atom for atom in sorted(region)
+                         if atom not in chosen_cover]
+            pools = [witness.generators for witness in chosen]
+            for roles in itertools.product(*pools):
+                body: List[object] = [PEAtom(atom.predicate, atom.args)
+                                      for atom in remaining]
+                for witness, role in zip(chosen, roles):
+                    anchor = (min(witness.roots) if witness.roots
+                              else "_z_root")
+                    body.append(PEAtom(surrogate_name(role), (anchor,)))
+                    body.extend(PEEq(var, anchor)
+                                for var in sorted(witness.roots - {anchor}))
+                disjuncts.append(And(tuple(body)) if len(body) != 1
+                                 else body[0])
+        parts.append(Or(tuple(disjuncts)) if len(disjuncts) != 1
+                     else disjuncts[0])
+    matrix = And(tuple(parts)) if len(parts) != 1 else parts[0]
+    return PEQuery(matrix, tuple(query.answer_vars))

@@ -1,0 +1,176 @@
+"""PerfectRef-style UCQ rewriting over *arbitrary* data instances
+(Calvanese et al. 2007; our stand-in for the Clipper engine, whose
+OWL 2 QL output behaves like a UCQ-style rewriting).
+
+The classic saturation: repeatedly (i) rewrite an atom backwards
+through an applicable axiom and (ii) *reduce* by unifying two atoms,
+until no new CQ appears.  Reducing may identify two answer variables,
+which is recorded in the CQ's head (yielding clauses like
+``G(x, x) <- ...``).  Exponential on the paper's query sequences, as
+Figure 2 shows for the UCQ-based engines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..datalog.program import Clause, Literal, NDLQuery, Program
+from ..ontology.terms import Atomic, Exists, Role, Top
+from ..queries.cq import Atom, CQ
+
+#: The saturation state: the CQ's atoms plus its head argument tuple
+#: (answer variables, possibly with repetitions after reductions).
+State = Tuple[Tuple[Atom, ...], Tuple[str, ...]]
+
+
+def perfectref_rewrite(tbox, query: CQ, max_cqs: int = 100000) -> NDLQuery:
+    """The PerfectRef UCQ rewriting of ``(T, q)`` over arbitrary data,
+    returned as an NDL program with one clause per CQ."""
+    if any(tbox.is_reflexive(role) for role in tbox.roles):
+        raise ValueError(
+            "PerfectRef supports the reflexivity-free fragment only "
+            "(as the original algorithm for DL-Lite_R)")
+    initial = _canonical(tuple(query.atoms), tuple(query.answer_vars))
+    seen: Set[State] = {initial}
+    frontier: List[State] = [initial]
+    while frontier:
+        state = frontier.pop()
+        for produced in _one_step(tbox, state):
+            canonical = _canonical(*produced)
+            if canonical not in seen:
+                seen.add(canonical)
+                if len(seen) > max_cqs:
+                    raise RuntimeError(
+                        f"PerfectRef exceeded the CQ budget ({max_cqs}) - "
+                        "exponential blow-up")
+                frontier.append(canonical)
+    clauses = []
+    for atoms, head in sorted(seen):
+        clauses.append(Clause(Literal("G", head), tuple(
+            Literal(atom.predicate, atom.args) for atom in atoms)))
+    return NDLQuery(Program(clauses), "G", tuple(query.answer_vars))
+
+
+def _one_step(tbox, state: State) -> Iterator[State]:
+    yield from _atom_rewritings(tbox, state)
+    yield from _reductions(tbox, state)
+
+
+def _is_unbound(state: State, var: str) -> bool:
+    """A variable is unbound if it is existential and occurs just once."""
+    atoms, head = state
+    if var in head:
+        return False
+    occurrences = sum(atom.args.count(var) for atom in atoms)
+    return occurrences == 1
+
+
+def _atom_rewritings(tbox, state: State) -> Iterator[State]:
+    """Backward application of the TBox axioms to a single atom."""
+    atoms, head = state
+    fresh = itertools.count()
+    for index, atom in enumerate(atoms):
+        rest = atoms[:index] + atoms[index + 1:]
+        if atom.is_unary:
+            target: object = Atomic(atom.predicate)
+            anchor = atom.args[0]
+        else:
+            first, second = atom.args
+            role = Role(atom.predicate)
+            # role-inclusion steps are always applicable
+            for sub in tbox.role_subs(role):
+                if sub == role:
+                    continue
+                replacement = (Atom(sub.name, (first, second))
+                               if not sub.inverted
+                               else Atom(sub.name, (second, first)))
+                yield rest + (replacement,), head
+            if _is_unbound(state, second):
+                target, anchor = Exists(role), first
+            elif _is_unbound(state, first):
+                target, anchor = Exists(role.inverse()), second
+            else:
+                continue
+        for concept in sorted(tbox.concept_subs(target), key=str):
+            if concept == target or isinstance(concept, Top):
+                continue
+            if isinstance(concept, Atomic):
+                yield rest + (Atom(concept.name, (anchor,)),), head
+            else:
+                witness = f"_u{next(fresh)}"
+                role = concept.role
+                replacement = (Atom(role.name, (anchor, witness))
+                               if not role.inverted
+                               else Atom(role.name, (witness, anchor)))
+                yield rest + (replacement,), head
+
+
+def _reductions(tbox, state: State) -> Iterator[State]:
+    """The *reduce* step: unify two atoms with the same predicate.
+
+    Unifying two answer variables is allowed and reflected in the head
+    tuple (the resulting disjunct only yields answers with the two
+    coordinates equal)."""
+    atoms, head = state
+    for i in range(len(atoms)):
+        for j in range(i + 1, len(atoms)):
+            first, second = atoms[i], atoms[j]
+            if first.predicate != second.predicate:
+                continue
+            if len(first.args) != len(second.args):
+                continue
+            unifier = _mgu(first.args, second.args, head)
+            if unifier is None:
+                continue
+            merged = tuple(
+                Atom(atom.predicate,
+                     tuple(unifier.get(arg, arg) for arg in atom.args))
+                for k, atom in enumerate(atoms) if k != j)
+            new_head = tuple(unifier.get(arg, arg) for arg in head)
+            yield merged, new_head
+
+
+def _mgu(first_args, second_args, head) -> Optional[Dict[str, str]]:
+    mapping: Dict[str, str] = {}
+    answer_vars = set(head)
+
+    def resolve(var: str) -> str:
+        while var in mapping:
+            var = mapping[var]
+        return var
+
+    for left, right in zip(first_args, second_args):
+        left, right = resolve(left), resolve(right)
+        if left == right:
+            continue
+        if left in answer_vars and right in answer_vars:
+            # identify two answer variables (kept in the head tuple)
+            low, high = sorted((left, right))
+            mapping[high] = low
+        elif left in answer_vars:
+            mapping[right] = left
+        else:
+            mapping[left] = right
+    return {var: resolve(var) for var in mapping}
+
+
+def _canonical(atoms: Tuple[Atom, ...], head: Tuple[str, ...]) -> State:
+    """A canonical renaming of existential variables (for duplicate
+    detection across isomorphic CQs)."""
+    unique = tuple(dict.fromkeys(sorted(atoms)))
+    mapping: Dict[str, str] = {}
+    counter = itertools.count()
+    answer_vars = set(head)
+    renamed: List[Atom] = []
+    for atom in unique:
+        args = []
+        for arg in atom.args:
+            if arg in answer_vars:
+                args.append(arg)
+            else:
+                if arg not in mapping:
+                    mapping[arg] = f"_e{next(counter)}"
+                args.append(mapping[arg])
+        renamed.append(Atom(atom.predicate, tuple(args)))
+    return tuple(dict.fromkeys(sorted(renamed))), head

@@ -1,0 +1,131 @@
+"""Tree witnesses (Section 3.4, after [37]).
+
+A tree witness for an OMQ ``(T, q(x))`` is a pair ``t = (tr, ti)`` of
+disjoint variable sets (``ti`` nonempty and existential) such that the
+atoms ``q_t`` touching ``ti`` can be homomorphically mapped into the
+canonical model ``C_{T, {A_rho(a)}}`` with exactly ``tr`` going to the
+root ``a``; such ``rho`` are the witness's *generators*.  Intuitively,
+``t`` marks a fragment of the query that can be matched entirely inside
+the anonymous part of the canonical model below a single individual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from ..chase.canonical import CanonicalModel, individual
+from ..chase.homomorphism import homomorphisms
+from ..data.abox import ABox
+from ..ontology.tbox import surrogate_name
+from ..ontology.terms import Role
+from ..queries.cq import CQ, Atom, Variable
+
+
+@dataclass(frozen=True)
+class TreeWitness:
+    """A tree witness ``t = (tr, ti)`` with its generating roles."""
+
+    roots: FrozenSet[Variable]      # tr — mapped onto an individual
+    interior: FrozenSet[Variable]   # ti — mapped to labelled nulls
+    atoms: FrozenSet[Atom]          # q_t
+    generators: Tuple[Role, ...]    # the roles rho generating t
+
+    def __str__(self) -> str:
+        gens = ",".join(str(g) for g in self.generators)
+        return (f"tw(tr={sorted(self.roots)}, ti={sorted(self.interior)}, "
+                f"gen={{{gens}}})")
+
+
+def witness_atoms(query: CQ, interior: FrozenSet[Variable]) -> FrozenSet[Atom]:
+    """``q_t``: the atoms of ``q`` with at least one variable in ``ti``."""
+    return frozenset(atom for atom in query.atoms
+                     if set(atom.args) & interior)
+
+
+def _connected_existential_subsets(query: CQ) -> Iterator[FrozenSet[Variable]]:
+    """All connected sets of existential variables (candidate ``ti``)."""
+    graph = query.gaifman()
+    existential = sorted(query.existential_vars)
+    seen: Set[FrozenSet[Variable]] = set()
+    stack: List[FrozenSet[Variable]] = []
+    for var in existential:
+        singleton = frozenset({var})
+        if singleton not in seen:
+            seen.add(singleton)
+            stack.append(singleton)
+    while stack:
+        subset = stack.pop()
+        yield subset
+        neighbours = {n for v in subset for n in graph.neighbors(v)}
+        for cand in sorted(neighbours - subset):
+            if cand in query.existential_vars:
+                extended = subset | {cand}
+                if extended not in seen:
+                    seen.add(extended)
+                    stack.append(extended)
+
+
+def _generators(tbox, query: CQ, roots: FrozenSet[Variable],
+                interior: FrozenSet[Variable],
+                atoms: FrozenSet[Atom]) -> List[Role]:
+    """The roles ``rho`` generating ``(tr, ti)``: a homomorphism of
+    ``q_t`` into ``C_{T, {A_rho(a)}}`` must send ``tr`` to ``a`` and
+    ``ti`` strictly below it."""
+    generators: List[Role] = []
+    sub_query = CQ(sorted(atoms), tuple(sorted(roots)))
+    for role in sorted(tbox.roles):
+        if tbox.is_reflexive(role):
+            continue
+        abox = ABox([(surrogate_name(role), ("a",))])
+        model = CanonicalModel(tbox, abox,
+                               max_depth=len(interior) + 1)
+        fixed = {var: individual("a") for var in roots}
+        for hom in homomorphisms(model, sub_query, fixed):
+            # every interior variable must sit on a labelled null of the
+            # branch starting with rho (h^{-1}(a) = tr exactly)
+            if all(hom[var][1] and hom[var][1][0] == role
+                   for var in interior):
+                generators.append(role)
+                break
+    return generators
+
+
+def tree_witnesses(tbox, query: CQ,
+                   require_rooted: bool = False) -> List[TreeWitness]:
+    """All tree witnesses of ``(T, q)`` (with ``tr != empty`` when
+    ``require_rooted``), each carrying its generating roles."""
+    graph = query.gaifman()
+    witnesses: List[TreeWitness] = []
+    for interior in _connected_existential_subsets(query):
+        roots = frozenset(
+            {n for v in interior for n in graph.neighbors(v)} - interior)
+        if require_rooted and not roots:
+            continue
+        atoms = witness_atoms(query, interior)
+        if not atoms:
+            continue
+        generators = _generators(tbox, query, roots, interior, atoms)
+        if generators:
+            witnesses.append(TreeWitness(roots, interior, atoms,
+                                         tuple(generators)))
+    return witnesses
+
+
+def conflict(first: TreeWitness, second: TreeWitness) -> bool:
+    """Two tree witnesses conflict when their ``q_t`` share an atom
+    (they cannot be applied together in one rewriting disjunct)."""
+    return bool(first.atoms & second.atoms)
+
+
+def independent_subsets(witnesses: List[TreeWitness]
+                        ) -> Iterator[Tuple[TreeWitness, ...]]:
+    """All subsets of pairwise non-conflicting tree witnesses (including
+    the empty one) — the disjuncts of the tree-witness UCQ rewriting."""
+    def extend(prefix: Tuple[TreeWitness, ...], rest: List[TreeWitness]):
+        yield prefix
+        for i, cand in enumerate(rest):
+            if all(not conflict(cand, chosen) for chosen in prefix):
+                yield from extend(prefix + (cand,), rest[i + 1:])
+
+    yield from extend((), witnesses)

@@ -1,0 +1,29 @@
+"""Relational (SQL) backend for NDL rewritings.
+
+Section 6 of the paper asks "whether our rewritings can be efficiently
+implemented using views in standard DBMSs".  This subpackage answers
+affirmatively for SQLite (the standard-library DBMS): an ABox is loaded
+into a relational schema (:mod:`repro.sql.schema`), an NDL query is
+compiled into SQL — one view or materialised table per IDB predicate —
+(:mod:`repro.sql.compile`), and :func:`repro.sql.engine.evaluate_sql`
+runs the whole pipeline, returning the same
+:class:`~repro.datalog.evaluate.EvaluationResult` as the native Python
+engine so the two backends are interchangeable and can be compared
+(``benchmarks/bench_ablation_engines.py``).
+"""
+
+from .compile import SQLCompilation, compile_clause, compile_query
+from .engine import SQLEngine, evaluate_sql
+from .schema import create_schema, load_abox, quote_identifier, table_name
+
+__all__ = [
+    "SQLCompilation",
+    "SQLEngine",
+    "compile_clause",
+    "compile_query",
+    "create_schema",
+    "evaluate_sql",
+    "load_abox",
+    "quote_identifier",
+    "table_name",
+]

@@ -1,0 +1,147 @@
+"""Compiling NDL queries to SQL.
+
+Every clause becomes a ``SELECT DISTINCT`` over a join of its body
+atoms; every IDB predicate becomes the ``UNION`` of its clauses,
+installed either as a SQL *view* (the Section 6 suggestion of running
+rewritings "using views in standard DBMSs") or as a materialised table
+(mirroring RDFox-style full materialisation, Appendix D.4).  The
+compilation is purely syntactic and works for any nonrecursive program;
+the database's own planner then chooses the join order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..datalog.evaluate import _equality_mapping
+from ..datalog.program import Clause, Literal, NDLQuery, Program
+from .schema import column_names, quote_identifier, table_name
+
+#: Value stored in the dummy column of nullary predicates.
+NULLARY_MARK = "1"
+
+
+def compile_clause(clause: Clause, idb: frozenset) -> str:
+    """The ``SELECT`` statement computing one clause.
+
+    ``idb`` is unused for the statement itself (both IDB and EDB atoms
+    read from their predicate's table/view) but kept for symmetry with
+    callers that split bodies.
+    """
+    # fold equalities into a variable renaming first (an equality may be
+    # the only thing binding a head variable, cf. the Lin/Log clauses
+    # with ``x = y`` conjuncts); after renaming every remaining variable
+    # occurs in some body literal
+    mapping = _equality_mapping(clause)
+    head = clause.head.rename(mapping)
+    body = [atom.rename(mapping) for atom in clause.body_literals]
+
+    bindings: Dict[str, str] = {}
+    from_parts: List[str] = []
+    where: List[str] = []
+    for index, atom in enumerate(body):
+        alias = f"t{index}"
+        from_parts.append(f"{table_name(atom.predicate)} AS {alias}")
+        columns = column_names(max(len(atom.args), 1))
+        for position, variable in enumerate(atom.args):
+            reference = f"{alias}.{columns[position]}"
+            if variable in bindings:
+                where.append(f"{bindings[variable]} = {reference}")
+            else:
+                bindings[variable] = reference
+    for variable in head.args:
+        if variable not in bindings:
+            raise ValueError(
+                f"unbound head variable {variable!r} in clause {clause}")
+
+    head_columns = column_names(max(len(head.args), 1))
+    if head.args:
+        select_list = ", ".join(
+            f"{bindings[variable]} AS {head_columns[i]}"
+            for i, variable in enumerate(head.args))
+    else:
+        select_list = f"'{NULLARY_MARK}' AS {head_columns[0]}"
+    statement = f"SELECT DISTINCT {select_list}"
+    if from_parts:
+        statement += " FROM " + ", ".join(from_parts)
+    if where:
+        statement += " WHERE " + " AND ".join(where)
+    return statement
+
+
+def _definition(program: Program, predicate: str) -> str:
+    idb = program.idb_predicates
+    selects = [compile_clause(clause, idb)
+               for clause in program.clauses_for(predicate)]
+    return "\nUNION\n".join(selects)
+
+
+@dataclass(frozen=True)
+class SQLCompilation:
+    """The SQL form of an NDL query.
+
+    Attributes
+    ----------
+    statements:
+        ``CREATE VIEW``/``CREATE TABLE ... AS`` statements, one per IDB
+        predicate, in dependence order (safe to execute sequentially).
+    goal_select:
+        the final ``SELECT`` reading the goal relation.
+    idb_order:
+        the IDB predicates in the order their statements appear.
+    materialised:
+        whether the statements create tables (RDFox-style) or views.
+    """
+
+    statements: Tuple[str, ...]
+    goal_select: str
+    idb_order: Tuple[str, ...]
+    materialised: bool
+
+    def script(self) -> str:
+        """The full SQL script (statements plus the goal query)."""
+        parts = [statement + ";" for statement in self.statements]
+        parts.append(self.goal_select + ";")
+        return "\n\n".join(parts)
+
+    def cte_query(self) -> str:
+        """The whole query as a single ``WITH``-query (one CTE per IDB
+        predicate) — the form one would register as a single view."""
+        if not self.idb_order:
+            return self.goal_select
+        clauses = []
+        for predicate, statement in zip(self.idb_order, self.statements):
+            definition = statement.split(" AS\n", 1)[1]
+            clauses.append(f"{_cte_name(predicate)} AS (\n{definition}\n)")
+        return "WITH " + ",\n".join(clauses) + "\n" + self.goal_select
+
+
+def _cte_name(predicate: str) -> str:
+    return table_name(predicate)
+
+
+def compile_query(query: NDLQuery, materialised: bool = False
+                  ) -> SQLCompilation:
+    """Compile ``(Pi, G)`` into per-predicate SQL statements.
+
+    With ``materialised=False`` each IDB predicate becomes a view, so
+    the DBMS evaluates lazily (and may push selections down); with
+    ``materialised=True`` each becomes a table computed bottom-up,
+    mirroring the materialise-everything strategy of Appendix D.4.
+    """
+    program = query.program.restrict_to(query.goal)
+    order = program.topological_order()
+    assert order is not None  # Program construction guarantees acyclicity
+    statements = []
+    for predicate in order:
+        definition = _definition(program, predicate)
+        kind = "TABLE" if materialised else "VIEW"
+        statements.append(
+            f"CREATE {kind} {table_name(predicate)} AS\n{definition}")
+    goal_columns = column_names(max(len(query.answer_vars), 1))
+    select_list = ", ".join(goal_columns[:max(len(query.answer_vars), 1)])
+    goal_select = (f"SELECT DISTINCT {select_list} "
+                   f"FROM {table_name(query.goal)}")
+    return SQLCompilation(tuple(statements), goal_select, tuple(order),
+                          materialised)

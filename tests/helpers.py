@@ -1,0 +1,50 @@
+"""Shared fixtures/utilities for the rewriting tests."""
+
+import random
+
+from repro.data import ABox
+from repro.ontology import TBox
+
+
+def example11_tbox() -> TBox:
+    """The ontology of Example 11 / Section 6."""
+    return TBox.parse("roles: P, R, S\nP <= S\nP <= R-")
+
+
+def deep_tbox() -> TBox:
+    """A depth-2 ontology exercising longer witness words."""
+    return TBox.parse("""
+        roles: P, Q, R, S
+        A <= EP
+        EP- <= EQ
+        EQ- <= B
+        P <= R
+        Q <= S
+    """)
+
+
+def infinite_tbox() -> TBox:
+    """An infinite-depth ontology (for the Tw rewriter)."""
+    return TBox.parse("""
+        roles: P, R
+        A <= EP
+        EP- <= A
+        P <= R
+    """)
+
+
+def random_data(seed: int, individuals: int = 6, atoms: int = 18,
+                unary=("A", "B", "A_P", "A_P-", "A_Q", "A_Q-"),
+                binary=("P", "Q", "R", "S")) -> ABox:
+    """A reproducible random data instance."""
+    rng = random.Random(seed)
+    abox = ABox()
+    names = [f"n{i}" for i in range(individuals)]
+    for _ in range(atoms):
+        use_unary = unary and (not binary or rng.random() < 0.35)
+        if use_unary:
+            abox.add(rng.choice(list(unary)), rng.choice(names))
+        else:
+            abox.add(rng.choice(list(binary)), rng.choice(names),
+                     rng.choice(names))
+    return abox

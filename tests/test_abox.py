@@ -1,0 +1,94 @@
+"""Tests for repro.data.abox (data instances and completion)."""
+
+import pytest
+
+from repro.data import ABox
+from repro.ontology import TBox, Role
+
+
+@pytest.fixture
+def example11():
+    return TBox.parse("roles: P, R, S\nP <= S\nP <= R-")
+
+
+class TestABoxBasics:
+    def test_parse_and_contains(self):
+        abox = ABox.parse("A(a), P(a, b)")
+        assert ("A", ("a",)) in abox
+        assert ("P", ("a", "b")) in abox
+        assert ("P", ("b", "a")) not in abox
+
+    def test_individuals(self):
+        abox = ABox.parse("A(a), P(b, c)")
+        assert abox.individuals == {"a", "b", "c"}
+
+    def test_len_counts_atoms(self):
+        abox = ABox.parse("A(a), A(b), P(a, b)")
+        assert len(abox) == 3
+
+    def test_duplicates_ignored(self):
+        abox = ABox()
+        abox.add("A", "a")
+        abox.add("A", "a")
+        assert len(abox) == 1
+
+    def test_arity_check(self):
+        abox = ABox()
+        with pytest.raises(ValueError):
+            abox.add("T", "a", "b", "c")
+
+    def test_role_view_direct(self):
+        abox = ABox.parse("P(a, b)")
+        assert abox.has_role(Role("P"), "a", "b")
+        assert not abox.has_role(Role("P"), "b", "a")
+
+    def test_role_view_inverse(self):
+        abox = ABox.parse("P(a, b)")
+        assert abox.has_role(Role("P", True), "b", "a")
+
+    def test_role_pairs_inverse(self):
+        abox = ABox.parse("P(a, b)")
+        assert list(abox.role_pairs(Role("P", True))) == [("b", "a")]
+
+    def test_atoms_iteration_is_sorted(self):
+        abox = ABox.parse("B(b), A(a), P(a, b)")
+        assert list(abox.atoms()) == [
+            ("A", ("a",)), ("B", ("b",)), ("P", ("a", "b"))]
+
+
+class TestCompletion:
+    def test_role_inclusion_materialised(self, example11):
+        abox = ABox.parse("P(a, b)")
+        completed = abox.complete(example11)
+        assert ("S", ("a", "b")) in completed
+        assert ("R", ("b", "a")) in completed
+
+    def test_surrogates_materialised(self, example11):
+        abox = ABox.parse("P(a, b)")
+        completed = abox.complete(example11)
+        assert ("A_P", ("a",)) in completed
+        assert ("A_P-", ("b",)) in completed
+        assert ("A_S", ("a",)) in completed
+        assert ("A_R", ("b",)) in completed
+
+    def test_original_atoms_kept(self, example11):
+        abox = ABox.parse("P(a, b), X(a)")
+        completed = abox.complete(example11)
+        assert ("P", ("a", "b")) in completed
+        assert ("X", ("a",)) in completed  # predicates outside the TBox
+
+    def test_completion_idempotent(self, example11):
+        completed = ABox.parse("P(a, b), A_P(c)").complete(example11)
+        assert completed.is_complete_for(example11)
+        assert len(completed.complete(example11)) == len(completed)
+
+    def test_reflexive_roles_add_loops(self):
+        tbox = TBox.parse("roles: P\nrefl(P)")
+        completed = ABox.parse("A(a)").complete(tbox)
+        assert ("P", ("a", "a")) in completed
+
+    def test_concept_hierarchy(self):
+        tbox = TBox.parse("A <= B\nB <= C")
+        completed = ABox.parse("A(a)").complete(tbox)
+        assert ("B", ("a",)) in completed
+        assert ("C", ("a",)) in completed

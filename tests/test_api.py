@@ -1,0 +1,69 @@
+"""Tests for the public OMQ API (repro.rewriting.api)."""
+
+import math
+
+import pytest
+
+from repro.chase import certain_answers
+from repro.queries import CQ, chain_cq
+from repro.rewriting import METHODS, OMQ, answer, rewrite
+
+from .helpers import example11_tbox, infinite_tbox, random_data
+
+
+class TestClassification:
+    def test_class_label_finite_tree(self):
+        omq = OMQ(example11_tbox(), chain_cq("RSR"))
+        assert omq.omq_class() == "OMQ(0, 1, 2)"
+
+    def test_class_label_infinite_tree(self):
+        omq = OMQ(infinite_tbox(), chain_cq("RR"))
+        assert omq.omq_class() == "OMQ(inf, 1, 2)"
+
+    def test_class_label_cyclic(self):
+        omq = OMQ(example11_tbox(), CQ.parse("R(x,y), S(y,z), R(x,z)"))
+        assert omq.omq_class() == "OMQ(0, 2, inf)"
+
+    def test_leaves_none_for_cyclic(self):
+        omq = OMQ(example11_tbox(), CQ.parse("R(x,y), S(y,z), R(x,z)"))
+        assert omq.leaves is None
+
+    def test_depth_property(self):
+        assert OMQ(infinite_tbox(), chain_cq("R")).depth is math.inf
+
+
+class TestDispatch:
+    def test_auto_picks_lin_for_finite_trees(self):
+        omq = OMQ(example11_tbox(), chain_cq("RSR"))
+        from repro.datalog import is_linear
+
+        ndl = rewrite(omq, method="auto")
+        assert is_linear(ndl.program)
+
+    def test_auto_picks_tw_for_infinite_depth(self):
+        omq = OMQ(infinite_tbox(), chain_cq("RR"))
+        ndl = rewrite(omq, method="auto")
+        assert ndl.goal.startswith("Q")
+
+    def test_auto_picks_log_for_cyclic(self):
+        omq = OMQ(example11_tbox(), CQ.parse("R(x,y), S(y,z), R(x,z)"))
+        ndl = rewrite(omq, method="auto")
+        assert len(ndl) >= 1
+
+    def test_auto_rejects_hopeless_case(self):
+        omq = OMQ(infinite_tbox(), CQ.parse("R(x,y), R(y,z), R(x,z)"))
+        with pytest.raises(ValueError):
+            rewrite(omq, method="auto")
+
+    def test_unknown_method_rejected(self):
+        omq = OMQ(example11_tbox(), chain_cq("R"))
+        with pytest.raises(ValueError):
+            rewrite(omq, method="nope")
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_all_methods_agree(self, method):
+        omq = OMQ(example11_tbox(), chain_cq("RSR"))
+        abox = random_data(5, binary=("P", "R", "S"),
+                           unary=("A_P", "A_P-"))
+        expected = certain_answers(omq.tbox, abox, omq.query)
+        assert answer(omq, abox, method=method).answers == expected

@@ -1,0 +1,94 @@
+"""Tests for repro.chase.canonical (the canonical model)."""
+
+import pytest
+
+from repro.chase import CanonicalModel, individual
+from repro.data import ABox
+from repro.ontology import Role, TBox
+
+
+@pytest.fixture
+def example11():
+    return TBox.parse("roles: P, R, S\nP <= S\nP <= R-")
+
+
+class TestIndividualPart:
+    def test_data_atoms_hold(self, example11):
+        model = CanonicalModel(example11, ABox.parse("P(a, b)"))
+        assert model.satisfies_role("P", individual("a"), individual("b"))
+
+    def test_entailed_role_atoms_hold(self, example11):
+        model = CanonicalModel(example11, ABox.parse("P(a, b)"))
+        assert model.satisfies_role("S", individual("a"), individual("b"))
+        assert model.satisfies_role("R", individual("b"), individual("a"))
+
+    def test_entailed_concepts_hold(self, example11):
+        model = CanonicalModel(example11, ABox.parse("P(a, b)"))
+        assert model.satisfies_concept("A_P", individual("a"))
+        assert model.satisfies_concept("A_P-", individual("b"))
+
+    def test_non_entailed_atoms_fail(self, example11):
+        model = CanonicalModel(example11, ABox.parse("S(a, b)"))
+        assert not model.satisfies_role("P", individual("a"),
+                                        individual("b"))
+
+
+class TestAnonymousPart:
+    def test_surrogate_creates_witnesses(self, example11):
+        # the paper's canonical model has a witness a.rho for *every*
+        # entailed Exists(rho)(a): here P, plus S and R- via P <= S,
+        # P <= R-
+        model = CanonicalModel(example11, ABox.parse("A_P(a)"))
+        children = model.children(individual("a"))
+        letters = {child[1][-1] for child in children}
+        assert letters == {Role("P"), Role("S"), Role("R", True)}
+
+    def _p_child(self, model):
+        return next(child for child in model.children(individual("a"))
+                    if child[1][-1] == Role("P"))
+
+    def test_witness_edges(self, example11):
+        model = CanonicalModel(example11, ABox.parse("A_P(a)"))
+        child = self._p_child(model)
+        root = individual("a")
+        assert model.satisfies_role("P", root, child)
+        assert model.satisfies_role("S", root, child)
+        assert model.satisfies_role("R", child, root)
+        assert not model.satisfies_role("P", child, root)
+
+    def test_witness_concepts(self, example11):
+        model = CanonicalModel(example11, ABox.parse("A_P(a)"))
+        child = self._p_child(model)
+        assert model.satisfies_concept("A_P-", child)
+        assert model.satisfies_concept("A_R", child)
+        assert not model.satisfies_concept("A_P", child)
+
+    def test_depth_bound_respected(self):
+        tbox = TBox.parse("roles: P\nA <= EP\nEP- <= A")  # infinite depth
+        model = CanonicalModel(tbox, ABox.parse("A(a)"), max_depth=3)
+        assert all(len(word) <= 3 for _, word in model.elements())
+
+    def test_infinite_depth_requires_bound(self):
+        tbox = TBox.parse("roles: P\nA <= EP\nEP- <= A")
+        with pytest.raises(ValueError):
+            CanonicalModel(tbox, ABox.parse("A(a)"))
+
+    def test_role_neighbours_cover_all_edges(self, example11):
+        abox = ABox.parse("P(a, b), A_P(a)")
+        model = CanonicalModel(example11, abox)
+        neighbours = set(model.role_neighbours("S", individual("a")))
+        assert individual("b") in neighbours
+        assert any(word for _, word in neighbours)  # the witness child
+
+    def test_reflexive_role_loops(self):
+        tbox = TBox.parse("roles: P\nrefl(P)")
+        model = CanonicalModel(tbox, ABox.parse("A(a)"))
+        assert model.satisfies_role("P", individual("a"), individual("a"))
+
+    def test_elements_enumeration(self, example11):
+        model = CanonicalModel(example11, ABox.parse("A_P(a), A_S(b)"))
+        elements = list(model.elements())
+        assert individual("a") in elements
+        assert individual("b") in elements
+        # a gets three witnesses (P, S, R- via the hierarchy), b gets one
+        assert len(elements) == 6

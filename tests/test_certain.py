@@ -1,0 +1,97 @@
+"""Tests for repro.chase.certain (the certain-answer oracle)."""
+
+import pytest
+
+from repro.chase import certain_answers, is_certain_answer
+from repro.data import ABox
+from repro.ontology import TBox
+from repro.queries import CQ, chain_cq
+
+
+@pytest.fixture
+def example11():
+    return TBox.parse("roles: P, R, S\nP <= S\nP <= R-")
+
+
+class TestAnchoredAnswers:
+    def test_direct_match(self, example11):
+        abox = ABox.parse("R(a, b)")
+        query = CQ.parse("R(x, y)", answer_vars=["x", "y"])
+        assert certain_answers(example11, abox, query) == {("a", "b")}
+
+    def test_entailed_match(self, example11):
+        abox = ABox.parse("P(a, b)")
+        query = CQ.parse("S(x, y)", answer_vars=["x", "y"])
+        assert certain_answers(example11, abox, query) == {("a", "b")}
+
+    def test_match_through_witness(self, example11):
+        # A_P-(a): some w with P(w, a), so S(w, a) and R(a, w)
+        abox = ABox.parse("A_P-(a)")
+        query = CQ.parse("R(x, y), S(y, x)", answer_vars=["x"])
+        assert certain_answers(example11, abox, query) == {("a",)}
+
+    def test_answer_vars_must_hit_individuals(self, example11):
+        abox = ABox.parse("A_P(a)")
+        query = CQ.parse("P(x, y)", answer_vars=["x", "y"])
+        # the P-successor of a is anonymous: no certain answer for y
+        assert certain_answers(example11, abox, query) == frozenset()
+
+    def test_is_certain_answer(self, example11):
+        abox = ABox.parse("P(a, b)")
+        query = CQ.parse("S(x, y)", answer_vars=["x", "y"])
+        assert is_certain_answer(example11, abox, query, ("a", "b"))
+        assert not is_certain_answer(example11, abox, query, ("b", "a"))
+
+    def test_unknown_constant_rejected(self, example11):
+        abox = ABox.parse("P(a, b)")
+        query = CQ.parse("S(x, y)", answer_vars=["x", "y"])
+        assert not is_certain_answer(example11, abox, query, ("a", "zz"))
+
+    def test_arity_mismatch_raises(self, example11):
+        query = CQ.parse("S(x, y)", answer_vars=["x", "y"])
+        with pytest.raises(ValueError):
+            is_certain_answer(example11, ABox.parse("P(a, b)"), query,
+                              ("a",))
+
+
+class TestBooleanAnswers:
+    def test_boolean_yes(self, example11):
+        abox = ABox.parse("P(a, b)")
+        query = CQ.parse("S(x, y)")
+        assert certain_answers(example11, abox, query) == {()}
+
+    def test_boolean_no(self, example11):
+        abox = ABox.parse("R(a, b)")
+        query = CQ.parse("P(x, y)")
+        assert certain_answers(example11, abox, query) == frozenset()
+
+    def test_anonymous_match_in_infinite_tree(self):
+        # B <= EP, EP- <= B: infinitely many anonymous B-nodes
+        tbox = TBox.parse("roles: P\nB <= EP\nEP- <= B")
+        abox = ABox.parse("B(a)")
+        query = CQ.parse("P(x, y), P(y, z)")
+        assert certain_answers(tbox, abox, query) == {()}
+
+    def test_anonymous_unary_match_deep(self):
+        # the C-node appears only at depth 3 of the anonymous tree
+        tbox = TBox.parse(
+            "roles: P, Q, W\nA <= EP\nEP- <= EQ\nEQ- <= EW\nEW- <= C")
+        abox = ABox.parse("A(a)")
+        query = CQ.parse("C(x)")
+        assert certain_answers(tbox, abox, query) == {()}
+
+    def test_disconnected_query_combines_components(self, example11):
+        abox = ABox.parse("P(a, b), R(c, d)")
+        query = CQ.parse("S(x, y), R(u, v)", answer_vars=["x", "u"])
+        # u = c from the data and u = b from the entailed R(b, a)
+        assert certain_answers(example11, abox, query) == {
+            ("a", "c"), ("a", "b")}
+
+    def test_disconnected_boolean_component_fails_all(self, example11):
+        abox = ABox.parse("R(a, b)")
+        query = CQ.parse("R(x, y), P(u, v)", answer_vars=["x"])
+        assert certain_answers(example11, abox, query) == frozenset()
+
+    def test_empty_data_no_answers(self, example11):
+        query = CQ.parse("R(x, y)", answer_vars=["x"])
+        assert certain_answers(example11, ABox(), query) == frozenset()

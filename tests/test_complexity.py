@@ -1,0 +1,89 @@
+"""Tests for the Figure 1 landscape and the fragment analysis."""
+
+import math
+
+from repro.complexity import (
+    LOGCFL,
+    NL,
+    NP,
+    analyse,
+    combined_complexity,
+    landscape_grid,
+    rewriting_size_status,
+)
+from repro.queries import chain_cq
+from repro.rewriting import lin_rewrite, log_rewrite, tw_rewrite
+
+from .helpers import example11_tbox
+
+INF = math.inf
+
+
+class TestFigure1a:
+    def test_tractable_cells(self):
+        # the three tractable classes of Section 1
+        assert combined_complexity(2, 3, INF) == LOGCFL   # OMQ(d, t, inf)
+        assert combined_complexity(2, 1, 4) == NL         # OMQ(d, 1, l)
+        assert combined_complexity(INF, 1, 4) == LOGCFL   # OMQ(inf, 1, l)
+
+    def test_bounded_depth_unbounded_leaves_trees(self):
+        assert combined_complexity(2, 1, INF) == LOGCFL
+
+    def test_np_cells(self):
+        assert combined_complexity(INF, 1, INF) == NP   # trees, unbounded
+        assert combined_complexity(INF, 2, INF) == NP
+        assert combined_complexity(0, INF, INF) == NP   # CQ evaluation
+        assert combined_complexity(INF, INF, INF) == NP
+
+    def test_depth_zero_trees_bounded_leaves(self):
+        assert combined_complexity(0, 1, 2) == NL
+
+
+class TestFigure1b:
+    def test_tractable_cells_have_poly_ndl_but_no_poly_pe(self):
+        for depth, treewidth, leaves in ((2, 1, 2), (2, 1, INF),
+                                         (INF, 1, 2), (2, 2, INF)):
+            status = rewriting_size_status(depth, treewidth, leaves)
+            assert status.poly_ndl
+            assert not status.poly_pe
+
+    def test_np_cells_have_no_poly_ndl(self):
+        status = rewriting_size_status(INF, 1, INF)
+        assert not status.poly_ndl
+
+    def test_unbounded_treewidth_bounded_depth_has_poly_pe(self):
+        # the poly Pi_2/Pi_4/PE column of Figure 1(b)
+        for depth in (1, 2, 3):
+            status = rewriting_size_status(depth, INF, INF)
+            assert status.poly_pe
+
+    def test_fo_condition_strings(self):
+        assert "NL/poly" in rewriting_size_status(1, 1, 2).poly_fo
+        assert "LOGCFL/poly" in rewriting_size_status(1, 1, INF).poly_fo
+        assert "NP/poly" in rewriting_size_status(INF, INF, INF).poly_fo
+
+    def test_grid_has_all_cells(self):
+        grid = landscape_grid()
+        assert len(grid) == 25
+        assert all({"depth", "shape", "combined", "rewritings"} <= set(row)
+                   for row in grid)
+
+
+class TestFragmentReports:
+    def test_lin_report_in_nl_fragment(self):
+        ndl = lin_rewrite(example11_tbox(), chain_cq("RSRR"))
+        report = analyse(ndl)
+        assert report.in_nl_fragment
+        assert report.width <= 4
+
+    def test_log_report_in_logcfl_fragment(self):
+        ndl = log_rewrite(example11_tbox(), chain_cq("RSRRSRRS"),
+                          simplify=False)
+        report = analyse(ndl)
+        assert report.in_logcfl_fragment(8, ndl.program.symbol_size())
+
+    def test_tw_report_in_logcfl_fragment(self):
+        ndl = tw_rewrite(example11_tbox(), chain_cq("RSRRSRRS"),
+                         simplify=False)
+        report = analyse(ndl)
+        assert report.in_logcfl_fragment(8, ndl.program.symbol_size())

@@ -1,0 +1,94 @@
+"""Tests for repro.chase.consistency (the ``bottom`` handling)."""
+
+import pytest
+
+from repro.chase.consistency import BOT, inconsistency_clauses, is_consistent
+from repro.data import ABox
+from repro.datalog import NDLQuery, Program, evaluate
+from repro.ontology import TBox
+
+
+def bot_fires(tbox, abox) -> bool:
+    program = Program(inconsistency_clauses(tbox))
+    if BOT not in program.idb_predicates:
+        return False
+    query = NDLQuery(program, BOT, ())
+    return bool(evaluate(query, abox.complete(tbox)).answers)
+
+
+class TestConceptDisjointness:
+    def test_direct_clash(self):
+        tbox = TBox.parse("A & B <= bottom")
+        assert not is_consistent(tbox, ABox.parse("A(a), B(a)"))
+        assert is_consistent(tbox, ABox.parse("A(a), B(b)"))
+
+    def test_clash_through_hierarchy(self):
+        tbox = TBox.parse("C <= A\nA & B <= bottom")
+        assert not is_consistent(tbox, ABox.parse("C(a), B(a)"))
+
+    def test_clash_through_role(self):
+        tbox = TBox.parse("roles: P\nEP <= A\nA & B <= bottom")
+        assert not is_consistent(tbox, ABox.parse("P(a, c), B(a)"))
+        assert is_consistent(tbox, ABox.parse("P(a, c), B(c)"))
+
+
+class TestRoleDisjointness:
+    def test_direct_clash(self):
+        tbox = TBox.parse("roles: P, S\nP & S <= bottom")
+        assert not is_consistent(tbox, ABox.parse("P(a, b), S(a, b)"))
+        assert is_consistent(tbox, ABox.parse("P(a, b), S(b, a)"))
+
+    def test_clash_through_subrole(self):
+        tbox = TBox.parse("roles: P, Q, S\nQ <= P\nP & S <= bottom")
+        assert not is_consistent(tbox, ABox.parse("Q(a, b), S(a, b)"))
+
+    def test_irreflexivity(self):
+        tbox = TBox.parse("roles: P\nirrefl(P)")
+        assert not is_consistent(tbox, ABox.parse("P(a, a)"))
+        assert is_consistent(tbox, ABox.parse("P(a, b)"))
+
+    def test_reflexivity_vs_irreflexivity(self):
+        tbox = TBox.parse("roles: P, Q\nrefl(P)\nP <= Q\nirrefl(Q)")
+        assert not is_consistent(tbox, ABox.parse("A(a)"))
+
+
+class TestAnonymousPart:
+    def test_clash_at_witness(self):
+        # the P-witness of any A-individual satisfies both B and C
+        tbox = TBox.parse(
+            "roles: P\nA <= EP\nEP- <= B\nEP- <= C\nB & C <= bottom")
+        assert not is_consistent(tbox, ABox.parse("A(a)"))
+        assert is_consistent(tbox, ABox.parse("B(a)"))
+
+    def test_clash_at_deep_witness(self):
+        tbox = TBox.parse("roles: P, Q\n"
+                          "A <= EP\nEP- <= EQ\nEQ- <= B\nEQ- <= C\n"
+                          "B & C <= bottom")
+        assert not is_consistent(tbox, ABox.parse("A(a)"))
+
+    def test_role_clash_on_witness_edge(self):
+        tbox = TBox.parse("roles: P, Q, S\nA <= EP\nP <= Q\nP <= S\n"
+                          "Q & S <= bottom")
+        assert not is_consistent(tbox, ABox.parse("A(a)"))
+
+    def test_empty_data_consistent(self):
+        tbox = TBox.parse("A & B <= bottom")
+        assert is_consistent(tbox, ABox())
+
+
+class TestInconsistencyClauses:
+    @pytest.mark.parametrize("axioms,data,expected", [
+        ("A & B <= bottom", "A(a), B(a)", True),
+        ("A & B <= bottom", "A(a), B(b)", False),
+        ("roles: P, S\nP & S <= bottom", "P(a,b), S(a,b)", True),
+        ("roles: P\nirrefl(P)", "P(a,a)", True),
+        ("roles: P\nA <= EP\nEP- <= B\nEP- <= C\nB & C <= bottom",
+         "A(a)", True),
+        ("roles: P\nA <= EP\nEP- <= B\nEP- <= C\nB & C <= bottom",
+         "B(a)", False),
+    ])
+    def test_bot_matches_semantic_check(self, axioms, data, expected):
+        tbox = TBox.parse(axioms)
+        abox = ABox.parse(data)
+        assert bot_fires(tbox, abox) == expected
+        assert is_consistent(tbox, abox) == (not expected)

@@ -1,0 +1,103 @@
+"""Tests for repro.datalog.analysis (Section 3.1 fragment notions)."""
+
+import math
+
+from repro.datalog import (
+    Clause,
+    Literal,
+    NDLQuery,
+    Program,
+    is_linear,
+    is_skinny,
+    max_edb_atoms,
+    minimal_weight_function,
+    skinny_depth,
+)
+
+
+def clause(head, *body):
+    return Clause(head, tuple(body))
+
+
+def example1_program():
+    """Example 1 of the paper: linear, width 1."""
+    return Program([
+        clause(Literal("G", ("x",)), Literal("R", ("x", "y")),
+               Literal("Q", ("x",))),
+        clause(Literal("Q", ("x",)), Literal("R", ("y", "x"))),
+    ])
+
+
+class TestLinearity:
+    def test_example1_is_linear(self):
+        assert is_linear(example1_program())
+
+    def test_two_idb_atoms_not_linear(self):
+        program = Program([
+            clause(Literal("G", ("x",)), Literal("Q", ("x",)),
+                   Literal("P", ("x",))),
+            clause(Literal("Q", ("x",)), Literal("E", ("x",))),
+            clause(Literal("P", ("x",)), Literal("E", ("x",))),
+        ])
+        assert not is_linear(program)
+
+    def test_example1_width(self):
+        query = NDLQuery(example1_program(), "G", ("x",))
+        assert query.width() == 1
+
+
+class TestWeightFunction:
+    def test_edb_weight_zero(self):
+        nu = minimal_weight_function(example1_program())
+        assert nu["R"] == 0
+
+    def test_leaf_idb_weight_one(self):
+        nu = minimal_weight_function(example1_program())
+        assert nu["Q"] == 1
+        assert nu["G"] == 1
+
+    def test_binary_tree_weights_sum(self):
+        # the "exponential" dependency pattern of Section 3.1.2
+        clauses = []
+        for level in range(3):
+            clauses.append(clause(
+                Literal(f"N{level}", ("x",)),
+                Literal(f"N{level + 1}", ("x",)),
+                Literal(f"N{level + 1}", ("x",))))
+        clauses.append(clause(Literal("N3", ("x",)), Literal("E", ("x",))))
+        program = Program(clauses)
+        nu = minimal_weight_function(program)
+        # each level doubles: nu(N3)=1, nu(N2)=2, nu(N1)=4, nu(N0)=8
+        assert nu["N0"] == 8
+
+    def test_weight_function_property(self):
+        program = example1_program()
+        nu = minimal_weight_function(program)
+        for emitted in program.clauses:
+            total = sum(nu.get(a.predicate, 0)
+                        for a in emitted.body_literals)
+            assert nu[emitted.head.predicate] >= total
+            assert nu[emitted.head.predicate] >= 1
+
+
+class TestSkinny:
+    def test_skinny_detection(self):
+        assert is_skinny(example1_program())
+
+    def test_three_atoms_not_skinny(self):
+        program = Program([clause(
+            Literal("G", ("x",)), Literal("A", ("x",)),
+            Literal("B", ("x",)), Literal("C", ("x",)))])
+        assert not is_skinny(program)
+
+    def test_max_edb_atoms(self):
+        program = Program([clause(
+            Literal("G", ("x",)), Literal("A", ("x",)),
+            Literal("B", ("x",)), Literal("C", ("x",)))])
+        assert max_edb_atoms(program) == 3
+
+    def test_skinny_depth_formula(self):
+        query = NDLQuery(example1_program(), "G", ("x",))
+        # d = 1, nu(G) = 1, e_Pi = 1 (each clause has one EDB atom):
+        # sd = 2*1 + log2(1) + log2(1) = 2
+        assert skinny_depth(query) == 2.0

@@ -1,0 +1,120 @@
+"""Tests for repro.datalog.evaluate (the bottom-up engine)."""
+
+import pytest
+
+from repro.data import ABox
+from repro.datalog import Clause, Equality, Literal, NDLQuery, Program, evaluate
+
+
+def clause(head, *body):
+    return Clause(head, tuple(body))
+
+
+def run(clauses, goal, answer_vars, data):
+    query = NDLQuery(Program(clauses), goal, tuple(answer_vars))
+    return evaluate(query, ABox.parse(data))
+
+
+class TestBasicEvaluation:
+    def test_single_join(self):
+        result = run([clause(Literal("G", ("x", "z")),
+                             Literal("R", ("x", "y")),
+                             Literal("R", ("y", "z")))],
+                     "G", ("x", "z"), "R(a,b), R(b,c), R(c,d)")
+        assert result.answers == {("a", "c"), ("b", "d")}
+
+    def test_idb_chaining(self):
+        result = run([
+            clause(Literal("G", ("x",)), Literal("Q", ("x",)),
+                   Literal("A", ("x",))),
+            clause(Literal("Q", ("x",)), Literal("R", ("x", "y"))),
+        ], "G", ("x",), "R(a,b), R(b,c), A(a)")
+        assert result.answers == {("a",)}
+
+    def test_union_of_clauses(self):
+        result = run([
+            clause(Literal("G", ("x",)), Literal("A", ("x",))),
+            clause(Literal("G", ("x",)), Literal("B", ("x",))),
+        ], "G", ("x",), "A(a), B(b)")
+        assert result.answers == {("a",), ("b",)}
+
+    def test_boolean_goal(self):
+        result = run([clause(Literal("G", ()), Literal("A", ("x",)))],
+                     "G", (), "A(a)")
+        assert result.answers == {()}
+
+    def test_boolean_goal_empty(self):
+        result = run([clause(Literal("G", ()), Literal("A", ("x",)))],
+                     "G", (), "B(a)")
+        assert result.answers == frozenset()
+
+    def test_nullary_fact(self):
+        result = run([
+            clause(Literal("G", ("x",)), Literal("A", ("x",)),
+                   Literal("F", ())),
+            clause(Literal("F", ())),
+        ], "G", ("x",), "A(a)")
+        assert result.answers == {("a",)}
+
+    def test_missing_edb_predicate(self):
+        result = run([clause(Literal("G", ("x",)),
+                             Literal("Zzz", ("x",)))],
+                     "G", ("x",), "A(a)")
+        assert result.answers == frozenset()
+
+
+class TestEqualities:
+    def test_equality_join(self):
+        result = run([clause(Literal("G", ("x",)),
+                             Literal("R", ("x", "y")),
+                             Equality("x", "y"))],
+                     "G", ("x",), "R(a,a), R(a,b)")
+        assert result.answers == {("a",)}
+
+    def test_equality_between_atoms(self):
+        result = run([clause(Literal("G", ("x", "z")),
+                             Literal("A", ("x",)), Equality("x", "z"),
+                             Literal("B", ("z",)))],
+                     "G", ("x", "z"), "A(a), B(a), B(b)")
+        assert result.answers == {("a", "a")}
+
+    def test_repeated_variable_in_atom(self):
+        result = run([clause(Literal("G", ("x",)),
+                             Literal("R", ("x", "x")))],
+                     "G", ("x",), "R(a,a), R(a,b)")
+        assert result.answers == {("a",)}
+
+
+class TestStatistics:
+    def test_generated_tuples_counts_idb(self):
+        result = run([
+            clause(Literal("G", ("x",)), Literal("Q", ("x",))),
+            clause(Literal("Q", ("x",)), Literal("R", ("x", "y"))),
+        ], "G", ("x",), "R(a,b), R(a,c), R(b,c)")
+        # Q = {a, b}, G = {a, b}
+        assert result.generated_tuples == 4
+        assert result.relation_sizes == {"Q": 2, "G": 2}
+
+    def test_unreachable_predicates_not_evaluated(self):
+        result = run([
+            clause(Literal("G", ("x",)), Literal("A", ("x",))),
+            clause(Literal("Huge", ("x", "y", "z")),
+                   Literal("R", ("x", "y")), Literal("R", ("y", "z"))),
+        ], "G", ("x",), "A(a), R(a,b)")
+        assert "Huge" not in result.relation_sizes
+
+
+class TestCartesianAndProjection:
+    def test_cartesian_product(self):
+        result = run([clause(Literal("G", ("x", "y")),
+                             Literal("A", ("x",)), Literal("B", ("y",)))],
+                     "G", ("x", "y"), "A(a), A(b), B(c)")
+        assert result.answers == {("a", "c"), ("b", "c")}
+
+    def test_long_chain_projection(self):
+        clauses = [clause(
+            Literal("G", ("x0", "x5")),
+            *[Literal("R", (f"x{i}", f"x{i+1}")) for i in range(5)])]
+        data = ", ".join(f"R(n{i}, n{i+1})" for i in range(5))
+        result = run(clauses, "G", ("x0", "x5"), data)
+        assert result.answers == {("n0", "n5")}

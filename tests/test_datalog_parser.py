@@ -1,0 +1,128 @@
+"""Tests for the NDL text format (repro.datalog.parser): parsing and
+the print/parse round-trip."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import ABox
+from repro.datalog import evaluate
+from repro.datalog.parser import (
+    ProgramParseError,
+    parse_program,
+    parse_query,
+)
+from repro.datalog.program import Clause, Equality, Literal, NDLQuery, Program
+
+from .test_sql import _random_abox, _random_query
+
+
+class TestParseProgram:
+    def test_single_clause(self):
+        program = parse_program("G(x) <- R(x, y) & A(y)")
+        assert len(program) == 1
+        clause = program.clauses[0]
+        assert clause.head == Literal("G", ("x",))
+        assert clause.body_literals == [Literal("R", ("x", "y")),
+                                        Literal("A", ("y",))]
+
+    def test_equality_atom(self):
+        program = parse_program("G(x) <- A(x) & x = y & B(y)")
+        assert program.clauses[0].body_equalities == [Equality("x", "y")]
+
+    def test_fact(self):
+        program = parse_program("Seeded().")
+        clause = program.clauses[0]
+        assert clause.head == Literal("Seeded", ())
+        assert clause.body == ()
+
+    def test_comments_and_blank_lines(self):
+        program = parse_program("""
+            # the goal layer
+            G(x) <- Q(x)   # reads Q
+
+            Q(x) <- A(x)
+        """)
+        assert len(program) == 2
+
+    def test_dashes_and_primes_in_names(self):
+        program = parse_program("G(x) <- A_P-(x)")
+        assert program.clauses[0].body_literals[0].predicate == "A_P-"
+
+    def test_malformed_atom_is_rejected(self):
+        with pytest.raises(ProgramParseError, match="cannot parse atom"):
+            parse_program("G(x <- A(x)")
+
+    def test_goal_line_rejected_in_parse_program(self):
+        with pytest.raises(ProgramParseError, match="goal"):
+            parse_program("goal G(x)\nG(x) <- A(x)")
+
+    def test_recursive_program_is_rejected(self):
+        with pytest.raises(ValueError, match="recursive"):
+            parse_program("G(x) <- G(x)")
+
+
+class TestParseQuery:
+    def test_goal_line(self):
+        query = parse_query("""
+            goal G(x)
+            G(x) <- R(x, y)
+        """)
+        assert query.goal == "G"
+        assert query.answer_vars == ("x",)
+
+    def test_goal_argument(self):
+        query = parse_query("G(x) <- R(x, y)", goal="G",
+                            answer_vars=("x",))
+        assert query.goal == "G"
+
+    def test_missing_goal_is_rejected(self):
+        with pytest.raises(ProgramParseError, match="no goal"):
+            parse_query("G(x) <- R(x, y)")
+
+    def test_duplicate_goal_is_rejected(self):
+        with pytest.raises(ProgramParseError, match="duplicate"):
+            parse_query("goal G(x)\ngoal G(y)\nG(x) <- A(x)")
+
+    def test_parsed_query_evaluates(self):
+        query = parse_query("""
+            goal G(x)
+            G(x) <- R(x, y) & Q(y)
+            Q(y) <- A(y)
+        """)
+        abox = ABox.parse("R(a, b), A(b), R(c, d)")
+        assert evaluate(query, abox).answers == {("a",)}
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        original = NDLQuery(Program([
+            Clause(Literal("G", ("x",)),
+                   (Literal("R", ("x", "y")), Literal("Q", ("y",)))),
+            Clause(Literal("Q", ("y",)),
+                   (Literal("A", ("y",)), Equality("y", "y"))),
+        ]), "G", ("x",))
+        reparsed = parse_query(str(original))
+        assert reparsed.goal == original.goal
+        assert reparsed.answer_vars == original.answer_vars
+        assert [str(c) for c in reparsed.program.clauses] == \
+            [str(c) for c in original.program.clauses]
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=_random_query(), abox=_random_abox())
+    def test_property_round_trip_preserves_answers(self, query, abox):
+        reparsed = parse_query(str(query))
+        assert (evaluate(reparsed, abox).answers
+                == evaluate(query, abox).answers)
+
+    def test_rewriter_output_round_trips(self):
+        from repro import OMQ, chain_cq, rewrite
+
+        from .helpers import example11_tbox
+
+        tbox = example11_tbox()
+        for method in ("lin", "log", "tw"):
+            ndl = rewrite(OMQ(tbox, chain_cq("RSR")), method=method)
+            reparsed = parse_query(str(ndl))
+            abox = ABox.parse("R(a,b), S(b,c), R(c,d)").complete(tbox)
+            assert (evaluate(reparsed, abox).answers
+                    == evaluate(ndl, abox).answers)

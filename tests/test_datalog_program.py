@@ -1,0 +1,118 @@
+"""Tests for repro.datalog.program."""
+
+import pytest
+
+from repro.datalog import ADOM, Clause, Equality, Literal, NDLQuery, Program
+
+
+def clause(head, *body):
+    return Clause(head, tuple(body))
+
+
+class TestProgramStructure:
+    def test_idb_edb_split(self):
+        program = Program([
+            clause(Literal("G", ("x",)), Literal("R", ("x", "y")),
+                   Literal("Q", ("y",))),
+            clause(Literal("Q", ("x",)), Literal("A", ("x",))),
+        ])
+        assert program.idb_predicates == {"G", "Q"}
+        assert program.edb_predicates == {"R", "A"}
+
+    def test_recursion_rejected(self):
+        with pytest.raises(ValueError):
+            Program([
+                clause(Literal("P", ("x",)), Literal("Q", ("x",))),
+                clause(Literal("Q", ("x",)), Literal("P", ("x",))),
+            ])
+
+    def test_self_recursion_rejected(self):
+        with pytest.raises(ValueError):
+            Program([clause(Literal("P", ("x",)),
+                            Literal("P", ("x",)))])
+
+    def test_topological_order(self):
+        program = Program([
+            clause(Literal("G", ("x",)), Literal("Q", ("x",))),
+            clause(Literal("Q", ("x",)), Literal("P", ("x",))),
+            clause(Literal("P", ("x",)), Literal("E", ("x",))),
+        ])
+        order = program.topological_order()
+        assert order.index("P") < order.index("Q") < order.index("G")
+
+    def test_depth(self):
+        program = Program([
+            clause(Literal("G", ("x",)), Literal("Q", ("x",))),
+            clause(Literal("Q", ("x",)), Literal("P", ("x",))),
+            clause(Literal("P", ("x",)), Literal("E", ("x",))),
+        ])
+        assert program.depth("G") == 2
+        assert program.depth("P") == 0
+
+    def test_restrict_to_goal(self):
+        program = Program([
+            clause(Literal("G", ("x",)), Literal("Q", ("x",))),
+            clause(Literal("Q", ("x",)), Literal("E", ("x",))),
+            clause(Literal("Orphan", ("x",)), Literal("E", ("x",))),
+        ])
+        restricted = program.restrict_to("G")
+        assert restricted.idb_predicates == {"G", "Q"}
+
+
+class TestRangeRestriction:
+    def test_unbound_head_var_gets_adom(self):
+        program = Program([clause(Literal("G", ("x", "y")),
+                                  Literal("R", ("x", "z")))])
+        (emitted,) = program.clauses
+        assert Literal(ADOM, ("y",)) in emitted.body_literals
+
+    def test_equality_propagates_boundness(self):
+        program = Program([clause(Literal("G", ("x", "y")),
+                                  Literal("R", ("x", "z")),
+                                  Equality("z", "y"))])
+        (emitted,) = program.clauses
+        assert Literal(ADOM, ("y",)) not in emitted.body_literals
+
+    def test_pure_equality_clause(self):
+        program = Program([clause(Literal("G", ("x", "y")),
+                                  Equality("x", "y"))])
+        (emitted,) = program.clauses
+        assert len(emitted.body_literals) >= 1  # adom added
+
+
+class TestEqualityNormalisation:
+    def test_equalities_removed(self):
+        program = Program([clause(Literal("G", ("x", "y")),
+                                  Literal("R", ("x", "z")),
+                                  Equality("z", "y"))])
+        normalised = program.normalize_equalities()
+        for emitted in normalised.clauses:
+            assert not emitted.body_equalities
+
+    def test_head_variable_preferred(self):
+        program = Program([clause(Literal("G", ("x", "y")),
+                                  Literal("R", ("x", "z")),
+                                  Equality("z", "y"))])
+        normalised = program.normalize_equalities()
+        (emitted,) = normalised.clauses
+        assert emitted.head == Literal("G", ("x", "y"))
+        assert Literal("R", ("x", "y")) in emitted.body_literals
+
+
+class TestNDLQuery:
+    def test_width_excludes_parameters(self):
+        program = Program([clause(Literal("G", ("x", "p")),
+                                  Literal("R", ("x", "y")),
+                                  Literal("S", ("y", "p")))])
+        query = NDLQuery(program, "G", ("p",))
+        assert query.width() == 2  # x and y
+
+    def test_len_is_clause_count(self):
+        program = Program([clause(Literal("G", ("x",)),
+                                  Literal("R", ("x", "y")))])
+        assert len(NDLQuery(program, "G", ("x",))) == 1
+
+    def test_symbol_size_positive(self):
+        program = Program([clause(Literal("G", ("x",)),
+                                  Literal("R", ("x", "y")))])
+        assert program.symbol_size() > 0

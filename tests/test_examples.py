@@ -1,0 +1,32 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example is executed as a subprocess (as a user would run it) and
+must exit 0 without writing to stderr beyond warnings.  These are the
+library's living documentation, so breaking one is a release blocker.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    # the deliverable requires a quickstart plus domain scenarios
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    # every example prints something meaningful
+    assert result.stdout.strip()

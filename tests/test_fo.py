@@ -1,0 +1,203 @@
+"""Tests for the FO-formula layer (repro.queries.fo) and the Theorem 19
+polynomial FO-rewriting (repro.hardness.fo_rewriting)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ABox, CQ
+from repro.chase.certain import is_certain_answer
+from repro.hardness.fo_rewriting import (
+    fo_rewriting,
+    holds_single_constant,
+    multi_constant_guard,
+    phi_star,
+    single_constant_rewriting,
+)
+from repro.hardness.sat import dagger_tbox, is_satisfiable, sat_abox, sat_query
+from repro.queries.fo import (
+    FOAnd,
+    FOAtom,
+    FOEq,
+    FOExists,
+    FOFalse,
+    FOForall,
+    FONot,
+    FOOr,
+    FOTrue,
+    cq_to_fo,
+    evaluate_fo,
+    fo_and,
+    fo_or,
+    holds_fo,
+)
+
+
+class TestEvaluation:
+    def test_atom(self):
+        abox = ABox.parse("A(a)")
+        assert holds_fo(FOAtom("A", ("x",)), abox, {"x": "a"})
+        assert not holds_fo(FOAtom("A", ("x",)), abox, {"x": "b"})
+
+    def test_equality(self):
+        abox = ABox.parse("A(a)")
+        assert holds_fo(FOEq("x", "y"), abox, {"x": "a", "y": "a"})
+        assert not holds_fo(FOEq("x", "y"), abox, {"x": "a", "y": "b"})
+
+    def test_negation(self):
+        abox = ABox.parse("A(a), B(b)")
+        formula = FONot(FOAtom("A", ("x",)))
+        assert evaluate_fo(formula, abox, ("x",), ("b",))
+        assert not evaluate_fo(formula, abox, ("x",), ("a",))
+
+    def test_exists(self):
+        abox = ABox.parse("R(a, b)")
+        formula = FOExists(("y",), FOAtom("R", ("x", "y")))
+        assert evaluate_fo(formula, abox, ("x",), ("a",))
+        assert not evaluate_fo(formula, abox, ("x",), ("b",))
+
+    def test_forall(self):
+        abox = ABox.parse("A(a), A(b)")
+        assert evaluate_fo(FOForall(("x",), FOAtom("A", ("x",))), abox)
+        abox.add("B", "c")
+        assert not evaluate_fo(FOForall(("x",), FOAtom("A", ("x",))), abox)
+
+    def test_forall_exists_alternation(self):
+        # every node has an R-successor
+        formula = FOForall(("x",),
+                           FOExists(("y",), FOAtom("R", ("x", "y"))))
+        cycle = ABox.parse("R(a, b), R(b, a)")
+        chain = ABox.parse("R(a, b)")
+        assert evaluate_fo(formula, cycle)
+        assert not evaluate_fo(formula, chain)
+
+    def test_constants_true_false(self):
+        abox = ABox.parse("A(a)")
+        assert holds_fo(FOTrue(), abox, {})
+        assert not holds_fo(FOFalse(), abox, {})
+
+    def test_unbound_free_variable_is_rejected(self):
+        with pytest.raises(ValueError, match="free variables"):
+            evaluate_fo(FOAtom("A", ("x",)), ABox.parse("A(a)"))
+
+    def test_candidate_arity_mismatch(self):
+        with pytest.raises(ValueError, match="arity"):
+            evaluate_fo(FOAtom("A", ("x",)), ABox.parse("A(a)"),
+                        ("x",), ())
+
+
+class TestSmartConstructors:
+    def test_and_simplifies_true(self):
+        assert fo_and(FOTrue(), FOAtom("A", ("x",))) == FOAtom("A", ("x",))
+
+    def test_and_short_circuits_false(self):
+        assert fo_and(FOAtom("A", ("x",)), FOFalse()) == FOFalse()
+
+    def test_or_simplifies_false(self):
+        assert fo_or(FOFalse(), FOAtom("A", ("x",))) == FOAtom("A", ("x",))
+
+    def test_or_short_circuits_true(self):
+        assert fo_or(FOAtom("A", ("x",)), FOTrue()) == FOTrue()
+
+    def test_empty_and_is_true(self):
+        assert fo_and() == FOTrue()
+
+    def test_empty_or_is_false(self):
+        assert fo_or() == FOFalse()
+
+
+class TestSizes:
+    def test_size_is_additive(self):
+        formula = FOAnd((FOAtom("A", ("x",)), FOEq("x", "y")))
+        assert formula.size() == 1 + 2 + 3
+
+    def test_free_variables(self):
+        formula = FOExists(("y",), FOAnd((FOAtom("R", ("x", "y")),
+                                          FOEq("x", "z"))))
+        assert formula.free_variables == {"x", "z"}
+
+
+class TestCQConversion:
+    def test_boolean_cq(self):
+        cq = CQ.parse("R(x, y), A(y)")
+        formula = cq_to_fo(cq)
+        assert evaluate_fo(formula, ABox.parse("R(a, b), A(b)"))
+        assert not evaluate_fo(formula, ABox.parse("R(a, b), A(a)"))
+
+    def test_cq_with_answers(self):
+        cq = CQ.parse("R(x, y)", answer_vars=["x"])
+        formula = cq_to_fo(cq)
+        abox = ABox.parse("R(a, b)")
+        assert evaluate_fo(formula, abox, ("x",), ("a",))
+        assert not evaluate_fo(formula, abox, ("x",), ("b",))
+
+    def test_matches_plain_cq_semantics_on_random_data(self):
+        cq = CQ.parse("R(x, y), R(y, z), A(z)")
+        abox = ABox.parse("R(a,b), R(b,c), A(c), R(c,a)")
+        assert evaluate_fo(cq_to_fo(cq), abox)
+
+
+#: Small CNFs with known status, DIMACS-style.
+SAT_CNFS = (
+    [[1]],
+    [[1, 2], [-1]],
+    [[1, -2], [2, -3], [3, -1]],
+    [[1, 2, 3]],
+)
+UNSAT_CNFS = (
+    [[1], [-1]],
+    [[1, 2], [-1, 2], [1, -2], [-1, -2]],
+    [[1], [-1, 2], [-2]],
+)
+
+
+class TestTheorem19:
+    @pytest.mark.parametrize("cnf", SAT_CNFS)
+    def test_phi_star_satisfiable(self, cnf):
+        assert phi_star(cnf) == FOTrue()
+
+    @pytest.mark.parametrize("cnf", UNSAT_CNFS)
+    def test_phi_star_unsatisfiable(self, cnf):
+        assert phi_star(cnf) == FOFalse()
+
+    @pytest.mark.parametrize("cnf", SAT_CNFS + UNSAT_CNFS)
+    def test_rewriting_equation_on_the_theorem_instance(self, cnf):
+        """Equation (2): T_dagger, {A(a)} |= q_phi iff I_{A(a)} |= q'_phi."""
+        tbox = dagger_tbox()
+        abox = sat_abox()
+        left = is_certain_answer(tbox, abox, sat_query(cnf), ())
+        right = holds_single_constant(cnf, abox)
+        assert left == right == is_satisfiable(cnf)
+
+    @pytest.mark.parametrize("cnf", SAT_CNFS)
+    def test_rewriting_is_false_without_the_a_atom(self, cnf):
+        # a single constant but no A(a): the OMQ has no match and
+        # neither does the rewriting
+        abox = ABox.parse("B0(a)")
+        assert not holds_single_constant(cnf, abox)
+
+    def test_rewriting_size_is_constant_in_phi(self):
+        small = fo_rewriting([[1]])
+        large = fo_rewriting([[i, -(i + 1)] for i in range(1, 40)])
+        # phi only enters through the one-bit phi*; the sizes agree
+        assert small.size() == large.size()
+
+    def test_multi_constant_guard(self):
+        assert evaluate_fo(multi_constant_guard(), ABox.parse("A(a), A(b)"))
+        assert not evaluate_fo(multi_constant_guard(), ABox.parse("A(a)"))
+
+    def test_default_q_star_is_sound_on_two_constants(self):
+        # with q* = false, the rewriting must never claim an answer on
+        # multi-constant data (soundness of the default)
+        abox = ABox.parse("A(a), A(b)")
+        assert not evaluate_fo(fo_rewriting([[1]]), abox)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.lists(st.sampled_from([1, -1, 2, -2, 3, -3]),
+                             min_size=1, max_size=3),
+                    min_size=1, max_size=4))
+    def test_property_equation_two_on_random_cnfs(self, cnf):
+        tbox = dagger_tbox()
+        abox = sat_abox()
+        left = is_certain_answer(tbox, abox, sat_query(cnf), ())
+        assert left == holds_single_constant(cnf, abox)

@@ -1,0 +1,71 @@
+"""Tests for repro.data.generator."""
+
+from repro.data import (
+    TABLE2_SPECS,
+    chain_abox,
+    erdos_renyi_abox,
+    paper_datasets,
+    random_abox,
+)
+
+
+class TestErdosRenyi:
+    def test_deterministic_for_seed(self):
+        first = erdos_renyi_abox(50, 0.1, 0.2, seed=7)
+        second = erdos_renyi_abox(50, 0.1, 0.2, seed=7)
+        assert list(first.atoms()) == list(second.atoms())
+
+    def test_different_seeds_differ(self):
+        first = erdos_renyi_abox(50, 0.1, 0.2, seed=1)
+        second = erdos_renyi_abox(50, 0.1, 0.2, seed=2)
+        assert list(first.atoms()) != list(second.atoms())
+
+    def test_edge_count_near_expectation(self):
+        abox = erdos_renyi_abox(100, 0.05, 0.0, seed=3)
+        edges = len(abox.binary("R"))
+        expected = 100 * 99 * 0.05
+        assert 0.6 * expected < edges < 1.4 * expected
+
+    def test_no_self_loops(self):
+        abox = erdos_renyi_abox(30, 0.3, 0.0, seed=4)
+        assert all(a != b for a, b in abox.binary("R"))
+
+    def test_marks_generated(self):
+        abox = erdos_renyi_abox(200, 0.0, 0.5, seed=5)
+        assert abox.unary("A_P")
+        assert abox.unary("A_P-")
+
+    def test_zero_probability_edges(self):
+        abox = erdos_renyi_abox(20, 0.0, 1.0, seed=6)
+        assert not abox.binary_predicates
+
+    def test_probability_one_edges(self):
+        abox = erdos_renyi_abox(5, 1.0, 0.0, seed=6)
+        assert len(abox.binary("R")) == 5 * 4
+
+
+class TestPaperDatasets:
+    def test_four_datasets(self):
+        datasets = paper_datasets(scale=0.02)
+        assert set(datasets) == {spec.name for spec in TABLE2_SPECS}
+
+    def test_scaling_preserves_degree(self):
+        datasets = paper_datasets(scale=0.05, seed=1)
+        # dataset 1: average degree 50 at any scale
+        abox = datasets["1.ttl"]
+        vertices = max(10, int(1000 * 0.05))
+        edges = len(abox.binary("R"))
+        assert 0.5 * 50 * vertices < edges < 1.5 * 50 * vertices
+
+
+class TestOtherGenerators:
+    def test_chain(self):
+        abox = chain_abox("RSR")
+        assert ("R", ("c0", "c1")) in abox
+        assert ("S", ("c1", "c2")) in abox
+        assert ("R", ("c2", "c3")) in abox
+
+    def test_random_abox_bounded(self):
+        abox = random_abox(5, 20, ["A"], ["P"], seed=9)
+        assert len(abox.individuals) <= 5
+        assert len(abox) <= 20

@@ -1,0 +1,72 @@
+"""End-to-end tests for the Theorem 16 partitioned-clique gadget."""
+
+import pytest
+
+from repro.chase import certain_answers
+from repro.hardness import (
+    PartitionedGraph,
+    clique_omq,
+    clique_query,
+    clique_tbox,
+    has_partitioned_clique,
+)
+
+
+class TestSolver:
+    def test_positive(self):
+        graph = PartitionedGraph.of(4, [[1, 3]], [[1, 2], [3, 4]])
+        assert has_partitioned_clique(graph)
+
+    def test_negative(self):
+        graph = PartitionedGraph.of(4, [[1, 2]], [[1, 2], [3, 4]])
+        assert not has_partitioned_clique(graph)
+
+    def test_triangle_three_parts(self):
+        graph = PartitionedGraph.of(
+            3, [[1, 2], [2, 3], [1, 3]], [[1], [2], [3]])
+        assert has_partitioned_clique(graph)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedGraph.of(3, [], [[1], [2]])  # vertex 3 uncovered
+        with pytest.raises(ValueError):
+            PartitionedGraph.of(2, [[1, 1]], [[1], [2]])  # self edge
+
+
+class TestGadgetStructure:
+    def test_query_has_p_minus_one_plus_one_leaves(self):
+        graph = PartitionedGraph.of(
+            3, [[1, 3], [2, 3]], [[1, 2], [3]])
+        query = clique_query(graph)
+        assert query.is_tree_shaped
+        # branches z_1..z_{p-1} plus the starting point y
+        assert query.number_of_leaves == len(graph.partition)
+
+    def test_tbox_depth_finite(self):
+        import math
+
+        graph = PartitionedGraph.of(2, [[1, 2]], [[1], [2]])
+        assert clique_tbox(graph).depth() is not math.inf
+
+
+class TestReduction:
+    @pytest.mark.parametrize("edges,expected", [
+        ([[1, 3]], True),
+        ([[1, 4]], True),
+        ([[2, 3]], True),
+        ([[1, 2]], False),
+        ([[3, 4]], False),
+        ([], False),
+    ])
+    def test_two_partitions(self, edges, expected):
+        graph = PartitionedGraph.of(4, edges, [[1, 2], [3, 4]])
+        assert has_partitioned_clique(graph) == expected
+        tbox, query, abox = clique_omq(graph)
+        got = bool(certain_answers(tbox, abox, query))
+        assert got == expected, f"edges={edges}"
+
+    def test_small_graph_with_choice(self):
+        # only v2 in V1 is adjacent to a V2 vertex
+        graph = PartitionedGraph.of(3, [[2, 3]], [[1, 2], [3]])
+        tbox, query, abox = clique_omq(graph)
+        assert bool(certain_answers(tbox, abox, query))

@@ -1,0 +1,79 @@
+"""End-to-end tests for the Theorem 15 hitting-set gadget: the OMQ
+answer must coincide with brute-force hitting-set existence."""
+
+import itertools
+
+import pytest
+
+from repro.chase import certain_answers
+from repro.hardness import (
+    Hypergraph,
+    has_hitting_set,
+    hitting_set_omq,
+    hitting_set_query,
+    hitting_set_tbox,
+)
+
+
+class TestSolver:
+    def test_triangle_hypergraph(self):
+        H = Hypergraph.of(3, [[1, 3], [2, 3], [1, 2]])
+        assert not has_hitting_set(H, 1)
+        assert has_hitting_set(H, 2)
+
+    def test_single_edge(self):
+        H = Hypergraph.of(3, [[2]])
+        assert has_hitting_set(H, 1)
+
+    def test_k_larger_than_vertices(self):
+        H = Hypergraph.of(2, [[1]])
+        assert not has_hitting_set(H, 5)
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph.of(2, [[3]])
+        with pytest.raises(ValueError):
+            Hypergraph.of(2, [[]])
+
+
+class TestGadgetStructure:
+    def test_tbox_depth_is_2k(self):
+        H = Hypergraph.of(3, [[1, 2]])
+        for k in (1, 2):
+            tbox = hitting_set_tbox(H, k)
+            assert tbox.depth() == 2 * k
+
+    def test_query_is_tree_shaped(self):
+        H = Hypergraph.of(3, [[1, 3], [2, 3], [1, 2]])
+        query = hitting_set_query(H, 2)
+        assert query.is_tree_shaped
+        assert query.is_boolean
+        # a star with one ray per hyperedge
+        assert query.number_of_leaves == len(H.edges)
+
+
+class TestReduction:
+    @pytest.mark.parametrize("edges,k", [
+        ([[1, 3], [2, 3], [1, 2]], 1),
+        ([[1, 3], [2, 3], [1, 2]], 2),
+        ([[1], [2]], 1),
+        ([[1], [2]], 2),
+        ([[1, 2]], 1),
+    ])
+    def test_omq_equals_brute_force(self, edges, k):
+        H = Hypergraph.of(3, edges)
+        tbox, query, abox = hitting_set_omq(H, k)
+        expected = has_hitting_set(H, k)
+        got = bool(certain_answers(tbox, abox, query))
+        assert got == expected
+
+    def test_exhaustive_tiny_hypergraphs(self):
+        # all hypergraphs on 2 vertices with <= 2 distinct edges, k = 1
+        universe = [[1], [2], [1, 2]]
+        for count in (1, 2):
+            for edges in itertools.combinations(universe, count):
+                H = Hypergraph.of(2, list(edges))
+                tbox, query, abox = hitting_set_omq(H, 1)
+                expected = has_hitting_set(H, 1)
+                got = bool(certain_answers(tbox, abox, query))
+                assert got == expected, f"edges={edges}"

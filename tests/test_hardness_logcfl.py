@@ -1,0 +1,84 @@
+"""End-to-end tests for the Theorem 22 hardest-CFL gadget (fixed
+ontology T_ddagger with linear CQs)."""
+
+import math
+
+import pytest
+
+from repro.hardness import (
+    ddagger_tbox,
+    in_b0,
+    in_hardest_language,
+    is_block_formed,
+    tokenize,
+    word_omq,
+    word_query,
+)
+from repro.rewriting import OMQ, answer
+
+
+class TestBaseLanguage:
+    @pytest.mark.parametrize("text,expected", [
+        ("", True),
+        ("a1b1", True),
+        ("a2b2", True),
+        ("a1a2b2b1", True),
+        ("a1b1a2b2", True),
+        ("a1b2", False),
+        ("a1", False),
+        ("b1a1", False),
+        ("a1a1b1", False),
+    ])
+    def test_membership(self, text, expected):
+        word = tokenize(text) if text else []
+        assert in_b0(word) == expected
+
+
+class TestBlockStructure:
+    @pytest.mark.parametrize("text,expected", [
+        ("[a1b1]", True),
+        ("[a1#b1]", True),
+        ("[#]", True),
+        ("[]", False),
+        ("[a1b1", False),
+        ("a1b1]", False),
+        ("[a1][b1]", True),
+        ("[a1]x[b1]", False),
+        ("[[a1]]", False),
+    ])
+    def test_block_formed(self, text, expected):
+        try:
+            word = tokenize(text)
+        except ValueError:
+            word = list(text)
+        assert is_block_formed(word) == expected
+
+    def test_paper_examples(self):
+        # equations (12)-(15) of Section 5
+        assert not in_hardest_language(tokenize("[a1a2#b2b1]"))
+        assert in_hardest_language(tokenize("[a1a2#b2b1][b2b1]"))
+        assert not in_hardest_language(tokenize("[a1a2#b2b1][a1b1]"))
+        assert in_hardest_language(tokenize("[#a1a2#b2b1][a1b1]"))
+
+
+class TestGadget:
+    def test_ontology_fixed_and_infinite(self):
+        assert ddagger_tbox().depth() is math.inf
+
+    def test_query_is_linear(self):
+        query = word_query(tokenize("[a1b1]"))
+        assert query.is_linear
+        assert query.is_boolean
+
+    def test_error_query_for_garbage(self):
+        query = word_query(["a1", "b1"])  # not block-formed
+        assert any(atom.predicate == "Err" for atom in query.atoms)
+
+    @pytest.mark.parametrize("text", [
+        "[a1b1]", "[a1]", "[a1a2#b2b1][b2b1]", "[a1a2#b2b1]", "[#]",
+    ])
+    def test_tw_rewriting_decides_membership(self, text):
+        word = tokenize(text)
+        tbox, query, abox = word_omq(word)
+        got = bool(answer(OMQ(tbox, query), abox, method="tw").answers)
+        assert got == in_hardest_language(word), text

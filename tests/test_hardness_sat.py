@@ -1,0 +1,108 @@
+"""End-to-end tests for the Theorem 17 SAT gadget (fixed ontology
+T_dagger) and the Theorem 20 machinery of Appendix C.2."""
+
+import math
+
+import pytest
+
+from repro.chase import certain_answers
+from repro.hardness import (
+    dagger_tbox,
+    dpll,
+    is_satisfiable,
+    monotone_function,
+    sat_abox,
+    sat_omq,
+    sat_query,
+    sat_query_bar,
+    tree_abox,
+)
+from repro.rewriting import OMQ, answer
+
+
+class TestDpll:
+    @pytest.mark.parametrize("cnf,expected", [
+        ([[1]], True),
+        ([[1], [-1]], False),
+        ([[1, 2], [-1]], True),
+        ([[1, 2], [-1, 2], [1, -2], [-1, -2]], False),
+        ([[1, 2, 3], [-1, -2], [-2, -3], [-1, -3]], True),
+        ([], True),
+    ])
+    def test_solver(self, cnf, expected):
+        assert is_satisfiable(cnf) == expected
+
+    def test_model_satisfies(self):
+        cnf = [[1, -2], [2, 3], [-1, -3]]
+        model = dpll(cnf)
+        assert model is not None
+        for clause in cnf:
+            assert any(model.get(abs(l), False) == (l > 0) for l in clause)
+
+
+class TestGadgetStructure:
+    def test_dagger_has_infinite_depth(self):
+        assert dagger_tbox().depth() is math.inf
+
+    def test_query_is_tree_shaped_star(self):
+        query = sat_query([[1, 2], [-1]])
+        assert query.is_tree_shaped
+        assert query.is_boolean
+
+    def test_fixed_ontology_reused(self):
+        # the ontology does not depend on the formula (Theorem 17's point)
+        t1, _, _ = sat_omq([[1]])
+        t2, _, _ = sat_omq([[1, 2], [-2]])
+        assert str(t1) == str(t2)
+
+
+class TestReduction:
+    @pytest.mark.parametrize("cnf", [
+        [[1]],
+        [[1], [-1]],
+        [[1, 2], [-1]],
+        [[1, -2], [2]],
+        [[1, 2], [-1, 2], [1, -2], [-1, -2]],
+    ])
+    def test_oracle_equals_sat(self, cnf):
+        tbox, query, abox = sat_omq(cnf)
+        expected = is_satisfiable(cnf)
+        got = bool(certain_answers(tbox, abox, query))
+        assert got == expected
+
+    @pytest.mark.parametrize("cnf", [[[1]], [[1], [-1]], [[1, 2], [-1]]])
+    def test_tw_rewriting_decides_sat(self, cnf):
+        # the Tw rewriter handles OMQ(inf, 1, l), so it decides SAT here
+        tbox, query, abox = sat_omq(cnf)
+        got = bool(answer(OMQ(tbox, query), abox, method="tw").answers)
+        assert got == is_satisfiable(cnf)
+
+
+class TestTheorem20:
+    def test_tree_abox_shape(self):
+        abox = tree_abox([1, 0, 0, 1])
+        assert len(abox.binary("Pm")) == 3
+        assert len(abox.binary("Pp")) == 3
+        assert len(abox.unary("B0")) == 2
+
+    def test_tree_abox_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            tree_abox([1, 0, 1])
+
+    def test_monotone_function(self):
+        cnf = [[1], [-1]]
+        assert not monotone_function(cnf, [0, 0])   # both clauses: unsat
+        assert monotone_function(cnf, [1, 0])       # drop first: sat
+        assert monotone_function(cnf, [0, 1])
+        assert monotone_function(cnf, [1, 1])
+
+    def test_lemma26_on_trees(self):
+        # T_dagger, A_m^alpha |= q_bar(t) iff f_phi(alpha) = 1
+        cnf = [[1], [-1]]
+        query = sat_query_bar(cnf)
+        tbox = dagger_tbox()
+        for alpha in ([0, 0], [1, 0], [0, 1], [1, 1]):
+            abox = tree_abox(alpha)
+            expected = monotone_function(cnf, alpha)
+            got = ("t",) in certain_answers(tbox, abox, query)
+            assert got == expected, f"alpha={alpha}"

@@ -1,0 +1,78 @@
+"""Tests for the homomorphism search (repro.chase.homomorphism)."""
+
+import pytest
+
+from repro.chase import CanonicalModel, find_homomorphism, homomorphisms, individual
+from repro.data import ABox
+from repro.ontology import TBox
+from repro.queries import CQ
+
+
+@pytest.fixture
+def example11():
+    return TBox.parse("roles: P, R, S\nP <= S\nP <= R-")
+
+
+class TestSearch:
+    def test_simple_path(self, example11):
+        model = CanonicalModel(example11, ABox.parse("R(a,b), R(b,c)"))
+        query = CQ.parse("R(x, y), R(y, z)")
+        hom = find_homomorphism(model, query)
+        assert hom is not None
+        assert hom["x"] == individual("a")
+        assert hom["z"] == individual("c")
+
+    def test_no_match(self, example11):
+        model = CanonicalModel(example11, ABox.parse("R(a,b)"))
+        assert find_homomorphism(model, CQ.parse("S(x, y)")) is None
+
+    def test_fixed_assignment_respected(self, example11):
+        model = CanonicalModel(example11, ABox.parse("R(a,b), R(c,d)"))
+        query = CQ.parse("R(x, y)")
+        hom = find_homomorphism(model, query,
+                                fixed={"x": individual("c")})
+        assert hom is not None and hom["y"] == individual("d")
+
+    def test_fixed_assignment_can_fail(self, example11):
+        model = CanonicalModel(example11, ABox.parse("R(a,b)"))
+        query = CQ.parse("R(x, y)")
+        assert find_homomorphism(model, query,
+                                 fixed={"x": individual("b")}) is None
+
+    def test_all_homomorphisms_enumerated(self, example11):
+        model = CanonicalModel(example11, ABox.parse("R(a,b), R(a,c)"))
+        query = CQ.parse("R(x, y)")
+        images = {hom["y"] for hom in homomorphisms(model, query)}
+        assert images >= {individual("b"), individual("c")}
+
+    def test_match_into_anonymous_part(self, example11):
+        model = CanonicalModel(example11, ABox.parse("A_P(a)"))
+        query = CQ.parse("P(x, y), S(x, y), R(y, x)")
+        hom = find_homomorphism(model, query)
+        assert hom is not None
+        assert hom["x"] == individual("a")
+        assert hom["y"][1]  # a labelled null
+
+    def test_self_loop_query(self):
+        tbox = TBox.parse("roles: W\nrefl(W)")
+        model = CanonicalModel(tbox, ABox.parse("A(a)"))
+        assert find_homomorphism(model, CQ.parse("W(x, x)")) is not None
+
+    def test_unary_atoms_filter(self, example11):
+        model = CanonicalModel(example11, ABox.parse("R(a,b), A_P(b)"))
+        query = CQ.parse("R(x, y), A_P(y)")
+        hom = find_homomorphism(model, query)
+        assert hom is not None and hom["y"] == individual("b")
+
+    def test_disconnected_query(self, example11):
+        model = CanonicalModel(example11, ABox.parse("R(a,b), S(c,d)"))
+        query = CQ.parse("R(x, y), S(u, v)")
+        assert find_homomorphism(model, query) is not None
+
+    def test_cyclic_query(self, example11):
+        model = CanonicalModel(example11,
+                               ABox.parse("R(a,b), R(b,c), R(c,a)"))
+        query = CQ.parse("R(x, y), R(y, z), R(z, x)")
+        assert find_homomorphism(model, query) is not None
+        model2 = CanonicalModel(example11, ABox.parse("R(a,b), R(b,c)"))
+        assert find_homomorphism(model2, query) is None

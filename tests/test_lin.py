@@ -1,0 +1,128 @@
+"""Tests for the Lin rewriter (Section 3.3, Theorem 12)."""
+
+import pytest
+
+from repro.chase import certain_answers
+from repro.datalog import evaluate, is_linear
+from repro.queries import CQ, chain_cq
+from repro.rewriting import lin_rewrite
+
+from .helpers import deep_tbox, example11_tbox, infinite_tbox, random_data
+
+
+class TestStructure:
+    def test_output_is_linear(self):
+        ndl = lin_rewrite(example11_tbox(), chain_cq("RSRR"))
+        assert is_linear(ndl.program)
+
+    def test_arbitrary_form_is_linear_too(self):
+        ndl = lin_rewrite(example11_tbox(), chain_cq("RSR"),
+                          over="arbitrary")
+        assert is_linear(ndl.program)
+
+    def test_width_bound(self):
+        # Theorem 12: width <= 2 * leaves
+        tbox = example11_tbox()
+        for labels in ("R", "RS", "RSRRS"):
+            query = chain_cq(labels)
+            ndl = lin_rewrite(tbox, query)
+            assert ndl.width() <= 2 * query.number_of_leaves
+
+    def test_width_bound_star_query(self):
+        tbox = example11_tbox()
+        query = CQ.parse("R(c, x), S(c, y), R(c, z)", answer_vars=["c"])
+        ndl = lin_rewrite(tbox, query)
+        assert ndl.width() <= 2 * query.number_of_leaves
+
+    def test_size_grows_linearly(self):
+        tbox = example11_tbox()
+        sizes = [len(lin_rewrite(tbox, chain_cq("RS" * n)))
+                 for n in range(1, 6)]
+        deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+        assert max(deltas) <= max(12, 2 * min(deltas) + 4)
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(ValueError):
+            lin_rewrite(example11_tbox(),
+                        CQ.parse("R(x, y), R(y, z), R(z, x)"))
+
+    def test_rejects_infinite_depth(self):
+        with pytest.raises(ValueError):
+            lin_rewrite(infinite_tbox(), chain_cq("RR"))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("labels", ["R", "RS", "RSR", "RRSRS"])
+    def test_matches_oracle_example11(self, labels):
+        tbox = example11_tbox()
+        query = chain_cq(labels)
+        ndl = lin_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed, binary=("P", "R", "S"),
+                               unary=("A_P", "A_P-", "A_S"))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    @pytest.mark.parametrize("labels", ["P", "RQ", "RQS"])
+    def test_matches_oracle_deep_ontology(self, labels):
+        tbox = deep_tbox()
+        query = chain_cq(labels)
+        ndl = lin_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed + 40)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_star_query(self):
+        tbox = deep_tbox()
+        query = CQ.parse("R(c, x), S(x, y), R(c, z)", answer_vars=["c"])
+        ndl = lin_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed + 80)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_boolean_query(self):
+        tbox = deep_tbox()
+        query = CQ.parse("P(x, y), Q(y, z)")
+        ndl = lin_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed + 120)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_unary_atoms_in_query(self):
+        tbox = deep_tbox()
+        query = CQ.parse("P(x, y), B(y)", answer_vars=["x"])
+        ndl = lin_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed + 160)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_arbitrary_instance_form(self):
+        tbox = example11_tbox()
+        query = chain_cq("RSR")
+        ndl = lin_rewrite(tbox, query, over="arbitrary")
+        for seed in range(6):
+            abox = random_data(seed + 200, binary=("P", "R", "S"),
+                               unary=("A_P", "A_P-"))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_root_choice_does_not_matter(self):
+        tbox = example11_tbox()
+        query = chain_cq("RSR")
+        abox = random_data(3, binary=("P", "R", "S"),
+                           unary=("A_P", "A_P-")).complete(tbox)
+        answers = set()
+        for root in query.variables:
+            ndl = lin_rewrite(tbox, query, root=root)
+            answers.add(frozenset(evaluate(ndl, abox).answers))
+        assert len(answers) == 1

@@ -1,0 +1,137 @@
+"""Tests for the Log rewriter (Section 3.2, Theorem 9)."""
+
+import math
+
+import pytest
+
+from repro.chase import certain_answers
+from repro.complexity import analyse
+from repro.datalog import evaluate
+from repro.queries import CQ, chain_cq
+from repro.rewriting import log_rewrite
+
+from .helpers import deep_tbox, example11_tbox, infinite_tbox, random_data
+
+
+class TestStructure:
+    def test_width_bound_without_simplification(self):
+        # the verbatim construction has width <= 3(t+1); t = 1 here
+        tbox = example11_tbox()
+        for labels in ("R", "RSR", "RSRRSRR"):
+            query = chain_cq(labels)
+            ndl = log_rewrite(tbox, query, simplify=False)
+            assert ndl.width() <= 3 * (query.treewidth() + 1)
+
+    def test_logarithmic_depth(self):
+        tbox = example11_tbox()
+        for n in (4, 8, 16):
+            query = chain_cq("RS" * n)
+            ndl = log_rewrite(tbox, query, simplify=False)
+            assert ndl.depth() <= 2 * math.log2(len(query)) + 4
+
+    def test_skinny_reducibility_bound(self):
+        # Theorem 9: sd(Pi, G) <= 6 log |Q| (we allow slack for the
+        # normalisation constant)
+        from repro.datalog.analysis import skinny_depth
+
+        tbox = example11_tbox()
+        for n in (2, 4, 8):
+            query = chain_cq("RS" * n)
+            ndl = log_rewrite(tbox, query, simplify=False)
+            size = max(2, ndl.program.symbol_size())
+            assert skinny_depth(ndl) <= 8 * math.log2(size)
+
+    def test_rejects_infinite_depth(self):
+        with pytest.raises(ValueError):
+            log_rewrite(infinite_tbox(), chain_cq("RR"))
+
+    def test_size_grows_linearly(self):
+        tbox = example11_tbox()
+        sizes = [len(log_rewrite(tbox, chain_cq("RS" * n)))
+                 for n in range(1, 6)]
+        assert sizes[-1] < 40 * sizes[0] + 40
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("labels", ["R", "RS", "RSR", "RRSRS"])
+    def test_matches_oracle_example11(self, labels):
+        tbox = example11_tbox()
+        query = chain_cq(labels)
+        ndl = log_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed, binary=("P", "R", "S"),
+                               unary=("A_P", "A_P-", "A_S"))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    @pytest.mark.parametrize("simplify", [True, False])
+    def test_simplification_preserves_answers(self, simplify):
+        tbox = deep_tbox()
+        query = chain_cq("RQS")
+        ndl = log_rewrite(tbox, query, simplify=simplify)
+        for seed in range(5):
+            abox = random_data(seed + 30)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_cyclic_query(self):
+        # treewidth 2: beyond the reach of Lin and Tw
+        tbox = deep_tbox()
+        query = CQ.parse("P(x, y), Q(y, z), R(x, z)", answer_vars=["x"])
+        ndl = log_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed + 60)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_triangle_boolean(self):
+        tbox = example11_tbox()
+        query = CQ.parse("R(x, y), S(y, z), R(z, x)")
+        ndl = log_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed + 90, binary=("P", "R", "S"),
+                               unary=("A_P", "A_P-"))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_star_query_deep_ontology(self):
+        tbox = deep_tbox()
+        query = CQ.parse("P(c, x), Q(x, y), P(c, z), B(y)",
+                         answer_vars=["c"])
+        ndl = log_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed + 130)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_arbitrary_instance_form(self):
+        tbox = example11_tbox()
+        query = chain_cq("RSR")
+        ndl = log_rewrite(tbox, query, over="arbitrary")
+        for seed in range(5):
+            abox = random_data(seed + 170, binary=("P", "R", "S"),
+                               unary=("A_P", "A_P-"))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_self_loop_atom(self):
+        tbox = TBox_with_reflexive()
+        query = CQ.parse("W(x, x), R(x, y)", answer_vars=["x", "y"])
+        ndl = log_rewrite(tbox, query)
+        for seed in range(4):
+            abox = random_data(seed + 210, binary=("R", "W"), unary=("A",))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+
+def TBox_with_reflexive():
+    from repro.ontology import TBox
+
+    return TBox.parse("roles: R, W\nrefl(W)")

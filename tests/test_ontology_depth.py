@@ -1,0 +1,94 @@
+"""Tests for repro.ontology.depth (generating words and depth)."""
+
+import math
+
+import pytest
+
+from repro.ontology import TBox, words
+from repro.ontology.depth import (
+    chase_depth,
+    initial_roles,
+    letter_count,
+    successor_roles,
+)
+from repro.ontology.terms import Atomic, Role
+
+
+class TestDepth:
+    def test_depth_zero_without_existentials(self):
+        tbox = TBox.parse("roles: P, S\nP <= S\nA <= B")
+        assert tbox.depth() == 0
+
+    def test_depth_zero_still_has_length_one_words(self):
+        # the footnote of Section 2: normalisation introduces words of
+        # length 1 even for depth-0 ontologies
+        tbox = TBox.parse("roles: P, S\nP <= S")
+        assert tbox.depth() == 0
+        assert chase_depth(tbox) == 1
+
+    def test_depth_one(self):
+        tbox = TBox.parse("roles: P\nA <= EP")
+        assert tbox.depth() == 1
+
+    def test_depth_two_chain(self):
+        tbox = TBox.parse("roles: P, Q\nA <= EP\nEP- <= EQ")
+        assert tbox.depth() == 2
+
+    def test_infinite_depth(self):
+        tbox = TBox.parse("roles: P\nA <= EP\nEP- <= A")
+        assert tbox.depth() is math.inf
+
+    def test_infinite_depth_two_cycle(self):
+        tbox = TBox.parse("roles: P, Q\nEP- <= EQ\nEQ- <= EP\nA <= EP")
+        assert tbox.depth() is math.inf
+
+    def test_role_inclusion_does_not_create_depth_two(self):
+        # the witness for EP satisfies ES- via the backward edge, so no
+        # second-level null is generated
+        tbox = TBox.parse("roles: P, S\nA <= EP\nP <= S")
+        assert tbox.depth() == 1
+
+
+class TestSuccessors:
+    def test_successor_requires_entailment(self):
+        tbox = TBox.parse("roles: P, Q\nA <= EP\nEP- <= EQ")
+        assert Role("Q") in successor_roles(tbox, Role("P"))
+
+    def test_no_successor_via_inverse_shortcut(self):
+        # EP- <= EP- always, but P- may not follow P (the null's parent
+        # already provides the witness)
+        tbox = TBox.parse("roles: P\nA <= EP")
+        assert Role("P", True) not in successor_roles(tbox, Role("P"))
+
+    def test_reflexive_roles_are_not_letters(self):
+        tbox = TBox.parse("roles: P, Q\nrefl(Q)\nA <= EP\nEP- <= EQ")
+        assert Role("Q") not in successor_roles(tbox, Role("P"))
+        assert letter_count(tbox) == 2  # P and P-
+
+    def test_initial_roles(self):
+        tbox = TBox.parse("roles: P, Q\nA <= EP\nA <= EQ")
+        roles = initial_roles(tbox, Atomic("A"))
+        assert Role("P") in roles and Role("Q") in roles
+
+
+class TestWords:
+    def test_epsilon_always_present(self):
+        tbox = TBox.parse("roles: P\nA <= EP")
+        assert () in set(words(tbox, 3))
+
+    def test_word_lengths_bounded(self):
+        tbox = TBox.parse("roles: P\nA <= EP\nEP- <= A")
+        collected = list(words(tbox, 4))
+        assert all(len(word) <= 4 for word in collected)
+        assert any(len(word) == 4 for word in collected)
+
+    def test_words_are_unique(self):
+        tbox = TBox.parse("roles: P, Q\nA <= EP\nEP- <= EQ\nEQ- <= EP")
+        collected = list(words(tbox, 5))
+        assert len(collected) == len(set(collected))
+
+    def test_consecutive_letters_satisfy_successor_relation(self):
+        tbox = TBox.parse("roles: P, Q\nA <= EP\nEP- <= EQ\nEQ- <= EP")
+        for word in words(tbox, 5):
+            for first, second in zip(word, word[1:]):
+                assert second in successor_roles(tbox, first)

@@ -1,0 +1,105 @@
+"""Tests for repro.ontology.reasoning (saturation-based entailment)."""
+
+import pytest
+
+from repro.ontology import TBox
+from repro.ontology.terms import TOP, Atomic, Exists, Role
+
+
+@pytest.fixture
+def example11():
+    return TBox.parse("""
+        roles: P, R, S
+        P <= S
+        P <= R-
+    """)
+
+
+class TestRoleHierarchy:
+    def test_stated_inclusion(self, example11):
+        assert example11.entails_role(Role("P"), Role("S"))
+
+    def test_inverse_closure(self, example11):
+        assert example11.entails_role(Role("P", True), Role("S", True))
+
+    def test_inverted_inclusion(self, example11):
+        # P <= R- entails P- <= R
+        assert example11.entails_role(Role("P", True), Role("R"))
+
+    def test_reflexive_entailment(self, example11):
+        assert example11.entails_role(Role("P"), Role("P"))
+
+    def test_non_entailment(self, example11):
+        assert not example11.entails_role(Role("S"), Role("P"))
+        assert not example11.entails_role(Role("R"), Role("S"))
+
+    def test_transitive_chain(self):
+        tbox = TBox.parse("roles: P, Q, R\nP <= Q\nQ <= R")
+        assert tbox.entails_role(Role("P"), Role("R"))
+
+
+class TestConceptHierarchy:
+    def test_exists_follows_role_hierarchy(self, example11):
+        assert example11.entails_concept(Exists(Role("P")),
+                                         Exists(Role("S")))
+
+    def test_surrogate_equivalence(self, example11):
+        assert example11.entails_concept(Exists(Role("P")), Atomic("A_P"))
+        assert example11.entails_concept(Atomic("A_P"), Exists(Role("P")))
+
+    def test_surrogate_propagation(self, example11):
+        # EP <= ES, so EP <= A_S
+        assert example11.entails_concept(Exists(Role("P")), Atomic("A_S"))
+
+    def test_everything_entails_top(self, example11):
+        assert example11.entails_concept(Atomic("A_P"), TOP)
+        assert example11.entails_concept(Exists(Role("R")), TOP)
+
+    def test_stated_concept_inclusion(self):
+        tbox = TBox.parse("roles: P\nA <= B\nB <= EP")
+        assert tbox.entails_concept(Atomic("A"), Exists(Role("P")))
+
+    def test_inverse_existential(self, example11):
+        # P <= R- entails EP- <= ER:
+        # P(x, y) -> R(y, x), so having an incoming P gives an outgoing R
+        assert example11.entails_concept(Exists(Role("P", True)),
+                                         Exists(Role("R")))
+
+
+class TestReflexivity:
+    def test_stated_reflexivity(self):
+        tbox = TBox.parse("roles: P\nrefl(P)")
+        assert tbox.is_reflexive(Role("P"))
+        assert tbox.is_reflexive(Role("P", True))
+
+    def test_reflexivity_propagates_up(self):
+        tbox = TBox.parse("roles: P, Q\nrefl(P)\nP <= Q")
+        assert tbox.is_reflexive(Role("Q"))
+
+    def test_reflexivity_gives_top_exists(self):
+        tbox = TBox.parse("roles: P\nrefl(P)")
+        assert tbox.entails_concept(TOP, Exists(Role("P")))
+
+    def test_no_reflexivity_by_default(self):
+        tbox = TBox.parse("roles: P\nA <= EP")
+        assert not tbox.is_reflexive(Role("P"))
+
+
+class TestDisjointness:
+    def test_concept_clash(self):
+        tbox = TBox.parse("roles: P\nA & B <= bottom\nA <= EP")
+        sat = tbox.saturation
+        assert sat.concepts_clash({Atomic("A"), Atomic("B")})
+        assert not sat.concepts_clash({Atomic("A")})
+
+    def test_role_clash(self):
+        tbox = TBox.parse("roles: P, S\nP & S <= bottom")
+        sat = tbox.saturation
+        assert sat.roles_clash({Role("P"), Role("S")})
+        assert not sat.roles_clash({Role("P")})
+
+    def test_irreflexivity_loop_clash(self):
+        tbox = TBox.parse("roles: P\nirrefl(P)")
+        sat = tbox.saturation
+        assert sat.loop_clash({Role("P")})
+        assert sat.loop_clash({Role("P", True)})

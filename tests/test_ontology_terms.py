@@ -1,0 +1,58 @@
+"""Tests for repro.ontology.terms."""
+
+from repro.ontology.terms import TOP, Atomic, Exists, Role, parse_concept
+
+
+class TestRole:
+    def test_inverse_flips(self):
+        role = Role("P")
+        assert role.inverse() == Role("P", True)
+
+    def test_double_inverse_is_identity(self):
+        role = Role("P", True)
+        assert role.inverse().inverse() == role
+
+    def test_str_direct(self):
+        assert str(Role("P")) == "P"
+
+    def test_str_inverse(self):
+        assert str(Role("P", True)) == "P-"
+
+    def test_parse_direct(self):
+        assert Role.parse("P") == Role("P")
+
+    def test_parse_inverse(self):
+        assert Role.parse("P-") == Role("P", True)
+
+    def test_parse_strips_whitespace(self):
+        assert Role.parse("  P- ") == Role("P", True)
+
+    def test_ordering_is_stable(self):
+        roles = sorted([Role("S"), Role("P", True), Role("P")])
+        assert roles == [Role("P"), Role("P", True), Role("S")]
+
+
+class TestConcepts:
+    def test_atomic_equality(self):
+        assert Atomic("A") == Atomic("A")
+        assert Atomic("A") != Atomic("B")
+
+    def test_exists_holds_role(self):
+        concept = Exists(Role("P", True))
+        assert concept.role == Role("P", True)
+
+    def test_parse_atomic(self):
+        assert parse_concept("A") == Atomic("A")
+
+    def test_parse_exists(self):
+        assert parse_concept("EP") == Exists(Role("P"))
+
+    def test_parse_exists_inverse(self):
+        assert parse_concept("EP-") == Exists(Role("P", True))
+
+    def test_parse_top(self):
+        assert parse_concept("T") == TOP
+
+    def test_concepts_are_hashable(self):
+        assert len({Atomic("A"), Exists(Role("P")), TOP,
+                    Atomic("A")}) == 3

@@ -1,0 +1,139 @@
+"""Tests for PE-queries (repro.queries.pe) and the Theorem 21/28
+construction (repro.hardness.pe_trees)."""
+
+import random
+
+import pytest
+
+from repro.data import ABox
+from repro.datalog import evaluate
+from repro.hardness.pe_trees import (
+    all_three_clauses,
+    cnf_minus_alpha,
+    pe_query_qm,
+)
+from repro.hardness.sat import is_satisfiable, tree_abox
+from repro.queries.pe import (
+    And,
+    Or,
+    PEAtom,
+    PEQuery,
+    conj,
+    disj,
+    evaluate_pe,
+    pe_to_ndl,
+)
+
+
+class TestPEBasics:
+    def test_atom_evaluation(self):
+        query = PEQuery(PEAtom("R", ("x", "y")), ("x",))
+        abox = ABox.parse("R(a, b)")
+        assert evaluate_pe(query, abox, ("a",))
+        assert not evaluate_pe(query, abox, ("b",))
+
+    def test_disjunction(self):
+        query = PEQuery(disj(PEAtom("A", ("x",)), PEAtom("B", ("x",))),
+                        ("x",))
+        abox = ABox.parse("A(a), B(b), C(c)")
+        assert evaluate_pe(query, abox, ("a",))
+        assert evaluate_pe(query, abox, ("b",))
+        assert not evaluate_pe(query, abox, ("c",))
+
+    def test_conjunction_with_existential(self):
+        query = PEQuery(conj(PEAtom("R", ("x", "y")),
+                             PEAtom("B", ("y",))), ("x",))
+        abox = ABox.parse("R(a, b), B(b), R(c, d)")
+        assert evaluate_pe(query, abox, ("a",))
+        assert not evaluate_pe(query, abox, ("c",))
+
+    def test_nested_formula(self):
+        matrix = conj(
+            PEAtom("R", ("x", "y")),
+            disj(PEAtom("B", ("y",)),
+                 conj(PEAtom("R", ("y", "z")), PEAtom("B", ("z",)))))
+        query = PEQuery(matrix, ("x",))
+        abox = ABox.parse("R(a, b), R(b, c), B(c)")
+        assert evaluate_pe(query, abox, ("a",))
+
+    def test_size_measure(self):
+        matrix = conj(PEAtom("R", ("x", "y")), PEAtom("B", ("y",)))
+        assert PEQuery(matrix, ("x",)).size() == 1 + 3 + 2 + 1
+
+
+class TestPEToNDL:
+    @pytest.mark.parametrize("candidate,expected", [
+        (("a",), True), (("b",), False), (("c",), True)])
+    def test_matches_direct_evaluation(self, candidate, expected):
+        matrix = conj(
+            PEAtom("R", ("x", "y")),
+            disj(PEAtom("B", ("y",)), PEAtom("C", ("y",))))
+        query = PEQuery(matrix, ("x",))
+        abox = ABox.parse("R(a, b), B(b), R(c, d), C(d), R(b, e)")
+        assert evaluate_pe(query, abox, candidate) == expected
+        ndl = pe_to_ndl(query)
+        assert (candidate in evaluate(ndl, abox).answers) == expected
+
+    def test_randomised_agreement(self):
+        rng = random.Random(2)
+        matrix = conj(
+            PEAtom("R", ("x", "y")),
+            disj(conj(PEAtom("R", ("y", "z")), PEAtom("B", ("z",))),
+                 PEAtom("B", ("y",))))
+        query = PEQuery(matrix, ("x",))
+        for seed in range(6):
+            abox = ABox()
+            names = ["a", "b", "c", "d"]
+            rng = random.Random(seed)
+            for _ in range(8):
+                if rng.random() < 0.4:
+                    abox.add("B", rng.choice(names))
+                else:
+                    abox.add("R", rng.choice(names), rng.choice(names))
+            ndl = pe_to_ndl(query)
+            ndl_answers = evaluate(ndl, abox).answers
+            for name in names:
+                if name in abox.individuals:
+                    assert evaluate_pe(query, abox, (name,)) == (
+                        (name,) in ndl_answers), (seed, name)
+
+
+class TestTheorem28:
+    def test_phi3_has_eight_clauses(self):
+        assert len(all_three_clauses(3)) == 8
+
+    def test_phi_k_is_unsatisfiable(self):
+        # all clauses over k variables cannot be jointly satisfied
+        assert not is_satisfiable(all_three_clauses(3))
+
+    def test_query_is_polynomial(self):
+        query, clauses = pe_query_qm(3)
+        assert query.size() < 100 * len(clauses)
+
+    def test_rejects_non_power_of_two(self):
+        # k = 5 gives 8 * C(5,3) = 80 clauses - not a power of two
+        with pytest.raises(ValueError):
+            pe_query_qm(5)
+
+    def test_reduction_on_random_alphas(self):
+        query, clauses = pe_query_qm(3)
+        ndl = pe_to_ndl(query)
+        rng = random.Random(7)
+        for _ in range(5):
+            alpha = [rng.randint(0, 1) for _ in range(8)]
+            abox = tree_abox(alpha)
+            expected = is_satisfiable(cnf_minus_alpha(clauses, alpha))
+            got = ("t",) in evaluate(ndl, abox).answers
+            assert got == expected, alpha
+
+    def test_all_flagged_is_satisfiable(self):
+        query, clauses = pe_query_qm(3)
+        ndl = pe_to_ndl(query)
+        abox = tree_abox([1] * 8)
+        assert ("t",) in evaluate(ndl, abox).answers
+
+    def test_none_flagged_is_unsatisfiable(self):
+        query, clauses = pe_query_qm(3)
+        ndl = pe_to_ndl(query)
+        abox = tree_abox([0] * 8)
+        assert ("t",) not in evaluate(ndl, abox).answers

@@ -1,0 +1,66 @@
+"""Tests for the tree-witness PE-rewriter (Figure 1b's PE target)."""
+
+import pytest
+
+from repro.chase import certain_answers
+from repro.datalog import evaluate
+from repro.queries import CQ, chain_cq
+from repro.queries.pe import Or, pe_to_ndl
+from repro.rewriting.pe_rewriter import pe_rewrite
+
+from .helpers import deep_tbox, example11_tbox, random_data
+
+
+class TestStructure:
+    def test_factorised_shape_on_running_example(self):
+        # the A.6.1 PE formula: two bracketed segment disjunctions
+        pe = pe_rewrite(example11_tbox(), chain_cq("RSRRSRR"))
+        disjunctions = [child for child in pe.matrix.children
+                        if isinstance(child, Or)]
+        assert len(disjunctions) == 2
+        # three options per RSR segment (no witness, first, second)
+        assert all(len(d.children) == 3 for d in disjunctions)
+
+    def test_size_smaller_than_ucq_expansion(self):
+        from repro.rewriting import ucq_rewrite
+
+        tbox = example11_tbox()
+        query = chain_cq("RSRRSRRRSRRSR")
+        pe = pe_rewrite(tbox, query)
+        ucq = ucq_rewrite(tbox, query)
+        # the PE formula shares segments the UCQ multiplies out
+        assert pe.size() < ucq.program.symbol_size()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("labels", ["R", "RS", "RSR", "RRSRS"])
+    def test_matches_oracle(self, labels):
+        tbox = example11_tbox()
+        query = chain_cq(labels)
+        ndl = pe_to_ndl(pe_rewrite(tbox, query))
+        for seed in range(6):
+            abox = random_data(seed, binary=("P", "R", "S"),
+                               unary=("A_P", "A_P-", "A_S"))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_deep_ontology(self):
+        tbox = deep_tbox()
+        query = chain_cq("RQ")
+        ndl = pe_to_ndl(pe_rewrite(tbox, query))
+        for seed in range(6):
+            abox = random_data(seed + 60)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_star_query(self):
+        tbox = deep_tbox()
+        query = CQ.parse("P(c, x), Q(x, y), P(c, z)", answer_vars=["c"])
+        ndl = pe_to_ndl(pe_rewrite(tbox, query))
+        for seed in range(5):
+            abox = random_data(seed + 90)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"

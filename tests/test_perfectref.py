@@ -1,0 +1,79 @@
+"""Tests for the PerfectRef rewriter (our Clipper stand-in)."""
+
+import pytest
+
+from repro.chase import certain_answers
+from repro.datalog import evaluate
+from repro.ontology import TBox
+from repro.queries import CQ, chain_cq
+from repro.rewriting import perfectref_rewrite
+
+from .helpers import deep_tbox, example11_tbox, random_data
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("labels", ["R", "RS", "RSR"])
+    def test_matches_oracle_over_raw_data(self, labels):
+        tbox = example11_tbox()
+        query = chain_cq(labels)
+        ndl = perfectref_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed, binary=("P", "R", "S"),
+                               unary=("A_P", "A_P-", "A_S"))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox).answers  # NOT completed
+            assert got == expected, f"seed {seed}"
+
+    def test_existential_witness_step(self):
+        # A <= EP must let P(x, _) rewrite to A(x)
+        tbox = TBox.parse("roles: P\nA <= EP")
+        query = CQ.parse("P(x, y)", answer_vars=["x"])
+        ndl = perfectref_rewrite(tbox, query)
+        from repro.data import ABox
+
+        got = evaluate(ndl, ABox.parse("A(a)")).answers
+        assert got == {("a",)}
+
+    def test_reduce_step_needed(self):
+        # R(x0,x1) & S(x1,x2): unify through P to enable A_P- collapse
+        tbox = example11_tbox()
+        query = chain_cq("RS")
+        ndl = perfectref_rewrite(tbox, query)
+        from repro.data import ABox
+
+        # A_P-(b): w with P(w, b): R(b, w) and S(w, b) both entailed,
+        # so x0 = x2 = b is an answer with x1 = w
+        got = evaluate(ndl, ABox.parse("A_P-(b)")).answers
+        assert got == {("b", "b")}
+
+    def test_deep_ontology(self):
+        tbox = deep_tbox()
+        query = chain_cq("RQ")
+        ndl = perfectref_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed + 70)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_unary_query(self):
+        tbox = deep_tbox()
+        query = CQ.parse("B(x)", answer_vars=["x"])
+        ndl = perfectref_rewrite(tbox, query)
+        for seed in range(4):
+            abox = random_data(seed + 100)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox).answers
+            assert got == expected, f"seed {seed}"
+
+
+class TestLimits:
+    def test_budget_guard(self):
+        tbox = example11_tbox()
+        with pytest.raises(RuntimeError):
+            perfectref_rewrite(tbox, chain_cq("RSRRSRRSR"), max_cqs=20)
+
+    def test_rejects_reflexivity(self):
+        tbox = TBox.parse("roles: P\nrefl(P)")
+        with pytest.raises(ValueError):
+            perfectref_rewrite(tbox, CQ.parse("P(x, y)"))

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis): randomized OMQs, data and
+programs checked against the certain-answer oracle and against each
+other."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase import certain_answers
+from repro.data import ABox
+from repro.datalog import evaluate, is_skinny, skinny_transform
+from repro.ontology import TBox
+from repro.ontology.axioms import ConceptInclusion, RoleInclusion
+from repro.ontology.terms import Atomic, Exists, Role
+from repro.queries import CQ, Atom
+from repro.rewriting import lin_rewrite, log_rewrite, tw_rewrite, ucq_rewrite
+
+ROLE_NAMES = ("P", "Q")
+CONCEPT_NAMES = ("A", "B")
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def tboxes(draw, allow_infinite=False):
+    """A small random OWL 2 QL TBox."""
+    roles = [Role(name, inv) for name in ROLE_NAMES
+             for inv in (False, True)]
+    concepts = ([Atomic(name) for name in CONCEPT_NAMES]
+                + [Exists(role) for role in roles])
+    axioms = []
+    for _ in range(draw(st.integers(1, 5))):
+        kind = draw(st.sampled_from(["ci", "ri"]))
+        if kind == "ci":
+            lhs = draw(st.sampled_from(concepts))
+            rhs = draw(st.sampled_from(concepts))
+            axioms.append(ConceptInclusion(lhs, rhs))
+        else:
+            lhs = draw(st.sampled_from(roles))
+            rhs = draw(st.sampled_from(roles))
+            axioms.append(RoleInclusion(lhs, rhs))
+    tbox = TBox(axioms)
+    if not allow_infinite and tbox.depth() is math.inf:
+        # truncate to the role-inclusion fragment (depth <= 1)
+        tbox = TBox([ax for ax in axioms if isinstance(ax, RoleInclusion)])
+    return tbox
+
+
+@st.composite
+def tree_queries(draw):
+    """A random tree-shaped CQ on 2-5 variables."""
+    size = draw(st.integers(2, 5))
+    variables = [f"v{i}" for i in range(size)]
+    atoms = []
+    for i in range(1, size):
+        parent = variables[draw(st.integers(0, i - 1))]
+        predicate = draw(st.sampled_from(ROLE_NAMES))
+        if draw(st.booleans()):
+            atoms.append(Atom(predicate, (parent, variables[i])))
+        else:
+            atoms.append(Atom(predicate, (variables[i], parent)))
+    for var in variables:
+        if draw(st.integers(0, 3)) == 0:
+            atoms.append(Atom(draw(st.sampled_from(CONCEPT_NAMES)), (var,)))
+    n_answers = draw(st.integers(0, 2))
+    answers = tuple(variables[:n_answers])
+    return CQ(atoms, answers)
+
+
+@st.composite
+def aboxes(draw):
+    abox = ABox()
+    names = [f"c{i}" for i in range(draw(st.integers(2, 4)))]
+    for _ in range(draw(st.integers(1, 10))):
+        if draw(st.booleans()):
+            abox.add(draw(st.sampled_from(CONCEPT_NAMES + ("A_P", "A_Q"))),
+                     draw(st.sampled_from(names)))
+        else:
+            abox.add(draw(st.sampled_from(ROLE_NAMES)),
+                     draw(st.sampled_from(names)),
+                     draw(st.sampled_from(names)))
+    return abox
+
+
+class TestRewritersAgainstOracle:
+    @SETTINGS
+    @given(tbox=tboxes(), query=tree_queries(), abox=aboxes())
+    def test_lin_matches_oracle(self, tbox, query, abox):
+        expected = certain_answers(tbox, abox, query)
+        ndl = lin_rewrite(tbox, query)
+        assert evaluate(ndl, abox.complete(tbox)).answers == expected
+
+    @SETTINGS
+    @given(tbox=tboxes(), query=tree_queries(), abox=aboxes())
+    def test_log_matches_oracle(self, tbox, query, abox):
+        expected = certain_answers(tbox, abox, query)
+        ndl = log_rewrite(tbox, query)
+        assert evaluate(ndl, abox.complete(tbox)).answers == expected
+
+    @SETTINGS
+    @given(tbox=tboxes(allow_infinite=True), query=tree_queries(),
+           abox=aboxes())
+    def test_tw_matches_oracle(self, tbox, query, abox):
+        expected = certain_answers(tbox, abox, query)
+        ndl = tw_rewrite(tbox, query)
+        assert evaluate(ndl, abox.complete(tbox)).answers == expected
+
+    @SETTINGS
+    @given(tbox=tboxes(allow_infinite=True), query=tree_queries(),
+           abox=aboxes())
+    def test_ucq_matches_oracle(self, tbox, query, abox):
+        expected = certain_answers(tbox, abox, query)
+        ndl = ucq_rewrite(tbox, query)
+        assert evaluate(ndl, abox.complete(tbox)).answers == expected
+
+
+class TestStructuralInvariants:
+    @SETTINGS
+    @given(tbox=tboxes(), query=tree_queries())
+    def test_lin_is_linear_with_bounded_width(self, tbox, query):
+        from repro.datalog import is_linear
+
+        ndl = lin_rewrite(tbox, query)
+        assert is_linear(ndl.program)
+        assert ndl.width() <= 2 * max(1, query.number_of_leaves)
+
+    @SETTINGS
+    @given(tbox=tboxes(allow_infinite=True), query=tree_queries(),
+           abox=aboxes())
+    def test_skinny_transform_equivalence(self, tbox, query, abox):
+        base = tw_rewrite(tbox, query)
+        skinny = skinny_transform(base)
+        assert is_skinny(skinny.program)
+        completed = abox.complete(tbox)
+        assert (evaluate(base, completed).answers
+                == evaluate(skinny, completed).answers)
+
+    @SETTINGS
+    @given(abox=aboxes(), tbox=tboxes(allow_infinite=True))
+    def test_completion_is_idempotent(self, abox, tbox):
+        completed = abox.complete(tbox)
+        assert completed.is_complete_for(tbox)
+
+    @SETTINGS
+    @given(tbox=tboxes(), query=tree_queries(), abox=aboxes())
+    def test_answers_are_subsets_of_individual_tuples(self, tbox, query,
+                                                      abox):
+        answers = certain_answers(tbox, abox, query)
+        for row in answers:
+            assert len(row) == len(query.answer_vars)
+            assert all(constant in abox.individuals for constant in row)

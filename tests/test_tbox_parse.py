@@ -1,0 +1,83 @@
+"""Tests for the TBox parsing DSL and normalisation."""
+
+import pytest
+
+from repro.ontology import TBox
+from repro.ontology.axioms import (
+    ConceptDisjointness,
+    ConceptInclusion,
+    Irreflexivity,
+    Reflexivity,
+    RoleDisjointness,
+    RoleInclusion,
+)
+from repro.ontology.terms import Atomic, Exists, Role
+
+
+class TestParsing:
+    def test_concept_inclusion(self):
+        tbox = TBox.parse("roles: P\nA <= EP")
+        assert ConceptInclusion(Atomic("A"),
+                                Exists(Role("P"))) in tbox.user_axioms
+
+    def test_role_inclusion_with_declaration(self):
+        tbox = TBox.parse("roles: P, S\nP <= S")
+        assert RoleInclusion(Role("P"), Role("S")) in tbox.user_axioms
+
+    def test_role_inclusion_with_inverse(self):
+        tbox = TBox.parse("roles: P, R\nP <= R-")
+        assert RoleInclusion(Role("P"), Role("R", True)) in tbox.user_axioms
+
+    def test_undeclared_names_become_concepts(self):
+        tbox = TBox.parse("A <= B")
+        assert ConceptInclusion(Atomic("A"), Atomic("B")) in tbox.user_axioms
+
+    def test_reflexivity(self):
+        tbox = TBox.parse("refl(P)")
+        assert Reflexivity(Role("P")) in tbox.user_axioms
+
+    def test_irreflexivity(self):
+        tbox = TBox.parse("irrefl(P)")
+        assert Irreflexivity(Role("P")) in tbox.user_axioms
+
+    def test_concept_disjointness(self):
+        tbox = TBox.parse("A & B <= bottom")
+        assert ConceptDisjointness(Atomic("A"),
+                                   Atomic("B")) in tbox.user_axioms
+
+    def test_role_disjointness(self):
+        tbox = TBox.parse("roles: P, S\nP & S <= bottom")
+        assert RoleDisjointness(Role("P"), Role("S")) in tbox.user_axioms
+
+    def test_comments_and_semicolons(self):
+        tbox = TBox.parse("roles: P  # the only role\nA <= EP; B <= A")
+        assert len(tbox.user_axioms) == 2
+
+    def test_unparseable_statement_raises(self):
+        with pytest.raises(ValueError):
+            TBox.parse("this is not an axiom")
+
+
+class TestNormalisation:
+    def test_surrogates_for_all_roles(self):
+        tbox = TBox.parse("roles: P\nA <= EP")
+        names = tbox.atomic_concept_names
+        assert "A_P" in names and "A_P-" in names
+
+    def test_surrogate_axioms_present(self):
+        tbox = TBox.parse("roles: P\nA <= EP")
+        role = Role("P")
+        assert tbox.entails_concept(tbox.surrogate(role), Exists(role))
+        assert tbox.entails_concept(Exists(role), tbox.surrogate(role))
+
+    def test_roles_closed_under_inverse(self):
+        tbox = TBox.parse("roles: P, S\nP <= S")
+        assert Role("P", True) in tbox.roles
+        assert Role("S", True) in tbox.roles
+
+    def test_axioms_include_normalisation(self):
+        tbox = TBox.parse("roles: P\nA <= EP")
+        assert len(tbox.axioms) == len(tbox.user_axioms) + len(
+            tbox.normalisation_axioms)
+        # two normalisation axioms per role (P and P-)
+        assert len(tbox.normalisation_axioms) == 4

@@ -1,0 +1,189 @@
+"""Tests for repro.datalog.transform: the * transformation (Section 2),
+the Lemma 3 linear transformation and the Lemma 5 skinny transformation.
+
+Equivalence is checked semantically: the transformed program must give
+the same answers over (randomised) data instances.
+"""
+
+import random
+
+import pytest
+
+from repro.data import ABox
+from repro.datalog import (
+    Clause,
+    Equality,
+    Literal,
+    NDLQuery,
+    Program,
+    evaluate,
+    is_linear,
+    is_skinny,
+    linear_star_transform,
+    skinny_transform,
+    skinny_depth,
+    star_transform,
+)
+from repro.ontology import TBox
+
+
+@pytest.fixture
+def example11():
+    return TBox.parse("roles: P, R, S\nP <= S\nP <= R-")
+
+
+def clause(head, *body):
+    return Clause(head, tuple(body))
+
+
+def random_data(seed, predicates=("R", "S", "P"), unary=("A_P", "A_P-")):
+    rng = random.Random(seed)
+    abox = ABox()
+    names = [f"n{i}" for i in range(6)]
+    for _ in range(15):
+        if rng.random() < 0.3:
+            abox.add(rng.choice(unary), rng.choice(names))
+        else:
+            abox.add(rng.choice(predicates), rng.choice(names),
+                     rng.choice(names))
+    return abox
+
+
+class TestStarTransform:
+    def test_star_answers_entailed_atoms(self, example11):
+        base = NDLQuery(Program([clause(Literal("G", ("x", "y")),
+                                        Literal("S", ("x", "y")))]),
+                        "G", ("x", "y"))
+        starred = star_transform(base, example11)
+        result = evaluate(starred, ABox.parse("P(a, b)"))
+        assert result.answers == {("a", "b")}
+
+    def test_star_unary_via_incoming_role(self, example11):
+        base = NDLQuery(Program([clause(Literal("G", ("x",)),
+                                        Literal("A_P-", ("x",)))]),
+                        "G", ("x",))
+        starred = star_transform(base, example11)
+        # P(a, b) entails A_P-(b)
+        result = evaluate(starred, ABox.parse("P(a, b)"))
+        assert result.answers == {("b",)}
+
+    def test_star_equals_completion(self, example11):
+        base = NDLQuery(Program([clause(Literal("G", ("x", "y")),
+                                        Literal("R", ("x", "y")),
+                                        Literal("A_P", ("y",)))]),
+                        "G", ("x", "y"))
+        starred = star_transform(base, example11)
+        for seed in range(5):
+            abox = random_data(seed)
+            direct = evaluate(base, abox.complete(example11)).answers
+            via_star = evaluate(starred, abox).answers
+            assert direct == via_star, f"seed {seed}"
+
+    def test_star_handles_reflexivity(self):
+        tbox = TBox.parse("roles: P\nrefl(P)")
+        base = NDLQuery(Program([clause(Literal("G", ("x",)),
+                                        Literal("P", ("x", "x")))]),
+                        "G", ("x",))
+        starred = star_transform(base, tbox)
+        result = evaluate(starred, ABox.parse("A(a)"))
+        assert result.answers == {("a",)}
+
+
+class TestLinearStarTransform:
+    def test_preserves_linearity(self, example11):
+        base = NDLQuery(Program([
+            clause(Literal("G", ("x",)), Literal("Q", ("x", "y")),
+                   Literal("S", ("y", "z")), Literal("A_P", ("z",))),
+            clause(Literal("Q", ("x", "y")), Literal("R", ("x", "y"))),
+        ]), "G", ("x",))
+        transformed = linear_star_transform(base, example11)
+        assert is_linear(transformed.program)
+
+    def test_equals_completion(self, example11):
+        base = NDLQuery(Program([
+            clause(Literal("G", ("x",)), Literal("Q", ("x", "y")),
+                   Literal("S", ("y", "z")), Literal("A_P", ("z",))),
+            clause(Literal("Q", ("x", "y")), Literal("R", ("x", "y"))),
+        ]), "G", ("x",))
+        transformed = linear_star_transform(base, example11)
+        for seed in range(5):
+            abox = random_data(seed + 100)
+            direct = evaluate(base, abox.complete(example11)).answers
+            via = evaluate(transformed, abox).answers
+            assert direct == via, f"seed {seed}"
+
+    def test_width_grows_by_at_most_one(self, example11):
+        base = NDLQuery(Program([
+            clause(Literal("G", ("x",)), Literal("R", ("x", "y")),
+                   Literal("S", ("y", "z")))]), "G", ("x",))
+        transformed = linear_star_transform(base, example11)
+        assert transformed.width() <= base.width() + 1
+
+    def test_rejects_nonlinear(self, example11):
+        base = NDLQuery(Program([
+            clause(Literal("G", ("x",)), Literal("Q", ("x",)),
+                   Literal("Q2", ("x",))),
+            clause(Literal("Q", ("x",)), Literal("R", ("x", "y"))),
+            clause(Literal("Q2", ("x",)), Literal("S", ("x", "y"))),
+        ]), "G", ("x",))
+        with pytest.raises(ValueError):
+            linear_star_transform(base, example11)
+
+    def test_equalities_preserved(self, example11):
+        base = NDLQuery(Program([
+            clause(Literal("G", ("x", "y")), Literal("R", ("x", "z")),
+                   Equality("z", "y"), Literal("A_P", ("y",)))]),
+            "G", ("x", "y"))
+        transformed = linear_star_transform(base, example11)
+        for seed in range(3):
+            abox = random_data(seed + 50)
+            direct = evaluate(base, abox.complete(example11)).answers
+            via = evaluate(transformed, abox).answers
+            assert direct == via
+
+
+class TestSkinnyTransform:
+    def wide_query(self):
+        return NDLQuery(Program([
+            clause(Literal("G", ("x",)),
+                   Literal("R", ("x", "y")), Literal("S", ("y", "z")),
+                   Literal("Q1", ("z",)), Literal("Q2", ("z",)),
+                   Literal("Q3", ("x",))),
+            clause(Literal("Q1", ("x",)), Literal("A_P", ("x",))),
+            clause(Literal("Q2", ("x",)), Literal("R", ("x", "y"))),
+            clause(Literal("Q3", ("x",)), Literal("S", ("x", "y"))),
+        ]), "G", ("x",))
+
+    def test_output_is_skinny(self):
+        transformed = skinny_transform(self.wide_query())
+        assert is_skinny(transformed.program)
+
+    def test_equivalent_answers(self):
+        base = self.wide_query()
+        transformed = skinny_transform(base)
+        for seed in range(8):
+            abox = random_data(seed + 200)
+            assert (evaluate(base, abox).answers
+                    == evaluate(transformed, abox).answers), f"seed {seed}"
+
+    def test_depth_bounded_by_skinny_depth(self):
+        base = self.wide_query()
+        transformed = skinny_transform(base)
+        assert transformed.depth() <= skinny_depth(base) + 1
+
+    def test_width_not_increased(self):
+        base = self.wide_query()
+        transformed = skinny_transform(base)
+        assert transformed.width() <= base.width()
+
+    def test_equality_clauses_normalised_first(self):
+        base = NDLQuery(Program([
+            clause(Literal("G", ("x",)), Literal("R", ("x", "y")),
+                   Equality("y", "z"), Literal("S", ("z", "w")),
+                   Literal("A_P", ("w",)))]), "G", ("x",))
+        transformed = skinny_transform(base)
+        assert is_skinny(transformed.program)
+        for seed in range(4):
+            abox = random_data(seed + 300)
+            assert (evaluate(base, abox).answers
+                    == evaluate(transformed, abox).answers)

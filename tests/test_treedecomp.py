@@ -1,0 +1,73 @@
+"""Tests for repro.queries.treedecomp."""
+
+import networkx as nx
+import pytest
+
+from repro.queries import CQ, chain_cq, tree_decomposition
+from repro.queries.treedecomp import subtree_components
+
+
+class TestTreeDecomposition:
+    def test_chain_yields_width_one(self):
+        decomposition = tree_decomposition(chain_cq("RSRRSRR"))
+        assert decomposition.width == 1
+        assert decomposition.tree.number_of_nodes() == 7  # one bag per edge
+
+    def test_chain_bags_are_edges(self):
+        query = chain_cq("RS")
+        decomposition = tree_decomposition(query)
+        bags = set(decomposition.bags.values())
+        assert frozenset({"x0", "x1"}) in bags
+        assert frozenset({"x1", "x2"}) in bags
+
+    def test_validates_on_tree_query(self):
+        query = CQ.parse("R(c, x), R(c, y), S(y, z)")
+        decomposition = tree_decomposition(query)
+        decomposition.validate(query)
+        assert decomposition.width == 1
+
+    def test_cycle_query(self):
+        query = CQ.parse("R(x, y), R(y, z), R(z, x)")
+        decomposition = tree_decomposition(query)
+        decomposition.validate(query)
+        assert decomposition.width == 2
+
+    def test_grid_query(self):
+        atoms = []
+        for i in range(3):
+            for j in range(3):
+                if i < 2:
+                    atoms.append(f"H(v{i}{j}, v{i+1}{j})")
+                if j < 2:
+                    atoms.append(f"V(v{i}{j}, v{i}{j+1})")
+        query = CQ.parse(", ".join(atoms))
+        decomposition = tree_decomposition(query)
+        decomposition.validate(query)
+        assert decomposition.width >= 2
+
+    def test_single_variable_query(self):
+        decomposition = tree_decomposition(CQ.parse("A(x)"))
+        decomposition.validate(CQ.parse("A(x)"))
+
+    def test_disconnected_query(self):
+        query = CQ.parse("R(x, y), S(u, v)")
+        decomposition = tree_decomposition(query)
+        decomposition.validate(query)
+
+    def test_validate_rejects_uncovered_edge(self):
+        query = chain_cq("RS")
+        decomposition = tree_decomposition(chain_cq("R"))
+        with pytest.raises(ValueError):
+            decomposition.validate(query)
+
+
+class TestSubtreeComponents:
+    def test_path_split(self):
+        tree = nx.path_graph(5)
+        parts = subtree_components(tree, frozenset(range(5)), 2)
+        assert sorted(sorted(p) for p in parts) == [[0, 1], [3, 4]]
+
+    def test_split_in_sub_subtree(self):
+        tree = nx.path_graph(5)
+        parts = subtree_components(tree, frozenset({0, 1, 2}), 1)
+        assert sorted(sorted(p) for p in parts) == [[0], [2]]

@@ -1,0 +1,69 @@
+"""Tests for the tree-witness UCQ rewriter (our Rapid stand-in)."""
+
+import pytest
+
+from repro.chase import certain_answers
+from repro.datalog import evaluate
+from repro.queries import CQ, chain_cq
+from repro.rewriting import ucq_rewrite
+
+from .helpers import deep_tbox, example11_tbox, random_data
+
+
+class TestAppendixA61:
+    def test_nine_clauses(self):
+        # the hand-computed UCQ rewriting of Appendix A.6.1
+        ndl = ucq_rewrite(example11_tbox(), chain_cq("RSRRSRR"))
+        assert len(ndl) == 9
+
+    def test_all_heads_are_goal(self):
+        ndl = ucq_rewrite(example11_tbox(), chain_cq("RSRRSRR"))
+        assert all(clause.head.predicate == "G"
+                   for clause in ndl.program.clauses)
+
+    def test_exponential_growth(self):
+        tbox = example11_tbox()
+        short = len(ucq_rewrite(tbox, chain_cq("RSRRSRR")))
+        long = len(ucq_rewrite(tbox, chain_cq("RSRRSRRRSR")))
+        assert long >= 3 * short
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("labels", ["R", "RS", "RSR", "RRSRS"])
+    def test_matches_oracle(self, labels):
+        tbox = example11_tbox()
+        query = chain_cq(labels)
+        ndl = ucq_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed, binary=("P", "R", "S"),
+                               unary=("A_P", "A_P-", "A_S"))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_boolean_rootless_witness(self):
+        from repro.ontology import TBox
+
+        tbox = TBox.parse("roles: P\nB <= EP\nEP- <= B")
+        query = CQ.parse("P(x, y), P(y, z)")
+        ndl = ucq_rewrite(tbox, query)
+        for seed in range(4):
+            abox = random_data(seed + 30, binary=("P",), unary=("B",))
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_deep_ontology(self):
+        tbox = deep_tbox()
+        query = chain_cq("RQ")
+        ndl = ucq_rewrite(tbox, query)
+        for seed in range(6):
+            abox = random_data(seed + 60)
+            expected = certain_answers(tbox, abox, query)
+            got = evaluate(ndl, abox.complete(tbox)).answers
+            assert got == expected, f"seed {seed}"
+
+    def test_budget_guard(self):
+        tbox = example11_tbox()
+        with pytest.raises(RuntimeError):
+            ucq_rewrite(tbox, chain_cq("RSR" * 5), max_disjuncts=5)
