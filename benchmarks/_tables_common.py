@@ -22,8 +22,9 @@ def run_table(sequence: str, datasets, benchmark, title: str):
                     table_rows(points, name))
     assert consistency_check(points), "engines disagree on answer counts"
 
-    # benchmark one representative evaluation (tw on the largest dataset)
-    from repro.datalog import evaluate
+    # benchmark one representative evaluation (tw on the largest
+    # dataset), over a session-loaded engine as in the tables above
+    from repro.engine import PythonEngine
     from repro.experiments import SEQUENCES, example11_tbox
     from repro.queries import chain_cq
     from repro.rewriting import OMQ, rewrite
@@ -32,7 +33,7 @@ def run_table(sequence: str, datasets, benchmark, title: str):
     query = chain_cq(SEQUENCES[sequence][:7])
     ndl = rewrite(OMQ(tbox, query), method="tw")
     largest = datasets[max(datasets, key=lambda k: len(datasets[k]))]
-    completed = largest.complete(tbox)
-    benchmark.pedantic(lambda: evaluate(ndl, completed),
+    engine = PythonEngine(largest.complete(tbox))
+    benchmark.pedantic(lambda: engine.evaluate(ndl),
                        iterations=1, rounds=3)
     return points

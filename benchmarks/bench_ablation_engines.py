@@ -2,19 +2,19 @@
 
 Section 6 asks "whether our rewritings can be efficiently implemented
 using views in standard DBMSs".  This bench runs the same rewritings on
-(i) the Python materialise-everything engine, (ii) SQLite with full
-materialisation, and (iii) SQLite views (lazy, planner-driven), and
-prints times and answer counts for each — all three must agree on the
-answers.
+(i) the Python interned/indexed engine, (ii) SQLite with full
+materialisation, and (iii) SQLite views (lazy, planner-driven) — all
+through the unified :mod:`repro.engine` layer, each backend loading
+the data once — and prints times and answer counts for each; all three
+must agree on the answers.
 """
 
 import time
 
-from repro.datalog import evaluate
+from repro.engine import ENGINES, create_engine
 from repro.experiments import SEQUENCES, example11_tbox, print_table
 from repro.queries import chain_cq
 from repro.rewriting import OMQ, rewrite
-from repro.sql import SQLEngine
 
 #: (sequence, prefix length, rewriter) combinations exercised.
 CASES = tuple((seq, size, method)
@@ -23,24 +23,19 @@ CASES = tuple((seq, size, method)
               for method in ("lin", "tw"))
 
 
-def _run_case(tbox, completed, sql_engine, sequence, size, method):
+def _run_case(tbox, backends, sequence, size, method):
     query = chain_cq(SEQUENCES[sequence][:size])
     ndl = rewrite(OMQ(tbox, query), method=method)
     rows = []
-    start = time.perf_counter()
-    python_result = evaluate(ndl, completed)
-    rows.append(("python", time.perf_counter() - start,
-                 len(python_result.answers),
-                 python_result.generated_tuples))
-    start = time.perf_counter()
-    sql_result = sql_engine.evaluate(ndl, materialised=True)
-    rows.append(("sqlite-tables", time.perf_counter() - start,
-                 len(sql_result.answers), sql_result.generated_tuples))
-    start = time.perf_counter()
-    view_result = sql_engine.evaluate(ndl, materialised=False)
-    rows.append(("sqlite-views", time.perf_counter() - start,
-                 len(view_result.answers), view_result.generated_tuples))
-    assert python_result.answers == sql_result.answers == view_result.answers
+    results = {}
+    for name, backend in backends.items():
+        start = time.perf_counter()
+        results[name] = backend.evaluate(ndl)
+        rows.append((name, time.perf_counter() - start,
+                     len(results[name].answers),
+                     results[name].generated_tuples))
+    answer_sets = {frozenset(r.answers) for r in results.values()}
+    assert len(answer_sets) == 1, "engines disagree on answers"
     return [(sequence, size, method) + row for row in rows]
 
 
@@ -48,22 +43,24 @@ def test_engine_ablation(paper_data, benchmark):
     datasets, _ = paper_data
     tbox = example11_tbox()
     completed = datasets["2.ttl"].complete(tbox)
-    sql_engine = SQLEngine(completed)
+    backends = {name: create_engine(name, completed) for name in ENGINES}
 
     def run():
         rows = []
         for sequence, size, method in CASES:
-            rows.extend(_run_case(tbox, completed, sql_engine,
-                                  sequence, size, method))
+            rows.extend(_run_case(tbox, backends, sequence, size, method))
         return rows
 
-    rows = benchmark.pedantic(run, iterations=1, rounds=1)
-    sql_engine.close()
+    try:
+        rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    finally:
+        for backend in backends.values():
+            backend.close()
     print_table(
         "Ablation - evaluation engines (dataset 2.ttl)",
         ["sequence", "atoms", "rewriter", "engine", "seconds",
          "answers", "tuples"],
         [[seq, size, method, engine, f"{seconds:.3f}", answers, tuples]
          for seq, size, method, engine, seconds, answers, tuples in rows])
-    # every case produced all three engine rows
-    assert len(rows) == 3 * len(CASES)
+    # every case produced one row per engine
+    assert len(rows) == len(ENGINES) * len(CASES)

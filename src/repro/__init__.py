@@ -20,7 +20,10 @@ The package implements the paper end to end:
   (:mod:`repro.hardness`);
 * harnesses regenerating every table and figure
   (:mod:`repro.experiments`);
-* the Section 6 optimisation layer: a SQL backend running rewritings as
+* the Section 6 optimisation layer: a unified evaluation layer with an
+  interned, indexed in-memory database and session reuse
+  (:mod:`repro.engine`, :class:`repro.rewriting.api.AnswerSession`),
+  a SQL backend running rewritings as
   SQLite views/tables (:mod:`repro.sql`), magic sets
   (:mod:`repro.datalog.magic`), an NDL optimiser with Tw*-style
   inlining and emptiness pruning (:mod:`repro.datalog.optimize`) and
@@ -44,13 +47,17 @@ from .datalog import (
     Program,
     evaluate,
     evaluate_magic,
+    evaluate_on,
     magic_transform,
     optimize,
 )
+from .engine import ENGINES, Database, create_engine
 from .ontology import Role, TBox
 from .queries import CQ, chain_cq
 from .rewriting import (
+    METHODS,
     OMQ,
+    AnswerSession,
     adaptive_rewrite,
     answer,
     answer_adaptive,
@@ -66,7 +73,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ABox",
+    "AnswerSession",
     "CQ",
+    "Database",
+    "ENGINES",
+    "METHODS",
     "NDLQuery",
     "OMQ",
     "Program",
@@ -77,8 +88,10 @@ __all__ = [
     "answer_adaptive",
     "certain_answers",
     "chain_cq",
+    "create_engine",
     "evaluate",
     "evaluate_magic",
+    "evaluate_on",
     "evaluate_sql",
     "magic_transform",
     "optimize",

@@ -23,7 +23,7 @@ from .chase.consistency import is_consistent
 from .data import ABox
 from .ontology import TBox
 from .queries import CQ
-from .rewriting import OMQ, answer, rewrite
+from .rewriting import OMQ, AnswerSession, rewrite
 
 
 def _load_tbox(path: str) -> TBox:
@@ -55,9 +55,10 @@ def _cmd_answer(args) -> int:
         print("# data is INCONSISTENT with the ontology: every tuple is "
               "a certain answer", file=sys.stderr)
         return 2
-    result = answer(OMQ(tbox, query), abox, method=args.method,
-                    engine=args.engine, optimize_program=args.optimize,
-                    magic=args.magic)
+    with AnswerSession(abox, engine=args.engine) as session:
+        result = session.answer(OMQ(tbox, query), method=args.method,
+                                optimize_program=args.optimize,
+                                magic=args.magic)
     for row in sorted(result.answers):
         print("\t".join(row) if row else "true")
     if not result.answers and query.is_boolean:

@@ -8,7 +8,7 @@ from .analysis import (
     minimal_weight_function,
     skinny_depth,
 )
-from .evaluate import EvaluationResult, evaluate
+from .evaluate import EvaluationResult, evaluate, evaluate_on
 from .magic import evaluate_magic, is_answer_magic, magic_transform
 from .parser import ProgramParseError, parse_program, parse_query
 from .optimize import (
@@ -30,6 +30,7 @@ __all__ = [
     "Program",
     "evaluate",
     "evaluate_magic",
+    "evaluate_on",
     "inline_single_definition",
     "is_answer_magic",
     "is_linear",

@@ -4,19 +4,33 @@ This is the library's stand-in for the RDFox engine used in the paper's
 experiments: every IDB predicate is materialised once, in dependence
 order, with no magic sets or program optimisation — exactly the
 behaviour Appendix D.4 attributes to RDFox.  Joins are left-deep hash
-joins with greedy atom ordering and eager projection of dead variables.
+joins ordered by bound-prefix selectivity, with eager projection of
+dead variables.
+
+Evaluation runs over a :class:`repro.engine.database.Database`:
+constants are interned to integers and EDB hash indexes are memoised on
+the database, so answering many queries over one instance (the
+Tables 3-5 workload) only loads and indexes the data once.  Use
+:func:`evaluate` for one-shot calls and :func:`evaluate_on` (or the
+higher-level :class:`repro.rewriting.api.AnswerSession`) to share a
+database across queries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from operator import itemgetter
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from ..data.abox import ABox
-from .program import ADOM, Clause, Equality, Literal, NDLQuery, Program
+from .program import Clause, Literal, NDLQuery
 
 Row = Tuple[str, ...]
 Relation = Set[Row]
+
+#: Int-coded rows as stored by :class:`repro.engine.database.Database`.
+IntRow = Tuple[int, ...]
+IntRelation = Set[IntRow]
 
 
 @dataclass
@@ -34,19 +48,8 @@ class EvaluationResult:
         return len(self.answers)
 
 
-def edb_relations(abox: ABox) -> Dict[str, Relation]:
-    """The EDB relations of a data instance, including the active domain."""
-    relations: Dict[str, Relation] = {}
-    for predicate in abox.unary_predicates:
-        relations[predicate] = {(c,) for c in abox.unary(predicate)}
-    for predicate in abox.binary_predicates:
-        relations[predicate] = set(abox.binary(predicate))
-    relations[ADOM] = {(c,) for c in abox.individuals}
-    return relations
-
-
 def evaluate(query: NDLQuery, abox: ABox,
-             extra_relations: Optional[Dict[str, Relation]] = None
+             extra_relations: Optional[Mapping[str, Relation]] = None
              ) -> EvaluationResult:
     """Evaluate ``(Pi, G)`` over ``abox`` and return the goal relation.
 
@@ -55,26 +58,81 @@ def evaluate(query: NDLQuery, abox: ABox,
     additional EDB relations of arbitrary arity (used by the OBDA
     mapping layer for wide source schemas); their constants join the
     active domain.
+
+    This one-shot form loads ``abox`` into a fresh
+    :class:`~repro.engine.database.Database` every call; amortise that
+    over many queries with :func:`evaluate_on`.
+    """
+    from ..engine.database import Database
+
+    return evaluate_on(query, Database(abox, extra_relations))
+
+
+def evaluate_on(query: NDLQuery, database) -> EvaluationResult:
+    """Evaluate ``(Pi, G)`` over an already-loaded ``database``.
+
+    The database's constants, relations and EDB indexes are reused
+    verbatim; only the IDB relations of this query are materialised
+    (and discarded afterwards), so repeated calls over one database
+    never re-load or re-index the data.
     """
     program = query.program.restrict_to(query.goal)
-    relations = edb_relations(abox)
-    if extra_relations:
-        adom = relations[ADOM]
-        for name, rows in extra_relations.items():
-            relations[name] = set(rows)
-            for row in rows:
-                adom.update((constant,) for constant in row)
     order = program.topological_order()
     assert order is not None  # Program construction guarantees this
+    pool = _RelationPool(database)
     sizes: Dict[str, int] = {}
     for predicate in order:
-        rows: Relation = set()
+        rows: IntRelation = set()
         for clause in program.clauses_for(predicate):
-            rows |= _evaluate_clause(clause, relations)
-        relations[predicate] = rows
+            rows |= _evaluate_clause(clause, pool)
+        pool.derived[predicate] = rows
         sizes[predicate] = len(rows)
-    answers = frozenset(relations.get(query.goal, set()))
-    return EvaluationResult(answers, sum(sizes.values()), sizes)
+    goal_rows = pool.relation(query.goal)
+    return EvaluationResult(frozenset(database.decode_rows(goal_rows)),
+                            sum(sizes.values()), sizes)
+
+
+class _RelationPool:
+    """Resolves predicates to relations and hash indexes.
+
+    EDB lookups go to the shared :class:`Database` (whose indexes are
+    memoised across queries); IDB relations materialised by the current
+    evaluation shadow same-named EDB relations, with indexes cached for
+    this evaluation only — an IDB relation is written exactly once (in
+    dependence order), so its indexes never go stale.
+    """
+
+    def __init__(self, database):
+        self.database = database
+        self.derived: Dict[str, IntRelation] = {}
+        self._idb_indexes: Dict[Tuple[str, Tuple[int, ...]],
+                                Dict[IntRow, Tuple[IntRow, ...]]] = {}
+
+    def relation(self, predicate: str) -> IntRelation:
+        derived = self.derived.get(predicate)
+        if derived is not None:
+            return derived
+        return self.database.relation(predicate)
+
+    def size(self, predicate: str) -> int:
+        return len(self.relation(predicate))
+
+    def index(self, predicate: str, positions: Tuple[int, ...]
+              ) -> Dict[IntRow, Tuple[IntRow, ...]]:
+        if predicate not in self.derived:
+            return self.database.index(predicate, positions)
+        key = (predicate, positions)
+        index = self._idb_indexes.get(key)
+        if index is None:
+            from ..engine.database import build_index
+
+            index = build_index(self.derived[predicate], positions)
+            self._idb_indexes[key] = index
+        return index
+
+    def distinct_keys(self, predicate: str,
+                      positions: Tuple[int, ...]) -> int:
+        return len(self.index(predicate, positions))
 
 
 def _equality_mapping(clause: Clause) -> Dict[str, str]:
@@ -102,24 +160,43 @@ def _equality_mapping(clause: Clause) -> Dict[str, str]:
     return {v: find(v) for v in parent}
 
 
+def _tuple_getter(positions: List[int]) -> Callable:
+    """A function projecting a row onto ``positions`` (always a tuple)."""
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    return itemgetter(*positions)
+
+
+def _key_getter(positions: List[int]) -> Callable:
+    """A function building an index-probe key from a row: the bare value
+    for a single position, a tuple otherwise (the
+    :func:`repro.engine.database.build_index` key convention)."""
+    if len(positions) == 1:
+        return itemgetter(positions[0])
+    return itemgetter(*positions)
+
+
 #: Multiplier applied to the estimated output of a cross product so the
 #: planner only resorts to one when no connected atom remains.
 _CROSS_PRODUCT_PENALTY = 1 << 20
 
 
-def _fanout(atom: Literal, bound: Set[str], relations: Dict[str, Relation],
-            key_cache: Dict[Tuple[str, Tuple[int, ...]], int]
-            ) -> Tuple[float, int]:
+def _fanout(atom: Literal, bound: Set[str],
+            pool: _RelationPool) -> Tuple[float, int]:
     """Estimated number of matches per input row when joining ``atom``
     next, given the variables in ``bound`` are already available.
 
     The estimate is ``|R| / distinct-keys(R, bound positions)`` — the
-    average bucket size of the hash index the join would build.  Atoms
-    with no bound variable are cross products and are heavily penalised.
-    The secondary component breaks ties towards smaller relations.
+    average bucket size of the hash index the join would probe.  The
+    index is the same one the join then uses, so costing an atom and
+    executing it share one memoised structure.  Atoms with no bound
+    variable are cross products and are heavily penalised.  The
+    secondary component breaks ties towards smaller relations.
     """
-    relation = relations.get(atom.predicate, ())
-    size = len(relation)
+    size = pool.size(atom.predicate)
     if size == 0:
         # an empty relation empties the join: take it immediately
         return (-1.0, 0)
@@ -127,41 +204,11 @@ def _fanout(atom: Literal, bound: Set[str], relations: Dict[str, Relation],
                             if arg in bound)
     if not bound_positions:
         return (float(size) * _CROSS_PRODUCT_PENALTY, size)
-    cache_key = (atom.predicate, bound_positions)
-    distinct = key_cache.get(cache_key)
-    if distinct is None:
-        distinct = len({tuple(row[i] for i in bound_positions)
-                        for row in relation})
-        key_cache[cache_key] = distinct
+    distinct = pool.distinct_keys(atom.predicate, bound_positions)
     return (size / max(distinct, 1), size)
 
 
-def _order_atoms(atoms: List[Literal],
-                 relations: Dict[str, Relation]) -> List[Literal]:
-    """Greedy join order driven by fanout estimates.
-
-    At every step the atom with the smallest estimated matches-per-row
-    is joined next; cross products are deferred until no connected atom
-    remains.  This mirrors a System-R style greedy planner and keeps
-    intermediate results small on the star- and chain-shaped clause
-    bodies our rewritings produce.
-    """
-    remaining = list(atoms)
-    ordered: List[Literal] = []
-    bound: Set[str] = set()
-    key_cache: Dict[Tuple[str, Tuple[int, ...]], int] = {}
-    while remaining:
-        best = min(remaining,
-                   key=lambda atom: _fanout(atom, bound, relations,
-                                            key_cache))
-        remaining.remove(best)
-        ordered.append(best)
-        bound |= set(best.args)
-    return ordered
-
-
-def _evaluate_clause(clause: Clause,
-                     relations: Dict[str, Relation]) -> Relation:
+def _evaluate_clause(clause: Clause, pool: _RelationPool) -> IntRelation:
     mapping = _equality_mapping(clause)
     head = clause.head.rename(mapping)
     atoms = [atom.rename(mapping) for atom in clause.body_literals]
@@ -171,33 +218,24 @@ def _evaluate_clause(clause: Clause,
         return {()} if not head.args else set()
 
     remaining = list(atoms)
-    key_cache: Dict[Tuple[str, Tuple[int, ...]], int] = {}
     schema: List[str] = []
-    rows: List[Row] = [()]
+    rows: List[IntRow] = [()]
     while remaining:
         bound = set(schema)
-        atom = min(remaining,
-                   key=lambda a: _fanout(a, bound, relations, key_cache))
+        atom = min(remaining, key=lambda a: _fanout(a, bound, pool))
         remaining.remove(atom)
-        relation = relations.get(atom.predicate, set())
-        if not relation:
+        if not pool.size(atom.predicate):
             return set()
         positions = {v: i for i, v in enumerate(schema)}
-        bound_positions = [i for i, arg in enumerate(atom.args)
-                           if arg in positions]
+        bound_positions = tuple(i for i, arg in enumerate(atom.args)
+                                if arg in positions)
         # detect repeated variables inside the atom, e.g. P(x, x)
         first_seen: Dict[str, int] = {}
         same_as: List[Optional[int]] = []
         for i, arg in enumerate(atom.args):
             same_as.append(first_seen.get(arg))
             first_seen.setdefault(arg, i)
-        filtered = [row for row in relation
-                    if all(same_as[i] is None or row[i] == row[same_as[i]]
-                           for i in range(len(row)))]
-        index: Dict[Row, List[Row]] = {}
-        for row in filtered:
-            key = tuple(row[i] for i in bound_positions)
-            index.setdefault(key, []).append(row)
+        repeats = [(i, j) for i, j in enumerate(same_as) if j is not None]
         new_vars = [arg for i, arg in enumerate(atom.args)
                     if arg not in positions and first_seen[arg] == i]
         # project away variables that neither the head nor any remaining
@@ -206,27 +244,42 @@ def _evaluate_clause(clause: Clause,
         for later in remaining:
             keep.update(later.args)
         out_schema = [v for v in schema + new_vars if v in keep]
-        out_positions: List[Tuple[bool, int]] = []
-        for v in out_schema:
-            if v in positions:
-                out_positions.append((True, positions[v]))
+        # the output tuple is a projection of row + match concatenated
+        width = len(schema)
+        project = _tuple_getter([
+            positions[v] if v in positions else width + first_seen[v]
+            for v in out_schema])
+        out_rows: Set[IntRow] = set()
+        add = out_rows.add
+        if bound_positions:
+            index = pool.index(atom.predicate, bound_positions)
+            probe = _key_getter([positions[atom.args[i]]
+                                 for i in bound_positions])
+            lookup = index.get
+            if repeats:
+                for row in rows:
+                    for match in lookup(probe(row), ()):
+                        if any(match[i] != match[j] for i, j in repeats):
+                            continue
+                        add(project(row + match))
             else:
-                out_positions.append((False, first_seen[v]))
-        out_rows: Set[Row] = set()
-        for row in rows:
-            key = tuple(row[positions[atom.args[i]]]
-                        for i in bound_positions)
-            for match in index.get(key, ()):
-                out_rows.add(tuple(
-                    row[i] if from_row else match[i]
-                    for from_row, i in out_positions))
+                for row in rows:
+                    matches = lookup(probe(row))
+                    if matches:
+                        for match in matches:
+                            add(project(row + match))
+        else:
+            matches = [match for match in pool.relation(atom.predicate)
+                       if not any(match[i] != match[j]
+                                  for i, j in repeats)]
+            for row in rows:
+                for match in matches:
+                    add(project(row + match))
         schema = out_schema
         rows = list(out_rows)
         if not rows:
             return set()
 
     positions = {v: i for i, v in enumerate(schema)}
-    result: Relation = set()
-    for row in rows:
-        result.add(tuple(row[positions[arg]] for arg in head.args))
-    return result
+    head_project = _tuple_getter([positions[arg] for arg in head.args])
+    return {head_project(row) for row in rows}

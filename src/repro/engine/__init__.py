@@ -1,0 +1,35 @@
+"""Unified evaluation layer: load data once, answer many queries.
+
+The subsystem has two halves:
+
+* :class:`~repro.engine.database.Database` — a data instance loaded
+  once: constants interned to dense integers, per-predicate hash
+  indexes memoised by bound-argument positions and shared across
+  queries (the native engine's storage);
+* :class:`~repro.engine.backends.Engine` — the common protocol over the
+  native Python evaluator and the two SQLite modes, built via
+  :func:`~repro.engine.backends.create_engine`.
+
+:class:`repro.rewriting.api.AnswerSession` sits on top of this layer
+and adds the rewriting pipeline (completion, rewriters, optimiser,
+magic sets).
+"""
+
+from .database import Database, build_index
+from .backends import (
+    ENGINES,
+    Engine,
+    PythonEngine,
+    SQLiteEngine,
+    create_engine,
+)
+
+__all__ = [
+    "Database",
+    "ENGINES",
+    "Engine",
+    "PythonEngine",
+    "SQLiteEngine",
+    "build_index",
+    "create_engine",
+]

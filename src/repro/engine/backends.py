@@ -1,0 +1,99 @@
+"""One interface over the Python and SQLite evaluators.
+
+Section 6 compares a materialise-everything datalog engine (the RDFox
+stand-in) with running the rewritings as views in a standard DBMS.
+:func:`create_engine` hides the choice behind a single :class:`Engine`
+protocol — build one per data instance, then call
+:meth:`Engine.evaluate` for every rewriting; all backends keep the
+loaded data across calls and return identical answer sets (the parity
+tests in ``tests/test_engine.py`` enforce this).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple
+
+from ..data.abox import ABox
+from ..datalog.evaluate import EvaluationResult, evaluate_on
+from ..datalog.program import NDLQuery
+from .database import Database
+
+#: The evaluation backends, in the order of Appendix D.4's comparison.
+ENGINES = ("python", "sql", "sql-views")
+
+ExtraRelations = Optional[Mapping[str, Iterable[Tuple[str, ...]]]]
+
+
+class Engine:
+    """A loaded data instance that evaluates NDL queries.
+
+    Subclasses load the data exactly once (in ``__init__``) and may
+    cache whatever per-instance structures they like; ``evaluate`` must
+    be callable any number of times with different queries.
+    """
+
+    #: The :data:`ENGINES` name this backend answers to.
+    name: str = "?"
+
+    def evaluate(self, query: NDLQuery) -> EvaluationResult:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the backend's resources (idempotent)."""
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PythonEngine(Engine):
+    """The native engine: an interned, indexed in-memory database."""
+
+    name = "python"
+
+    def __init__(self, abox: ABox, extra_relations: ExtraRelations = None):
+        self.database = Database(abox, extra_relations)
+
+    def evaluate(self, query: NDLQuery) -> EvaluationResult:
+        return evaluate_on(query, self.database)
+
+
+class SQLiteEngine(Engine):
+    """The SQL backend: materialised tables or planner-driven views."""
+
+    def __init__(self, abox: ABox, extra_relations: ExtraRelations = None,
+                 materialised: bool = True):
+        from ..sql.engine import SQLEngine
+
+        self.materialised = materialised
+        self.name = "sql" if materialised else "sql-views"
+        self._engine = SQLEngine(abox, extra_relations)
+
+    def evaluate(self, query: NDLQuery) -> EvaluationResult:
+        return self._engine.evaluate(query,
+                                     materialised=self.materialised)
+
+    def close(self) -> None:
+        self._engine.close()
+
+
+def create_engine(name: str, abox: ABox,
+                  extra_relations: ExtraRelations = None) -> Engine:
+    """Load ``abox`` into the backend called ``name``.
+
+    ``name`` is one of :data:`ENGINES`: ``"python"`` (interned hash-join
+    engine), ``"sql"`` (SQLite, bottom-up materialisation) or
+    ``"sql-views"`` (SQLite, one view per IDB predicate).
+    """
+    if name == "python":
+        return PythonEngine(abox, extra_relations)
+    if name == "sql":
+        return SQLiteEngine(abox, extra_relations, materialised=True)
+    if name == "sql-views":
+        return SQLiteEngine(abox, extra_relations, materialised=False)
+    raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")

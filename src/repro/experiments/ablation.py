@@ -18,8 +18,8 @@ from typing import Dict, List, Sequence
 
 from ..data.abox import ABox
 from ..datalog.analysis import is_skinny, skinny_depth
-from ..datalog.evaluate import evaluate
 from ..datalog.transform import skinny_transform
+from ..engine import PythonEngine
 from ..queries.cq import chain_cq
 from ..rewriting.api import OMQ, rewrite
 from .figure2 import SEQUENCES, example11_tbox
@@ -40,9 +40,13 @@ class AblationPoint:
 def splitting_comparison(abox: ABox, sizes: Sequence[int] = (5, 9, 13),
                          sequences: Sequence[str] = tuple(SEQUENCES)
                          ) -> List[AblationPoint]:
-    """Lin vs Log vs Tw (vs Tw*) on identical OMQs and data."""
+    """Lin vs Log vs Tw (vs Tw*) on identical OMQs and data.
+
+    The completed data is loaded and indexed once; every variant then
+    evaluates against the same :class:`~repro.engine.PythonEngine`.
+    """
     tbox = example11_tbox()
-    completed = abox.complete(tbox)
+    engine = PythonEngine(abox.complete(tbox))
     points: List[AblationPoint] = []
     for sequence in sequences:
         labels = SEQUENCES[sequence]
@@ -52,7 +56,7 @@ def splitting_comparison(abox: ABox, sizes: Sequence[int] = (5, 9, 13),
             for variant in ("lin", "log", "tw", "tw_star"):
                 ndl = rewrite(omq, method=variant)
                 start = time.perf_counter()
-                result = evaluate(ndl, completed)
+                result = engine.evaluate(ndl)
                 elapsed = time.perf_counter() - start
                 points.append(AblationPoint(
                     sequence, atoms, variant, len(ndl), ndl.depth(),
@@ -65,7 +69,7 @@ def skinny_comparison(abox: ABox, sizes: Sequence[int] = (5, 9, 13)
     """The Lemma 5 skinny transformation applied to the Log rewriting:
     equivalence plus the depth/size trade-off."""
     tbox = example11_tbox()
-    completed = abox.complete(tbox)
+    engine = PythonEngine(abox.complete(tbox))
     labels = SEQUENCES["sequence1"]
     points: List[AblationPoint] = []
     for atoms in sizes:
@@ -76,7 +80,7 @@ def skinny_comparison(abox: ABox, sizes: Sequence[int] = (5, 9, 13)
         assert is_skinny(skinny.program)
         for variant, ndl in (("log", base), ("log+skinny", skinny)):
             start = time.perf_counter()
-            result = evaluate(ndl, completed)
+            result = engine.evaluate(ndl)
             elapsed = time.perf_counter() - start
             points.append(AblationPoint(
                 "sequence1", atoms, variant, len(ndl), ndl.depth(),

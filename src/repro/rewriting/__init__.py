@@ -8,7 +8,7 @@ from .adaptive import (
     answer_adaptive,
     estimate_cost,
 )
-from .api import METHODS, OMQ, answer, rewrite
+from .api import ENGINES, METHODS, OMQ, AnswerSession, answer, rewrite
 from .lin import lin_rewrite
 from .log import log_rewrite
 from .pe_rewriter import pe_rewrite
@@ -20,7 +20,9 @@ from .ucq import ucq_rewrite
 
 __all__ = [
     "AdaptiveChoice",
+    "AnswerSession",
     "DataStatistics",
+    "ENGINES",
     "METHODS",
     "OMQ",
     "TreeWitness",

@@ -4,17 +4,22 @@
 the three optimal rewriters of Section 3 (and the baselines), and
 :func:`answer` runs the full classical OBDA pipeline of reduction (1):
 rewrite, then evaluate the NDL query over the data.
+:class:`AnswerSession` is the amortised form of :func:`answer`: it
+loads a data instance once (per engine, per completion) and answers
+any number of OMQs against it — the shape of the paper's Tables 3-5
+experiments, where many rewritings run over one dataset.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from ..data.abox import ABox
-from ..datalog.evaluate import EvaluationResult, evaluate
+from ..datalog.evaluate import EvaluationResult
 from ..datalog.program import NDLQuery
+from ..engine import ENGINES, Engine, create_engine
 from ..queries.cq import CQ
 from .lin import lin_rewrite
 from .log import log_rewrite
@@ -107,8 +112,124 @@ def rewrite(omq: OMQ, method: str = "auto",
                      f"expected one of {('auto',) + METHODS}")
 
 
-#: Evaluation backends accepted by :func:`answer`.
-ENGINES = ("python", "sql", "sql-views")
+class AnswerSession:
+    """Answer many OMQs over one data instance, loading it once.
+
+    The session owns one :class:`~repro.engine.backends.Engine` per
+    ``(engine, data variant)`` pair, where the data variant is either
+    the raw ABox (``perfectref`` rewrites over arbitrary instances) or
+    its completion for a TBox (computed once per TBox and shared by
+    every method and engine).  Repeated :meth:`answer` calls therefore
+    never re-load, re-complete or re-index the data — only the
+    rewriting and the per-query IDB work is paid per call.
+
+    Usage::
+
+        with AnswerSession(abox) as session:
+            for method in METHODS:
+                print(session.answer(omq, method=method).answers)
+
+    ``data_loads`` counts backend loads (for tests and benchmarks: it
+    must stay at one per engine/variant no matter how many queries
+    run).
+    """
+
+    def __init__(self, abox: ABox, engine: str = "python",
+                 extra_relations: Optional[
+                     Mapping[str, Iterable[Tuple[str, ...]]]] = None):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.abox = abox
+        self.engine = engine
+        self._extra = extra_relations
+        #: id(tbox) -> (tbox, completion); the tbox reference keeps the
+        #: id stable for the session's lifetime.
+        self._completions: Dict[int, Tuple[object, ABox]] = {}
+        self._backends: Dict[Tuple[str, object], Engine] = {}
+        self.data_loads = 0
+
+    # -- data variants -----------------------------------------------------
+
+    def completion(self, tbox) -> ABox:
+        """The T-completion of the session's ABox, computed once."""
+        key = id(tbox)
+        entry = self._completions.get(key)
+        if entry is None:
+            entry = (tbox, self.abox.complete(tbox))
+            self._completions[key] = entry
+        return entry[1]
+
+    def backend(self, engine: Optional[str] = None,
+                tbox=None) -> Engine:
+        """The loaded engine for a data variant (built on first use).
+
+        ``tbox=None`` selects the raw ABox; otherwise the completion
+        for ``tbox``.
+        """
+        name = self.engine if engine is None else engine
+        if name not in ENGINES:
+            raise ValueError(
+                f"unknown engine {name!r}; expected one of {ENGINES}")
+        variant = "raw" if tbox is None else ("completed", id(tbox))
+        key = (name, variant)
+        loaded = self._backends.get(key)
+        if loaded is None:
+            data = self.abox if tbox is None else self.completion(tbox)
+            loaded = create_engine(name, data,
+                                   extra_relations=self._extra)
+            self._backends[key] = loaded
+            self.data_loads += 1
+        return loaded
+
+    # -- answering ---------------------------------------------------------
+
+    def answer(self, omq: OMQ, method: str = "auto",
+               engine: Optional[str] = None,
+               optimize_program: bool = False,
+               magic: bool = False) -> EvaluationResult:
+        """Certain answers to ``omq``; same pipeline as :func:`answer`.
+
+        ``engine`` overrides the session default for this call only —
+        every engine keeps its own loaded copy of the data, so
+        cross-engine comparisons also amortise.
+        """
+        if method == "adaptive":
+            from .adaptive import adaptive_rewrite
+
+            tbox = omq.tbox
+            ndl = adaptive_rewrite(omq, self.completion(tbox)).query
+        else:
+            ndl = rewrite(omq, method=method)
+            tbox = None if method == "perfectref" else omq.tbox
+            if optimize_program:
+                from ..datalog.optimize import optimize
+
+                data = (self.abox if tbox is None
+                        else self.completion(tbox))
+                ndl = optimize(ndl, data)
+        if magic:
+            from ..datalog.magic import magic_transform
+
+            ndl = magic_transform(ndl).query
+        return self.backend(engine, tbox).evaluate(ndl)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        for loaded in self._backends.values():
+            loaded.close()
+        self._backends.clear()
+
+    def __enter__(self) -> "AnswerSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"AnswerSession({self.abox!r}, engine={self.engine!r}, "
+                f"{self.data_loads} backends loaded)")
 
 
 def answer(omq: OMQ, abox: ABox, method: str = "auto",
@@ -132,28 +253,11 @@ def answer(omq: OMQ, abox: ABox, method: str = "auto",
     * ``engine`` selects the evaluator: the native Python engine, SQL
       with full materialisation (``"sql"``) or SQL views
       (``"sql-views"``).
+
+    This is a thin wrapper creating a one-shot :class:`AnswerSession`;
+    use a session directly to answer several queries over one instance.
     """
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; expected one of {ENGINES}")
-    if method == "adaptive":
-        from .adaptive import adaptive_rewrite
-
-        data = abox.complete(omq.tbox)
-        ndl = adaptive_rewrite(omq, data).query
-    else:
-        ndl = rewrite(omq, method=method)
-        data = abox if method == "perfectref" else abox.complete(omq.tbox)
-        if optimize_program:
-            from ..datalog.optimize import optimize
-
-            ndl = optimize(ndl, data)
-    if magic:
-        from ..datalog.magic import magic_transform
-
-        ndl = magic_transform(ndl).query
-    if engine == "python":
-        return evaluate(ndl, data)
-    from ..sql.engine import evaluate_sql
-
-    return evaluate_sql(ndl, data, materialised=(engine == "sql"))
+    with AnswerSession(abox, engine=engine) as session:
+        return session.answer(omq, method=method,
+                              optimize_program=optimize_program,
+                              magic=magic)

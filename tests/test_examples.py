@@ -5,6 +5,7 @@ must exit 0 without writing to stderr beyond warnings.  These are the
 library's living documentation, so breaking one is a release blocker.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -14,6 +15,13 @@ import pytest
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+#: Subprocesses must see ``src/`` whether or not the package is
+#: installed (pytest's ``pythonpath`` ini only affects this process).
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(EXAMPLES_DIR.parent / "src")]
+    + ([_ENV["PYTHONPATH"]] if _ENV.get("PYTHONPATH") else []))
 
 
 def test_examples_directory_is_populated():
@@ -26,7 +34,7 @@ def test_examples_directory_is_populated():
 def test_example_runs(name):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name)],
-        capture_output=True, text=True, timeout=300)
+        capture_output=True, text=True, timeout=300, env=_ENV)
     assert result.returncode == 0, result.stderr[-2000:]
     # every example prints something meaningful
     assert result.stdout.strip()
