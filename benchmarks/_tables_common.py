@@ -1,7 +1,6 @@
 """Shared driver for the Table 3-5 benches."""
 
 from repro.experiments import (
-    EVAL_ALGORITHMS,
     consistency_check,
     print_table,
     run_evaluation_table,

@@ -9,14 +9,11 @@ paper's timeouts, shown as "-").
 import pytest
 
 from repro.experiments import (
-    ALGORITHMS,
     SEQUENCES,
     ascii_barchart,
     example11_tbox,
     rewriting_sizes,
-    size_table,
 )
-from repro.experiments.reporting import print_table
 from repro.queries import chain_cq
 from repro.rewriting import OMQ, rewrite
 

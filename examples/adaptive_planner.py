@@ -70,7 +70,7 @@ def main() -> None:
     # statistics can also be reused without re-scanning the data
     stats = DataStatistics.from_abox(sparse)
     lin_cost = estimate_cost(rewrite(omq, method="lin"), stats)
-    print(f"\nPre-computed statistics reuse: Lin cost on dataset A = "
+    print("\nPre-computed statistics reuse: Lin cost on dataset A = "
           f"{lin_cost:.0f}")
 
 

@@ -109,7 +109,7 @@ def main() -> None:
     raw = {(f,) for f, _ in data.binary("operatedBy")}
     certain = answer(OMQ(tbox, query), data).answers
     inferred = sorted(set(certain) - raw)
-    print(f"Fields whose operator is implied by the ontology only: "
+    print("Fields whose operator is implied by the ontology only: "
           f"{inferred}")
 
 

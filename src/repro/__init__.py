@@ -28,7 +28,12 @@ The package implements the paper end to end:
   (:mod:`repro.datalog.magic`), an NDL optimiser with Tw*-style
   inlining and emptiness pruning (:mod:`repro.datalog.optimize`) and
   the cost-based adaptive splitting strategy
-  (:mod:`repro.rewriting.adaptive`).
+  (:mod:`repro.rewriting.adaptive`);
+* a serving layer (:mod:`repro.service`): a concurrent
+  :class:`~repro.service.service.OMQService` with an LRU rewriting
+  cache keyed up to variable renaming, batch answering with in-batch
+  deduplication, incremental ABox updates that patch loaded engines in
+  place, and a JSON/HTTP front-end (``python -m repro serve``).
 
 Quickstart::
 
@@ -67,6 +72,7 @@ from .rewriting import (
     tw_rewrite,
     ucq_rewrite,
 )
+from .service import OMQService, RewritingCache
 from .sql import evaluate_sql
 
 __version__ = "1.0.0"
@@ -80,7 +86,9 @@ __all__ = [
     "METHODS",
     "NDLQuery",
     "OMQ",
+    "OMQService",
     "Program",
+    "RewritingCache",
     "Role",
     "TBox",
     "adaptive_rewrite",

@@ -7,7 +7,7 @@ for every rewriting in the library.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..queries.cq import CQ, Atom, Variable
 from .canonical import CanonicalModel, Element, individual
@@ -58,7 +58,6 @@ def _candidates(model: CanonicalModel, query: CQ, var: Variable,
         if first == second:
             continue
         if first == var and second in assignment:
-            inverse = atom.predicate
             # need u with predicate(u, h(second)); enumerate via inverse
             for candidate in _inverse_neighbours(model, atom.predicate,
                                                  assignment[second]):

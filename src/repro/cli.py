@@ -6,8 +6,11 @@ Usage (after ``pip install -e .``)::
         --answers x --method lin
     python -m repro answer --tbox onto.txt --data data.txt \
         --query "R(x,y)" --answers x,y
+    python -m repro answer --tbox onto.txt --data data.txt \
+        --query "R(x,y)" --query "S(x,y)" --answers x   # one session
     python -m repro classify --tbox onto.txt --query "R(x,y), S(y,z)"
     python -m repro landscape
+    python -m repro serve --port 8080 --dataset demo=data.txt
 
 The TBox file uses the :meth:`repro.ontology.TBox.parse` syntax and the
 data file the :meth:`repro.data.ABox.parse` syntax.
@@ -47,25 +50,44 @@ def _cmd_rewrite(args) -> int:
 
 
 def _cmd_answer(args) -> int:
+    import time
+
     tbox = _load_tbox(args.tbox)
-    query = _load_query(args.query, args.answers)
+    answer_specs = args.answers or [None]
+    if len(answer_specs) == 1:
+        answer_specs = answer_specs * len(args.query)
+    if len(answer_specs) != len(args.query):
+        print(f"# got {len(args.query)} --query but "
+              f"{len(args.answers)} --answers (need one per query, "
+              "or a single one shared by all)", file=sys.stderr)
+        return 1
+    queries = [_load_query(text, answers)
+               for text, answers in zip(args.query, answer_specs)]
     with open(args.data) as handle:
         abox = ABox.parse(handle.read())
     if not is_consistent(tbox, abox):
         print("# data is INCONSISTENT with the ontology: every tuple is "
               "a certain answer", file=sys.stderr)
         return 2
+    # one session for all queries: the data is completed, loaded and
+    # indexed once, each --query only pays rewriting + evaluation
     with AnswerSession(abox, engine=args.engine) as session:
-        result = session.answer(OMQ(tbox, query), method=args.method,
-                                optimize_program=args.optimize,
-                                magic=args.magic)
-    for row in sorted(result.answers):
-        print("\t".join(row) if row else "true")
-    if not result.answers and query.is_boolean:
-        print("false")
-    print(f"# {len(result.answers)} answers, "
-          f"{result.generated_tuples} tuples materialised",
-          file=sys.stderr)
+        for position, query in enumerate(queries):
+            started = time.perf_counter()
+            result = session.answer(OMQ(tbox, query), method=args.method,
+                                    optimize_program=args.optimize,
+                                    magic=args.magic)
+            elapsed = time.perf_counter() - started
+            if len(queries) > 1:
+                print(f"# [{position}] {query}")
+            for row in sorted(result.answers):
+                print("\t".join(row) if row else "true")
+            if not result.answers and query.is_boolean:
+                print("false")
+            print(f"# {len(result.answers)} answers, "
+                  f"{result.generated_tuples} tuples materialised, "
+                  f"{elapsed * 1000:.1f} ms",
+                  file=sys.stderr)
     return 0
 
 
@@ -118,13 +140,22 @@ def build_parser() -> argparse.ArgumentParser:
                     "(Bienvenu et al., PODS 2017 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, with_data=False):
+    def common(p, with_data=False, multi_query=False):
         p.add_argument("--tbox", required=True,
                        help="path to the ontology file")
-        p.add_argument("--query", required=True,
-                       help="CQ body, e.g. 'R(x,y), S(y,z)'")
-        p.add_argument("--answers", default=None,
-                       help="comma-separated answer variables")
+        if multi_query:
+            p.add_argument("--query", required=True, action="append",
+                           help="CQ body, e.g. 'R(x,y), S(y,z)'; repeat "
+                                "to answer several queries over one "
+                                "loaded session")
+            p.add_argument("--answers", default=None, action="append",
+                           help="comma-separated answer variables (once "
+                                "per --query, or once for all)")
+        else:
+            p.add_argument("--query", required=True,
+                           help="CQ body, e.g. 'R(x,y), S(y,z)'")
+            p.add_argument("--answers", default=None,
+                           help="comma-separated answer variables")
         if with_data:
             p.add_argument("--data", required=True,
                            help="path to the data file")
@@ -140,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     answer_parser = sub.add_parser("answer",
                                    help="compute certain answers")
-    common(answer_parser, with_data=True)
+    common(answer_parser, with_data=True, multi_query=True)
     answer_parser.add_argument("--engine", default="python",
                                choices=("python", "sql", "sql-views"),
                                help="evaluation backend")
@@ -167,7 +198,21 @@ def build_parser() -> argparse.ArgumentParser:
     landscape_parser = sub.add_parser("landscape",
                                       help="print the Figure 1 grid")
     landscape_parser.set_defaults(func=_cmd_landscape)
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve OMQ answering over JSON/HTTP "
+                      "(see repro.service)")
+    from .service.serve import add_serve_arguments
+
+    add_serve_arguments(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
+
+
+def _cmd_serve(args) -> int:
+    from .service.serve import run
+
+    return run(args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from ..datalog.analysis import (
     is_linear,
     is_skinny,
-    max_edb_atoms,
     minimal_weight_function,
     skinny_depth,
 )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
 
 from ..ontology.terms import TOP, Atomic, Exists, Role
 
@@ -21,21 +21,65 @@ class ABox:
     def __init__(self, atoms: Iterable[GroundAtom] = ()):
         self._unary: Dict[str, Set[Constant]] = {}
         self._binary: Dict[str, Set[Tuple[Constant, Constant]]] = {}
-        self._individuals: Set[Constant] = set()
+        #: constant -> number of argument positions it fills; the keys
+        #: are ``ind(A)``, and counting makes removal O(1) per atom
+        self._occurrences: Dict[Constant, int] = {}
         for predicate, args in atoms:
             self.add(predicate, *args)
 
     # -- construction -----------------------------------------------------
 
     def add(self, predicate: str, *args: Constant) -> None:
-        """Add a ground atom ``predicate(args)``."""
+        """Add a ground atom ``predicate(args)`` (idempotent)."""
         if len(args) == 1:
-            self._unary.setdefault(predicate, set()).add(args[0])
+            relation = self._unary.setdefault(predicate, set())
+            if args[0] in relation:
+                return
+            relation.add(args[0])
         elif len(args) == 2:
-            self._binary.setdefault(predicate, set()).add(tuple(args))
+            relation = self._binary.setdefault(predicate, set())
+            if tuple(args) in relation:
+                return
+            relation.add(tuple(args))
         else:
             raise ValueError("ABox atoms must be unary or binary")
-        self._individuals.update(args)
+        for constant in args:
+            self._occurrences[constant] = \
+                self._occurrences.get(constant, 0) + 1
+
+    def discard(self, predicate: str, *args: Constant) -> bool:
+        """Remove a ground atom; ``True`` if it was present.
+
+        Constants that no longer occur in any atom leave
+        :attr:`individuals`, so an updated ABox is indistinguishable
+        from one freshly built over the remaining atoms (the invariant
+        the incremental-update layer of :mod:`repro.service` relies
+        on).
+        """
+        if len(args) == 1:
+            relation = self._unary.get(predicate)
+            present = relation is not None and args[0] in relation
+            if present:
+                relation.discard(args[0])
+                if not relation:
+                    del self._unary[predicate]
+        elif len(args) == 2:
+            relation = self._binary.get(predicate)
+            present = relation is not None and tuple(args) in relation
+            if present:
+                relation.discard(tuple(args))
+                if not relation:
+                    del self._binary[predicate]
+        else:
+            raise ValueError("ABox atoms must be unary or binary")
+        if present:
+            for constant in args:
+                remaining = self._occurrences[constant] - 1
+                if remaining:
+                    self._occurrences[constant] = remaining
+                else:
+                    del self._occurrences[constant]
+        return present
 
     @classmethod
     def parse(cls, text: str) -> "ABox":
@@ -58,7 +102,7 @@ class ABox:
     @property
     def individuals(self) -> FrozenSet[Constant]:
         """``ind(A)``."""
-        return frozenset(self._individuals)
+        return frozenset(self._occurrences)
 
     @property
     def unary_predicates(self) -> FrozenSet[str]:
@@ -114,7 +158,7 @@ class ABox:
 
     def __repr__(self) -> str:
         return (f"ABox({len(self)} atoms, "
-                f"{len(self._individuals)} individuals)")
+                f"{len(self._occurrences)} individuals)")
 
     # -- completion ---------------------------------------------------------
 
@@ -127,7 +171,7 @@ class ABox:
         """
         completed = ABox()
         entailed_concepts: Dict[Constant, Set] = {
-            individual: set() for individual in self._individuals}
+            individual: set() for individual in self._occurrences}
         for predicate, constants in self._unary.items():
             supers = tbox.concept_supers(Atomic(predicate))
             for constant in constants:
@@ -147,7 +191,7 @@ class ABox:
                         completed.add(sup.name, first, second)
         for role in tbox.roles:
             if tbox.is_reflexive(role) and not role.inverted:
-                for individual in self._individuals:
+                for individual in self._occurrences:
                     completed.add(role.name, individual, individual)
         top_supers = tbox.concept_supers(TOP)
         for individual, concepts in entailed_concepts.items():

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict
 
-from .program import Clause, NDLQuery, Program
+from .program import NDLQuery, Program
 
 
 def is_linear(program: Program) -> bool:

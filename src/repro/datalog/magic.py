@@ -28,9 +28,8 @@ is again a valid NDL program.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..data.abox import ABox
 from .evaluate import EvaluationResult, evaluate

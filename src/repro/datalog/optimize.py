@@ -29,7 +29,7 @@ import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..data.abox import ABox
-from .program import ADOM, Clause, Equality, Literal, NDLQuery, Program
+from .program import ADOM, Clause, Literal, NDLQuery, Program
 
 
 def nonempty_signature(abox: ABox, include_adom: bool = True

@@ -11,7 +11,7 @@ with the answer variables ``x`` acting as parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 ADOM = "__adom__"  # the active-domain EDB predicate (the paper's ``T(x)``)
 

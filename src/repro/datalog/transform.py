@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from ..ontology.terms import Atomic, Exists, Role, Top
 from .program import ADOM, Clause, Equality, Literal, NDLQuery, Program

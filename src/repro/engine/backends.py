@@ -38,6 +38,22 @@ class Engine:
     def evaluate(self, query: NDLQuery) -> EvaluationResult:
         raise NotImplementedError
 
+    def apply_delta(self, inserts: Mapping[str, Iterable[Tuple[str, ...]]],
+                    deletes: Mapping[str, Iterable[Tuple[str, ...]]],
+                    adom_add: Iterable[str] = (),
+                    adom_remove: Iterable[str] = ()) -> None:
+        """Apply an incremental data update to the loaded instance.
+
+        ``deletes`` are applied before ``inserts`` (an atom in both is
+        present afterwards).  Callers must pass *effective* deltas —
+        inserted rows absent from and deleted rows present in the
+        current instance — plus the constants entering/leaving the
+        active domain; :mod:`repro.service.updates` computes all four
+        from an ABox-level update.  After the call, answers must be
+        identical to a from-scratch load of the updated instance.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release the backend's resources (idempotent)."""
 
@@ -62,6 +78,10 @@ class PythonEngine(Engine):
     def evaluate(self, query: NDLQuery) -> EvaluationResult:
         return evaluate_on(query, self.database)
 
+    def apply_delta(self, inserts, deletes, adom_add=(), adom_remove=()):
+        self.database.delete_facts(deletes, removed_constants=adom_remove)
+        self.database.insert_facts(inserts)
+
 
 class SQLiteEngine(Engine):
     """The SQL backend: materialised tables or planner-driven views."""
@@ -77,6 +97,9 @@ class SQLiteEngine(Engine):
     def evaluate(self, query: NDLQuery) -> EvaluationResult:
         return self._engine.evaluate(query,
                                      materialised=self.materialised)
+
+    def apply_delta(self, inserts, deletes, adom_add=(), adom_remove=()):
+        self._engine.apply_delta(inserts, deletes, adom_add, adom_remove)
 
     def close(self) -> None:
         self._engine.close()

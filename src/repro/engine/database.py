@@ -143,6 +143,109 @@ class Database:
         """Distinct values of the projection onto ``positions``."""
         return len(self.index(predicate, positions))
 
+    # -- incremental updates -----------------------------------------------
+
+    def insert_facts(self, facts: Mapping[str, Iterable[Tuple[str, ...]]],
+                     ) -> int:
+        """Insert named rows in place; returns the number actually added.
+
+        The delta path of :mod:`repro.service.updates`: new constants
+        are interned, previously unseen ones join ``__adom__``, and
+        every memoised index of a touched predicate is maintained
+        *incrementally* (new rows are appended to their buckets) — no
+        index is dropped or rebuilt on insertion.
+        """
+        intern = self.intern
+        added = 0
+        new_adom: Set[int] = set()
+        adom = self._relations.setdefault(ADOM, set())
+        for predicate, rows in facts.items():
+            relation = self._relations.get(predicate)
+            if relation is None:
+                relation = self._relations[predicate] = set()
+            fresh = []
+            for row in rows:
+                coded = tuple(intern(c) for c in row)
+                if coded not in relation:
+                    relation.add(coded)
+                    fresh.append(coded)
+                    for code in coded:
+                        if (code,) not in adom:
+                            new_adom.add(code)
+            if fresh:
+                added += len(fresh)
+                self._extend_indexes(predicate, fresh)
+        if new_adom:
+            adom_rows = [(code,) for code in new_adom]
+            adom.update(adom_rows)
+            self._extend_indexes(ADOM, adom_rows)
+        return added
+
+    def delete_facts(self, facts: Mapping[str, Iterable[Tuple[str, ...]]],
+                     removed_constants: Iterable[str] = ()) -> int:
+        """Remove named rows in place; returns the number removed.
+
+        Deletion falls back to *index invalidation*: memoised indexes
+        of the touched predicates are dropped and rebuilt lazily on the
+        next probe (untouched predicates keep theirs).
+        ``removed_constants`` names constants that left the data
+        instance entirely — they are removed from ``__adom__`` (their
+        interned codes remain allocated, which is unobservable through
+        the relations).
+        """
+        codes = self._codes
+        removed = 0
+        for predicate, rows in facts.items():
+            relation = self._relations.get(predicate)
+            if not relation:
+                continue
+            touched = False
+            for row in rows:
+                try:
+                    coded = tuple(codes[c] for c in row)
+                except KeyError:
+                    continue
+                if coded in relation:
+                    relation.discard(coded)
+                    removed += 1
+                    touched = True
+            if touched:
+                self._drop_indexes(predicate)
+        gone = [codes[c] for c in removed_constants if c in codes]
+        if gone:
+            adom = self._relations.setdefault(ADOM, set())
+            for code in gone:
+                adom.discard((code,))
+            self._drop_indexes(ADOM)
+        return removed
+
+    def _extend_indexes(self, predicate: str,
+                        rows: Iterable[IntRow]) -> None:
+        """Append ``rows`` to every memoised index of ``predicate``.
+
+        Rows are grouped per bucket key first so every bucket is
+        extended with one concatenation, keeping bulk insertion linear.
+        """
+        rows = tuple(rows)
+        for (name, positions), index in self._indexes.items():
+            if name != predicate:
+                continue
+            fresh: Dict[object, List[IntRow]] = {}
+            for row in rows:
+                if not positions:
+                    key: object = ()
+                elif len(positions) == 1:
+                    key = row[positions[0]]
+                else:
+                    key = tuple(row[p] for p in positions)
+                fresh.setdefault(key, []).append(row)
+            for key, bucket in fresh.items():
+                index[key] = index.get(key, ()) + tuple(bucket)
+
+    def _drop_indexes(self, predicate: str) -> None:
+        for key in [key for key in self._indexes if key[0] == predicate]:
+            del self._indexes[key]
+
     def __repr__(self) -> str:
         facts = sum(len(rows) for name, rows in self._relations.items()
                     if name != ADOM)

@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..data.abox import ABox
-from ..datalog.analysis import is_skinny, skinny_depth
+from ..datalog.analysis import is_skinny
 from ..datalog.transform import skinny_transform
 from ..engine import PythonEngine
 from ..queries.cq import chain_cq

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..ontology.tbox import TBox
-from ..queries.cq import CQ, chain_cq
+from ..queries.cq import chain_cq
 from ..rewriting.api import OMQ, rewrite
 
 #: The three query sequences of Section 6 / Appendix D.1.

@@ -38,7 +38,6 @@ from typing import Optional
 
 from ..data.abox import ABox
 from ..queries.fo import (
-    FOAnd,
     FOAtom,
     FOEq,
     FOExists,

@@ -14,7 +14,7 @@ The base language ``B0`` is the two-pair Dyck language
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..data.abox import ABox
 from ..ontology.axioms import ConceptInclusion, RoleInclusion

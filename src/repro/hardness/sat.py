@@ -14,7 +14,6 @@ instances ``A_m^alpha`` used by Theorem 20's monotone-function argument.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..data.abox import ABox
@@ -97,7 +96,7 @@ def sat_query(cnf: CNF, variables: Optional[int] = None) -> CQ:
     """
     kept = [clause for clause in cnf if not _is_tautological(clause)]
     k = variables if variables is not None else max(
-        (abs(l) for clause in cnf for l in clause), default=1)
+        (abs(lit) for clause in cnf for lit in clause), default=1)
     atoms: List[Atom] = [Atom("A", ("y",))]
     for j, clause in enumerate(kept, start=1):
         previous = "y"  # z^k_j = y; atoms run P(z^l_j, z^{l-1}_j)
@@ -196,7 +195,7 @@ def sat_query_bar(cnf: CNF, variables: Optional[int] = None) -> CQ:
         raise ValueError("q_bar_phi cannot encode tautological clauses")
     bits = m.bit_length() - 1
     k = variables if variables is not None else max(
-        (abs(l) for clause in cnf for l in clause), default=1)
+        (abs(lit) for clause in cnf for lit in clause), default=1)
     atoms: List[Atom] = [Atom("P0", ("y1", "x"))]
     for level in range(2, k + 1):
         atoms.append(Atom("P0", (f"y{level}", f"y{level - 1}")))

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..data.abox import ABox
 from ..datalog.evaluate import evaluate
-from ..datalog.program import ADOM, Clause, Equality, Literal, NDLQuery, Program
+from ..datalog.program import ADOM, Clause, Literal, NDLQuery, Program
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ the data, whether an individual has a (possibly anonymous)
 from __future__ import annotations
 
 import re
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from .axioms import (
     Axiom,
@@ -24,7 +24,7 @@ from .axioms import (
     RoleInclusion,
 )
 from .reasoning import Saturation
-from .terms import TOP, Atomic, Concept, Exists, Role, parse_concept
+from .terms import TOP, Atomic, Concept, Exists, Role
 
 
 def surrogate_name(role: Role) -> str:

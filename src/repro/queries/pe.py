@@ -11,7 +11,7 @@ backtracking evaluator used by that reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, Tuple
 
 from ..data.abox import ABox, Constant
 

@@ -8,7 +8,7 @@ on trees and a good upper bound in general.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Dict, FrozenSet, List
 
 import networkx as nx
 from networkx.algorithms.approximation import treewidth_min_fill_in

@@ -22,9 +22,8 @@ This module implements exactly that loop:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..data.abox import ABox
 from ..datalog.evaluate import EvaluationResult, evaluate

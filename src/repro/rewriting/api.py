@@ -136,16 +136,28 @@ class AnswerSession:
 
     def __init__(self, abox: ABox, engine: str = "python",
                  extra_relations: Optional[
-                     Mapping[str, Iterable[Tuple[str, ...]]]] = None):
+                     Mapping[str, Iterable[Tuple[str, ...]]]] = None,
+                 rewriting_cache=None,
+                 shared_completions: Optional[
+                     Dict[int, Tuple[object, ABox]]] = None):
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.abox = abox
         self.engine = engine
         self._extra = extra_relations
+        #: Optional :class:`repro.service.cache.RewritingCache`; when
+        #: set, data-independent rewritings are fetched from / stored
+        #: into it (keyed up to variable renaming) instead of being
+        #: recomputed per call.
+        self.rewriting_cache = rewriting_cache
         #: id(tbox) -> (tbox, completion); the tbox reference keeps the
-        #: id stable for the session's lifetime.
-        self._completions: Dict[int, Tuple[object, ABox]] = {}
+        #: id stable for the session's lifetime.  A service session
+        #: pool passes one shared dict to every pooled session so the
+        #: completion is computed once per (dataset, TBox) and updated
+        #: in place for the whole pool.
+        self._completions: Dict[int, Tuple[object, ABox]] = (
+            {} if shared_completions is None else shared_completions)
         self._backends: Dict[Tuple[str, object], Engine] = {}
         self.data_loads = 0
 
@@ -156,8 +168,12 @@ class AnswerSession:
         key = id(tbox)
         entry = self._completions.get(key)
         if entry is None:
-            entry = (tbox, self.abox.complete(tbox))
-            self._completions[key] = entry
+            # setdefault, not assignment: with a shared completion dict
+            # two pooled sessions may race on first touch, and every
+            # backend must end up referencing the one winning ABox
+            # object (updates patch that object in place)
+            entry = self._completions.setdefault(
+                key, (tbox, self.abox.complete(tbox)))
         return entry[1]
 
     def backend(self, engine: Optional[str] = None,
@@ -200,8 +216,17 @@ class AnswerSession:
             tbox = omq.tbox
             ndl = adaptive_rewrite(omq, self.completion(tbox)).query
         else:
-            ndl = rewrite(omq, method=method)
             tbox = None if method == "perfectref" else omq.tbox
+            cache = self.rewriting_cache
+            if cache is not None and not optimize_program:
+                # the cached program already includes the magic-sets
+                # stage (both are data-independent, so the key is just
+                # the OMQ fingerprint plus the flags)
+                ndl = cache.get_or_compute(
+                    cache.key(omq, method=method, magic=magic),
+                    lambda: self._rewritten(omq, method, magic))
+                return self.backend(engine, tbox).evaluate(ndl)
+            ndl = rewrite(omq, method=method)
             if optimize_program:
                 from ..datalog.optimize import optimize
 
@@ -213,6 +238,59 @@ class AnswerSession:
 
             ndl = magic_transform(ndl).query
         return self.backend(engine, tbox).evaluate(ndl)
+
+    @staticmethod
+    def _rewritten(omq: OMQ, method: str, magic: bool) -> NDLQuery:
+        """The data-independent rewriting pipeline (cache fill path)."""
+        ndl = rewrite(omq, method=method)
+        if magic:
+            from ..datalog.magic import magic_transform
+
+            ndl = magic_transform(ndl).query
+        return ndl
+
+    # -- incremental updates -----------------------------------------------
+
+    def apply_update(self, inserts: Iterable[Tuple[str, Tuple[str, ...]]] = (),
+                     deletes: Iterable[Tuple[str, Tuple[str, ...]]] = ()):
+        """Mutate the session's data in place; deletions apply first.
+
+        Atoms are ``(predicate, (constants...))`` pairs.  The raw ABox,
+        every cached completion and every loaded backend are updated
+        incrementally so subsequent answers match a from-scratch
+        session over the updated data (see
+        :mod:`repro.service.updates`).  Returns that module's
+        :class:`~repro.service.updates.UpdateResult`.
+        """
+        from ..service.updates import apply_update
+
+        return apply_update(self.abox, self._completions, [self],
+                            inserts=inserts, deletes=deletes)
+
+    def insert_facts(self, atoms: Iterable[Tuple[str, Tuple[str, ...]]]):
+        """Insert ground atoms (see :meth:`apply_update`)."""
+        return self.apply_update(inserts=atoms)
+
+    def delete_facts(self, atoms: Iterable[Tuple[str, Tuple[str, ...]]]):
+        """Delete ground atoms (see :meth:`apply_update`)."""
+        return self.apply_update(deletes=atoms)
+
+    def loaded_backends(self):
+        """The ``(engine name, variant) -> Engine`` pairs loaded so far
+        (variant is ``"raw"`` or ``("completed", id(tbox))``); the
+        update layer walks these to push data deltas."""
+        return tuple(self._backends.items())
+
+    def pinned_constants(self) -> FrozenSet[str]:
+        """Constants held in the active domain by ``extra_relations``.
+
+        Extra relations are static side tables (the OBDA mapping
+        layer); ABox updates must never evict their constants from
+        ``__adom__`` even when the last ABox atom naming them goes."""
+        if not self._extra:
+            return frozenset()
+        return frozenset(constant for rows in self._extra.values()
+                         for row in rows for constant in row)
 
     # -- lifecycle ---------------------------------------------------------
 

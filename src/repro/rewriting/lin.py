@@ -13,11 +13,11 @@ most ``|q| * |T|^(2 d l)`` large.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..datalog.program import Clause, Literal, NDLQuery, Program
 from ..datalog.transform import linear_star_transform
-from ..ontology.depth import EPSILON, chase_depth
+from ..ontology.depth import chase_depth
 from ..queries.cq import CQ, Atom, Variable
 from .types import (
     Type,

@@ -16,13 +16,13 @@ within clusters while the optimal NDL-rewritings stay linear
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Set
 
 from ..ontology.tbox import surrogate_name
 from ..queries.cq import CQ, Atom
 from ..queries.pe import And, Or, PEAtom, PEEq, PEQuery
-from .presto import _clusters, _interface_vars
-from .tree_witness import TreeWitness, independent_subsets, tree_witnesses
+from .presto import _clusters
+from .tree_witness import independent_subsets, tree_witnesses
 
 
 def pe_rewrite(tbox, query: CQ) -> PEQuery:
@@ -48,8 +48,6 @@ def pe_rewrite(tbox, query: CQ) -> PEQuery:
         if atom not in covered:
             global_vars.update(atom.args)
     for cluster, region in zip(clusters, regions):
-        interface = set(_interface_vars(query, region))
-        visible = interface | set(query.answer_vars)
         disjuncts: List[object] = []
         for chosen in independent_subsets(cluster):
             chosen_cover: Set[Atom] = set()

@@ -14,7 +14,7 @@ Table 1.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import FrozenSet, List, Set, Tuple
 
 import networkx as nx
 

@@ -12,7 +12,7 @@ the anonymous part of the canonical model below a single individual.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import FrozenSet, Iterator, List, Set, Tuple
 
 from ..chase.canonical import CanonicalModel, individual
 from ..chase.homomorphism import homomorphisms

@@ -12,7 +12,7 @@ skinny-reducibility conditions of Corollary 7.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 import networkx as nx
 
@@ -22,7 +22,7 @@ from ..datalog.program import Clause, Equality, Literal, NDLQuery, Program
 from ..datalog.transform import star_transform
 from ..ontology.tbox import surrogate_name
 from ..queries.cq import CQ, Atom, Variable
-from .tree_witness import TreeWitness, tree_witnesses, witness_atoms
+from .tree_witness import TreeWitness, tree_witnesses
 
 
 def tw_rewrite(tbox, query: CQ, over: str = "complete",

@@ -12,9 +12,9 @@ atoms over the data.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
-from ..datalog.program import ADOM, Equality, Literal
+from ..datalog.program import Equality, Literal
 from ..ontology.depth import EPSILON, Word, successor_graph
 from ..ontology.terms import Atomic, Exists
 from ..queries.cq import CQ, Atom, Variable

@@ -1,0 +1,34 @@
+"""The serving layer: answer many OMQs, cheaply, across requests.
+
+PR 1's :class:`~repro.rewriting.api.AnswerSession` amortises *data*
+loading within one session; this subsystem amortises the remaining
+per-request costs *across* requests and sessions:
+
+* :mod:`repro.service.cache` — an LRU cache of NDL rewritings keyed by
+  a canonical fingerprint of (TBox, CQ up to variable renaming,
+  method, flags), so a repeated query never pays rewriting again;
+* :mod:`repro.service.service` — :class:`OMQService`, a thread-safe
+  front door over named datasets with pooled ``AnswerSession``s,
+  batch answering with in-batch deduplication and a shared cache;
+* :mod:`repro.service.updates` — incremental ABox insert/delete that
+  patches the interned database, the memoised indexes, the SQLite
+  tables and the cached completions in place instead of reloading;
+* :mod:`repro.service.serve` — a JSON-over-HTTP front-end
+  (``python -m repro serve``) on the stdlib ``http.server``.
+"""
+
+from .cache import CacheStats, RewritingCache, cq_fingerprint, tbox_fingerprint
+from .service import BatchRequest, OMQService, ServiceResult
+from .updates import UpdateResult, apply_update
+
+__all__ = [
+    "BatchRequest",
+    "CacheStats",
+    "OMQService",
+    "RewritingCache",
+    "ServiceResult",
+    "UpdateResult",
+    "apply_update",
+    "cq_fingerprint",
+    "tbox_fingerprint",
+]

@@ -1,0 +1,298 @@
+"""JSON-over-HTTP front-end for :class:`OMQService` (stdlib only).
+
+``python -m repro serve`` turns the service into a process.  The
+protocol is deliberately small and text-based — TBoxes, queries and
+data use the same surface syntax as the CLI and test suite:
+
+===========================  ============================================
+``GET  /health``             liveness probe
+``GET  /stats``              :meth:`OMQService.stats` as JSON
+``POST /datasets``           ``{"name": ..., "data": "<ABox text>"}``
+``POST /tboxes``             ``{"name": ..., "tbox": "<TBox text>"}``
+``POST /answer``             one request (see below)
+``POST /batch``              ``{"requests": [<request>, ...]}``
+``POST /update``             ``{"dataset": ..., "insert": ["R(a,b)",
+                             ...], "delete": [...]}``
+===========================  ============================================
+
+An answer request names a dataset and an ontology — ``"tbox"`` is a
+registered name, ``"tbox_text"`` inline TBox text (inline text in
+``"tbox"`` is also accepted when unambiguous) — and carries the CQ::
+
+    {"dataset": "demo", "tbox": "uni", "query": "R(x,y), S(y,z)",
+     "answers": ["x"], "method": "auto", "engine": "python"}
+
+Responses are ``{"answers": [[...], ...], "seconds": ...,
+"cached_rewriting": ...}`` with the answer tuples sorted.  Errors come
+back as ``{"error": ...}`` with a 4xx status.  Inline TBox texts are
+interned by fingerprint, so re-sending the same ontology per request
+costs one parse but never a second completion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from ..data.abox import ABox
+from ..engine import ENGINES
+from ..ontology import TBox
+from ..queries import CQ
+from ..rewriting.api import OMQ
+from .service import BatchRequest, OMQService
+
+
+def _parse_atoms(texts) -> List[Tuple[str, Tuple[str, ...]]]:
+    """Ground atoms from strings like ``"R(a, b)"``."""
+    atoms: List[Tuple[str, Tuple[str, ...]]] = []
+    for text in texts:
+        parsed = list(ABox.parse(text).atoms())
+        if not parsed:
+            raise ValueError(f"no ground atom found in {text!r}")
+        atoms.extend(parsed)
+    return atoms
+
+
+def _answer_vars(raw) -> List[str]:
+    if raw is None:
+        return []
+    if isinstance(raw, str):
+        return [v.strip() for v in raw.split(",") if v.strip()]
+    if not isinstance(raw, (list, tuple)):
+        raise ValueError("'answers' must be a string or a list")
+    return [str(v) for v in raw]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the service lives on the server object."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return {}
+        payload = json.loads(self.rfile.read(length).decode())
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- request decoding ----------------------------------------------------
+
+    def _tbox(self, payload: Dict) -> TBox:
+        """The request ontology: ``tbox_text`` (inline) beats ``tbox``.
+
+        ``tbox`` is a registered name; as a convenience an inline text
+        is also accepted there when it is unambiguous (contains ``<=``
+        or a newline — impossible in a registered name).
+        """
+        service = self.server.service
+        text = payload.get("tbox_text")
+        if text is not None:
+            if not isinstance(text, str) or not text.strip():
+                raise ValueError("'tbox_text' must be TBox text")
+            return service.intern_tbox(TBox.parse(text))
+        spec = payload.get("tbox")
+        if not isinstance(spec, str) or not spec.strip():
+            raise ValueError("missing 'tbox' (name) or 'tbox_text'")
+        try:
+            return service.named_tbox(spec)
+        except ValueError:
+            if "<=" not in spec and "\n" not in spec:
+                raise
+        return service.intern_tbox(TBox.parse(spec))
+
+    def _request(self, payload: Dict) -> BatchRequest:
+        dataset = payload.get("dataset")
+        if not dataset:
+            raise ValueError("missing 'dataset'")
+        query = payload.get("query")
+        if not query or not isinstance(query, str):
+            raise ValueError("'query' must be a non-empty string")
+        cq = CQ.parse(query, answer_vars=_answer_vars(payload.get("answers")))
+        engine = payload.get("engine")
+        if engine is not None and engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {ENGINES}")
+        return BatchRequest(
+            dataset=dataset, omq=OMQ(self._tbox(payload), cq),
+            method=payload.get("method", "auto"), engine=engine,
+            magic=bool(payload.get("magic", False)),
+            optimize_program=bool(payload.get("optimize", False)))
+
+    @staticmethod
+    def _result_payload(result) -> Dict:
+        return {"answers": sorted(list(row) for row in result.answers),
+                "count": len(result.answers),
+                "dataset": result.dataset, "method": result.method,
+                "engine": result.engine,
+                "seconds": round(result.seconds, 6),
+                "cached_rewriting": result.cached_rewriting,
+                "generated_tuples": result.generated_tuples}
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/health":
+                self._send({"status": "ok"})
+            elif self.path == "/stats":
+                self._send(self.server.service.stats())
+            else:
+                self._send({"error": f"unknown path {self.path!r}"}, 404)
+        except Exception as error:  # never drop the connection
+            self._send({"error": f"internal error: {error}"}, 500)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        try:
+            payload = self._read_json()
+            if self.path == "/datasets":
+                name = payload.get("name")
+                if not name:
+                    raise ValueError("missing 'name'")
+                service.register_dataset(
+                    name, ABox.parse(payload.get("data", "")),
+                    replace=bool(payload.get("replace", False)))
+                self._send({"registered": name}, 201)
+            elif self.path == "/tboxes":
+                name = payload.get("name")
+                if not name:
+                    raise ValueError("missing 'name'")
+                service.register_tbox(name,
+                                      TBox.parse(payload.get("tbox", "")))
+                self._send({"registered": name}, 201)
+            elif self.path == "/answer":
+                request = self._request(payload)
+                result = service.answer(
+                    request.dataset, request.omq, method=request.method,
+                    engine=request.engine, magic=request.magic,
+                    optimize_program=request.optimize_program)
+                self._send(self._result_payload(result))
+            elif self.path == "/batch":
+                raw = payload.get("requests")
+                if not isinstance(raw, list) or not raw:
+                    raise ValueError("'requests' must be a non-empty list")
+                results = service.answer_batch(
+                    [self._request(entry) for entry in raw])
+                self._send({"results": [self._result_payload(result)
+                                        for result in results]})
+            elif self.path == "/update":
+                dataset = payload.get("dataset")
+                if not dataset:
+                    raise ValueError("missing 'dataset'")
+                result = service.update(
+                    dataset,
+                    inserts=_parse_atoms(payload.get("insert", ())),
+                    deletes=_parse_atoms(payload.get("delete", ())))
+                self._send(result.as_dict())
+            else:
+                self._send({"error": f"unknown path {self.path!r}"}, 404)
+        except (ValueError, KeyError, TypeError,
+                json.JSONDecodeError) as error:
+            self._send({"error": str(error)}, 400)
+        except Exception as error:  # never drop the connection
+            self._send({"error": f"internal error: {error}"}, 500)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`OMQService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: OMQService, host: str = "127.0.0.1",
+                 port: int = 8080, verbose: bool = True):
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.verbose = verbose
+
+
+def build_server(service: OMQService, host: str = "127.0.0.1",
+                 port: int = 8080, verbose: bool = True) -> ServiceServer:
+    """Bind (but do not run) the HTTP front-end; port 0 auto-assigns."""
+    return ServiceServer(service, host, port, verbose=verbose)
+
+
+def add_serve_arguments(parser) -> None:
+    """Install the ``serve`` options on an (argparse) parser."""
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--engine", default="python", choices=ENGINES,
+                        help="default evaluation backend")
+    parser.add_argument("--cache-size", type=int, default=256,
+                        help="rewriting cache entries")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="batch threads / SQLite sessions per dataset")
+    parser.add_argument("--dataset", action="append", default=[],
+                        metavar="NAME=PATH",
+                        help="preload a dataset from an ABox file")
+    parser.add_argument("--tbox", action="append", default=[],
+                        metavar="NAME=PATH",
+                        help="preload an ontology from a TBox file")
+
+
+def run(args, parser: Optional[argparse.ArgumentParser] = None) -> int:
+    """Run the server from a parsed ``serve`` namespace."""
+    def error(message: str) -> int:
+        if parser is not None:
+            parser.error(message)
+        raise SystemExit(message)
+
+    service = OMQService(cache_size=args.cache_size,
+                         max_workers=args.workers,
+                         default_engine=args.engine)
+    for spec in args.dataset:
+        name, _, path = spec.partition("=")
+        if not path:
+            return error(f"--dataset expects NAME=PATH, got {spec!r}")
+        with open(path) as handle:
+            service.register_dataset(name, ABox.parse(handle.read()))
+    for spec in args.tbox:
+        name, _, path = spec.partition("=")
+        if not path:
+            return error(f"--tbox expects NAME=PATH, got {spec!r}")
+        with open(path) as handle:
+            service.register_tbox(name, TBox.parse(handle.read()))
+
+    server = build_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"repro service on http://{host}:{port} "
+          f"(datasets: {', '.join(service.datasets()) or 'none'})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve OMQ answering over JSON/HTTP")
+    add_serve_arguments(parser)
+    return run(parser.parse_args(argv), parser)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+

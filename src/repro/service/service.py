@@ -1,0 +1,522 @@
+"""`OMQService`: a thread-safe, multi-dataset OMQ answering front door.
+
+The serving analogue of the paper's Tables 3-5 workload: many
+ontology-mediated queries, a few evolving data instances.  The service
+owns
+
+* a shared :class:`~repro.service.cache.RewritingCache` (one per
+  service, injected into every session, so a query rewritten for any
+  dataset is free everywhere);
+* per-dataset pools of :class:`~repro.rewriting.api.AnswerSession`
+  (SQLite connections cannot be shared concurrently, so concurrency is
+  bought with pooled sessions; the Python engine pools a single
+  session, whose in-memory database all requests share);
+* a per-dataset readers/writer lock: answering holds a read lock,
+  :meth:`update` a write lock, so incremental updates only run against
+  quiescent sessions.
+
+:meth:`answer_batch` deduplicates requests that share a rewriting
+fingerprint within the batch and fans the unique work out on a
+``ThreadPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..data.abox import ABox, GroundAtom
+from ..engine import ENGINES
+from ..rewriting.api import OMQ, AnswerSession
+from .cache import RewritingCache, tbox_fingerprint
+from .updates import UpdateResult, apply_update
+
+
+class _RWLock:
+    """A readers/writer lock (writer-preferring enough for our use)."""
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._waiting_writers:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if not self._readers:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._waiting_writers += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+
+class _SessionPool:
+    """Bounded pool of ``AnswerSession``s for one (dataset, engine)."""
+
+    def __init__(self, factory, capacity: int):
+        self._factory = factory
+        self._capacity = max(1, capacity)
+        self._condition = threading.Condition()
+        self._free: List[AnswerSession] = []
+        self._all: List[AnswerSession] = []
+
+    def checkout(self) -> AnswerSession:
+        with self._condition:
+            while True:
+                if self._free:
+                    return self._free.pop()
+                if len(self._all) < self._capacity:
+                    session = self._factory()
+                    self._all.append(session)
+                    return session
+                self._condition.wait()
+
+    def checkin(self, session: AnswerSession) -> None:
+        with self._condition:
+            self._free.append(session)
+            self._condition.notify()
+
+    @property
+    def sessions(self) -> Tuple[AnswerSession, ...]:
+        with self._condition:
+            return tuple(self._all)
+
+    def close(self) -> None:
+        with self._condition:
+            for session in self._all:
+                session.close()
+            self._all.clear()
+            self._free.clear()
+
+
+class _Dataset:
+    """A registered data instance plus its session pools."""
+
+    def __init__(self, name: str, abox: ABox, cache: RewritingCache,
+                 pool_capacity: int):
+        self.name = name
+        self.abox = abox
+        self.lock = _RWLock()
+        #: Shared by every pooled session so the per-TBox completion is
+        #: computed once per dataset and patched once per update.
+        self.completions: Dict[int, Tuple[object, ABox]] = {}
+        self._cache = cache
+        self._pool_capacity = pool_capacity
+        self._pools: Dict[str, _SessionPool] = {}
+        self._pool_lock = threading.Lock()
+        self.requests = 0
+        self.updates = 0
+
+    def pool(self, engine: str) -> _SessionPool:
+        with self._pool_lock:
+            pool = self._pools.get(engine)
+            if pool is None:
+                # one session is enough for the Python engine: its
+                # backends share one interned Database and evaluation
+                # is GIL-bound anyway.  The SQLite engines pool up to
+                # ``pool_capacity`` independent connections.
+                capacity = 1 if engine == "python" else self._pool_capacity
+                pool = _SessionPool(
+                    lambda: AnswerSession(
+                        self.abox, engine=engine,
+                        rewriting_cache=self._cache,
+                        shared_completions=self.completions),
+                    capacity)
+                self._pools[engine] = pool
+            return pool
+
+    def all_sessions(self) -> List[AnswerSession]:
+        with self._pool_lock:
+            pools = list(self._pools.values())
+        return [session for pool in pools for session in pool.sessions]
+
+    def pool_sizes(self) -> Dict[str, int]:
+        with self._pool_lock:
+            return {engine: len(pool.sessions)
+                    for engine, pool in self._pools.items()}
+
+    def close(self) -> None:
+        with self._pool_lock:
+            for pool in self._pools.values():
+                pool.close()
+            self._pools.clear()
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One entry of :meth:`OMQService.answer_batch`."""
+
+    dataset: str
+    omq: OMQ
+    method: str = "auto"
+    engine: Optional[str] = None
+    magic: bool = False
+    optimize_program: bool = False
+
+
+@dataclass
+class ServiceResult:
+    """An answered request: the certain answers plus serving metadata."""
+
+    answers: FrozenSet[Tuple[str, ...]]
+    dataset: str
+    method: str
+    engine: str
+    seconds: float
+    cached_rewriting: bool
+    generated_tuples: int = 0
+    relation_sizes: Dict[str, int] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.answers)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+class OMQService:
+    """Concurrent OMQ answering over named, updatable datasets.
+
+    Usage::
+
+        service = OMQService()
+        service.register_dataset("demo", abox)
+        result = service.answer("demo", OMQ(tbox, query))
+        service.insert_facts("demo", [("R", ("a", "b"))])
+        service.stats()
+
+    ``max_workers`` bounds both the batch executor and the number of
+    pooled SQLite sessions per dataset.
+    """
+
+    def __init__(self, cache_size: int = 256, max_workers: int = 4,
+                 default_engine: str = "python"):
+        if default_engine not in ENGINES:
+            raise ValueError(f"unknown engine {default_engine!r}; "
+                             f"expected one of {ENGINES}")
+        self.default_engine = default_engine
+        self.max_workers = max(1, max_workers)
+        self.cache = RewritingCache(maxsize=cache_size)
+        self._datasets: Dict[str, _Dataset] = {}
+        self._tboxes: Dict[str, object] = {}
+        self._named_tboxes: Dict[str, object] = {}
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._requests = 0
+        self._batches = 0
+        self._batch_requests = 0
+        self._batch_deduped = 0
+        self._updates = 0
+        self._started = time.time()
+
+    # -- registration --------------------------------------------------------
+
+    def register_dataset(self, name: str, abox: ABox,
+                         replace: bool = False) -> None:
+        """Register ``abox`` under ``name`` (the service owns it: it is
+        mutated in place by :meth:`update`)."""
+        with self._lock:
+            existing = self._datasets.get(name)
+            if existing is not None and not replace:
+                raise ValueError(f"dataset {name!r} already registered")
+            self._datasets[name] = _Dataset(name, abox, self.cache,
+                                            self.max_workers)
+        if existing is not None:
+            self._drain_and_close(existing)
+
+    def unregister_dataset(self, name: str) -> None:
+        with self._lock:
+            dataset = self._datasets.pop(name)
+        self._drain_and_close(dataset)
+
+    @staticmethod
+    def _drain_and_close(dataset: "_Dataset") -> None:
+        """Close a dataset's pools after in-flight answers finish.
+
+        The dataset is already out of the registry, so no new request
+        can check a session out; the write lock drains the readers
+        that are still holding one.
+        """
+        dataset.lock.acquire_write()
+        try:
+            dataset.close()
+        finally:
+            dataset.lock.release_write()
+
+    def datasets(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._datasets))
+
+    def register_tbox(self, name: str, tbox) -> None:
+        """Name an ontology for by-name reference (the HTTP front-end)."""
+        interned = self.intern_tbox(tbox)
+        with self._lock:
+            self._named_tboxes[name] = interned
+
+    def named_tbox(self, name: str):
+        with self._lock:
+            try:
+                return self._named_tboxes[name]
+            except KeyError:
+                raise ValueError(f"unknown tbox {name!r}") from None
+
+    def _dataset(self, name: str) -> _Dataset:
+        with self._lock:
+            try:
+                return self._datasets[name]
+            except KeyError:
+                raise ValueError(f"unknown dataset {name!r}") from None
+
+    def _acquire_read(self, name: str) -> _Dataset:
+        """The registered dataset with its read lock held.
+
+        Re-validated after acquisition: between the registry lookup and
+        the lock, ``unregister_dataset``/``register_dataset(replace=
+        True)`` may have swapped the entry and closed the old pools —
+        answering from that state would serve unregistered data.
+        """
+        while True:
+            state = self._dataset(name)
+            state.lock.acquire_read()
+            with self._lock:
+                current = self._datasets.get(name)
+            if current is state:
+                return state
+            state.lock.release_read()
+
+    def intern_tbox(self, tbox):
+        """One canonical TBox object per fingerprint.
+
+        Sessions key completions by object identity, so equal-but-
+        distinct TBox objects (e.g. re-parsed per HTTP request) must
+        collapse to one representative or every request would pay
+        completion again.
+        """
+        fingerprint = tbox_fingerprint(tbox)
+        with self._lock:
+            return self._tboxes.setdefault(fingerprint, tbox)
+
+    def _canonical_omq(self, omq: OMQ) -> OMQ:
+        interned = self.intern_tbox(omq.tbox)
+        if interned is omq.tbox:
+            return omq
+        return OMQ(interned, omq.query)
+
+    # -- answering -----------------------------------------------------------
+
+    def answer(self, dataset: str, omq: OMQ, method: str = "auto",
+               engine: Optional[str] = None, magic: bool = False,
+               optimize_program: bool = False) -> ServiceResult:
+        """Certain answers to ``omq`` over the named dataset."""
+        state = self._acquire_read(dataset)
+        try:
+            return self._answer_locked(state, omq, method, engine, magic,
+                                       optimize_program)
+        finally:
+            state.lock.release_read()
+
+    def _answer_locked(self, state: _Dataset, omq: OMQ, method: str,
+                       engine: Optional[str], magic: bool,
+                       optimize_program: bool) -> ServiceResult:
+        omq = self._canonical_omq(omq)
+        engine_name = engine or self.default_engine
+        cacheable = method != "adaptive" and not optimize_program
+        was_cached = cacheable and self.cache.contains(
+            self.cache.key(omq, method=method, magic=magic))
+        pool = state.pool(engine_name)
+        session = pool.checkout()
+        start = time.perf_counter()
+        try:
+            result = session.answer(omq, method=method,
+                                    optimize_program=optimize_program,
+                                    magic=magic)
+        finally:
+            pool.checkin(session)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._requests += 1
+        state.requests += 1
+        return ServiceResult(answers=result.answers, dataset=state.name,
+                             method=method, engine=engine_name,
+                             seconds=elapsed, cached_rewriting=was_cached,
+                             generated_tuples=result.generated_tuples,
+                             relation_sizes=dict(result.relation_sizes))
+
+    def answer_batch(self, requests: Sequence[BatchRequest]
+                     ) -> List[ServiceResult]:
+        """Answer many requests, deduplicating shared rewritings.
+
+        Requests with the same (dataset, engine, rewriting fingerprint,
+        flags) are evaluated once and the result shared; unique work
+        runs concurrently on a thread pool.  Read locks on every
+        involved dataset are held for the whole batch, so all requests
+        see one consistent data version.
+        """
+        requests = [request if isinstance(request, BatchRequest)
+                    else BatchRequest(**request) for request in requests]
+        canonical = [self._canonical_omq(request.omq)
+                     for request in requests]
+        names = sorted({request.dataset for request in requests})
+        unique: Dict[Tuple, List[int]] = {}
+        for position, (request, omq) in enumerate(zip(requests, canonical)):
+            engine_name = request.engine or self.default_engine
+            key = (request.dataset, engine_name,
+                   self.cache.key(omq, method=request.method,
+                                  magic=request.magic),
+                   request.optimize_program)
+            unique.setdefault(key, []).append(position)
+
+        states: Dict[str, _Dataset] = {}
+        try:
+            for name in names:
+                states[name] = self._acquire_read(name)
+        except Exception:
+            for state in states.values():
+                state.lock.release_read()
+            raise
+        try:
+            jobs = list(unique.items())
+
+            def run(job) -> ServiceResult:
+                _, positions = job
+                request = requests[positions[0]]
+                return self._answer_locked(
+                    states[request.dataset], canonical[positions[0]],
+                    request.method, request.engine, request.magic,
+                    request.optimize_program)
+
+            if len(jobs) == 1:
+                outcomes = [run(jobs[0])]
+            else:
+                outcomes = list(self._pool().map(run, jobs))
+        finally:
+            for state in states.values():
+                state.lock.release_read()
+
+        results: List[Optional[ServiceResult]] = [None] * len(requests)
+        for (_, positions), outcome in zip(jobs, outcomes):
+            for position in positions:
+                results[position] = outcome
+        with self._lock:
+            self._batches += 1
+            self._batch_requests += len(requests)
+            self._batch_deduped += len(requests) - len(jobs)
+        return results
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="omq-service")
+            return self._executor
+
+    # -- updates -------------------------------------------------------------
+
+    def update(self, dataset: str,
+               inserts: Iterable[GroundAtom] = (),
+               deletes: Iterable[GroundAtom] = ()) -> UpdateResult:
+        """Incrementally mutate a dataset (deletions apply first).
+
+        Holds the dataset's write lock: in-flight answers finish first,
+        then the raw ABox, the shared completions and every pooled
+        session's loaded backends are patched in place (see
+        :mod:`repro.service.updates`), so the next answer reflects the
+        update without any reload.
+        """
+        state = self._dataset(dataset)
+        state.lock.acquire_write()
+        try:
+            result = apply_update(state.abox, state.completions,
+                                  state.all_sessions(),
+                                  inserts=inserts, deletes=deletes)
+        finally:
+            state.lock.release_write()
+        with self._lock:
+            self._updates += 1
+        state.updates += 1
+        return result
+
+    def insert_facts(self, dataset: str,
+                     atoms: Iterable[GroundAtom]) -> UpdateResult:
+        return self.update(dataset, inserts=atoms)
+
+    def delete_facts(self, dataset: str,
+                     atoms: Iterable[GroundAtom]) -> UpdateResult:
+        return self.update(dataset, deletes=atoms)
+
+    # -- stats and lifecycle -------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            datasets = dict(self._datasets)
+            counters = {"requests": self._requests,
+                        "batches": self._batches,
+                        "batch_requests": self._batch_requests,
+                        "batch_deduplicated": self._batch_deduped,
+                        "updates": self._updates,
+                        "uptime_seconds": round(
+                            time.time() - self._started, 3)}
+        counters["cache"] = self.cache.stats().as_dict()
+        per_dataset: Dict[str, object] = {}
+        for name, state in sorted(datasets.items()):
+            # the read lock keeps update() from mutating the ABox while
+            # its relations are being counted
+            state.lock.acquire_read()
+            try:
+                per_dataset[name] = {
+                    "facts": len(state.abox),
+                    "requests": state.requests,
+                    "updates": state.updates,
+                    "sessions": state.pool_sizes(),
+                    "completions": len(state.completions)}
+            finally:
+                state.lock.release_read()
+        counters["datasets"] = per_dataset
+        return counters
+
+    def close(self) -> None:
+        with self._lock:
+            datasets = list(self._datasets.values())
+            self._datasets.clear()
+            executor = self._executor
+            self._executor = None
+        for state in datasets:
+            state.close()
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "OMQService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            names = sorted(self._datasets)
+            requests = self._requests
+        return (f"OMQService({len(names)} datasets, {requests} requests, "
+                f"cache={self.cache.stats().size})")

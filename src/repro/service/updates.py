@@ -1,0 +1,186 @@
+"""Incremental ABox updates: patch loaded engines instead of reloading.
+
+An :class:`~repro.rewriting.api.AnswerSession` owns up to three loaded
+copies of a data instance per variant (interned/indexed Python
+database, two SQLite modes) plus one cached completion per TBox.
+Reloading all of that on every data change would forfeit exactly the
+amortisation the session exists for, so this module computes *atom
+level deltas* once and pushes them everywhere:
+
+* the raw ABox is mutated in place (``add``/``discard``);
+* each cached completion is patched with its own delta.  OWL 2 QL
+  completion is a per-atom closure (axioms have single atoms on the
+  left), so ``complete(A ∪ Δ) = complete(A) ∪ complete(Δ)`` and the
+  insert delta is just the completion of the inserted atoms.  For
+  deletion, an entailed atom survives iff it is re-derivable from the
+  remaining atoms that mention an affected individual — only that
+  *support set* is re-completed, never the whole instance;
+* each loaded :class:`~repro.engine.backends.Engine` receives the
+  per-variant delta via :meth:`~repro.engine.backends.Engine.apply_delta`
+  (insertions maintain the memoised hash indexes incrementally;
+  deletions invalidate only the touched predicates' indexes).
+
+Deletions are applied before insertions throughout.  The correctness
+contract — answers after an update equal a from-scratch load of the
+final ABox, on every engine — is enforced by
+``tests/test_service_updates.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..data.abox import ABox, GroundAtom
+
+RowsByPredicate = Dict[str, List[Tuple[str, ...]]]
+
+
+@dataclass
+class UpdateResult:
+    """What one :func:`apply_update` call actually changed."""
+
+    #: Effective base-atom insertions/deletions (requested atoms that
+    #: were absent/present, respectively).
+    inserted: int = 0
+    deleted: int = 0
+    #: Entailed atoms added to / removed from cached completions.
+    completion_inserted: int = 0
+    completion_deleted: int = 0
+    #: Loaded engines that received a delta.
+    backends_updated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"inserted": self.inserted, "deleted": self.deleted,
+                "completion_inserted": self.completion_inserted,
+                "completion_deleted": self.completion_deleted,
+                "backends_updated": self.backends_updated}
+
+
+def _dedup(atoms: Iterable[GroundAtom]) -> List[GroundAtom]:
+    seen: Set[GroundAtom] = set()
+    unique: List[GroundAtom] = []
+    for predicate, args in atoms:
+        atom = (predicate, tuple(args))
+        if atom not in seen:
+            seen.add(atom)
+            unique.append(atom)
+    return unique
+
+
+def rows_by_predicate(atoms: Iterable[GroundAtom]) -> RowsByPredicate:
+    """Group ``(predicate, args)`` atoms into the engine-delta shape."""
+    rows: RowsByPredicate = {}
+    for predicate, args in atoms:
+        rows.setdefault(predicate, []).append(tuple(args))
+    return rows
+
+
+def completed_insert_delta(tbox, completed: ABox,
+                           inserted: Iterable[GroundAtom]
+                           ) -> List[GroundAtom]:
+    """Atoms the completion gains when ``inserted`` joins the data.
+
+    By distributivity of the single-pass OWL 2 QL completion over
+    unions, this is the completion of the inserted atoms alone, minus
+    what the completion already contains.
+    """
+    delta = ABox(inserted).complete(tbox)
+    return [atom for atom in delta.atoms() if atom not in completed]
+
+
+def completed_delete_delta(tbox, abox_after: ABox, completed: ABox,
+                           deleted: Iterable[GroundAtom]
+                           ) -> List[GroundAtom]:
+    """Atoms the completion loses when ``deleted`` leaves the data.
+
+    ``abox_after`` is the raw ABox *after* the base deletions.  Every
+    candidate casualty lies in the completion of the deleted atoms (all
+    of whose atoms mention only affected individuals); it survives iff
+    the remaining atoms mentioning an affected individual still derive
+    it, which only requires completing that support set.
+    """
+    deleted = list(deleted)
+    affected = {constant for _, args in deleted for constant in args}
+    candidates = ABox(deleted).complete(tbox)
+    support = ABox(atom for atom in abox_after.atoms()
+                   if affected.intersection(atom[1]))
+    still_entailed = support.complete(tbox)
+    return [atom for atom in candidates.atoms()
+            if atom not in still_entailed and atom in completed]
+
+
+def apply_update(abox: ABox, completions: Dict[int, Tuple[object, ABox]],
+                 sessions: Iterable,
+                 inserts: Iterable[GroundAtom] = (),
+                 deletes: Iterable[GroundAtom] = ()) -> UpdateResult:
+    """Apply one update to an ABox, its completions and its sessions.
+
+    ``completions`` is the (possibly shared) completion table of the
+    sessions — ``id(tbox) -> (tbox, completed ABox)`` — and
+    ``sessions`` every :class:`~repro.rewriting.api.AnswerSession`
+    whose loaded backends must be patched.  All sessions must be built
+    over ``abox`` and share ``completions`` (the service's pool
+    invariant); none may be answering concurrently.
+    """
+    result = UpdateResult()
+    raw_deletes: RowsByPredicate = {}
+    raw_inserts: RowsByPredicate = {}
+    completed_deletes: Dict[int, RowsByPredicate] = {}
+    completed_inserts: Dict[int, RowsByPredicate] = {}
+    individuals_before = set(abox.individuals)
+
+    effective_deletes = [atom for atom in _dedup(deletes) if atom in abox]
+    if effective_deletes:
+        for predicate, args in effective_deletes:
+            abox.discard(predicate, *args)
+        raw_deletes = rows_by_predicate(effective_deletes)
+        result.deleted = len(effective_deletes)
+        for key, (tbox, completed) in completions.items():
+            delta = completed_delete_delta(tbox, abox, completed,
+                                           effective_deletes)
+            for predicate, args in delta:
+                completed.discard(predicate, *args)
+            completed_deletes[key] = rows_by_predicate(delta)
+            result.completion_deleted += len(delta)
+
+    effective_inserts = [atom for atom in _dedup(inserts)
+                         if atom not in abox]
+    if effective_inserts:
+        for predicate, args in effective_inserts:
+            abox.add(predicate, *args)
+        raw_inserts = rows_by_predicate(effective_inserts)
+        result.inserted = len(effective_inserts)
+        for key, (tbox, completed) in completions.items():
+            delta = completed_insert_delta(tbox, completed,
+                                           effective_inserts)
+            for predicate, args in delta:
+                completed.add(predicate, *args)
+            completed_inserts[key] = rows_by_predicate(delta)
+            result.completion_inserted += len(delta)
+
+    individuals_after = set(abox.individuals)
+    adom_add = sorted(individuals_after - individuals_before)
+    adom_remove = sorted(individuals_before - individuals_after)
+
+    for session in sessions:
+        # extra_relations keep their constants in the active domain
+        # regardless of what the ABox update removed
+        pinned = session.pinned_constants()
+        session_adom_remove = ([c for c in adom_remove if c not in pinned]
+                               if pinned else adom_remove)
+        for (_, variant), backend in session.loaded_backends():
+            if variant == "raw":
+                backend_inserts: RowsByPredicate = raw_inserts
+                backend_deletes: RowsByPredicate = raw_deletes
+            else:
+                key = variant[1]
+                backend_inserts = completed_inserts.get(key, {})
+                backend_deletes = completed_deletes.get(key, {})
+            if (backend_inserts or backend_deletes
+                    or adom_add or session_adom_remove):
+                backend.apply_delta(backend_inserts, backend_deletes,
+                                    adom_add=adom_add,
+                                    adom_remove=session_adom_remove)
+                result.backends_updated += 1
+    return result

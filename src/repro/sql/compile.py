@@ -12,11 +12,11 @@ the database's own planner then chooses the join order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..datalog.evaluate import _equality_mapping
-from ..datalog.program import Clause, Literal, NDLQuery, Program
-from .schema import column_names, quote_identifier, table_name
+from ..datalog.program import Clause, NDLQuery, Program
+from .schema import column_names, table_name
 
 #: Value stored in the dummy column of nullary predicates.
 NULLARY_MARK = "1"

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..data.abox import ABox
 from ..datalog.evaluate import EvaluationResult
-from ..datalog.program import NDLQuery
+from ..datalog.program import ADOM, NDLQuery
 from .compile import SQLCompilation, compile_query
 from .schema import (
     create_schema,
@@ -41,7 +41,12 @@ class SQLEngine:
     def __init__(self, abox: ABox,
                  extra_relations: Optional[Mapping[str, Iterable[Tuple[str, ...]]]] = None,
                  edb_arities: Optional[Mapping[str, int]] = None):
-        self.connection = sqlite3.connect(":memory:")
+        # check_same_thread=False lets a service session pool hand the
+        # engine from one worker thread to another; access is still
+        # serialised by the pool (SQLite objects are never used from
+        # two threads at once).
+        self.connection = sqlite3.connect(":memory:",
+                                          check_same_thread=False)
         self._abox = abox
         self._extra = extra_relations
         self._loaded: Dict[str, int] = {}
@@ -75,6 +80,63 @@ class SQLEngine:
         create_schema(self.connection, missing)
         load_abox(self.connection, self._abox, missing, self._extra)
         self._loaded.update(missing)
+
+    # -- incremental updates -------------------------------------------------
+
+    def apply_delta(self, inserts: Mapping[str, Iterable[Tuple[str, ...]]],
+                    deletes: Mapping[str, Iterable[Tuple[str, ...]]],
+                    adom_add: Iterable[str] = (),
+                    adom_remove: Iterable[str] = ()) -> None:
+        """Apply an effective data delta to the already-loaded tables.
+
+        Deletions run before insertions.  Predicates whose tables have
+        not been created yet need no work: they are loaded lazily from
+        the (already-updated) backing ABox on the next evaluation.  The
+        backing :class:`~repro.data.abox.ABox` must therefore be the
+        same object the caller mutated — :class:`AnswerSession` updates
+        it in place before calling this.
+        """
+        # validate everything before touching the connection so a bad
+        # row cannot leave a half-applied (uncommitted) delta behind
+        plan = []
+        for phase, batch in (("delete", deletes), ("insert", inserts)):
+            for predicate, rows in batch.items():
+                arity = self._loaded.get(predicate)
+                if arity is None:
+                    continue
+                arity = max(arity, 1)
+                rows = [tuple(row) for row in rows]
+                for row in rows:
+                    if len(row) != arity:
+                        raise ValueError(
+                            f"predicate {predicate!r} loaded with arity "
+                            f"{arity}, got row of length {len(row)}")
+                plan.append((phase, predicate, arity, rows))
+        cursor = self.connection.cursor()
+        try:
+            for phase, predicate, arity, rows in plan:
+                if phase == "delete":
+                    condition = " AND ".join(
+                        f"c{i} = ?" for i in range(arity))
+                    cursor.executemany(
+                        f"DELETE FROM {table_name(predicate)} "
+                        f"WHERE {condition}", rows)
+                else:
+                    placeholders = ", ".join("?" * arity)
+                    cursor.executemany(
+                        f"INSERT INTO {table_name(predicate)} "
+                        f"VALUES ({placeholders})", rows)
+            if ADOM in self._loaded:
+                cursor.executemany(
+                    f"DELETE FROM {table_name(ADOM)} WHERE c0 = ?",
+                    [(constant,) for constant in adom_remove])
+                cursor.executemany(
+                    f"INSERT INTO {table_name(ADOM)} VALUES (?)",
+                    [(constant,) for constant in adom_add])
+        except Exception:
+            self.connection.rollback()
+            raise
+        self.connection.commit()
 
     # -- evaluation ----------------------------------------------------------
 

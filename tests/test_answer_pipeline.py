@@ -9,7 +9,7 @@ import itertools
 
 import pytest
 
-from repro import ABox, CQ, OMQ, TBox, answer, certain_answers, chain_cq
+from repro import ABox, CQ, OMQ, answer, certain_answers, chain_cq
 from repro.rewriting.api import ENGINES
 
 from .helpers import example11_tbox

@@ -5,7 +5,7 @@ import pytest
 from repro.chase import certain_answers, is_certain_answer
 from repro.data import ABox
 from repro.ontology import TBox
-from repro.queries import CQ, chain_cq
+from repro.queries import CQ
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for repro.datalog.analysis (Section 3.1 fragment notions)."""
 
-import math
 
 from repro.datalog import (
     Clause,

@@ -1,6 +1,5 @@
 """Tests for repro.datalog.evaluate (the bottom-up engine)."""
 
-import pytest
 
 from repro.data import ABox
 from repro.datalog import Clause, Equality, Literal, NDLQuery, Program, evaluate

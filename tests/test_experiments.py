@@ -1,13 +1,11 @@
 """Tests for the experiment harnesses (Figure 2, Tables 1-5)."""
 
-import pytest
 
 from repro.experiments import (
     ALGORITHMS,
     SEQUENCES,
     ascii_barchart,
     consistency_check,
-    example11_tbox,
     format_table,
     rewriting_sizes,
     run_evaluation_table,

@@ -12,7 +12,6 @@ from repro.hardness.fo_rewriting import (
     holds_single_constant,
     multi_constant_guard,
     phi_star,
-    single_constant_rewriting,
 )
 from repro.hardness.sat import dagger_tbox, is_satisfiable, sat_abox, sat_query
 from repro.queries.fo import (
@@ -23,7 +22,6 @@ from repro.queries.fo import (
     FOFalse,
     FOForall,
     FONot,
-    FOOr,
     FOTrue,
     cq_to_fo,
     evaluate_fo,

@@ -11,7 +11,6 @@ from repro.hardness import (
     dpll,
     is_satisfiable,
     monotone_function,
-    sat_abox,
     sat_omq,
     sat_query,
     sat_query_bar,
@@ -37,7 +36,8 @@ class TestDpll:
         model = dpll(cnf)
         assert model is not None
         for clause in cnf:
-            assert any(model.get(abs(l), False) == (l > 0) for l in clause)
+            assert any(model.get(abs(lit), False) == (lit > 0)
+                       for lit in clause)
 
 
 class TestGadgetStructure:

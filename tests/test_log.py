@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.chase import certain_answers
-from repro.complexity import analyse
 from repro.datalog import evaluate
 from repro.queries import CQ, chain_cq
 from repro.rewriting import log_rewrite

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.ontology import TBox, words
 from repro.ontology.depth import (

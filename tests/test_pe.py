@@ -14,8 +14,6 @@ from repro.hardness.pe_trees import (
 )
 from repro.hardness.sat import is_satisfiable, tree_abox
 from repro.queries.pe import (
-    And,
-    Or,
     PEAtom,
     PEQuery,
     conj,

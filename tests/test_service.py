@@ -1,0 +1,247 @@
+"""Tests for :class:`repro.service.service.OMQService` and the HTTP
+front-end: parity with the one-shot pipeline, batch deduplication,
+concurrency, per-request TBox interning and the JSON protocol.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import ABox, CQ, OMQ, TBox, answer, chain_cq
+from repro.engine import ENGINES
+from repro.service import BatchRequest, OMQService
+from repro.service.serve import build_server
+
+from .helpers import example11_tbox, random_data
+
+
+@pytest.fixture
+def service():
+    with OMQService(max_workers=3) as svc:
+        svc.register_dataset("demo", random_data(1))
+        yield svc
+
+
+def _snapshot(abox: ABox) -> ABox:
+    return ABox(abox.atoms())
+
+
+class TestAnswering:
+    def test_matches_one_shot_answer(self, service):
+        tbox = example11_tbox()
+        data = _snapshot(service._dataset("demo").abox)
+        for labels in ("RS", "RSR"):
+            omq = OMQ(tbox, chain_cq(labels))
+            for engine in ENGINES:
+                expected = answer(omq, data, engine=engine).answers
+                got = service.answer("demo", omq, engine=engine)
+                assert got.answers == expected
+                assert got.engine == engine
+
+    def test_repeat_query_hits_cache(self, service):
+        tbox = example11_tbox()
+        omq = OMQ(tbox, chain_cq("RS"))
+        first = service.answer("demo", omq)
+        renamed = OMQ(tbox, chain_cq("RS", prefix="z"))
+        second = service.answer("demo", renamed)
+        assert not first.cached_rewriting
+        assert second.cached_rewriting
+        assert first.answers == second.answers
+        assert service.cache.stats().hits >= 1
+
+    def test_equal_tboxes_interned(self, service):
+        # a fresh (equal) TBox object per request must not recompute
+        # the completion: both requests collapse onto one entry
+        for _ in range(2):
+            service.answer("demo", OMQ(example11_tbox(), chain_cq("RS")))
+        assert len(service._dataset("demo").completions) == 1
+
+    def test_unknown_dataset_rejected(self, service):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            service.answer("nope", OMQ(example11_tbox(), chain_cq("RS")))
+
+    def test_duplicate_registration_rejected(self, service):
+        with pytest.raises(ValueError, match="already registered"):
+            service.register_dataset("demo", ABox())
+        service.register_dataset("demo", random_data(2), replace=True)
+
+    def test_stats_shape(self, service):
+        service.answer("demo", OMQ(example11_tbox(), chain_cq("RS")))
+        stats = service.stats()
+        assert stats["requests"] == 1
+        assert stats["cache"]["misses"] >= 1
+        assert stats["datasets"]["demo"]["requests"] == 1
+        assert stats["datasets"]["demo"]["sessions"] == {"python": 1}
+
+
+class TestBatch:
+    def test_batch_matches_individual_answers(self, service):
+        tbox = example11_tbox()
+        requests = [BatchRequest("demo", OMQ(tbox, chain_cq(labels)),
+                                 engine=engine)
+                    for labels in ("RS", "SR")
+                    for engine in ENGINES]
+        results = service.answer_batch(requests)
+        for request, result in zip(requests, results):
+            expected = service.answer("demo", request.omq,
+                                      engine=request.engine)
+            assert result.answers == expected.answers
+
+    def test_batch_deduplicates_renamed_queries(self, service):
+        tbox = example11_tbox()
+        requests = [BatchRequest("demo", OMQ(tbox, chain_cq("RS",
+                                                            prefix=p)))
+                    for p in ("x", "y", "z")]
+        results = service.answer_batch(requests)
+        assert len({id(result) for result in results}) == 1
+        assert service.stats()["batch_deduplicated"] == 2
+
+    def test_batch_accepts_dicts(self, service):
+        tbox = example11_tbox()
+        results = service.answer_batch([
+            {"dataset": "demo", "omq": OMQ(tbox, chain_cq("RS"))},
+            {"dataset": "demo", "omq": OMQ(tbox, chain_cq("SR")),
+             "engine": "sql"}])
+        assert len(results) == 2
+
+    def test_concurrent_answers_consistent(self, service):
+        tbox = example11_tbox()
+        omqs = [OMQ(tbox, chain_cq(labels))
+                for labels in ("RS", "SR", "RSR", "SRR")]
+        expected = {id(omq): service.answer("demo", omq, engine="sql").answers
+                    for omq in omqs}
+        errors = []
+
+        def worker(omq):
+            try:
+                for _ in range(3):
+                    got = service.answer("demo", omq, engine="sql")
+                    assert got.answers == expected[id(omq)]
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(omq,))
+                   for omq in omqs for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestServeHTTP:
+    @pytest.fixture
+    def server(self):
+        service = OMQService(max_workers=2)
+        server = build_server(service, port=0, verbose=False)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    @staticmethod
+    def _call(server, path, payload=None):
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}{path}"
+        if payload is None:
+            request = urllib.request.Request(url)
+        else:
+            request = urllib.request.Request(
+                url, json.dumps(payload).encode(),
+                {"Content-Type": "application/json"})
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def test_round_trip(self, server):
+        assert self._call(server, "/health") == {"status": "ok"}
+        self._call(server, "/datasets",
+                   {"name": "demo", "data": "R(a,b), A_P(b)"})
+        self._call(server, "/tboxes",
+                   {"name": "uni",
+                    "tbox": "roles: P, R, S\nP <= S\nP <= R-"})
+        answered = self._call(server, "/answer",
+                              {"dataset": "demo", "tbox": "uni",
+                               "query": "R(x,y), S(y,z)",
+                               "answers": ["x"]})
+        assert answered["answers"] == [["a"]]
+        expected = answer(
+            OMQ(TBox.parse("roles: P, R, S\nP <= S\nP <= R-"),
+                CQ.parse("R(x,y), S(y,z)", answer_vars=["x"])),
+            ABox.parse("R(a,b), A_P(b)"))
+        assert {tuple(row) for row in answered["answers"]} \
+            == expected.answers
+
+    def test_inline_tbox_and_cache(self, server):
+        self._call(server, "/datasets",
+                   {"name": "demo", "data": "R(a,b), A_P(b)"})
+        text = "roles: P, R, S\nP <= S\nP <= R-"
+        first = self._call(server, "/answer",
+                           {"dataset": "demo", "tbox": text,
+                            "query": "R(x,y), S(y,z)", "answers": "x"})
+        second = self._call(server, "/answer",
+                            {"dataset": "demo", "tbox": text,
+                             "query": "R(u,v), S(v,w)", "answers": "u"})
+        assert not first["cached_rewriting"]
+        assert second["cached_rewriting"]
+        assert first["answers"] == second["answers"]
+
+    def test_update_and_batch(self, server):
+        self._call(server, "/datasets",
+                   {"name": "demo", "data": "R(a,b), A_P(b)"})
+        self._call(server, "/tboxes",
+                   {"name": "uni",
+                    "tbox": "roles: P, R, S\nP <= S\nP <= R-"})
+        updated = self._call(server, "/update",
+                             {"dataset": "demo",
+                              "insert": ["R(c,d)", "A_P(d)"],
+                              "delete": ["R(a,b)"]})
+        assert updated["inserted"] == 2
+        assert updated["deleted"] == 1
+        batch = self._call(server, "/batch", {"requests": [
+            {"dataset": "demo", "tbox": "uni",
+             "query": "R(x,y), S(y,z)", "answers": ["x"],
+             "engine": engine} for engine in ENGINES]})
+        for result in batch["results"]:
+            assert result["answers"] == [["c"]]
+
+    def test_wrong_json_types_return_400(self, server):
+        self._call(server, "/datasets", {"name": "demo", "data": "R(a,b)"})
+        for bad in ({"dataset": "demo", "tbox": "x <= y", "query": 5},
+                    {"dataset": "demo", "tbox": "x <= y",
+                     "query": "R(x,y)", "answers": 5},
+                    {"dataset": "demo", "tbox": 7, "query": "R(x,y)"}):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._call(server, "/answer", bad)
+            assert excinfo.value.code == 400
+            assert "error" in json.loads(excinfo.value.read())
+
+    def test_explicit_tbox_text_field(self, server):
+        self._call(server, "/datasets",
+                   {"name": "demo", "data": "R(a,b), A_P(b)"})
+        answered = self._call(server, "/answer",
+                              {"dataset": "demo",
+                               "tbox_text": "roles: P, R, S\n"
+                                            "P <= S\nP <= R-",
+                               "query": "R(x,y), S(y,z)",
+                               "answers": ["x"]})
+        assert answered["answers"] == [["a"]]
+
+    def test_errors_are_4xx(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._call(server, "/answer",
+                       {"dataset": "missing", "tbox": "uni",
+                        "query": "R(x,y)"})
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._call(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_stats_endpoint(self, server):
+        stats = self._call(server, "/stats")
+        assert "cache" in stats and "datasets" in stats

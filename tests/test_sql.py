@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import ABox, CQ, OMQ, TBox, chain_cq, rewrite
+from repro import ABox, OMQ, chain_cq, rewrite
 from repro.datalog.evaluate import evaluate
 from repro.datalog.program import ADOM, Clause, Equality, Literal, NDLQuery, Program
 from repro.sql import (
