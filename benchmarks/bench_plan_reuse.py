@@ -1,0 +1,74 @@
+"""Plan reuse: compile-once/execute-many vs the legacy answer loop.
+
+The point of the compiled pipeline: reduction (1) compiles an OMQ into
+an NDL query *once*, and only evaluation is paid per dataset.  The
+legacy loop (`answer()` per (query, dataset) pair) re-rewrites the
+same OMQ for every dataset; `compile()` + `Plan.execute()` pays
+rewriting once and runs the frozen plan everywhere.
+
+Smoke-sized (it runs in CI as a non-gating job): a handful of OMQs
+over a handful of datasets, with a correctness cross-check and a >= 2x
+assertion on the amortised path.
+"""
+
+import time
+
+from repro import OMQ, AnswerSession, answer, compile_omq
+from repro.experiments import print_table
+from repro.queries import chain_cq
+
+from tests.helpers import example11_tbox, random_data
+
+#: (chain labels, method) — the hot OMQs compiled once.
+QUERIES = (("RSRSR", "tw"), ("SRSRS", "log"), ("RSRS", "lin"),
+           ("SRSR", "tw_star"), ("RSRSRS", "log"))
+DATASETS = 6
+
+
+def test_plan_reuse(benchmark):
+    tbox = example11_tbox()
+    omqs = [(OMQ(tbox, chain_cq(labels)), method)
+            for labels, method in QUERIES]
+    aboxes = [random_data(seed, individuals=12, atoms=45)
+              for seed in range(DATASETS)]
+
+    def legacy():
+        # rewrites every (query, dataset) pair from scratch
+        return [answer(omq, abox, method=method).answers
+                for abox in aboxes for omq, method in omqs]
+
+    def compiled():
+        # prepare once per OMQ, execute the frozen plan per dataset
+        plans = [compile_omq(omq, method=method) for omq, method in omqs]
+        results = []
+        for abox in aboxes:
+            with AnswerSession(abox) as session:
+                results.extend(plan.execute(session).answers
+                               for plan in plans)
+        return results
+
+    started = time.perf_counter()
+    baseline_results = legacy()
+    baseline = time.perf_counter() - started
+
+    started = time.perf_counter()
+    compiled_results = compiled()
+    amortised = time.perf_counter() - started
+
+    assert compiled_results == baseline_results
+
+    executions = len(QUERIES) * DATASETS
+    speedup = baseline / max(amortised, 1e-9)
+    print_table(
+        f"compile-once/execute-many vs answer() loop "
+        f"({len(QUERIES)} plans x {DATASETS} datasets)",
+        ["path", "seconds", "executions/sec", "speedup"],
+        [["answer() per pair", f"{baseline:.3f}",
+          f"{executions / baseline:.1f}", "1.0x"],
+         ["compile + execute", f"{amortised:.3f}",
+          f"{executions / amortised:.1f}", f"{speedup:.1f}x"]])
+    assert speedup >= 2.0, (
+        "compiling once should clearly beat re-rewriting per dataset, "
+        f"got {speedup:.1f}x")
+
+    benchmark.pedantic(compiled, iterations=1, rounds=3)

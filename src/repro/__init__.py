@@ -30,22 +30,39 @@ The package implements the paper end to end:
   the cost-based adaptive splitting strategy
   (:mod:`repro.rewriting.adaptive`);
 * a serving layer (:mod:`repro.service`): a concurrent
-  :class:`~repro.service.service.OMQService` with an LRU rewriting
-  cache keyed up to variable renaming, batch answering with in-batch
+  :class:`~repro.service.service.OMQService` with an LRU plan cache
+  keyed up to variable renaming, batch answering with in-batch
   deduplication, incremental ABox updates that patch loaded engines in
-  place, and a JSON/HTTP front-end (``python -m repro serve``).
+  place, and a JSON/HTTP front-end (``python -m repro serve``);
+* one compiled query pipeline (:mod:`repro.rewriting.plan`):
+  :func:`compile` turns an OMQ plus one
+  :class:`~repro.rewriting.plan.AnswerOptions` into a frozen,
+  fingerprintable :class:`~repro.rewriting.plan.Plan` —
+  ``plan.explain()`` reports the chosen method, rewriting
+  size/width/depth and per-stage compile timings; ``plan.execute()``
+  runs it over any ABox, session or engine and returns typed
+  :class:`~repro.rewriting.plan.Answers` — and
+  :class:`~repro.client.Client` is one facade over the embedded
+  service and the HTTP server.
 
-Quickstart::
+Quickstart (compile once, execute anywhere)::
 
-    from repro import TBox, CQ, ABox, OMQ, answer
+    from repro import TBox, CQ, ABox, OMQ, compile
 
     tbox = TBox.parse("roles: P, R, S\\nP <= S\\nP <= R-")
     query = CQ.parse("R(x, y), S(y, z)", answer_vars=["x"])
     data = ABox.parse("R(a, b), A_P(b)")
-    print(answer(OMQ(tbox, query), data).answers)
+
+    plan = compile(OMQ(tbox, query))       # prepare: rewrite once
+    print(plan.explain()["rules"], plan.explain()["method"])
+    print(plan.execute(data).answers)      # execute: over any data
+
+The legacy one-shot :func:`answer` (and ``AnswerSession.answer``,
+``OMQService.answer``) remain as thin wrappers over the same pipeline.
 """
 
 from .chase import certain_answers, is_certain_answer
+from .client import Client
 from .data import ABox
 from .datalog import (
     NDLQuery,
@@ -62,10 +79,14 @@ from .queries import CQ, chain_cq
 from .rewriting import (
     METHODS,
     OMQ,
+    AnswerOptions,
+    Answers,
     AnswerSession,
+    Plan,
     adaptive_rewrite,
     answer,
     answer_adaptive,
+    compile_omq,
     lin_rewrite,
     log_rewrite,
     rewrite,
@@ -75,18 +96,28 @@ from .rewriting import (
 from .service import OMQService, RewritingCache
 from .sql import evaluate_sql
 
+#: ``repro.compile(omq, options) -> Plan``: the prepare half of the
+#: pipeline (the module-level name intentionally mirrors SQL's
+#: PREPARE; the builtin ``compile`` stays reachable as
+#: ``builtins.compile``).
+compile = compile_omq
+
 __version__ = "1.0.0"
 
 __all__ = [
     "ABox",
+    "AnswerOptions",
+    "Answers",
     "AnswerSession",
     "CQ",
+    "Client",
     "Database",
     "ENGINES",
     "METHODS",
     "NDLQuery",
     "OMQ",
     "OMQService",
+    "Plan",
     "Program",
     "RewritingCache",
     "Role",
@@ -96,6 +127,8 @@ __all__ = [
     "answer_adaptive",
     "certain_answers",
     "chain_cq",
+    "compile",
+    "compile_omq",
     "create_engine",
     "evaluate",
     "evaluate_magic",

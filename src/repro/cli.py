@@ -8,12 +8,17 @@ Usage (after ``pip install -e .``)::
         --query "R(x,y)" --answers x,y
     python -m repro answer --tbox onto.txt --data data.txt \
         --query "R(x,y)" --query "S(x,y)" --answers x   # one session
+    python -m repro explain --tbox onto.txt --query "R(x,y)" \
+        --answers x --method tw --json
     python -m repro classify --tbox onto.txt --query "R(x,y), S(y,z)"
     python -m repro landscape
     python -m repro serve --port 8080 --dataset demo=data.txt
 
 The TBox file uses the :meth:`repro.ontology.TBox.parse` syntax and the
-data file the :meth:`repro.data.ABox.parse` syntax.
+data file the :meth:`repro.data.ABox.parse` syntax.  Every pipeline
+subcommand builds one :class:`~repro.rewriting.plan.AnswerOptions`
+from its flags and runs the compiled :mod:`repro.rewriting.plan`
+pipeline; ``explain`` prints the plan report without evaluating.
 """
 
 from __future__ import annotations
@@ -26,7 +31,8 @@ from .chase.consistency import is_consistent
 from .data import ABox
 from .ontology import TBox
 from .queries import CQ
-from .rewriting import OMQ, AnswerSession, rewrite
+from .rewriting import OMQ, AnswerSession
+from .rewriting.plan import AnswerOptions, compile_omq, format_explain
 
 
 def _load_tbox(path: str) -> TBox:
@@ -39,19 +45,56 @@ def _load_query(text: str, answers: Optional[str]) -> CQ:
     return CQ.parse(text, answer_vars=answer_vars)
 
 
+def _options(args, **extra) -> AnswerOptions:
+    """One ``AnswerOptions`` from a parsed namespace's pipeline flags."""
+    fields = {"method": getattr(args, "method", None),
+              "magic": getattr(args, "magic", None),
+              "optimize": getattr(args, "optimize", None),
+              "engine": getattr(args, "engine", None),
+              "timeout": getattr(args, "timeout", None),
+              "over": getattr(args, "over", None)}
+    fields.update(extra)
+    return AnswerOptions.coerce(
+        {key: value for key, value in fields.items() if value is not None})
+
+
 def _cmd_rewrite(args) -> int:
     tbox = _load_tbox(args.tbox)
     query = _load_query(args.query, args.answers)
-    ndl = rewrite(OMQ(tbox, query), method=args.method, over=args.over)
-    print(f"# method={args.method} clauses={len(ndl)} "
-          f"width={ndl.width()} depth={ndl.depth()}")
-    print(ndl)
+    plan = compile_omq(OMQ(tbox, query), _options(args))
+    print(f"# method={args.method} clauses={plan.rules} "
+          f"width={plan.width} depth={plan.depth}")
+    print(plan.ndl)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    tbox = _load_tbox(args.tbox)
+    query = _load_query(args.query, args.answers)
+    data = None
+    options = _options(args)
+    if args.data:
+        with open(args.data) as handle:
+            abox = ABox.parse(handle.read())
+        # same variant rule as AnswerSession.compile: arbitrary-
+        # instance rewritings are explained against the raw data
+        raw = (options.method == "perfectref"
+               or options.over == "arbitrary")
+        data = abox if raw else abox.complete(tbox)
+    try:
+        plan = compile_omq(OMQ(tbox, query), options, data=data)
+    except ValueError as error:
+        print(f"# {error}", file=sys.stderr)
+        return 1
+    report = plan.explain()
+    print(json.dumps(report, indent=2) if args.json
+          else format_explain(report))
     return 0
 
 
 def _cmd_answer(args) -> int:
-    import time
-
     tbox = _load_tbox(args.tbox)
     answer_specs = args.answers or [None]
     if len(answer_specs) == 1:
@@ -69,21 +112,22 @@ def _cmd_answer(args) -> int:
         print("# data is INCONSISTENT with the ontology: every tuple is "
               "a certain answer", file=sys.stderr)
         return 2
+    options = _options(args)
     # one session for all queries: the data is completed, loaded and
-    # indexed once, each --query only pays rewriting + evaluation
+    # indexed once, each --query only pays compilation + evaluation
     with AnswerSession(abox, engine=args.engine) as session:
         for position, query in enumerate(queries):
-            started = time.perf_counter()
-            result = session.answer(OMQ(tbox, query), method=args.method,
-                                    optimize_program=args.optimize,
-                                    magic=args.magic)
-            elapsed = time.perf_counter() - started
+            plan = session.compile(OMQ(tbox, query), options)
+            result = plan.execute(session)
             if len(queries) > 1:
                 print(f"# [{position}] {query}")
             for row in sorted(result.answers):
                 print("\t".join(row) if row else "true")
             if not result.answers and query.is_boolean:
                 print("false")
+            # compile + evaluate, matching what this query actually
+            # cost (and what the pre-plan CLI reported)
+            elapsed = sum(plan.timings.values()) + result.seconds
             print(f"# {len(result.answers)} answers, "
                   f"{result.generated_tuples} tuples materialised, "
                   f"{elapsed * 1000:.1f} ms",
@@ -96,8 +140,8 @@ def _cmd_sql(args) -> int:
 
     tbox = _load_tbox(args.tbox)
     query = _load_query(args.query, args.answers)
-    ndl = rewrite(OMQ(tbox, query), method=args.method)
-    compilation = compile_query(ndl, materialised=args.materialised)
+    plan = compile_omq(OMQ(tbox, query), _options(args))
+    compilation = compile_query(plan.ndl, materialised=args.materialised)
     print(compilation.script())
     return 0
 
@@ -168,6 +212,32 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite_parser.add_argument("--over", default="complete",
                                 choices=("complete", "arbitrary"))
     rewrite_parser.set_defaults(func=_cmd_rewrite)
+
+    explain_parser = sub.add_parser(
+        "explain", help="compile the OMQ and print the plan report "
+                        "(method chosen, rewriting size/width/depth, "
+                        "per-stage timings) without evaluating")
+    common(explain_parser)
+    explain_parser.add_argument("--over", default="complete",
+                                choices=("complete", "arbitrary"))
+    explain_parser.add_argument("--engine", default=None,
+                                choices=("python", "sql", "sql-views"),
+                                help="execution engine to record in the "
+                                     "plan")
+    explain_parser.add_argument("--magic", action="store_true",
+                                help="apply the magic-sets transformation")
+    explain_parser.add_argument("--optimize", action="store_true",
+                                help="run the Appendix D.4 optimiser")
+    explain_parser.add_argument("--timeout", type=float, default=None,
+                                help="soft evaluation budget (seconds) to "
+                                     "record in the plan")
+    explain_parser.add_argument("--data", default=None,
+                                help="data file for the data-dependent "
+                                     "stages (adaptive / --optimize "
+                                     "pruning)")
+    explain_parser.add_argument("--json", action="store_true",
+                                help="print the report as JSON")
+    explain_parser.set_defaults(func=_cmd_explain)
 
     answer_parser = sub.add_parser("answer",
                                    help="compute certain answers")

@@ -1,0 +1,303 @@
+"""One client facade over every way to run the query pipeline.
+
+The library grew three front doors — an in-process
+:class:`~repro.service.service.OMQService`, the JSON/HTTP server of
+:mod:`repro.service.serve`, and bare sessions — each with its own call
+shape.  :class:`Client` unifies them behind one surface: the same
+``answer`` / ``explain`` / ``update`` / ``stats`` calls work whether
+the data lives in this process or behind a URL, always configured by
+one :class:`~repro.rewriting.plan.AnswerOptions` and always returning
+typed :class:`~repro.rewriting.plan.Answers`.
+
+Usage::
+
+    with Client.local() as client:                  # embedded service
+        client.register_dataset("demo", abox)
+        client.answer("demo", omq, method="lin")
+        client.explain(omq, method="lin")
+
+    with Client.connect("http://host:8080") as client:   # remote
+        client.answer("demo", omq)                  # same surface
+
+``Client.wrap(service)`` borrows an existing service (not closed with
+the client); text serialisation for the HTTP transport round-trips
+through the same ``TBox.parse`` / ``CQ.parse`` / ``ABox.parse`` syntax
+the CLI and test suite use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+from urllib import request as urllib_request
+from urllib.error import HTTPError
+
+from .data.abox import ABox
+from .ontology.tbox import TBox
+from .queries.cq import CQ
+from .rewriting.api import OMQ
+from .rewriting.plan import AnswerOptions, Answers
+
+GroundAtom = Tuple[str, Tuple[str, ...]]
+
+
+def tbox_to_text(tbox: TBox) -> str:
+    """``tbox`` in the ``TBox.parse`` surface syntax (round-trips:
+    the re-parsed ontology has the same fingerprint)."""
+    roles = sorted({role.name for role in tbox.roles})
+    lines = []
+    if roles:
+        lines.append("roles: " + ", ".join(roles))
+    lines.extend(str(axiom) for axiom in tbox.user_axioms)
+    return "\n".join(lines)
+
+
+def cq_to_text(cq: CQ) -> str:
+    """The CQ body in the ``CQ.parse`` surface syntax (answer
+    variables travel separately)."""
+    return ", ".join(str(atom) for atom in cq.atoms)
+
+
+def abox_to_text(abox: ABox) -> str:
+    """``abox`` in the ``ABox.parse`` surface syntax."""
+    return "\n".join(f"{predicate}({', '.join(args)})"
+                     for predicate, args in sorted(abox.atoms()))
+
+
+def _atom_texts(atoms: Iterable[GroundAtom]) -> List[str]:
+    return [f"{predicate}({', '.join(args)})" for predicate, args in atoms]
+
+
+class _ServiceTransport:
+    """The in-process transport: delegates to an ``OMQService``."""
+
+    def __init__(self, service, owned: bool):
+        self.service = service
+        self._owned = owned
+
+    def register_dataset(self, name: str, abox: ABox,
+                         replace: bool = False) -> None:
+        self.service.register_dataset(name, abox, replace=replace)
+
+    def register_tbox(self, name: str, tbox: TBox) -> None:
+        self.service.register_tbox(name, tbox)
+
+    def datasets(self) -> Tuple[str, ...]:
+        return self.service.datasets()
+
+    def answer(self, dataset: str, omq: OMQ,
+               options: AnswerOptions) -> Answers:
+        result = self.service.answer(dataset, omq, options=options)
+        return Answers(answers=result.answers,
+                       generated_tuples=result.generated_tuples,
+                       relation_sizes=dict(result.relation_sizes),
+                       seconds=result.seconds, engine=result.engine,
+                       method=result.method,
+                       plan_fingerprint=result.plan_fingerprint or "",
+                       cached_rewriting=result.cached_rewriting,
+                       timed_out=result.timed_out)
+
+    def explain(self, omq: OMQ, options: AnswerOptions,
+                dataset: Optional[str]) -> Dict[str, object]:
+        return self.service.explain(omq, options=options, dataset=dataset)
+
+    def update(self, dataset: str, inserts: Iterable[GroundAtom],
+               deletes: Iterable[GroundAtom]) -> Dict[str, object]:
+        return self.service.update(dataset, inserts=inserts,
+                                   deletes=deletes).as_dict()
+
+    def stats(self) -> Dict[str, object]:
+        return self.service.stats()
+
+    def close(self) -> None:
+        if self._owned:
+            self.service.close()
+
+
+class _HTTPTransport:
+    """The remote transport: speaks the ``repro serve`` JSON protocol."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- wire --------------------------------------------------------------
+
+    def _call(self, path: str, payload=None) -> Dict[str, object]:
+        url = f"{self.url}{path}"
+        if payload is None:
+            req = urllib_request.Request(url)
+        else:
+            req = urllib_request.Request(
+                url, data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"})
+        try:
+            with urllib_request.urlopen(req, timeout=self.timeout) as reply:
+                body = json.loads(reply.read().decode())
+        except HTTPError as error:
+            try:
+                message = json.loads(error.read().decode()).get(
+                    "error", str(error))
+            except Exception:
+                message = str(error)
+            raise ValueError(message) from None
+        return body
+
+    @staticmethod
+    def _request_payload(dataset: Optional[str], omq: OMQ,
+                         options: AnswerOptions) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "tbox_text": tbox_to_text(omq.tbox),
+            "query": cq_to_text(omq.query),
+            "answers": list(omq.query.answer_vars),
+            "options": options.as_dict(),
+        }
+        if dataset is not None:
+            payload["dataset"] = dataset
+        return payload
+
+    # -- surface -----------------------------------------------------------
+
+    def register_dataset(self, name: str, abox: ABox,
+                         replace: bool = False) -> None:
+        self._call("/datasets", {"name": name, "data": abox_to_text(abox),
+                                 "replace": replace})
+
+    def register_tbox(self, name: str, tbox: TBox) -> None:
+        self._call("/tboxes", {"name": name, "tbox": tbox_to_text(tbox)})
+
+    def datasets(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.stats().get("datasets", {})))
+
+    def answer(self, dataset: str, omq: OMQ,
+               options: AnswerOptions) -> Answers:
+        body = self._call("/answer",
+                          self._request_payload(dataset, omq, options))
+        return Answers(
+            answers=frozenset(tuple(row) for row in body["answers"]),
+            generated_tuples=int(body.get("generated_tuples", 0)),
+            seconds=float(body.get("seconds", 0.0)),
+            engine=body.get("engine") or "python",
+            method=body.get("method", options.method),
+            plan_fingerprint=body.get("plan_fingerprint", ""),
+            cached_rewriting=bool(body.get("cached_rewriting", False)),
+            timed_out=bool(body.get("timed_out", False)))
+
+    def explain(self, omq: OMQ, options: AnswerOptions,
+                dataset: Optional[str]) -> Dict[str, object]:
+        return self._call("/explain",
+                          self._request_payload(dataset, omq, options))
+
+    def update(self, dataset: str, inserts: Iterable[GroundAtom],
+               deletes: Iterable[GroundAtom]) -> Dict[str, object]:
+        return self._call("/update", {"dataset": dataset,
+                                      "insert": _atom_texts(inserts),
+                                      "delete": _atom_texts(deletes)})
+
+    def stats(self) -> Dict[str, object]:
+        return self._call("/stats")
+
+    def close(self) -> None:
+        pass
+
+
+class Client:
+    """The unified front door; see the module docstring.
+
+    Build one with :meth:`local` (embedded service, owned),
+    :meth:`wrap` (existing service, borrowed) or :meth:`connect`
+    (remote HTTP server).
+    """
+
+    def __init__(self, transport):
+        self._transport = transport
+
+    @classmethod
+    def local(cls, **service_kwargs) -> "Client":
+        """A client over a fresh embedded
+        :class:`~repro.service.service.OMQService` (closed with the
+        client); ``service_kwargs`` pass through (``cache_size``,
+        ``max_workers``, ``default_engine``)."""
+        from .service.service import OMQService
+
+        return cls(_ServiceTransport(OMQService(**service_kwargs),
+                                     owned=True))
+
+    @classmethod
+    def wrap(cls, service) -> "Client":
+        """A client borrowing an existing service (not closed with the
+        client)."""
+        return cls(_ServiceTransport(service, owned=False))
+
+    @classmethod
+    def connect(cls, url: str, timeout: float = 30.0) -> "Client":
+        """A client speaking the ``repro serve`` JSON protocol."""
+        return cls(_HTTPTransport(url, timeout=timeout))
+
+    # -- registration ------------------------------------------------------
+
+    def register_dataset(self, name: str, abox: ABox,
+                         replace: bool = False) -> None:
+        self._transport.register_dataset(name, abox, replace=replace)
+
+    def register_tbox(self, name: str, tbox: TBox) -> None:
+        self._transport.register_tbox(name, tbox)
+
+    def datasets(self) -> Tuple[str, ...]:
+        return self._transport.datasets()
+
+    # -- the pipeline ------------------------------------------------------
+
+    def answer(self, dataset: str, omq: OMQ, options=None,
+               **overrides) -> Answers:
+        """Certain answers to ``omq`` over the named dataset.
+
+        ``options`` / ``overrides`` build one
+        :class:`~repro.rewriting.plan.AnswerOptions` (e.g.
+        ``client.answer("demo", omq, method="tw", engine="sql")``).
+        """
+        options = AnswerOptions.coerce(options, **overrides)
+        return self._transport.answer(dataset, omq, options)
+
+    def explain(self, omq: OMQ, options=None, dataset: Optional[str] = None,
+                **overrides) -> Dict[str, object]:
+        """The :meth:`~repro.rewriting.plan.Plan.explain` report for
+        ``omq`` under the given options, without evaluating it.
+
+        ``dataset`` is only needed for the data-dependent stages
+        (``method="adaptive"`` or ``optimize=True``).
+        """
+        options = AnswerOptions.coerce(options, **overrides)
+        return self._transport.explain(omq, options, dataset)
+
+    # -- updates -----------------------------------------------------------
+
+    def update(self, dataset: str, inserts: Iterable[GroundAtom] = (),
+               deletes: Iterable[GroundAtom] = ()) -> Dict[str, object]:
+        """Incrementally mutate a dataset (deletions apply first)."""
+        return self._transport.update(dataset, inserts, deletes)
+
+    def insert_facts(self, dataset: str,
+                     atoms: Iterable[GroundAtom]) -> Dict[str, object]:
+        return self.update(dataset, inserts=atoms)
+
+    def delete_facts(self, dataset: str,
+                     atoms: Iterable[GroundAtom]) -> Dict[str, object]:
+        return self.update(dataset, deletes=atoms)
+
+    # -- stats and lifecycle -----------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return self._transport.stats()
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"Client({self._transport.__class__.__name__[1:]})"

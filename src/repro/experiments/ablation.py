@@ -22,6 +22,7 @@ from ..datalog.transform import skinny_transform
 from ..engine import PythonEngine
 from ..queries.cq import chain_cq
 from ..rewriting.api import OMQ, rewrite
+from ..rewriting.plan import compile_omq
 from .figure2 import SEQUENCES, example11_tbox
 
 
@@ -54,13 +55,12 @@ def splitting_comparison(abox: ABox, sizes: Sequence[int] = (5, 9, 13),
             query = chain_cq(labels[:atoms])
             omq = OMQ(tbox, query)
             for variant in ("lin", "log", "tw", "tw_star"):
-                ndl = rewrite(omq, method=variant)
-                start = time.perf_counter()
-                result = engine.evaluate(ndl)
-                elapsed = time.perf_counter() - start
+                plan = compile_omq(omq, method=variant)
+                answers = plan.execute(engine)
                 points.append(AblationPoint(
-                    sequence, atoms, variant, len(ndl), ndl.depth(),
-                    ndl.width(), elapsed, result.generated_tuples))
+                    sequence, atoms, variant, plan.rules, plan.depth,
+                    plan.width, answers.seconds,
+                    answers.generated_tuples))
     return points
 
 

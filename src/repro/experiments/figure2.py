@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..ontology.tbox import TBox
 from ..queries.cq import chain_cq
-from ..rewriting.api import OMQ, rewrite
+from ..rewriting.api import OMQ
+from ..rewriting.plan import compile_omq
 
 #: The three query sequences of Section 6 / Appendix D.1.
 SEQUENCES: Dict[str, str] = {
@@ -72,12 +73,13 @@ def rewriting_sizes(max_atoms: int = 15,
                     if algorithm == "perfectref":
                         from ..rewriting.perfectref import perfectref_rewrite
 
-                        ndl = perfectref_rewrite(
-                            tbox, query, max_cqs=perfectref_budget)
+                        clauses = len(perfectref_rewrite(
+                            tbox, query, max_cqs=perfectref_budget))
                     else:
-                        ndl = rewrite(omq, method=algorithm)
+                        clauses = compile_omq(omq,
+                                              method=algorithm).rules
                     points.append(
-                        SizePoint(name, atoms, algorithm, len(ndl)))
+                        SizePoint(name, atoms, algorithm, clauses))
                 except RuntimeError:
                     # exponential blow-up: the paper's "-" (timeout)
                     dead.add((name, algorithm))

@@ -8,11 +8,26 @@ from .adaptive import (
     answer_adaptive,
     estimate_cost,
 )
-from .api import ENGINES, METHODS, OMQ, AnswerSession, answer, rewrite
+from .api import (
+    ENGINES,
+    METHODS,
+    OMQ,
+    AnswerSession,
+    answer,
+    resolve_method,
+    rewrite,
+)
 from .lin import lin_rewrite
 from .log import log_rewrite
 from .pe_rewriter import pe_rewrite
 from .perfectref import perfectref_rewrite
+from .plan import (
+    Answers,
+    AnswerOptions,
+    Plan,
+    compile_omq,
+    format_explain,
+)
 from .presto import presto_rewrite
 from .tree_witness import TreeWitness, tree_witnesses
 from .tw import inline_single_use, splitting_vertex, tw_rewrite
@@ -20,16 +35,22 @@ from .ucq import ucq_rewrite
 
 __all__ = [
     "AdaptiveChoice",
+    "AnswerOptions",
+    "Answers",
     "AnswerSession",
     "DataStatistics",
     "ENGINES",
     "METHODS",
     "OMQ",
+    "Plan",
     "TreeWitness",
     "adaptive_rewrite",
     "answer",
     "answer_adaptive",
+    "compile_omq",
     "estimate_cost",
+    "format_explain",
+    "resolve_method",
     "inline_single_use",
     "lin_rewrite",
     "log_rewrite",

@@ -8,18 +8,35 @@ rewrite, then evaluate the NDL query over the data.
 loads a data instance once (per engine, per completion) and answers
 any number of OMQs against it — the shape of the paper's Tables 3-5
 experiments, where many rewritings run over one dataset.
+
+Both are thin wrappers over the compiled pipeline of
+:mod:`repro.rewriting.plan`: :meth:`AnswerSession.compile` (or
+:func:`repro.compile`) produces a reusable
+:class:`~repro.rewriting.plan.Plan`, and ``Plan.execute`` evaluates it
+over any session, ABox or loaded engine.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .plan import Answers
 
 from ..data.abox import ABox
-from ..datalog.evaluate import EvaluationResult
 from ..datalog.program import NDLQuery
 from ..engine import ENGINES, Engine, create_engine
+from ..ontology.tbox import TBox
 from ..queries.cq import CQ
 from .lin import lin_rewrite
 from .log import log_rewrite
@@ -36,7 +53,7 @@ METHODS = ("lin", "log", "tw", "tw_star", "ucq", "perfectref", "presto")
 class OMQ:
     """An ontology-mediated query ``Q(x) = (T, q(x))``."""
 
-    tbox: object
+    tbox: TBox
     query: CQ
 
     @property
@@ -69,8 +86,35 @@ class OMQ:
             return f"OMQ({depth}, {self.treewidth}, inf)"
         return f"OMQ(inf, {self.treewidth}, inf)"
 
+    def fingerprint(self) -> str:
+        """A stable hex digest, canonical up to variable renaming.
+
+        One code path (:func:`repro.fingerprint.omq_fingerprint`) is
+        shared with the :class:`~repro.service.cache.RewritingCache`
+        keys and :class:`~repro.rewriting.plan.Plan` fingerprints.
+        """
+        from ..fingerprint import omq_fingerprint
+
+        return omq_fingerprint(self)
+
     def __str__(self) -> str:
         return f"({self.tbox!r}, {self.query})"
+
+
+def resolve_method(omq: OMQ, method: str = "auto") -> str:
+    """The concrete rewriter ``auto`` resolves to for this OMQ: Lin for
+    bounded-depth tree-shaped CQs, Tw for infinite depth with
+    tree-shaped CQs, Log otherwise.  Non-``auto`` methods pass
+    through."""
+    if method != "auto":
+        return method
+    if omq.depth is not math.inf:
+        return "lin" if omq.query.is_tree_shaped else "log"
+    if omq.query.is_tree_shaped:
+        return "tw"
+    raise ValueError(
+        "no rewriter applies: infinite-depth ontology with a "
+        "non-tree-shaped CQ (OMQ answering is NP-hard there)")
 
 
 def rewrite(omq: OMQ, method: str = "auto",
@@ -79,21 +123,12 @@ def rewrite(omq: OMQ, method: str = "auto",
 
     ``method`` is one of ``auto``, ``lin``, ``log``, ``tw``, ``tw_star``,
     ``ucq``, ``perfectref``, ``presto``; ``auto`` picks the optimal
-    rewriter for the OMQ's tractable class (Lin for bounded-depth
-    tree-shaped CQs, Tw for infinite depth with tree-shaped CQs, Log
-    otherwise).  ``over`` selects complete vs arbitrary data instances
-    (``perfectref`` is always over arbitrary instances).
+    rewriter for the OMQ's tractable class (see
+    :func:`resolve_method`).  ``over`` selects complete vs arbitrary
+    data instances (``perfectref`` is always over arbitrary instances).
     """
     tbox, query = omq.tbox, omq.query
-    if method == "auto":
-        if omq.depth is not math.inf:
-            method = "lin" if query.is_tree_shaped else "log"
-        elif query.is_tree_shaped:
-            method = "tw"
-        else:
-            raise ValueError(
-                "no rewriter applies: infinite-depth ontology with a "
-                "non-tree-shaped CQ (OMQ answering is NP-hard there)")
+    method = resolve_method(omq, method)
     if method == "lin":
         return lin_rewrite(tbox, query, over=over)
     if method == "log":
@@ -200,54 +235,49 @@ class AnswerSession:
 
     # -- answering ---------------------------------------------------------
 
+    def compile(self, omq: OMQ, options=None, **overrides):
+        """Compile ``omq`` into a :class:`~repro.rewriting.plan.Plan`.
+
+        Data-independent plans go through the session's injected
+        rewriting cache (when set); the data-dependent stages
+        (``adaptive``, ``optimize``) compile against this session's
+        data variant and bypass it.
+        """
+        from .plan import AnswerOptions, compile_omq
+
+        options = AnswerOptions.coerce(options, **overrides)
+        data = None
+        if options.method == "adaptive":
+            data = self.completion(omq.tbox)
+        elif options.optimize:
+            raw = (options.method == "perfectref"
+                   or options.over == "arbitrary")
+            data = self.abox if raw else self.completion(omq.tbox)
+        return compile_omq(omq, options, data=data,
+                           cache=self.rewriting_cache)
+
     def answer(self, omq: OMQ, method: str = "auto",
                engine: Optional[str] = None,
                optimize_program: bool = False,
-               magic: bool = False) -> EvaluationResult:
+               magic: bool = False, options=None) -> "Answers":
         """Certain answers to ``omq``; same pipeline as :func:`answer`.
 
-        ``engine`` overrides the session default for this call only —
-        every engine keeps its own loaded copy of the data, so
-        cross-engine comparisons also amortise.
+        A thin wrapper over :meth:`compile` + ``Plan.execute``: pass an
+        :class:`~repro.rewriting.plan.AnswerOptions` via ``options``
+        (the legacy ``method``/``magic``/``optimize_program`` flags
+        build one).  ``engine`` overrides the session default for this
+        call only — every engine keeps its own loaded copy of the
+        data, so cross-engine comparisons also amortise.
         """
-        if method == "adaptive":
-            from .adaptive import adaptive_rewrite
+        from .plan import AnswerOptions
 
-            tbox = omq.tbox
-            ndl = adaptive_rewrite(omq, self.completion(tbox)).query
-        else:
-            tbox = None if method == "perfectref" else omq.tbox
-            cache = self.rewriting_cache
-            if cache is not None and not optimize_program:
-                # the cached program already includes the magic-sets
-                # stage (both are data-independent, so the key is just
-                # the OMQ fingerprint plus the flags)
-                ndl = cache.get_or_compute(
-                    cache.key(omq, method=method, magic=magic),
-                    lambda: self._rewritten(omq, method, magic))
-                return self.backend(engine, tbox).evaluate(ndl)
-            ndl = rewrite(omq, method=method)
-            if optimize_program:
-                from ..datalog.optimize import optimize
-
-                data = (self.abox if tbox is None
-                        else self.completion(tbox))
-                ndl = optimize(ndl, data)
-        if magic:
-            from ..datalog.magic import magic_transform
-
-            ndl = magic_transform(ndl).query
-        return self.backend(engine, tbox).evaluate(ndl)
-
-    @staticmethod
-    def _rewritten(omq: OMQ, method: str, magic: bool) -> NDLQuery:
-        """The data-independent rewriting pipeline (cache fill path)."""
-        ndl = rewrite(omq, method=method)
-        if magic:
-            from ..datalog.magic import magic_transform
-
-            ndl = magic_transform(ndl).query
-        return ndl
+        options = AnswerOptions.from_legacy(options, method=method,
+                                            magic=magic,
+                                            optimize=optimize_program)
+        plan = self.compile(omq, options)
+        # this request's options, not the (possibly cache-shared)
+        # plan's: execution knobs must never leak between requests
+        return plan.execute(self, engine=engine, options=options)
 
     # -- incremental updates -----------------------------------------------
 
@@ -312,7 +342,7 @@ class AnswerSession:
 
 def answer(omq: OMQ, abox: ABox, method: str = "auto",
            engine: str = "python", optimize_program: bool = False,
-           magic: bool = False) -> EvaluationResult:
+           magic: bool = False, options=None) -> "Answers":
     """Certain answers to ``omq`` over ``abox`` via rewriting.
 
     Rewrites over complete data instances and evaluates over the
@@ -320,7 +350,9 @@ def answer(omq: OMQ, abox: ABox, method: str = "auto",
     Section 2's completeness assumption); ``perfectref`` evaluates its
     arbitrary-instance rewriting over the raw data.
 
-    Optional pipeline stages (all answer-preserving):
+    Optional pipeline stages (all answer-preserving), bundled into an
+    :class:`~repro.rewriting.plan.AnswerOptions` (pass one via
+    ``options``, or use the legacy flags):
 
     * ``method="adaptive"`` picks the cheapest of the Section 3
       rewriters for this data via the Section 6 cost model;
@@ -333,9 +365,11 @@ def answer(omq: OMQ, abox: ABox, method: str = "auto",
       (``"sql-views"``).
 
     This is a thin wrapper creating a one-shot :class:`AnswerSession`;
-    use a session directly to answer several queries over one instance.
+    use a session directly to answer several queries over one
+    instance, or :func:`repro.compile` + ``Plan.execute`` to reuse one
+    compiled plan across many instances.
     """
     with AnswerSession(abox, engine=engine) as session:
         return session.answer(omq, method=method,
                               optimize_program=optimize_program,
-                              magic=magic)
+                              magic=magic, options=options)

@@ -1,0 +1,413 @@
+"""The compiled query pipeline: ``compile(omq, options) -> Plan``.
+
+The paper's central object is the pair "rewriting + evaluation":
+reduction (1) compiles an OMQ ``(T, q)`` into an NDL query once, and
+Tables 3-5 measure properties of that compiled artifact (size, width,
+depth) separately from evaluation time.  This module makes the
+separation explicit, the way mature query engines split *prepare* from
+*execute*:
+
+* :class:`AnswerOptions` — the one configuration object threaded
+  through every layer (sessions, service, HTTP, CLI, experiments)
+  instead of per-call ``method``/``magic``/``optimize``/``engine``
+  kwargs;
+* :func:`compile_omq` — run the data-independent pipeline (rewrite,
+  magic sets, optionally the data optimiser) once and freeze the
+  result;
+* :class:`Plan` — the frozen, fingerprintable compiled artifact:
+  introspection via :meth:`Plan.explain`, execution via
+  :meth:`Plan.execute` against any ABox, session or loaded engine;
+* :class:`Answers` — the typed execution result: answer tuples plus
+  timings and provenance (which plan, which engine, which method).
+
+Plans are reusable across datasets and engines: compile once, execute
+many — the :class:`~repro.service.cache.RewritingCache` stores plans
+keyed by canonical ``(tbox, cq, options)`` fingerprints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..data.abox import ABox
+from ..datalog.program import NDLQuery
+from ..engine import ENGINES, Engine
+from .api import METHODS, OMQ, AnswerSession, resolve_method, rewrite
+
+#: Everything :class:`AnswerOptions` accepts as a ``method`` — the
+#: Section 3 rewriters and baselines plus the two meta-strategies.
+OPTION_METHODS = ("auto", "adaptive") + METHODS
+
+_OVER = ("complete", "arbitrary")
+
+
+@dataclass(frozen=True)
+class AnswerOptions:
+    """Configuration of the answering pipeline, one object for every
+    layer.
+
+    ``method``, ``magic``, ``optimize`` and ``over`` select the
+    *compile*-time pipeline (they shape the NDL program and therefore
+    partition plan-cache keys); ``engine`` and ``timeout`` are
+    *execution*-time knobs (they never partition the cache).
+
+    ``timeout`` is a soft per-evaluation budget in seconds, enforced
+    the way the paper's experiments enforce theirs: the evaluation
+    runs to completion and the result is flagged
+    :attr:`Answers.timed_out` when it overran (callers like the
+    Tables 3-5 harness then skip larger instances).
+    """
+
+    method: str = "auto"
+    magic: bool = False
+    optimize: bool = False
+    engine: Optional[str] = None
+    timeout: Optional[float] = None
+    over: str = "complete"
+
+    def __post_init__(self):
+        if self.method not in OPTION_METHODS:
+            raise ValueError(f"unknown rewriting method {self.method!r}; "
+                             f"expected one of {OPTION_METHODS}")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"expected one of {ENGINES}")
+        if self.over not in _OVER:
+            raise ValueError(f"over must be one of {_OVER}, "
+                             f"got {self.over!r}")
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError("timeout must be non-negative")
+
+    @classmethod
+    def from_legacy(cls, options=None, method: str = "auto",
+                    magic: bool = False, optimize: bool = False,
+                    engine: Optional[str] = None) -> "AnswerOptions":
+        """The one fallback from legacy per-call flags to options.
+
+        With ``options`` set the flags are ignored except ``engine``,
+        which overrides as the explicit per-call knob it always was;
+        without it the flags build the options.  Shared by
+        ``AnswerSession.answer``, ``OMQService.answer`` and
+        ``BatchRequest`` so the semantics cannot drift.
+        """
+        if options is not None:
+            return cls.coerce(options, engine=engine)
+        return cls(method=method, magic=magic, optimize=optimize,
+                   engine=engine)
+
+    @classmethod
+    def coerce(cls, value=None, **overrides) -> "AnswerOptions":
+        """An :class:`AnswerOptions` from ``None``, a mapping or an
+        existing instance, with keyword overrides applied on top."""
+        if value is None:
+            options = cls()
+        elif isinstance(value, cls):
+            options = value
+        elif isinstance(value, Mapping):
+            unknown = set(value) - {f.name for f in dataclasses.fields(cls)}
+            if unknown:
+                raise ValueError(
+                    f"unknown answer option(s): {sorted(unknown)}")
+            options = cls(**value)
+        else:
+            raise TypeError("options must be an AnswerOptions, a mapping "
+                            f"or None, got {type(value).__name__}")
+        overrides = {key: value for key, value in overrides.items()
+                     if value is not None}
+        return options.replace(**overrides) if overrides else options
+
+    def replace(self, **changes) -> "AnswerOptions":
+        """A copy with the given fields changed (validated again)."""
+        return dataclasses.replace(self, **changes)
+
+    def rewrite_fingerprint(self) -> Tuple:
+        """The compile-relevant subset, as hashed into plan-cache keys.
+
+        ``engine`` and ``timeout`` are deliberately excluded: they do
+        not change the compiled program, and including them would
+        fragment the cache (one compiled plan serves every engine).
+        """
+        return (self.method, bool(self.magic), bool(self.optimize),
+                self.over)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @property
+    def data_dependent(self) -> bool:
+        """Whether compilation needs a data instance (and the plan is
+        therefore specialised to it and bypasses the shared cache)."""
+        return self.method == "adaptive" or self.optimize
+
+
+@dataclass(frozen=True)
+class Answers:
+    """The result of executing a :class:`Plan`: certain answers plus
+    timings and provenance.
+
+    Field-compatible with the engine layer's
+    :class:`~repro.datalog.evaluate.EvaluationResult` (``answers``,
+    ``generated_tuples``, ``relation_sizes``), so legacy callers keep
+    working; on top it records which plan produced it and how.
+    """
+
+    answers: FrozenSet[Tuple[str, ...]]
+    generated_tuples: int = 0
+    relation_sizes: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+    engine: str = "python"
+    method: str = "auto"
+    plan_fingerprint: str = ""
+    cached_rewriting: bool = False
+    timed_out: bool = False
+
+    def __iter__(self):
+        return iter(self.answers)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __contains__(self, row) -> bool:
+        return row in self.answers
+
+    def sorted(self):
+        """The answer tuples in sorted order (for stable printing)."""
+        return sorted(self.answers)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A compiled OMQ: the frozen output of :func:`compile_omq`.
+
+    Carries the NDL rewriting plus everything needed to introspect
+    (:meth:`explain`) and run (:meth:`execute`) it.  Plans are
+    immutable and safe to share across threads, datasets and engines;
+    the :class:`~repro.service.cache.RewritingCache` stores them keyed
+    by canonical fingerprints, so a plan handed out for one OMQ may
+    legitimately answer a renamed-but-isomorphic one.
+    """
+
+    omq: OMQ
+    options: AnswerOptions
+    ndl: NDLQuery
+    #: The concretely chosen rewriter (``auto``/``adaptive`` resolved).
+    method: str
+    #: Per-stage compile timings in seconds (``rewrite``, ``magic``,
+    #: ``optimize`` — only the stages that ran).
+    timings: Mapping[str, float] = field(default_factory=dict)
+    #: True when compilation consulted a data instance (``adaptive``
+    #: method or the ``optimize`` stage with data): the plan is then
+    #: specialised to that instance's signature.
+    data_bound: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "timings",
+                           MappingProxyType(dict(self.timings)))
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable hex digest of (OMQ up to renaming, compile options)."""
+        text = (f"{self.omq.fingerprint()}\n"
+                f"{self.options.rewrite_fingerprint()!r}")
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def rules(self) -> int:
+        """Clause count of the rewriting (the paper's size measure)."""
+        return len(self.ndl)
+
+    @property
+    def width(self) -> int:
+        return self.ndl.width()
+
+    @property
+    def depth(self) -> int:
+        return self.ndl.depth()
+
+    def explain(self) -> Dict[str, object]:
+        """The plan report: what was compiled, how, and how big it is.
+
+        JSON-serialisable — the CLI ``explain`` subcommand and the HTTP
+        ``/explain`` endpoint return exactly this dict.
+        """
+        return {
+            "fingerprint": self.fingerprint,
+            "omq_class": self.omq.omq_class(),
+            "method_requested": self.options.method,
+            "method": self.method,
+            "magic": self.options.magic,
+            "optimize": self.options.optimize,
+            "over": self.options.over,
+            "engine": self.options.engine,
+            "timeout": self.options.timeout,
+            "data_bound": self.data_bound,
+            "goal": self.ndl.goal,
+            "answer_vars": list(self.ndl.answer_vars),
+            "rules": self.rules,
+            "width": self.width,
+            "depth": self.depth,
+            "compile_seconds": round(sum(self.timings.values()), 6),
+            "stages": {stage: round(seconds, 6)
+                       for stage, seconds in self.timings.items()},
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def _variant_tbox(self):
+        """The completion variant the plan evaluates over: ``None``
+        selects the raw data (arbitrary-instance rewritings)."""
+        if self.method == "perfectref" or self.options.over == "arbitrary":
+            return None
+        return self.omq.tbox
+
+    def execute(self, data, engine: Optional[str] = None,
+                options: Optional[AnswerOptions] = None) -> Answers:
+        """Run the plan and return typed :class:`Answers`.
+
+        ``data`` may be
+
+        * an :class:`~repro.rewriting.api.AnswerSession` — the backend
+          for the right data variant (raw vs completed) is reused;
+        * an :class:`~repro.engine.backends.Engine` — evaluated as-is
+          (the caller owns the completion, as the experiment harnesses
+          do);
+        * an :class:`~repro.data.abox.ABox` — a one-shot session is
+          created and closed around the call.
+
+        Execution knobs resolve caller-first: ``engine`` beats
+        ``options.engine`` beats the plan's own compile-time options.
+        ``options`` matters when the plan came out of a shared cache —
+        cache keys deliberately ignore engine/timeout, so the *first*
+        compiler's knobs must never leak into later requests; callers
+        holding a request-level :class:`AnswerOptions` (sessions, the
+        service) pass it here.
+        """
+        effective = self.options if options is None else options
+        if isinstance(data, ABox):
+            name = engine or effective.engine or "python"
+            with AnswerSession(data, engine=name) as session:
+                return self.execute(session, engine=name, options=options)
+        if isinstance(data, Engine):
+            return self._finish(data.evaluate, data.name, effective)
+        if isinstance(data, AnswerSession):
+            name = engine or effective.engine or data.engine
+            backend = data.backend(name, self._variant_tbox())
+            return self._finish(backend.evaluate, name, effective)
+        raise TypeError("Plan.execute expects an ABox, AnswerSession or "
+                        f"Engine, got {type(data).__name__}")
+
+    def _finish(self, evaluate, engine_name: str,
+                options: AnswerOptions) -> Answers:
+        started = time.perf_counter()
+        result = evaluate(self.ndl)
+        elapsed = time.perf_counter() - started
+        timeout = options.timeout
+        return Answers(answers=result.answers,
+                       generated_tuples=result.generated_tuples,
+                       relation_sizes=dict(result.relation_sizes),
+                       seconds=elapsed, engine=engine_name,
+                       method=self.method,
+                       plan_fingerprint=self.fingerprint,
+                       timed_out=timeout is not None and elapsed > timeout)
+
+    def __repr__(self) -> str:
+        return (f"Plan(method={self.method!r}, rules={self.rules}, "
+                f"width={self.width}, depth={self.depth}, "
+                f"fingerprint={self.fingerprint[:12]!r})")
+
+
+def compile_omq(omq: OMQ, options=None, *, data=None, cache=None,
+                **overrides) -> Plan:
+    """Compile an OMQ into a reusable :class:`Plan`.
+
+    The prepare half of the pipeline: rewrite (per
+    ``options.method``), then magic sets (``options.magic``), then the
+    Appendix D.4 optimiser (``options.optimize``).  ``options`` may be
+    an :class:`AnswerOptions`, a mapping or ``None``; field overrides
+    can be given directly (``compile_omq(omq, method="lin")``).
+
+    ``data`` (an ABox) is only consulted by the data-dependent stages:
+    the ``adaptive`` method costs its candidates against it (pass the
+    *completion* the plan will run over — sessions do) and the
+    optimiser prunes empty predicates with it.  ``adaptive`` without
+    data is an error; ``optimize`` without data still deduplicates and
+    inlines, it just cannot prune.
+
+    ``cache`` is an optional :class:`~repro.service.cache.RewritingCache`;
+    data-independent plans are fetched from / stored into it keyed by
+    canonical ``(tbox, cq, options)`` fingerprints.  Data-dependent
+    plans bypass it (they are specialised to one instance).
+    """
+    options = AnswerOptions.coerce(options, **overrides)
+    if cache is not None and not options.data_dependent:
+        return cache.get_or_compute(
+            cache.key(omq, options),
+            lambda: _compile(omq, options, data))
+    return _compile(omq, options, data)
+
+
+def _compile(omq: OMQ, options: AnswerOptions, data) -> Plan:
+    timings: Dict[str, float] = {}
+    data_bound = False
+    started = time.perf_counter()
+    if options.method == "adaptive":
+        if data is None:
+            raise ValueError("method='adaptive' needs a data instance to "
+                             "cost its candidates; pass data=<completed "
+                             "ABox> (or compile through a session)")
+        from .adaptive import adaptive_rewrite
+
+        choice = adaptive_rewrite(omq, data, over=options.over)
+        method, ndl = choice.method, choice.query
+        data_bound = True
+    else:
+        method = resolve_method(omq, options.method)
+        ndl = rewrite(omq, method=method, over=options.over)
+    timings["rewrite"] = time.perf_counter() - started
+
+    if options.optimize and options.method != "adaptive":
+        # adaptive already optimises its candidates before costing them
+        from ..datalog.optimize import optimize
+
+        started = time.perf_counter()
+        ndl = optimize(ndl, data)
+        timings["optimize"] = time.perf_counter() - started
+        data_bound = data_bound or data is not None
+
+    if options.magic:
+        from ..datalog.magic import magic_transform
+
+        started = time.perf_counter()
+        ndl = magic_transform(ndl).query
+        timings["magic"] = time.perf_counter() - started
+
+    return Plan(omq=omq, options=options, ndl=ndl, method=method,
+                timings=timings, data_bound=data_bound)
+
+
+def format_explain(report: Mapping[str, object]) -> str:
+    """Render a :meth:`Plan.explain` report as aligned text (the CLI's
+    non-JSON output)."""
+    lines = []
+    order = ("omq_class", "method_requested", "method", "magic",
+             "optimize", "over", "engine", "timeout", "data_bound",
+             "goal", "answer_vars", "rules", "width", "depth",
+             "compile_seconds", "fingerprint")
+    for key in order:
+        if key not in report:
+            continue
+        value = report[key]
+        if key == "answer_vars":
+            value = ", ".join(value) if value else "(boolean)"
+        lines.append(f"{key.replace('_', ' '):17} {value}")
+    stages = report.get("stages") or {}
+    for stage, seconds in stages.items():
+        lines.append(f"{'  stage ' + stage:17} {seconds}s")
+    return "\n".join(lines)

@@ -4,9 +4,10 @@ PR 1's :class:`~repro.rewriting.api.AnswerSession` amortises *data*
 loading within one session; this subsystem amortises the remaining
 per-request costs *across* requests and sessions:
 
-* :mod:`repro.service.cache` — an LRU cache of NDL rewritings keyed by
-  a canonical fingerprint of (TBox, CQ up to variable renaming,
-  method, flags), so a repeated query never pays rewriting again;
+* :mod:`repro.service.cache` — an LRU cache of compiled
+  :class:`~repro.rewriting.plan.Plan` objects keyed by a canonical
+  fingerprint of (TBox, CQ up to variable renaming, compile options),
+  so a repeated query never pays compilation again;
 * :mod:`repro.service.service` — :class:`OMQService`, a thread-safe
   front door over named datasets with pooled ``AnswerSession``s,
   batch answering with in-batch deduplication and a shared cache;

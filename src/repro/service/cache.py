@@ -1,142 +1,41 @@
-"""An LRU cache of NDL rewritings keyed by canonical OMQ fingerprints.
+"""An LRU cache of compiled plans keyed by canonical OMQ fingerprints.
 
-Rewriting dominates the cost of a repeat query (the data side is
-already amortised by :class:`~repro.rewriting.api.AnswerSession`), and
-a serving workload repeats queries constantly — often under different
-variable names, since clients generate them.  The cache therefore keys
-entries by a *canonical* fingerprint: two OMQs that differ only by a
-bijective renaming of query variables (answer tuple order preserved)
-hash to the same key, and the cached NDL program answers both — NDL
+Compilation (rewriting + magic sets) dominates the cost of a repeat
+query (the data side is already amortised by
+:class:`~repro.rewriting.api.AnswerSession`), and a serving workload
+repeats queries constantly — often under different variable names,
+since clients generate them.  The cache therefore keys entries by the
+*canonical* fingerprints of :mod:`repro.fingerprint`: two OMQs that
+differ only by a bijective renaming of query variables (answer tuple
+order preserved) hash to the same ``(tbox, cq, options)`` key, and the
+cached :class:`~repro.rewriting.plan.Plan` answers both — NDL
 evaluation returns constant tuples positioned by the answer tuple,
 which renaming does not move.
 
-Cached programs are data-independent (rewriting + optional magic
-sets), so data updates never invalidate the cache; the data-dependent
-stages (``optimize_program``, ``adaptive``) bypass it.
+Keys take an :class:`~repro.rewriting.plan.AnswerOptions` and use only
+its compile-relevant subset (method, magic, optimize, over) — the
+execution knobs (engine, timeout) never partition the cache, so the
+hit-rate is independent of how clients evaluate.  Cached plans are
+data-independent, so data updates never invalidate the cache; the
+data-dependent stages (``optimize``, ``adaptive``) bypass it.
 """
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from itertools import permutations, product
-from math import factorial
-from typing import Callable, Dict, Iterable, List, Tuple
-from weakref import WeakKeyDictionary
+from typing import Callable, Dict, Tuple
 
-from ..queries.cq import CQ
-
-#: Ceiling on the candidate variable orderings tried while
-#: canonicalising a CQ.  Queries whose existential variables form
-#: larger symmetric groups fall back to a name-dependent (still
-#: deterministic and collision-free) ordering: isomorphic variants may
-#: then miss each other in the cache, but never alias distinct queries.
-PERMUTATION_LIMIT = 720
-
-_tbox_fingerprints: "WeakKeyDictionary" = WeakKeyDictionary()
-_tbox_lock = threading.Lock()
-
-
-def tbox_fingerprint(tbox) -> str:
-    """A digest of the ontology's user axioms (order-insensitive)."""
-    with _tbox_lock:
-        cached = _tbox_fingerprints.get(tbox)
-        if cached is None:
-            text = "\n".join(sorted(str(axiom)
-                                    for axiom in tbox.user_axioms))
-            cached = hashlib.sha256(text.encode()).hexdigest()
-            _tbox_fingerprints[tbox] = cached
-        return cached
-
-
-def _signature(cq: CQ, var: str, answer_codes: Dict[str, int]) -> Tuple:
-    """A renaming-invariant local description of ``var``.
-
-    Two variables with different signatures cannot be exchanged by any
-    isomorphism fixing the answer tuple, so signatures both order the
-    canonical search and prune its permutation space.
-    """
-    items: List[Tuple] = []
-    for atom in cq.atoms:
-        if var not in atom.args:
-            continue
-        description = tuple(
-            ("a", answer_codes[arg]) if arg in answer_codes
-            else ("self",) if arg == var else ("e",)
-            for arg in atom.args)
-        items.append((atom.predicate, description))
-    return tuple(sorted(items))
-
-
-def _encode(cq: CQ, codes: Dict[str, int]) -> Tuple:
-    atoms = tuple(sorted(
-        (atom.predicate, tuple(codes[arg] for arg in atom.args))
-        for atom in cq.atoms))
-    return (tuple(codes[v] for v in cq.answer_vars), atoms)
-
-
-_cq_fingerprints: "WeakKeyDictionary" = WeakKeyDictionary()
-_cq_lock = threading.Lock()
-
-
-def cq_fingerprint(cq: CQ) -> Tuple:
-    """A canonical encoding of ``cq`` up to variable renaming.
-
-    Answer variables are pinned in answer-tuple order; existential
-    variables are assigned the remaining codes by the lexicographically
-    smallest resulting encoding (searched within signature classes,
-    capped by :data:`PERMUTATION_LIMIT`).  Equal fingerprints imply the
-    queries are isomorphic — the encoding contains the full atom set,
-    so distinct queries can never collide.
-
-    Memoised per CQ object (the canonical search is the expensive
-    part, and a serving request fingerprints the same CQ more than
-    once: the cache-hit probe, then the key of the cache lookup).
-    """
-    with _cq_lock:
-        cached = _cq_fingerprints.get(cq)
-    if cached is not None:
-        return cached
-    fingerprint = _cq_fingerprint(cq)
-    with _cq_lock:
-        _cq_fingerprints[cq] = fingerprint
-    return fingerprint
-
-
-def _cq_fingerprint(cq: CQ) -> Tuple:
-    answer_codes: Dict[str, int] = {}
-    for var in cq.answer_vars:
-        answer_codes.setdefault(var, len(answer_codes))
-    evars = sorted(v for v in cq.variables if v not in answer_codes)
-    if not evars:
-        return _encode(cq, answer_codes)
-    groups: Dict[Tuple, List[str]] = {}
-    for var in evars:
-        groups.setdefault(_signature(cq, var, answer_codes),
-                          []).append(var)
-    ordered_groups = [groups[s] for s in sorted(groups)]
-    candidates = 1
-    for group in ordered_groups:
-        candidates *= factorial(len(group))
-    base = len(answer_codes)
-
-    def encode_order(order: Iterable[str]) -> Tuple:
-        codes = dict(answer_codes)
-        for offset, var in enumerate(order):
-            codes[var] = base + offset
-        return _encode(cq, codes)
-
-    if candidates > PERMUTATION_LIMIT:
-        return encode_order(v for group in ordered_groups
-                            for v in sorted(group))
-    best = None
-    for combo in product(*(permutations(g) for g in ordered_groups)):
-        encoded = encode_order(v for group in combo for v in group)
-        if best is None or encoded < best:
-            best = encoded
-    return best
+# Re-exported for backwards compatibility: the canonical fingerprint
+# implementation moved to :mod:`repro.fingerprint` (one code path for
+# the cache, ``OMQ.fingerprint()`` and ``Plan.fingerprint``).
+from ..fingerprint import (  # noqa: F401  (re-exports)
+    PERMUTATION_LIMIT,
+    cq_fingerprint,
+    omq_fingerprint,
+    tbox_fingerprint,
+)
 
 
 @dataclass
@@ -162,7 +61,7 @@ class CacheStats:
 
 
 class RewritingCache:
-    """A thread-safe LRU cache from OMQ fingerprints to NDL queries."""
+    """A thread-safe LRU cache from OMQ fingerprints to compiled plans."""
 
     def __init__(self, maxsize: int = 256):
         if maxsize < 1:
@@ -174,13 +73,23 @@ class RewritingCache:
         self._misses = 0
         self._evictions = 0
 
-    def key(self, omq, method: str = "auto", magic: bool = False) -> Tuple:
-        """The cache key of ``omq`` under the given pipeline flags."""
+    def key(self, omq, options=None, method: str = "auto",
+            magic: bool = False) -> Tuple:
+        """The ``(tbox-fp, cq-fp, options-fp)`` cache key of ``omq``.
+
+        Pass an :class:`~repro.rewriting.plan.AnswerOptions` (or give
+        the legacy ``method``/``magic`` flags, which build one); only
+        the compile-relevant options partition keys.
+        """
+        from ..rewriting.plan import AnswerOptions
+
+        if options is None:
+            options = AnswerOptions(method=method, magic=magic)
         return (tbox_fingerprint(omq.tbox), cq_fingerprint(omq.query),
-                method, bool(magic))
+                options.rewrite_fingerprint())
 
     def get(self, key: Tuple):
-        """The cached program for ``key`` (``None`` on a miss)."""
+        """The cached plan for ``key`` (``None`` on a miss)."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:

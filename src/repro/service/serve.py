@@ -10,6 +10,8 @@ data use the same surface syntax as the CLI and test suite:
 ``POST /datasets``           ``{"name": ..., "data": "<ABox text>"}``
 ``POST /tboxes``             ``{"name": ..., "tbox": "<TBox text>"}``
 ``POST /answer``             one request (see below)
+``POST /explain``            a request minus ``dataset`` (optional):
+                             the compiled plan's report
 ``POST /batch``              ``{"requests": [<request>, ...]}``
 ``POST /update``             ``{"dataset": ..., "insert": ["R(a,b)",
                              ...], "delete": [...]}``
@@ -21,6 +23,15 @@ registered name, ``"tbox_text"`` inline TBox text (inline text in
 
     {"dataset": "demo", "tbox": "uni", "query": "R(x,y), S(y,z)",
      "answers": ["x"], "method": "auto", "engine": "python"}
+
+Pipeline configuration may also travel as one ``"options"`` object
+(the JSON form of :class:`~repro.rewriting.plan.AnswerOptions` —
+``{"method": ..., "magic": ..., "optimize": ..., "engine": ...,
+"timeout": ..., "over": ...}``); flat legacy keys override its
+fields.  ``POST /explain`` takes the same request shape and returns
+the compiled plan's :meth:`~repro.rewriting.plan.Plan.explain` report
+without evaluating it (``dataset`` is only required for the
+data-dependent ``adaptive``/``optimize`` stages).
 
 Responses are ``{"answers": [[...], ...], "seconds": ...,
 "cached_rewriting": ...}`` with the answer tuples sorted.  Errors come
@@ -41,6 +52,7 @@ from ..engine import ENGINES
 from ..ontology import TBox
 from ..queries import CQ
 from ..rewriting.api import OMQ
+from ..rewriting.plan import AnswerOptions
 from .service import BatchRequest, OMQService
 
 
@@ -119,23 +131,41 @@ class _Handler(BaseHTTPRequestHandler):
                 raise
         return service.intern_tbox(TBox.parse(spec))
 
-    def _request(self, payload: Dict) -> BatchRequest:
-        dataset = payload.get("dataset")
-        if not dataset:
-            raise ValueError("missing 'dataset'")
-        query = payload.get("query")
-        if not query or not isinstance(query, str):
-            raise ValueError("'query' must be a non-empty string")
-        cq = CQ.parse(query, answer_vars=_answer_vars(payload.get("answers")))
+    @staticmethod
+    def _options(payload: Dict) -> AnswerOptions:
+        """The request's :class:`AnswerOptions`: an ``"options"``
+        object, with the legacy flat keys (``method``, ``engine``,
+        ``magic``, ``optimize``) applied on top."""
+        raw = payload.get("options")
+        if raw is not None and not isinstance(raw, dict):
+            raise ValueError("'options' must be a JSON object")
         engine = payload.get("engine")
         if engine is not None and engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; "
                              f"expected one of {ENGINES}")
-        return BatchRequest(
-            dataset=dataset, omq=OMQ(self._tbox(payload), cq),
-            method=payload.get("method", "auto"), engine=engine,
-            magic=bool(payload.get("magic", False)),
-            optimize_program=bool(payload.get("optimize", False)))
+        overrides: Dict[str, object] = {
+            "method": payload.get("method"), "engine": engine,
+            "timeout": payload.get("timeout")}
+        if "magic" in payload:
+            overrides["magic"] = bool(payload["magic"])
+        if "optimize" in payload:
+            overrides["optimize"] = bool(payload["optimize"])
+        return AnswerOptions.coerce(raw, **overrides)
+
+    def _omq(self, payload: Dict) -> OMQ:
+        query = payload.get("query")
+        if not query or not isinstance(query, str):
+            raise ValueError("'query' must be a non-empty string")
+        cq = CQ.parse(query, answer_vars=_answer_vars(payload.get("answers")))
+        return OMQ(self._tbox(payload), cq)
+
+    def _request(self, payload: Dict) -> BatchRequest:
+        dataset = payload.get("dataset")
+        if not dataset:
+            raise ValueError("missing 'dataset'")
+        options = self._options(payload)
+        return BatchRequest(dataset=dataset, omq=self._omq(payload),
+                            engine=options.engine, options=options)
 
     @staticmethod
     def _result_payload(result) -> Dict:
@@ -145,7 +175,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "engine": result.engine,
                 "seconds": round(result.seconds, 6),
                 "cached_rewriting": result.cached_rewriting,
-                "generated_tuples": result.generated_tuples}
+                "generated_tuples": result.generated_tuples,
+                "plan_fingerprint": result.plan_fingerprint,
+                "timed_out": result.timed_out}
 
     # -- verbs ---------------------------------------------------------------
 
@@ -181,11 +213,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send({"registered": name}, 201)
             elif self.path == "/answer":
                 request = self._request(payload)
-                result = service.answer(
-                    request.dataset, request.omq, method=request.method,
-                    engine=request.engine, magic=request.magic,
-                    optimize_program=request.optimize_program)
+                result = service.answer(request.dataset, request.omq,
+                                        options=request.options)
                 self._send(self._result_payload(result))
+            elif self.path == "/explain":
+                report = service.explain(self._omq(payload),
+                                         options=self._options(payload),
+                                         dataset=payload.get("dataset"))
+                self._send(report)
             elif self.path == "/batch":
                 raw = payload.get("requests")
                 if not isinstance(raw, list) or not raw:

@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 from ..data.abox import ABox, GroundAtom
 from ..engine import ENGINES
 from ..rewriting.api import OMQ, AnswerSession
+from ..rewriting.plan import AnswerOptions
 from .cache import RewritingCache, tbox_fingerprint
 from .updates import UpdateResult, apply_update
 
@@ -166,7 +167,12 @@ class _Dataset:
 
 @dataclass(frozen=True)
 class BatchRequest:
-    """One entry of :meth:`OMQService.answer_batch`."""
+    """One entry of :meth:`OMQService.answer_batch`.
+
+    Pass an :class:`~repro.rewriting.plan.AnswerOptions` via
+    ``options``; the legacy ``method``/``magic``/``optimize_program``
+    flags build one when it is absent.
+    """
 
     dataset: str
     omq: OMQ
@@ -174,6 +180,13 @@ class BatchRequest:
     engine: Optional[str] = None
     magic: bool = False
     optimize_program: bool = False
+    options: Optional[AnswerOptions] = None
+
+    def answer_options(self) -> AnswerOptions:
+        """The request's options (built from the flags when unset)."""
+        return AnswerOptions.from_legacy(
+            self.options, method=self.method, magic=self.magic,
+            optimize=self.optimize_program, engine=self.engine)
 
 
 @dataclass
@@ -188,6 +201,8 @@ class ServiceResult:
     cached_rewriting: bool
     generated_tuples: int = 0
     relation_sizes: Dict[str, int] = field(default_factory=dict)
+    plan_fingerprint: str = ""
+    timed_out: bool = False
 
     def __iter__(self):
         return iter(self.answers)
@@ -328,30 +343,36 @@ class OMQService:
 
     def answer(self, dataset: str, omq: OMQ, method: str = "auto",
                engine: Optional[str] = None, magic: bool = False,
-               optimize_program: bool = False) -> ServiceResult:
-        """Certain answers to ``omq`` over the named dataset."""
+               optimize_program: bool = False,
+               options: Optional[AnswerOptions] = None) -> ServiceResult:
+        """Certain answers to ``omq`` over the named dataset.
+
+        Configure the pipeline with one
+        :class:`~repro.rewriting.plan.AnswerOptions` via ``options``
+        (the legacy flags build one when it is absent; an explicit
+        ``engine`` argument overrides ``options.engine``).
+        """
+        options = AnswerOptions.from_legacy(options, method=method,
+                                            magic=magic,
+                                            optimize=optimize_program,
+                                            engine=engine)
         state = self._acquire_read(dataset)
         try:
-            return self._answer_locked(state, omq, method, engine, magic,
-                                       optimize_program)
+            return self._answer_locked(state, omq, options)
         finally:
             state.lock.release_read()
 
-    def _answer_locked(self, state: _Dataset, omq: OMQ, method: str,
-                       engine: Optional[str], magic: bool,
-                       optimize_program: bool) -> ServiceResult:
+    def _answer_locked(self, state: _Dataset, omq: OMQ,
+                       options: AnswerOptions) -> ServiceResult:
         omq = self._canonical_omq(omq)
-        engine_name = engine or self.default_engine
-        cacheable = method != "adaptive" and not optimize_program
-        was_cached = cacheable and self.cache.contains(
-            self.cache.key(omq, method=method, magic=magic))
+        engine_name = options.engine or self.default_engine
+        was_cached = (not options.data_dependent
+                      and self.cache.contains(self.cache.key(omq, options)))
         pool = state.pool(engine_name)
         session = pool.checkout()
         start = time.perf_counter()
         try:
-            result = session.answer(omq, method=method,
-                                    optimize_program=optimize_program,
-                                    magic=magic)
+            result = session.answer(omq, options=options)
         finally:
             pool.checkin(session)
         elapsed = time.perf_counter() - start
@@ -359,10 +380,12 @@ class OMQService:
             self._requests += 1
         state.requests += 1
         return ServiceResult(answers=result.answers, dataset=state.name,
-                             method=method, engine=engine_name,
+                             method=options.method, engine=engine_name,
                              seconds=elapsed, cached_rewriting=was_cached,
                              generated_tuples=result.generated_tuples,
-                             relation_sizes=dict(result.relation_sizes))
+                             relation_sizes=dict(result.relation_sizes),
+                             plan_fingerprint=result.plan_fingerprint,
+                             timed_out=result.timed_out)
 
     def answer_batch(self, requests: Sequence[BatchRequest]
                      ) -> List[ServiceResult]:
@@ -378,14 +401,18 @@ class OMQService:
                     else BatchRequest(**request) for request in requests]
         canonical = [self._canonical_omq(request.omq)
                      for request in requests]
+        all_options = [request.answer_options() for request in requests]
         names = sorted({request.dataset for request in requests})
         unique: Dict[Tuple, List[int]] = {}
-        for position, (request, omq) in enumerate(zip(requests, canonical)):
-            engine_name = request.engine or self.default_engine
-            key = (request.dataset, engine_name,
-                   self.cache.key(omq, method=request.method,
-                                  magic=request.magic),
-                   request.optimize_program)
+        for position, (request, omq, options) in enumerate(
+                zip(requests, canonical, all_options)):
+            engine_name = options.engine or self.default_engine
+            # the cache key folds in every compile-relevant option
+            # (method, magic, optimize, over); timeout is execution-
+            # only but shapes the shared result's timed_out flag, so
+            # it must partition the dedup (never the plan cache)
+            key = (request.dataset, engine_name, options.timeout,
+                   self.cache.key(omq, options))
             unique.setdefault(key, []).append(position)
 
         states: Dict[str, _Dataset] = {}
@@ -404,8 +431,7 @@ class OMQService:
                 request = requests[positions[0]]
                 return self._answer_locked(
                     states[request.dataset], canonical[positions[0]],
-                    request.method, request.engine, request.magic,
-                    request.optimize_program)
+                    all_options[positions[0]])
 
             if len(jobs) == 1:
                 outcomes = [run(jobs[0])]
@@ -424,6 +450,40 @@ class OMQService:
             self._batch_requests += len(requests)
             self._batch_deduped += len(requests) - len(jobs)
         return results
+
+    def explain(self, omq: OMQ, options: Optional[AnswerOptions] = None,
+                dataset: Optional[str] = None,
+                **overrides) -> Dict[str, object]:
+        """The compiled plan's :meth:`~repro.rewriting.plan.Plan.explain`
+        report, without evaluating anything.
+
+        Data-independent compilations go through (and warm) the shared
+        rewriting cache.  The data-dependent stages (``adaptive``,
+        ``optimize``) need ``dataset``: the plan is then compiled
+        against that dataset's session, exactly as :meth:`answer`
+        would.
+        """
+        from ..rewriting.plan import compile_omq
+
+        options = AnswerOptions.coerce(options, **overrides)
+        omq = self._canonical_omq(omq)
+        if not options.data_dependent:
+            return compile_omq(omq, options, cache=self.cache).explain()
+        if dataset is None:
+            raise ValueError(
+                f"options {options.rewrite_fingerprint()} are "
+                "data-dependent: explain needs a dataset")
+        state = self._acquire_read(dataset)
+        try:
+            engine_name = options.engine or self.default_engine
+            pool = state.pool(engine_name)
+            session = pool.checkout()
+            try:
+                return session.compile(omq, options).explain()
+            finally:
+                pool.checkin(session)
+        finally:
+            state.lock.release_read()
 
     def _pool(self) -> ThreadPoolExecutor:
         with self._lock:

@@ -1,0 +1,141 @@
+"""Tests for the unified :class:`repro.Client` facade: the embedded
+and HTTP transports must expose one surface and agree on answers."""
+
+import threading
+
+import pytest
+
+from repro import ABox, Client, OMQ, answer, chain_cq
+from repro.client import abox_to_text, cq_to_text, tbox_to_text
+from repro.queries import CQ
+from repro.service import OMQService
+from repro.service.cache import tbox_fingerprint
+from repro.service.serve import build_server
+
+from .helpers import example11_tbox, random_data
+
+
+@pytest.fixture
+def abox():
+    return random_data(9, individuals=8, atoms=30)
+
+
+@pytest.fixture
+def omq():
+    return OMQ(example11_tbox(), chain_cq("RSR"))
+
+
+@pytest.fixture
+def http_client():
+    service = OMQService(max_workers=2)
+    server = build_server(service, port=0, verbose=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    with Client.connect(f"http://{host}:{port}") as client:
+        yield client
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+# -- serialisation helpers --------------------------------------------------
+
+
+class TestSerialisation:
+    def test_tbox_round_trip(self):
+        from repro.ontology import TBox
+
+        tbox = example11_tbox()
+        reparsed = TBox.parse(tbox_to_text(tbox))
+        assert tbox_fingerprint(reparsed) == tbox_fingerprint(tbox)
+
+    def test_cq_round_trip(self):
+        from repro.fingerprint import cq_fingerprint
+
+        cq = CQ.parse("R(x,y), S(y,z), A(x)", answer_vars=["x"])
+        reparsed = CQ.parse(cq_to_text(cq), answer_vars=["x"])
+        assert cq_fingerprint(reparsed) == cq_fingerprint(cq)
+
+    def test_abox_round_trip(self, abox):
+        reparsed = ABox.parse(abox_to_text(abox))
+        assert set(reparsed.atoms()) == set(abox.atoms())
+
+
+# -- one surface, two transports --------------------------------------------
+
+
+class TestLocalClient:
+    def test_answer_matches_one_shot(self, abox, omq):
+        with Client.local() as client:
+            client.register_dataset("demo", ABox(abox.atoms()))
+            got = client.answer("demo", omq, method="tw")
+        assert got.answers == answer(omq, abox, method="tw").answers
+        assert got.method == "tw"
+
+    def test_wrap_borrows_service(self, abox, omq):
+        with OMQService() as service:
+            service.register_dataset("demo", ABox(abox.atoms()))
+            client = Client.wrap(service)
+            expected = service.answer("demo", omq).answers
+            assert client.answer("demo", omq).answers == expected
+            client.close()
+            # borrowed service still alive after the client closes
+            assert service.answer("demo", omq).answers == expected
+
+    def test_explain_and_update(self, abox, omq):
+        with Client.local() as client:
+            client.register_dataset("demo", ABox(abox.atoms()))
+            report = client.explain(omq, method="lin")
+            assert report["method"] == "lin" and report["rules"] > 0
+            before = client.answer("demo", omq).answers
+            client.insert_facts("demo", [("R", ("zz1", "zz2")),
+                                         ("S", ("zz2", "zz3"))])
+            after = client.answer("demo", omq).answers
+            assert before <= after
+            assert "demo" in client.datasets()
+            assert client.stats()["requests"] == 2
+
+
+class TestHTTPClient:
+    def test_answer_matches_local(self, http_client, abox, omq):
+        http_client.register_dataset("demo", abox)
+        got = http_client.answer("demo", omq, method="tw", engine="sql")
+        assert got.answers == answer(omq, abox, method="tw").answers
+        assert got.engine == "sql"
+        assert got.plan_fingerprint  # provenance survives the wire
+
+    def test_explain_over_http(self, http_client, omq):
+        report = http_client.explain(omq, method="log", magic=True)
+        assert report["method"] == "log"
+        assert report["magic"] is True
+        assert report["rules"] > 0
+
+    def test_update_and_stats(self, http_client, abox, omq):
+        http_client.register_dataset("demo", abox)
+        before = http_client.answer("demo", omq).answers
+        http_client.insert_facts("demo", [("R", ("w1", "w2")),
+                                          ("S", ("w2", "w3"))])
+        after = http_client.answer("demo", omq).answers
+        assert before <= after
+        assert "demo" in http_client.datasets()
+        assert http_client.stats()["requests"] == 2
+
+    def test_error_surfaces_as_value_error(self, http_client, omq):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            http_client.answer("missing", omq)
+
+    def test_timed_out_survives_the_wire(self, http_client, abox, omq):
+        http_client.register_dataset("demo", abox)
+        got = http_client.answer("demo", omq, timeout=0.0)
+        assert got.timed_out
+        assert not http_client.answer("demo", omq).timed_out
+
+    def test_same_surface_same_answers(self, http_client, abox, omq):
+        http_client.register_dataset("demo", abox)
+        with Client.local() as local:
+            local.register_dataset("demo", ABox(abox.atoms()))
+            for options in ({"method": "lin"}, {"method": "tw_star"},
+                            {"method": "log", "magic": True}):
+                assert (http_client.answer("demo", omq, options).answers
+                        == local.answer("demo", omq, options).answers)

@@ -1,0 +1,405 @@
+"""Tests for the compiled query pipeline (``repro.rewriting.plan``):
+``AnswerOptions`` validation, ``compile -> Plan -> execute`` parity
+with the legacy entry points, plan reuse, explain reports and the plan
+cache."""
+
+import dataclasses
+
+import pytest
+
+from repro import ABox, OMQ, AnswerOptions, Plan, answer, chain_cq
+from repro.engine import ENGINES, create_engine
+from repro.rewriting import AnswerSession, METHODS
+from repro.rewriting.plan import compile_omq, format_explain
+from repro.service import OMQService, RewritingCache
+
+from .helpers import example11_tbox, random_data
+
+
+# -- AnswerOptions ----------------------------------------------------------
+
+
+class TestAnswerOptions:
+    def test_defaults(self):
+        options = AnswerOptions()
+        assert options.method == "auto"
+        assert not options.magic and not options.optimize
+        assert options.engine is None and options.timeout is None
+        assert options.over == "complete"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="method"):
+            AnswerOptions(method="nope")
+        with pytest.raises(ValueError, match="engine"):
+            AnswerOptions(engine="nope")
+        with pytest.raises(ValueError, match="over"):
+            AnswerOptions(over="nope")
+        with pytest.raises(ValueError, match="timeout"):
+            AnswerOptions(timeout=-1)
+
+    def test_coerce_forms(self):
+        from_none = AnswerOptions.coerce(None)
+        from_dict = AnswerOptions.coerce({"method": "lin", "magic": True})
+        from_self = AnswerOptions.coerce(from_dict)
+        assert from_none == AnswerOptions()
+        assert from_dict.method == "lin" and from_dict.magic
+        assert from_self == from_dict
+        with pytest.raises(ValueError, match="unknown answer option"):
+            AnswerOptions.coerce({"metod": "lin"})
+        with pytest.raises(TypeError):
+            AnswerOptions.coerce(42)
+
+    def test_coerce_overrides(self):
+        base = AnswerOptions(method="lin")
+        merged = AnswerOptions.coerce(base, engine="sql")
+        assert merged.method == "lin" and merged.engine == "sql"
+        assert base.engine is None  # original untouched
+
+    def test_execution_knobs_not_in_rewrite_fingerprint(self):
+        base = AnswerOptions(method="lin")
+        assert (base.rewrite_fingerprint()
+                == base.replace(engine="sql").rewrite_fingerprint()
+                == base.replace(timeout=5.0).rewrite_fingerprint())
+        assert (base.rewrite_fingerprint()
+                != base.replace(magic=True).rewrite_fingerprint())
+        assert (base.rewrite_fingerprint()
+                != base.replace(method="log").rewrite_fingerprint())
+
+    def test_data_dependent(self):
+        assert AnswerOptions(method="adaptive").data_dependent
+        assert AnswerOptions(optimize=True).data_dependent
+        assert not AnswerOptions(method="lin", magic=True).data_dependent
+
+
+# -- OMQ fingerprints -------------------------------------------------------
+
+
+class TestOMQFingerprint:
+    def test_stable_under_variable_renaming(self):
+        tbox = example11_tbox()
+        first = OMQ(tbox, chain_cq("RSR", prefix="a_"))
+        second = OMQ(tbox, chain_cq("RSR", prefix="b_"))
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_distinct_queries_differ(self):
+        tbox = example11_tbox()
+        assert (OMQ(tbox, chain_cq("RS")).fingerprint()
+                != OMQ(tbox, chain_cq("SR")).fingerprint())
+
+    def test_cache_key_uses_same_code_path(self):
+        # one fingerprint implementation: the cache key components are
+        # the same digests OMQ.fingerprint hashes over
+        from repro.fingerprint import omq_fingerprint
+
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        assert omq.fingerprint() == omq_fingerprint(omq)
+
+
+# -- compile/execute parity -------------------------------------------------
+
+
+class TestCompileExecuteParity:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        tbox = example11_tbox()
+        abox = random_data(7, individuals=8, atoms=30)
+        omqs = [OMQ(tbox, chain_cq(labels)) for labels in ("RS", "SRR")]
+        return tbox, abox, omqs
+
+    @pytest.mark.parametrize("method", ("auto",) + METHODS)
+    def test_matches_legacy_answer_all_engines(self, setting, method):
+        _, abox, omqs = setting
+        for omq in omqs:
+            plan = compile_omq(omq, method=method)
+            for engine in ENGINES:
+                executed = plan.execute(abox, engine=engine)
+                legacy = answer(omq, abox, method=method, engine=engine)
+                assert executed.answers == legacy.answers
+                assert executed.engine == engine
+
+    def test_matches_session_answer_with_flags(self, setting):
+        _, abox, omqs = setting
+        with AnswerSession(abox) as session:
+            for omq in omqs:
+                for magic in (False, True):
+                    for optimize in (False, True):
+                        plan = session.compile(
+                            omq, method="log", magic=magic,
+                            optimize=optimize)
+                        assert (plan.execute(session).answers
+                                == session.answer(
+                                    omq, method="log", magic=magic,
+                                    optimize_program=optimize).answers)
+
+    def test_matches_service_answer(self, setting):
+        _, abox, omqs = setting
+        with OMQService() as service:
+            service.register_dataset("demo", ABox(abox.atoms()))
+            for omq in omqs:
+                plan = compile_omq(omq, method="tw")
+                assert (plan.execute(abox).answers
+                        == service.answer("demo", omq,
+                                          method="tw").answers)
+
+    def test_adaptive_parity(self, setting):
+        _, abox, omqs = setting
+        with AnswerSession(abox) as session:
+            for omq in omqs:
+                plan = session.compile(omq, method="adaptive")
+                assert plan.data_bound
+                assert plan.method in METHODS
+                assert (plan.execute(session).answers
+                        == session.answer(omq, method="adaptive").answers)
+
+
+# -- plan reuse -------------------------------------------------------------
+
+
+class TestPlanReuse:
+    def test_one_plan_many_datasets(self):
+        tbox = example11_tbox()
+        omq = OMQ(tbox, chain_cq("RSR"))
+        plan = compile_omq(omq, method="tw")
+        for seed in (1, 2, 3):
+            abox = random_data(seed, individuals=7, atoms=25)
+            assert (plan.execute(abox).answers
+                    == answer(omq, abox, method="tw").answers)
+
+    def test_one_plan_many_engines_one_session(self):
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        plan = compile_omq(omq)
+        abox = random_data(11)
+        with AnswerSession(abox) as session:
+            results = {engine: plan.execute(session, engine=engine).answers
+                       for engine in ENGINES}
+        assert len(set(results.values())) == 1
+
+    def test_execute_on_loaded_engine(self):
+        tbox = example11_tbox()
+        omq = OMQ(tbox, chain_cq("RS"))
+        abox = random_data(13)
+        plan = compile_omq(omq, method="lin")
+        with create_engine("python", abox.complete(tbox)) as backend:
+            assert (plan.execute(backend).answers
+                    == answer(omq, abox, method="lin").answers)
+
+    def test_plan_is_frozen(self):
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.method = "log"
+        with pytest.raises(TypeError):
+            plan.timings["rewrite"] = 0.0
+
+    def test_execute_rejects_unknown_target(self):
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")))
+        with pytest.raises(TypeError, match="ABox, AnswerSession or"):
+            plan.execute({"not": "data"})
+
+
+# -- explain ----------------------------------------------------------------
+
+
+class TestExplain:
+    def test_report_matches_ndl_stats(self):
+        omq = OMQ(example11_tbox(), chain_cq("RSRS"))
+        plan = compile_omq(omq, method="log", magic=True)
+        report = plan.explain()
+        assert report["rules"] == len(plan.ndl)
+        assert report["width"] == plan.ndl.width()
+        assert report["depth"] == plan.ndl.depth()
+        assert report["method"] == "log"
+        assert report["magic"] is True
+        assert report["omq_class"] == omq.omq_class()
+        assert set(report["stages"]) == {"rewrite", "magic"}
+        assert report["compile_seconds"] >= 0
+        assert report["fingerprint"] == plan.fingerprint
+
+    def test_auto_reports_resolved_method(self):
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")))
+        report = plan.explain()
+        assert report["method_requested"] == "auto"
+        assert report["method"] == "lin"  # finite depth, tree-shaped
+
+    def test_report_is_json_serialisable(self):
+        import json
+
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")),
+                           method="tw", engine="sql", timeout=5.0)
+        text = json.dumps(plan.explain())
+        assert "tw" in text
+
+    def test_format_explain_renders_all_keys(self):
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")))
+        text = format_explain(plan.explain())
+        assert "method" in text and "rules" in text
+        assert "stage rewrite" in text
+
+    def test_service_and_session_explain_agree(self):
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        with OMQService() as service:
+            service.register_dataset("demo", random_data(2))
+            via_service = service.explain(omq, method="lin")
+        direct = compile_omq(omq, method="lin").explain()
+        volatile = ("compile_seconds", "stages")
+        assert ({k: v for k, v in via_service.items() if k not in volatile}
+                == {k: v for k, v in direct.items() if k not in volatile})
+
+    def test_service_explain_data_dependent_needs_dataset(self):
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        with OMQService() as service:
+            with pytest.raises(ValueError, match="dataset"):
+                service.explain(omq, method="adaptive")
+            service.register_dataset("demo", random_data(2))
+            report = service.explain(omq, method="adaptive",
+                                     dataset="demo")
+            assert report["data_bound"] is True
+            assert report["method"] in METHODS
+
+
+# -- fingerprints and the plan cache ----------------------------------------
+
+
+class TestPlanCache:
+    def test_cache_stores_plan_objects(self):
+        cache = RewritingCache()
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        first = compile_omq(omq, method="lin", cache=cache)
+        second = compile_omq(omq, method="lin", cache=cache)
+        assert isinstance(first, Plan)
+        assert first is second  # the very same compiled object
+
+    def test_renamed_query_reuses_plan(self):
+        cache = RewritingCache()
+        tbox = example11_tbox()
+        first = compile_omq(OMQ(tbox, chain_cq("RS", prefix="a_")),
+                            method="lin", cache=cache)
+        second = compile_omq(OMQ(tbox, chain_cq("RS", prefix="b_")),
+                             method="lin", cache=cache)
+        assert first is second
+        assert cache.stats().hits == 1
+
+    def test_engine_does_not_fragment_cache(self):
+        cache = RewritingCache()
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        compile_omq(omq, method="lin", engine="python", cache=cache)
+        compile_omq(omq, method="lin", engine="sql", cache=cache)
+        compile_omq(omq, method="lin", timeout=9.0, cache=cache)
+        assert len(cache) == 1
+        assert cache.stats().hits == 2
+
+    def test_data_dependent_compiles_bypass_cache(self):
+        cache = RewritingCache()
+        abox = random_data(5)
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        with AnswerSession(abox, rewriting_cache=cache) as session:
+            session.compile(omq, method="adaptive")
+            session.compile(omq, method="lin", optimize=True)
+        assert len(cache) == 0
+
+    def test_plan_fingerprint_stable_and_discriminating(self):
+        tbox = example11_tbox()
+        base = compile_omq(OMQ(tbox, chain_cq("RS")), method="lin")
+        renamed = compile_omq(OMQ(tbox, chain_cq("RS", prefix="z_")),
+                              method="lin")
+        other_method = compile_omq(OMQ(tbox, chain_cq("RS")), method="log")
+        assert base.fingerprint == renamed.fingerprint
+        assert base.fingerprint != other_method.fingerprint
+
+
+# -- execution knobs never leak out of a shared cache -----------------------
+
+
+class TestCachedPlanExecutionKnobs:
+    def test_first_compilers_engine_does_not_leak(self):
+        # cache keys ignore engine, so the plan cached by an
+        # engine='sql' request must not drag later default-engine
+        # requests onto SQL
+        with OMQService() as service:
+            service.register_dataset("demo", random_data(4))
+            first = service.answer(
+                "demo", OMQ(example11_tbox(), chain_cq("RS", prefix="a_")),
+                options=AnswerOptions(method="lin", engine="sql"))
+            second = service.answer(
+                "demo", OMQ(example11_tbox(), chain_cq("RS", prefix="b_")),
+                method="lin")
+            assert first.engine == "sql"
+            assert second.engine == "python"
+            assert second.cached_rewriting  # it really was a cache hit
+            # the python pool's single session must hold exactly one
+            # loaded backend (no stealth SQL engine inside it)
+            assert service.stats()["datasets"]["demo"]["sessions"] == {
+                "sql": 1, "python": 1}
+
+    def test_first_compilers_timeout_does_not_leak(self):
+        cache = RewritingCache()
+        abox = random_data(4)
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        with AnswerSession(abox, rewriting_cache=cache) as session:
+            session.answer(omq, options=AnswerOptions(method="lin",
+                                                      timeout=0.0))
+            repeat = session.answer(omq, method="lin")
+        assert not repeat.timed_out
+
+    def test_explicit_engine_override_beats_plan_options(self):
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")),
+                           method="lin", engine="python")
+        result = plan.execute(random_data(4), engine="sql")
+        assert result.engine == "sql"
+
+
+# -- timeouts ---------------------------------------------------------------
+
+
+class TestSoftTimeout:
+    def test_zero_budget_flags_timed_out(self):
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")),
+                           timeout=0.0)
+        result = plan.execute(random_data(1))
+        assert result.timed_out
+
+    def test_generous_budget_does_not(self):
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")),
+                           timeout=60.0)
+        assert not plan.execute(random_data(1)).timed_out
+
+    def test_timed_out_surfaces_through_the_service(self):
+        with OMQService() as service:
+            service.register_dataset("demo", random_data(1))
+            result = service.answer(
+                "demo", OMQ(example11_tbox(), chain_cq("RS")),
+                options=AnswerOptions(timeout=0.0))
+        assert result.timed_out
+
+    def test_batch_dedup_respects_timeout(self):
+        # identical requests that differ only in timeout must not
+        # share one result (the flag would be wrong for one of them)
+        from repro.service import BatchRequest
+
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        with OMQService() as service:
+            service.register_dataset("demo", random_data(1))
+            strict, lax = service.answer_batch([
+                BatchRequest("demo", omq,
+                             options=AnswerOptions(timeout=0.0)),
+                BatchRequest("demo", omq, options=AnswerOptions())])
+        assert strict.timed_out
+        assert not lax.timed_out
+        assert strict.answers == lax.answers
+
+
+# -- the Answers type -------------------------------------------------------
+
+
+class TestAnswers:
+    def test_container_protocol_and_provenance(self):
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        plan = compile_omq(omq, method="lin")
+        result = plan.execute(random_data(7, individuals=8, atoms=30))
+        assert len(result) == len(result.answers)
+        assert set(result) == set(result.answers)
+        for row in result.answers:
+            assert row in result
+        assert result.sorted() == sorted(result.answers)
+        assert result.method == "lin"
+        assert result.plan_fingerprint == plan.fingerprint
+        assert result.seconds >= 0
