@@ -1,0 +1,116 @@
+"""Sharded scatter-gather vs monolithic execution wall clock.
+
+The component-locality workload: a large generated ABox of many
+disjoint components (``repro.data.workload_abox``), a handful of
+compiled chain plans executed repeatedly.  The 4-shard
+:class:`~repro.shard.session.ShardedSession` runs them over persistent
+worker processes; the 1-shard session pays the same IPC protocol
+without parallelism, and the plain monolithic
+:class:`~repro.rewriting.api.AnswerSession` is the no-sharding
+baseline.  Writes a ``BENCH_shard.json`` report next to the working
+directory; the >= 2x speedup assertion only fires on machines with
+enough cores to parallelise (sharding cannot beat the GIL on one
+core).
+"""
+
+import json
+import os
+import time
+
+from repro import OMQ, AnswerSession, compile_omq
+from repro.data import workload_abox
+from repro.experiments import print_table
+from repro.queries import chain_cq
+from repro.shard import ShardedSession
+
+from tests.helpers import example11_tbox
+
+#: The hot plans, compiled once and broadcast per round.
+QUERIES = ("RS", "RSR", "RSRS")
+ROUNDS = 3
+SHARDS = 4
+
+
+def _time_rounds(execute) -> float:
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        execute()
+    return time.perf_counter() - started
+
+
+def test_sharded_speedup(benchmark):
+    tbox = example11_tbox()
+    # scale=2: ~320 components / ~16k atoms, so per-shard evaluation
+    # dwarfs the per-round scatter (pickle + pipe) overhead
+    abox = workload_abox("random-large", scale=2.0, seed=0)
+    plans = [compile_omq(OMQ(tbox, chain_cq(labels)), method="lin")
+             for labels in QUERIES]
+    cores = os.cpu_count() or 1
+
+    def run_all(session):
+        return [plan.execute(session).answers for plan in plans]
+
+    timings = {}
+    answers = {}
+    with AnswerSession(abox) as session:
+        run_all(session)  # warm up: load + complete + index once
+        answers["monolithic"] = run_all(session)
+        timings["monolithic"] = _time_rounds(lambda: run_all(session))
+
+    for label, shards in (("sharded-1", 1), (f"sharded-{SHARDS}", SHARDS)):
+        with ShardedSession(abox, shards=shards,
+                            executor="process") as session:
+            run_all(session)
+            answers[label] = run_all(session)
+            timings[label] = _time_rounds(lambda: run_all(session))
+
+    # parity first: speed means nothing if the answers drift
+    assert answers[f"sharded-{SHARDS}"] == answers["monolithic"]
+    assert answers["sharded-1"] == answers["monolithic"]
+
+    speedup = timings["sharded-1"] / max(timings[f"sharded-{SHARDS}"], 1e-9)
+    vs_monolithic = (timings["monolithic"]
+                     / max(timings[f"sharded-{SHARDS}"], 1e-9))
+    executions = len(plans) * ROUNDS
+    print_table(
+        f"{SHARDS}-shard scatter-gather vs 1-shard "
+        f"({len(plans)} plans x {ROUNDS} rounds, {len(abox)} atoms, "
+        f"{cores} cores)",
+        ["path", "seconds", "executions/sec", "speedup"],
+        [["monolithic session", f"{timings['monolithic']:.3f}",
+          f"{executions / timings['monolithic']:.1f}",
+          f"{vs_monolithic:.1f}x (vs 4-shard)"],
+         ["1-shard workers", f"{timings['sharded-1']:.3f}",
+          f"{executions / timings['sharded-1']:.1f}", "1.0x"],
+         [f"{SHARDS}-shard workers",
+          f"{timings[f'sharded-{SHARDS}']:.3f}",
+          f"{executions / timings[f'sharded-{SHARDS}']:.1f}",
+          f"{speedup:.1f}x"]])
+
+    report = {
+        "workload": "random-large",
+        "atoms": len(abox),
+        "plans": list(QUERIES),
+        "rounds": ROUNDS,
+        "shards": SHARDS,
+        "cores": cores,
+        "seconds": {key: round(value, 4)
+                    for key, value in timings.items()},
+        "speedup_vs_one_shard": round(speedup, 2),
+        "speedup_vs_monolithic": round(vs_monolithic, 2),
+        "speedup_asserted": cores >= SHARDS,
+    }
+    with open("BENCH_shard.json", "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    if cores >= SHARDS:
+        assert speedup >= 2.0, (
+            f"{SHARDS}-shard execution should parallelise on {cores} "
+            f"cores, got {speedup:.1f}x")
+
+    with ShardedSession(abox, shards=SHARDS,
+                        executor="process") as session:
+        run_all(session)
+        benchmark.pedantic(lambda: run_all(session),
+                           iterations=1, rounds=3)

@@ -34,6 +34,14 @@ The package implements the paper end to end:
   keyed up to variable renaming, batch answering with in-batch
   deduplication, incremental ABox updates that patch loaded engines in
   place, and a JSON/HTTP front-end (``python -m repro serve``);
+* component-based data sharding (:mod:`repro.shard`): a
+  :class:`~repro.shard.session.ShardedSession` partitions an ABox by
+  connected components of its Gaifman graph into balanced shards and
+  scatter-gathers compiled plans over per-shard engines (persistent
+  worker processes for real parallelism), with incremental updates
+  routed to the owning shards — ``shards=K`` at every layer
+  (``AnswerOptions``, ``OMQService.register_dataset``, the CLI and
+  HTTP front-ends);
 * one compiled query pipeline (:mod:`repro.rewriting.plan`):
   :func:`compile` turns an OMQ plus one
   :class:`~repro.rewriting.plan.AnswerOptions` into a frozen,
@@ -94,6 +102,7 @@ from .rewriting import (
     ucq_rewrite,
 )
 from .service import OMQService, RewritingCache
+from .shard import ShardedSession
 from .sql import evaluate_sql
 
 #: ``repro.compile(omq, options) -> Plan``: the prepare half of the
@@ -121,6 +130,7 @@ __all__ = [
     "Program",
     "RewritingCache",
     "Role",
+    "ShardedSession",
     "TBox",
     "adaptive_rewrite",
     "answer",

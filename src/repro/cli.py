@@ -33,6 +33,7 @@ from .ontology import TBox
 from .queries import CQ
 from .rewriting import OMQ, AnswerSession
 from .rewriting.plan import AnswerOptions, compile_omq, format_explain
+from .shard import ShardedSession
 
 
 def _load_tbox(path: str) -> TBox:
@@ -115,7 +116,14 @@ def _cmd_answer(args) -> int:
     options = _options(args)
     # one session for all queries: the data is completed, loaded and
     # indexed once, each --query only pays compilation + evaluation
-    with AnswerSession(abox, engine=args.engine) as session:
+    # (--shards >= 2 partitions the data by Gaifman components and
+    # scatter-gathers every plan over per-shard engines)
+    if args.shards >= 2:
+        session = ShardedSession(abox, shards=args.shards,
+                                 engine=args.engine)
+    else:
+        session = AnswerSession(abox, engine=args.engine)
+    with session:
         for position, query in enumerate(queries):
             plan = session.compile(OMQ(tbox, query), options)
             result = plan.execute(session)
@@ -245,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
     answer_parser.add_argument("--engine", default="python",
                                choices=("python", "sql", "sql-views"),
                                help="evaluation backend")
+    answer_parser.add_argument("--shards", type=int, default=0,
+                               help="partition the data into this many "
+                                    "component shards and evaluate "
+                                    "scatter-gather (>= 2 to enable)")
     answer_parser.add_argument("--optimize", action="store_true",
                                help="run the Appendix D.4 optimiser on "
                                     "the rewriting first")

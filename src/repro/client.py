@@ -76,8 +76,9 @@ class _ServiceTransport:
         self._owned = owned
 
     def register_dataset(self, name: str, abox: ABox,
-                         replace: bool = False) -> None:
-        self.service.register_dataset(name, abox, replace=replace)
+                         replace: bool = False, shards: int = 0) -> None:
+        self.service.register_dataset(name, abox, replace=replace,
+                                      shards=shards)
 
     def register_tbox(self, name: str, tbox: TBox) -> None:
         self.service.register_tbox(name, tbox)
@@ -95,7 +96,8 @@ class _ServiceTransport:
                        method=result.method,
                        plan_fingerprint=result.plan_fingerprint or "",
                        cached_rewriting=result.cached_rewriting,
-                       timed_out=result.timed_out)
+                       timed_out=result.timed_out,
+                       shards=result.shards)
 
     def explain(self, omq: OMQ, options: AnswerOptions,
                 dataset: Optional[str]) -> Dict[str, object]:
@@ -159,9 +161,9 @@ class _HTTPTransport:
     # -- surface -----------------------------------------------------------
 
     def register_dataset(self, name: str, abox: ABox,
-                         replace: bool = False) -> None:
+                         replace: bool = False, shards: int = 0) -> None:
         self._call("/datasets", {"name": name, "data": abox_to_text(abox),
-                                 "replace": replace})
+                                 "replace": replace, "shards": shards})
 
     def register_tbox(self, name: str, tbox: TBox) -> None:
         self._call("/tboxes", {"name": name, "tbox": tbox_to_text(tbox)})
@@ -181,7 +183,8 @@ class _HTTPTransport:
             method=body.get("method", options.method),
             plan_fingerprint=body.get("plan_fingerprint", ""),
             cached_rewriting=bool(body.get("cached_rewriting", False)),
-            timed_out=bool(body.get("timed_out", False)))
+            timed_out=bool(body.get("timed_out", False)),
+            shards=int(body.get("shards", 0)))
 
     def explain(self, omq: OMQ, options: AnswerOptions,
                 dataset: Optional[str]) -> Dict[str, object]:
@@ -237,8 +240,11 @@ class Client:
     # -- registration ------------------------------------------------------
 
     def register_dataset(self, name: str, abox: ABox,
-                         replace: bool = False) -> None:
-        self._transport.register_dataset(name, abox, replace=replace)
+                         replace: bool = False, shards: int = 0) -> None:
+        """Register a dataset; ``shards >= 2`` serves it scatter-gather
+        over a component partition (see :mod:`repro.shard`)."""
+        self._transport.register_dataset(name, abox, replace=replace,
+                                         shards=shards)
 
     def register_tbox(self, name: str, tbox: TBox) -> None:
         self._transport.register_tbox(name, tbox)

@@ -2,22 +2,32 @@
 
 from .abox import ABox, Constant, GroundAtom
 from .generator import (
+    COMPONENT_SHAPES,
     TABLE2_SPECS,
+    WORKLOAD_PRESETS,
     DatasetSpec,
+    WorkloadSpec,
     chain_abox,
     erdos_renyi_abox,
+    multi_component_abox,
     paper_datasets,
     random_abox,
+    workload_abox,
 )
 
 __all__ = [
     "ABox",
+    "COMPONENT_SHAPES",
     "Constant",
     "DatasetSpec",
     "GroundAtom",
     "TABLE2_SPECS",
+    "WORKLOAD_PRESETS",
+    "WorkloadSpec",
     "chain_abox",
     "erdos_renyi_abox",
+    "multi_component_abox",
     "paper_datasets",
     "random_abox",
+    "workload_abox",
 ]

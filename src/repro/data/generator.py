@@ -116,6 +116,115 @@ def chain_abox(labels: Sequence[str], prefix: str = "c") -> ABox:
     return abox
 
 
+#: The component shapes :func:`multi_component_abox` can generate.
+COMPONENT_SHAPES = ("chain", "star", "random", "mixed")
+
+
+def multi_component_abox(components: int, component_size: int,
+                         shape: str = "mixed",
+                         edge_predicates: Sequence[str] = ("R", "S"),
+                         mark_predicates: Sequence[str] = ("A_P", "A_P-"),
+                         mark_probability: float = 0.25,
+                         seed: int = 0) -> ABox:
+    """A seedable instance of ``components`` disjoint Gaifman components.
+
+    The workload the sharding layer is built for: every component has
+    ``component_size`` vertices (named ``g<i>_<j>``, so components
+    never share constants) wired as a *chain*, a *star*, a *random*
+    connected graph (a random spanning tree plus a few chords), or a
+    round-robin *mixed* of the three; unary marks are drawn per vertex
+    with ``mark_probability``.  Deterministic in ``seed``.
+    """
+    if shape not in COMPONENT_SHAPES:
+        raise ValueError(f"unknown shape {shape!r}; "
+                         f"expected one of {COMPONENT_SHAPES}")
+    rng = random.Random(seed)
+    abox = ABox()
+    rotation = ("chain", "star", "random")
+    for index in range(components):
+        kind = rotation[index % len(rotation)] if shape == "mixed" else shape
+        names = [f"g{index}_{j}" for j in range(component_size)]
+        edge = 0
+        if kind == "chain":
+            for j in range(len(names) - 1):
+                abox.add(edge_predicates[edge % len(edge_predicates)],
+                         names[j], names[j + 1])
+                edge += 1
+        elif kind == "star":
+            for j in range(1, len(names)):
+                abox.add(edge_predicates[edge % len(edge_predicates)],
+                         names[0], names[j])
+                edge += 1
+        else:  # random: spanning tree + ~25% chords, always connected
+            for j in range(1, len(names)):
+                abox.add(rng.choice(list(edge_predicates)),
+                         names[rng.randrange(j)], names[j])
+            for _ in range(max(1, len(names) // 4)):
+                first, second = rng.choice(names), rng.choice(names)
+                if first != second:
+                    abox.add(rng.choice(list(edge_predicates)),
+                             first, second)
+        for name in names:
+            for predicate in mark_predicates:
+                if rng.random() < mark_probability:
+                    abox.add(predicate, name)
+    return abox
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, scalable multi-component workload preset."""
+
+    name: str
+    components: int
+    component_size: int
+    shape: str
+    mark_probability: float = 0.25
+
+    def generate(self, scale: float = 1.0, seed: int = 0) -> ABox:
+        return multi_component_abox(
+            max(1, int(self.components * scale)), self.component_size,
+            shape=self.shape, mark_probability=self.mark_probability,
+            seed=seed)
+
+
+#: Reproducible workloads for the sharding benchmarks and tests:
+#: ``scale`` multiplies the component count (keeping component sizes),
+#: so bigger scales mean more shards' worth of parallel work, not
+#: bigger components.
+WORKLOAD_PRESETS: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (
+        WorkloadSpec("chain-small", components=24, component_size=8,
+                     shape="chain"),
+        WorkloadSpec("chain-large", components=200, component_size=25,
+                     shape="chain"),
+        WorkloadSpec("star-small", components=24, component_size=8,
+                     shape="star"),
+        WorkloadSpec("star-large", components=200, component_size=25,
+                     shape="star"),
+        WorkloadSpec("random-small", components=24, component_size=8,
+                     shape="random"),
+        WorkloadSpec("random-large", components=160, component_size=30,
+                     shape="random"),
+        WorkloadSpec("mixed-small", components=30, component_size=8,
+                     shape="mixed"),
+        WorkloadSpec("mixed-large", components=240, component_size=20,
+                     shape="mixed"),
+    )
+}
+
+
+def workload_abox(preset: str, scale: float = 1.0, seed: int = 0) -> ABox:
+    """Generate a :data:`WORKLOAD_PRESETS` entry at the given scale."""
+    try:
+        spec = WORKLOAD_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload preset {preset!r}; expected one of "
+            f"{sorted(WORKLOAD_PRESETS)}") from None
+    return spec.generate(scale=scale, seed=seed)
+
+
 def random_abox(individuals: int, atoms: int,
                 unary_predicates: Sequence[str],
                 binary_predicates: Sequence[str], seed: int = 0) -> ABox:

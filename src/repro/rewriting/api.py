@@ -147,6 +147,27 @@ def rewrite(omq: OMQ, method: str = "auto",
                      f"expected one of {('auto',) + METHODS}")
 
 
+def compile_data_variant(options, abox, completion_of):
+    """The data instance the data-dependent compile stages consult
+    (``None`` for data-independent compilation).
+
+    One rule for every session flavor — ``adaptive`` costs its
+    candidates against the completion; the optimiser prunes against
+    the raw data exactly when the rewriting targets arbitrary
+    instances (``perfectref`` / ``over="arbitrary"``) and against the
+    completion otherwise.  ``completion_of`` is a zero-argument
+    callable so the (possibly expensive) completion is only computed
+    when a stage actually needs it.
+    """
+    if options.method == "adaptive":
+        return completion_of()
+    if options.optimize:
+        raw = (options.method == "perfectref"
+               or options.over == "arbitrary")
+        return abox if raw else completion_of()
+    return None
+
+
 class AnswerSession:
     """Answer many OMQs over one data instance, loading it once.
 
@@ -246,13 +267,8 @@ class AnswerSession:
         from .plan import AnswerOptions, compile_omq
 
         options = AnswerOptions.coerce(options, **overrides)
-        data = None
-        if options.method == "adaptive":
-            data = self.completion(omq.tbox)
-        elif options.optimize:
-            raw = (options.method == "perfectref"
-                   or options.over == "arbitrary")
-            data = self.abox if raw else self.completion(omq.tbox)
+        data = compile_data_variant(options, self.abox,
+                                    lambda: self.completion(omq.tbox))
         return compile_omq(omq, options, data=data,
                            cache=self.rewriting_cache)
 

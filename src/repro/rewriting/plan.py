@@ -61,6 +61,12 @@ class AnswerOptions:
     runs to completion and the result is flagged
     :attr:`Answers.timed_out` when it overran (callers like the
     Tables 3-5 harness then skip larger instances).
+
+    ``shards`` (another execution-time knob) asks for component-based
+    sharded execution: ``Plan.execute`` over a bare ABox with
+    ``shards >= 2`` partitions it through a
+    :class:`~repro.shard.session.ShardedSession` and scatter-gathers
+    (``0``/``1`` keep the monolithic path).
     """
 
     method: str = "auto"
@@ -69,6 +75,7 @@ class AnswerOptions:
     engine: Optional[str] = None
     timeout: Optional[float] = None
     over: str = "complete"
+    shards: int = 0
 
     def __post_init__(self):
         if self.method not in OPTION_METHODS:
@@ -82,6 +89,9 @@ class AnswerOptions:
                              f"got {self.over!r}")
         if self.timeout is not None and self.timeout < 0:
             raise ValueError("timeout must be non-negative")
+        if not isinstance(self.shards, int) or self.shards < 0:
+            raise ValueError("shards must be a non-negative int, "
+                             f"got {self.shards!r}")
 
     @classmethod
     def from_legacy(cls, options=None, method: str = "auto",
@@ -128,9 +138,10 @@ class AnswerOptions:
     def rewrite_fingerprint(self) -> Tuple:
         """The compile-relevant subset, as hashed into plan-cache keys.
 
-        ``engine`` and ``timeout`` are deliberately excluded: they do
-        not change the compiled program, and including them would
-        fragment the cache (one compiled plan serves every engine).
+        ``engine``, ``timeout`` and ``shards`` are deliberately
+        excluded: they do not change the compiled program, and
+        including them would fragment the cache (one compiled plan
+        serves every engine and any shard count).
         """
         return (self.method, bool(self.magic), bool(self.optimize),
                 self.over)
@@ -165,6 +176,10 @@ class Answers:
     plan_fingerprint: str = ""
     cached_rewriting: bool = False
     timed_out: bool = False
+    #: Sharded-execution provenance: how many shards participated
+    #: (``0`` means monolithic) and each shard's evaluation seconds.
+    shards: int = 0
+    shard_seconds: Dict[int, float] = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.answers)
@@ -209,6 +224,20 @@ class Plan:
         object.__setattr__(self, "timings",
                            MappingProxyType(dict(self.timings)))
 
+    # mappingproxy is not picklable, and plans must travel to shard
+    # worker processes — pickle the timings as a plain dict and
+    # re-wrap on load
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["timings"] = dict(state["timings"])
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "timings",
+                           MappingProxyType(dict(state["timings"])))
+
     @property
     def fingerprint(self) -> str:
         """A stable hex digest of (OMQ up to renaming, compile options)."""
@@ -247,6 +276,7 @@ class Plan:
             "over": self.options.over,
             "engine": self.options.engine,
             "timeout": self.options.timeout,
+            "shards": self.options.shards,
             "data_bound": self.data_bound,
             "goal": self.ndl.goal,
             "answer_vars": list(self.ndl.answer_vars),
@@ -279,19 +309,30 @@ class Plan:
           (the caller owns the completion, as the experiment harnesses
           do);
         * an :class:`~repro.data.abox.ABox` — a one-shot session is
-          created and closed around the call.
+          created and closed around the call (a
+          :class:`~repro.shard.session.ShardedSession` when the
+          effective options ask for ``shards >= 2``);
+        * a :class:`~repro.shard.session.ShardedSession` — the plan is
+          broadcast scatter-gather over the per-shard engines.
 
         Execution knobs resolve caller-first: ``engine`` beats
         ``options.engine`` beats the plan's own compile-time options.
         ``options`` matters when the plan came out of a shared cache —
-        cache keys deliberately ignore engine/timeout, so the *first*
-        compiler's knobs must never leak into later requests; callers
-        holding a request-level :class:`AnswerOptions` (sessions, the
-        service) pass it here.
+        cache keys deliberately ignore engine/timeout/shards, so the
+        *first* compiler's knobs must never leak into later requests;
+        callers holding a request-level :class:`AnswerOptions`
+        (sessions, the service) pass it here.
         """
+        from ..shard.session import ShardedSession
+
         effective = self.options if options is None else options
         if isinstance(data, ABox):
             name = engine or effective.engine or "python"
+            if effective.shards >= 2:
+                with ShardedSession(data, shards=effective.shards,
+                                    engine=name) as session:
+                    return session.execute_plan(self, engine=name,
+                                                options=options)
             with AnswerSession(data, engine=name) as session:
                 return self.execute(session, engine=name, options=options)
         if isinstance(data, Engine):
@@ -300,8 +341,11 @@ class Plan:
             name = engine or effective.engine or data.engine
             backend = data.backend(name, self._variant_tbox())
             return self._finish(backend.evaluate, name, effective)
-        raise TypeError("Plan.execute expects an ABox, AnswerSession or "
-                        f"Engine, got {type(data).__name__}")
+        if isinstance(data, ShardedSession):
+            return data.execute_plan(self, engine=engine, options=options)
+        raise TypeError("Plan.execute expects an ABox, AnswerSession, "
+                        "ShardedSession or Engine, "
+                        f"got {type(data).__name__}")
 
     def _finish(self, evaluate, engine_name: str,
                 options: AnswerOptions) -> Answers:
@@ -397,9 +441,9 @@ def format_explain(report: Mapping[str, object]) -> str:
     non-JSON output)."""
     lines = []
     order = ("omq_class", "method_requested", "method", "magic",
-             "optimize", "over", "engine", "timeout", "data_bound",
-             "goal", "answer_vars", "rules", "width", "depth",
-             "compile_seconds", "fingerprint")
+             "optimize", "over", "engine", "timeout", "shards",
+             "data_bound", "goal", "answer_vars", "rules", "width",
+             "depth", "compile_seconds", "fingerprint")
     for key in order:
         if key not in report:
             continue

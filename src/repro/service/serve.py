@@ -7,7 +7,10 @@ data use the same surface syntax as the CLI and test suite:
 ===========================  ============================================
 ``GET  /health``             liveness probe
 ``GET  /stats``              :meth:`OMQService.stats` as JSON
-``POST /datasets``           ``{"name": ..., "data": "<ABox text>"}``
+``POST /datasets``           ``{"name": ..., "data": "<ABox text>",
+                             "shards": K}`` (``shards >= 2`` serves
+                             the dataset scatter-gather over a
+                             component partition)
 ``POST /tboxes``             ``{"name": ..., "tbox": "<TBox text>"}``
 ``POST /answer``             one request (see below)
 ``POST /explain``            a request minus ``dataset`` (optional):
@@ -177,7 +180,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "cached_rewriting": result.cached_rewriting,
                 "generated_tuples": result.generated_tuples,
                 "plan_fingerprint": result.plan_fingerprint,
-                "timed_out": result.timed_out}
+                "timed_out": result.timed_out,
+                "shards": result.shards}
 
     # -- verbs ---------------------------------------------------------------
 
@@ -202,7 +206,8 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ValueError("missing 'name'")
                 service.register_dataset(
                     name, ABox.parse(payload.get("data", "")),
-                    replace=bool(payload.get("replace", False)))
+                    replace=bool(payload.get("replace", False)),
+                    shards=int(payload.get("shards", 0)))
                 self._send({"registered": name}, 201)
             elif self.path == "/tboxes":
                 name = payload.get("name")
@@ -275,6 +280,10 @@ def add_serve_arguments(parser) -> None:
                         help="rewriting cache entries")
     parser.add_argument("--workers", type=int, default=4,
                         help="batch threads / SQLite sessions per dataset")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="serve preloaded --dataset instances over "
+                             "this many component shards (>= 2 enables "
+                             "scatter-gather execution)")
     parser.add_argument("--dataset", action="append", default=[],
                         metavar="NAME=PATH",
                         help="preload a dataset from an ABox file")
@@ -298,7 +307,8 @@ def run(args, parser: Optional[argparse.ArgumentParser] = None) -> int:
         if not path:
             return error(f"--dataset expects NAME=PATH, got {spec!r}")
         with open(path) as handle:
-            service.register_dataset(name, ABox.parse(handle.read()))
+            service.register_dataset(name, ABox.parse(handle.read()),
+                                     shards=args.shards)
     for spec in args.tbox:
         name, _, path = spec.partition("=")
         if not path:
@@ -310,14 +320,45 @@ def run(args, parser: Optional[argparse.ArgumentParser] = None) -> int:
     host, port = server.server_address[:2]
     print(f"repro service on http://{host}:{port} "
           f"(datasets: {', '.join(service.datasets()) or 'none'})")
+    _install_shutdown_handlers(server)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        # graceful teardown in either exit path: stop accepting, let
+        # in-flight handler threads drain, then release the sessions
+        # (and any shard worker processes) the service holds
         server.server_close()
         service.close()
+    print("repro service stopped")
     return 0
+
+
+def _install_shutdown_handlers(server: "ServiceServer") -> None:
+    """SIGTERM/SIGINT stop the server *gracefully*: in-flight requests
+    finish, the listening socket closes, ``serve_forever`` returns.
+
+    ``shutdown()`` blocks until the serve loop exits, and the signal
+    handler runs on the very thread that loop lives on — so the stop
+    is handed to a helper thread instead of deadlocking.
+    """
+    import signal
+    import threading
+
+    def stop(signum, _frame):
+        if server.verbose:
+            print(f"received signal {signum}; shutting down gracefully")
+        threading.Thread(target=server.shutdown,
+                         name="repro-serve-shutdown").start()
+
+    for name in ("SIGTERM", "SIGINT"):
+        signum = getattr(signal, name, None)
+        if signum is not None:
+            try:
+                signal.signal(signum, stop)
+            except ValueError:  # not on the main thread (tests)
+                return
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -32,7 +32,7 @@ from ..data.abox import ABox, GroundAtom
 from ..engine import ENGINES
 from ..rewriting.api import OMQ, AnswerSession
 from ..rewriting.plan import AnswerOptions
-from .cache import RewritingCache, tbox_fingerprint
+from .cache import RewritingCache
 from .updates import UpdateResult, apply_update
 
 
@@ -116,35 +116,65 @@ class _Dataset:
     """A registered data instance plus its session pools."""
 
     def __init__(self, name: str, abox: ABox, cache: RewritingCache,
-                 pool_capacity: int):
+                 pool_capacity: int, shards: int = 0,
+                 shard_executor: str = "auto",
+                 default_engine: str = "python"):
         self.name = name
         self.abox = abox
+        self.shards = shards
         self.lock = _RWLock()
         #: Shared by every pooled session so the per-TBox completion is
         #: computed once per dataset and patched once per update.
         self.completions: Dict[int, Tuple[object, ABox]] = {}
         self._cache = cache
         self._pool_capacity = pool_capacity
+        self._shard_executor = shard_executor
+        self._default_engine = default_engine
         self._pools: Dict[str, _SessionPool] = {}
         self._pool_lock = threading.Lock()
         self.requests = 0
         self.updates = 0
 
+    @property
+    def sharded(self) -> bool:
+        return self.shards >= 2
+
     def pool(self, engine: str) -> _SessionPool:
         with self._pool_lock:
+            if self.sharded:
+                # one ShardedSession serves every engine (workers load
+                # per-engine backends on demand); its executor already
+                # owns the per-shard parallelism, so the pool holds a
+                # single session and requests queue per scatter round.
+                # The label shows up in stats() next to real engine
+                # names, so keep it dunder-free and self-describing
+                engine = "sharded"
             pool = self._pools.get(engine)
             if pool is None:
-                # one session is enough for the Python engine: its
-                # backends share one interned Database and evaluation
-                # is GIL-bound anyway.  The SQLite engines pool up to
-                # ``pool_capacity`` independent connections.
-                capacity = 1 if engine == "python" else self._pool_capacity
-                pool = _SessionPool(
-                    lambda: AnswerSession(
-                        self.abox, engine=engine,
-                        rewriting_cache=self._cache,
-                        shared_completions=self.completions),
-                    capacity)
+                if self.sharded:
+                    from ..shard.session import ShardedSession
+
+                    pool = _SessionPool(
+                        lambda: ShardedSession(
+                            self.abox, shards=self.shards,
+                            engine=self._default_engine,
+                            executor=self._shard_executor,
+                            rewriting_cache=self._cache),
+                        1)
+                else:
+                    # one session is enough for the Python engine: its
+                    # backends share one interned Database and
+                    # evaluation is GIL-bound anyway.  The SQLite
+                    # engines pool up to ``pool_capacity`` independent
+                    # connections.
+                    capacity = (1 if engine == "python"
+                                else self._pool_capacity)
+                    pool = _SessionPool(
+                        lambda: AnswerSession(
+                            self.abox, engine=engine,
+                            rewriting_cache=self._cache,
+                            shared_completions=self.completions),
+                        capacity)
                 self._pools[engine] = pool
             return pool
 
@@ -203,6 +233,8 @@ class ServiceResult:
     relation_sizes: Dict[str, int] = field(default_factory=dict)
     plan_fingerprint: str = ""
     timed_out: bool = False
+    #: Shards that served the request (``0`` = monolithic dataset).
+    shards: int = 0
 
     def __iter__(self):
         return iter(self.answers)
@@ -227,12 +259,16 @@ class OMQService:
     """
 
     def __init__(self, cache_size: int = 256, max_workers: int = 4,
-                 default_engine: str = "python"):
+                 default_engine: str = "python",
+                 shard_executor: str = "auto"):
         if default_engine not in ENGINES:
             raise ValueError(f"unknown engine {default_engine!r}; "
                              f"expected one of {ENGINES}")
         self.default_engine = default_engine
         self.max_workers = max(1, max_workers)
+        #: Executor kind for datasets registered with ``shards >= 2``
+        #: (``"auto"`` / ``"process"`` / ``"serial"``).
+        self.shard_executor = shard_executor
         self.cache = RewritingCache(maxsize=cache_size)
         self._datasets: Dict[str, _Dataset] = {}
         self._tboxes: Dict[str, object] = {}
@@ -249,15 +285,26 @@ class OMQService:
     # -- registration --------------------------------------------------------
 
     def register_dataset(self, name: str, abox: ABox,
-                         replace: bool = False) -> None:
+                         replace: bool = False, shards: int = 0) -> None:
         """Register ``abox`` under ``name`` (the service owns it: it is
-        mutated in place by :meth:`update`)."""
+        mutated in place by :meth:`update`).
+
+        ``shards >= 2`` serves the dataset through a
+        :class:`~repro.shard.session.ShardedSession`: the data is
+        partitioned by Gaifman components and every answer runs
+        scatter-gather over per-shard engines (updates route their
+        deltas to the owning shards, rebalancing on component merges).
+        """
+        if shards < 0:
+            raise ValueError(f"shards must be >= 0, got {shards}")
         with self._lock:
             existing = self._datasets.get(name)
             if existing is not None and not replace:
                 raise ValueError(f"dataset {name!r} already registered")
-            self._datasets[name] = _Dataset(name, abox, self.cache,
-                                            self.max_workers)
+            self._datasets[name] = _Dataset(
+                name, abox, self.cache, self.max_workers, shards=shards,
+                shard_executor=self.shard_executor,
+                default_engine=self.default_engine)
         if existing is not None:
             self._drain_and_close(existing)
 
@@ -322,16 +369,14 @@ class OMQService:
             state.lock.release_read()
 
     def intern_tbox(self, tbox):
-        """One canonical TBox object per fingerprint.
+        """One canonical TBox object per fingerprint (see
+        :func:`repro.fingerprint.intern_tbox`): re-parsed-per-request
+        TBoxes must collapse to one representative or every request
+        would pay completion again."""
+        from ..fingerprint import intern_tbox
 
-        Sessions key completions by object identity, so equal-but-
-        distinct TBox objects (e.g. re-parsed per HTTP request) must
-        collapse to one representative or every request would pay
-        completion again.
-        """
-        fingerprint = tbox_fingerprint(tbox)
         with self._lock:
-            return self._tboxes.setdefault(fingerprint, tbox)
+            return intern_tbox(tbox, self._tboxes)
 
     def _canonical_omq(self, omq: OMQ) -> OMQ:
         interned = self.intern_tbox(omq.tbox)
@@ -385,7 +430,8 @@ class OMQService:
                              generated_tuples=result.generated_tuples,
                              relation_sizes=dict(result.relation_sizes),
                              plan_fingerprint=result.plan_fingerprint,
-                             timed_out=result.timed_out)
+                             timed_out=result.timed_out,
+                             shards=result.shards)
 
     def answer_batch(self, requests: Sequence[BatchRequest]
                      ) -> List[ServiceResult]:
@@ -475,6 +521,26 @@ class OMQService:
                 "data-dependent: explain needs a dataset")
         state = self._acquire_read(dataset)
         try:
+            if state.sharded:
+                # compilation only consults the master data — don't
+                # boot the K-worker executor just to explain.  The
+                # per-TBox master completion is cached on the dataset
+                # (and cleared by update()).
+                from ..rewriting.api import compile_data_variant
+
+                def completion_of():
+                    key = id(omq.tbox)
+                    entry = state.completions.get(key)
+                    if entry is None:
+                        entry = state.completions.setdefault(
+                            key, (omq.tbox,
+                                  state.abox.complete(omq.tbox)))
+                    return entry[1]
+
+                data = compile_data_variant(options, state.abox,
+                                            completion_of)
+                return compile_omq(omq, options, data=data,
+                                   cache=self.cache).explain()
             engine_name = options.engine or self.default_engine
             pool = state.pool(engine_name)
             session = pool.checkout()
@@ -509,9 +575,37 @@ class OMQService:
         state = self._dataset(dataset)
         state.lock.acquire_write()
         try:
-            result = apply_update(state.abox, state.completions,
-                                  state.all_sessions(),
-                                  inserts=inserts, deletes=deletes)
+            if state.sharded:
+                # the sharded session owns the master ABox and the
+                # component partition: it routes the deltas to the
+                # owning shards itself (at most one session exists —
+                # the single-slot sharded pool)
+                sessions = state.all_sessions()
+                if sessions:
+                    try:
+                        result = sessions[0].apply_update(
+                            inserts=inserts, deletes=deletes)
+                    except Exception:
+                        # the session poisoned itself (some shard may
+                        # have missed its delta) but the master ABox is
+                        # correct — drop the pools so the next answer
+                        # rebuilds a fresh partition over the master
+                        # instead of the dataset staying bricked
+                        state.close()
+                        state.completions.clear()
+                        raise
+                else:
+                    # nothing loaded yet: patch the raw ABox only; the
+                    # first answer builds a fresh partition over it
+                    result = apply_update(state.abox, {}, [],
+                                          inserts=inserts,
+                                          deletes=deletes)
+                # explain()'s master-completion cache is stale now
+                state.completions.clear()
+            else:
+                result = apply_update(state.abox, state.completions,
+                                      state.all_sessions(),
+                                      inserts=inserts, deletes=deletes)
         finally:
             state.lock.release_write()
         with self._lock:
@@ -551,7 +645,8 @@ class OMQService:
                     "requests": state.requests,
                     "updates": state.updates,
                     "sessions": state.pool_sizes(),
-                    "completions": len(state.completions)}
+                    "completions": len(state.completions),
+                    "shards": state.shards}
             finally:
                 state.lock.release_read()
         counters["datasets"] = per_dataset

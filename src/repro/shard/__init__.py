@@ -1,0 +1,48 @@
+"""repro.shard: component-based data sharding with a parallel
+scatter-gather plan executor.
+
+Architecture, in one paragraph: a homomorphic image of a *connected*
+CQ lies inside one connected component of the data's Gaifman graph,
+and the OWL 2 QL completion never bridges components (every entailed
+atom mentions only individuals of a single base atom) — so when shards
+are unions of whole components, the certain answers of a connected OMQ
+over the instance are exactly the union of its certain answers per
+shard.  :class:`~repro.shard.partition.Partition` computes the
+components with a union-find and packs them into ``K`` balanced
+buckets (largest-first onto the lightest shard, hash-stable
+tie-breaks); an :mod:`executor <repro.shard.executor>` holds one
+loaded per-shard engine per shard — persistent worker *processes* for
+real parallelism, or an in-process serial reference — and broadcasts
+frozen :class:`~repro.rewriting.plan.Plan` objects scatter-gather;
+:class:`~repro.shard.session.ShardedSession` fronts it with the
+``AnswerSession`` surface, unioning per-shard
+:class:`~repro.rewriting.plan.Answers` with merged timings and
+per-shard provenance.  Disconnected CQs are split into component
+sub-OMQs recombined by cross product, and anything that resists the
+decomposition is routed to a monolithic fallback session with a
+logged reason.  Incremental updates route deltas to the owning
+shards; an insertion that merges two components rebalances (the
+lighter component's atoms move to the heavier one's shard), while a
+deletion that splits a component leaves the pieces co-located — a
+conservative refinement that still respects components.
+"""
+
+from .executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardResult,
+    create_executor,
+)
+from .partition import Partition
+from .session import ShardedSession
+
+__all__ = [
+    "Executor",
+    "Partition",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardResult",
+    "ShardedSession",
+    "create_executor",
+]

@@ -1,0 +1,338 @@
+"""Scatter-gather executors over per-shard engines.
+
+Two interchangeable implementations of one small contract — broadcast
+a compiled :class:`~repro.rewriting.plan.Plan` to every shard and
+gather the per-shard results, or push per-shard data deltas:
+
+* :class:`SerialExecutor` — per-shard
+  :class:`~repro.rewriting.api.AnswerSession`\\ s evaluated in-process,
+  one after another.  No parallelism, no pickling; the reference
+  implementation the parity tests run against.
+* :class:`ProcessExecutor` — one persistent worker *process* per
+  shard, each holding a loaded session over its shard, driven over
+  pipes.  Evaluation is CPU-bound pure Python, so processes (not
+  threads) are what buys wall-clock parallelism; workers stay alive
+  across calls, so the per-shard load/completion/indexing cost is paid
+  once, exactly like a monolithic session.
+
+Workers intern TBoxes by fingerprint: sessions key completions by
+object identity, and every ``execute`` delivers a freshly unpickled
+plan, so without interning each call would recomplete the shard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..data.abox import ABox, GroundAtom
+from ..rewriting.api import AnswerSession
+
+ShardDelta = Tuple[Sequence[GroundAtom], Sequence[GroundAtom]]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's contribution to a scatter-gather round."""
+
+    shard: int
+    answers: frozenset
+    seconds: float
+    generated_tuples: int = 0
+    relation_sizes: Dict[str, int] = field(default_factory=dict)
+
+
+class Executor:
+    """The scatter-gather contract both implementations satisfy."""
+
+    kind: str = "?"
+
+    @property
+    def shards(self) -> int:
+        raise NotImplementedError
+
+    def execute(self, plan, engine: Optional[str] = None
+                ) -> List[ShardResult]:
+        """Broadcast ``plan`` to every shard; gather per-shard results."""
+        raise NotImplementedError
+
+    def apply_deltas(self, deltas: Mapping[int, ShardDelta]
+                     ) -> List[Dict[str, int]]:
+        """Push per-shard ``(inserts, deletes)`` (deletes apply first);
+        returns each touched shard's update-result dict."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _intern_plan_tbox(plan, tboxes: Dict[str, object]):
+    """One canonical TBox object per fingerprint inside a worker, so a
+    session's identity-keyed completion cache hits across calls."""
+    from ..fingerprint import intern_tbox
+
+    interned = intern_tbox(plan.omq.tbox, tboxes)
+    if interned is plan.omq.tbox:
+        return plan
+    omq = dataclasses.replace(plan.omq, tbox=interned)
+    return dataclasses.replace(plan, omq=omq)
+
+
+def _shard_execute(session: AnswerSession, plan,
+                   engine: Optional[str]) -> Tuple:
+    started = time.perf_counter()
+    result = plan.execute(session, engine=engine)
+    elapsed = time.perf_counter() - started
+    return (result.answers, elapsed, result.generated_tuples,
+            dict(result.relation_sizes))
+
+
+class SerialExecutor(Executor):
+    """In-process scatter-gather: the shards evaluate one at a time."""
+
+    kind = "serial"
+
+    def __init__(self, shard_aboxes: Sequence[ABox],
+                 engine: str = "python"):
+        self._sessions = [AnswerSession(abox, engine=engine)
+                          for abox in shard_aboxes]
+
+    @property
+    def shards(self) -> int:
+        return len(self._sessions)
+
+    def execute(self, plan, engine: Optional[str] = None
+                ) -> List[ShardResult]:
+        results = []
+        for shard, session in enumerate(self._sessions):
+            answers, seconds, generated, sizes = _shard_execute(
+                session, plan, engine)
+            results.append(ShardResult(shard, answers, seconds,
+                                       generated, sizes))
+        return results
+
+    def apply_deltas(self, deltas: Mapping[int, ShardDelta]
+                     ) -> List[Dict[str, int]]:
+        results = []
+        for shard, (inserts, deletes) in sorted(deltas.items()):
+            outcome = self._sessions[shard].apply_update(
+                inserts=inserts, deletes=deletes)
+            results.append(outcome.as_dict())
+        return results
+
+    def close(self) -> None:
+        for session in self._sessions:
+            session.close()
+        self._sessions = []
+
+
+def _worker_main(connection, abox: ABox, engine: str) -> None:
+    """The per-shard worker loop: load once, serve commands forever."""
+    session = AnswerSession(abox, engine=engine)
+    tboxes: Dict[str, object] = {}
+    try:
+        while True:
+            message = connection.recv()
+            command = message[0]
+            if command == "stop":
+                break
+            try:
+                if command == "execute":
+                    _, plan, engine_name = message
+                    plan = _intern_plan_tbox(plan, tboxes)
+                    connection.send(
+                        ("ok", _shard_execute(session, plan, engine_name)))
+                elif command == "update":
+                    _, inserts, deletes = message
+                    outcome = session.apply_update(inserts=inserts,
+                                                   deletes=deletes)
+                    connection.send(("ok", outcome.as_dict()))
+                elif command == "ping":
+                    connection.send(("ok", "pong"))
+                else:
+                    connection.send(("error",
+                                     f"unknown command {command!r}"))
+            except Exception as error:  # report, keep serving
+                connection.send(
+                    ("error", f"{type(error).__name__}: {error}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        session.close()
+        connection.close()
+
+
+class ProcessExecutor(Executor):
+    """One persistent worker process per shard, driven over pipes.
+
+    ``execute`` scatters the (pickled) plan to every worker and blocks
+    gathering the answers; the workers run truly in parallel.  A lock
+    serialises scatter rounds, so the executor is safe to share across
+    threads (concurrent callers queue per round, not per shard).
+
+    Start method: ``fork`` where available (workers inherit the shard
+    data for free) — but only while the parent is single-threaded;
+    forking a multithreaded process (e.g. building the executor lazily
+    inside an HTTP handler thread) can deadlock the child on a lock
+    some other thread held at fork time, so ``forkserver``/``spawn``
+    take over there (the shard ABox is then pickled to each worker
+    once, at start-up).
+    """
+
+    kind = "process"
+
+    def __init__(self, shard_aboxes: Sequence[ABox],
+                 engine: str = "python",
+                 start_method: Optional[str] = None):
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            if "fork" in methods and threading.active_count() == 1:
+                start_method = "fork"
+            elif "forkserver" in methods:
+                start_method = "forkserver"
+            else:
+                start_method = "spawn"
+        context = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()
+        self._broken = False
+        self._connections = []
+        self._processes = []
+        try:
+            for abox in shard_aboxes:
+                parent, child = context.Pipe()
+                process = context.Process(
+                    target=_worker_main, args=(child, abox, engine),
+                    daemon=True, name=f"repro-shard-{len(self._processes)}")
+                process.start()
+                child.close()
+                self._connections.append(parent)
+                self._processes.append(process)
+        except Exception:
+            self.close()
+            raise
+
+    @property
+    def shards(self) -> int:
+        return len(self._processes)
+
+    def _check_usable(self) -> None:
+        if self._broken:
+            raise RuntimeError(
+                "a shard worker died in an earlier round; close this "
+                "session and build a fresh one")
+
+    def _scatter(self, shards: Sequence[int], messages) -> None:
+        """Send one message per shard; a closed pipe marks the whole
+        executor broken (a later gather would desync otherwise)."""
+        for shard, message in zip(shards, messages):
+            try:
+                self._connections[shard].send(message)
+            except (BrokenPipeError, OSError) as error:
+                self._mark_gone(shard, error)
+
+    def _broadcast(self, message) -> None:
+        """Send one identical message to every shard, pickled *once*
+        (``Connection.send`` would re-pickle the plan per shard)."""
+        import pickle
+
+        payload = pickle.dumps(message)
+        for shard in range(self.shards):
+            try:
+                self._connections[shard].send_bytes(payload)
+            except (BrokenPipeError, OSError) as error:
+                self._mark_gone(shard, error)
+
+    def _mark_gone(self, shard: int, error: Exception) -> None:
+        self._broken = True
+        raise RuntimeError(
+            f"shard {shard} worker is gone ({type(error).__name__}); "
+            "close this session and build a fresh one") from None
+
+    def _gather_all(self, shards: Sequence[int]) -> List:
+        """One reply per shard, *always* fully drained — a failed shard
+        must not leave later replies queued to desync the next round.
+        A worker that died mid-round (pipe EOF, process kill) marks
+        the executor broken: its reply can never arrive, so no further
+        round may be scattered."""
+        payloads: List = []
+        errors: List[str] = []
+        for shard in shards:
+            try:
+                status, payload = self._connections[shard].recv()
+            except (EOFError, OSError):
+                self._broken = True
+                errors.append(f"shard {shard}: worker died (pipe EOF)")
+                continue
+            if status == "ok":
+                payloads.append(payload)
+            else:
+                errors.append(f"shard {shard}: {payload}")
+        if errors:
+            raise RuntimeError("shard worker(s) failed: "
+                               + "; ".join(errors))
+        return payloads
+
+    def execute(self, plan, engine: Optional[str] = None
+                ) -> List[ShardResult]:
+        with self._lock:
+            self._check_usable()
+            self._broadcast(("execute", plan, engine))
+            payloads = self._gather_all(range(self.shards))
+        return [ShardResult(shard, answers, seconds, generated, sizes)
+                for shard, (answers, seconds, generated, sizes)
+                in enumerate(payloads)]
+
+    def apply_deltas(self, deltas: Mapping[int, ShardDelta]
+                     ) -> List[Dict[str, int]]:
+        with self._lock:
+            self._check_usable()
+            touched = sorted(deltas)
+            self._scatter(touched,
+                          (("update", list(deltas[shard][0]),
+                            list(deltas[shard][1]))
+                           for shard in touched))
+            return self._gather_all(touched)
+
+    def close(self) -> None:
+        with self._lock:
+            for connection in self._connections:
+                try:
+                    connection.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for process in self._processes:
+                process.join(timeout=5)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1)
+            for connection in self._connections:
+                connection.close()
+            self._connections = []
+            self._processes = []
+
+
+def create_executor(kind: str, shard_aboxes: Sequence[ABox],
+                    engine: str = "python") -> Executor:
+    """Build the requested executor; ``"auto"`` picks processes on
+    multi-core machines and the serial path on single-core ones (where
+    worker processes cost start-up and pickling but cannot overlap)."""
+    import os
+
+    if kind == "auto":
+        kind = "process" if (os.cpu_count() or 1) > 1 else "serial"
+    if kind == "serial":
+        return SerialExecutor(shard_aboxes, engine=engine)
+    if kind == "process":
+        return ProcessExecutor(shard_aboxes, engine=engine)
+    raise ValueError(f"unknown executor {kind!r}; "
+                     "expected 'auto', 'serial' or 'process'")

@@ -1,0 +1,299 @@
+"""Component-respecting ABox partitioning.
+
+The data-side mirror of the paper's locality argument: a homomorphic
+image of a *connected* CQ lies inside one connected component of the
+data's Gaifman graph, and the OWL 2 QL completion never connects two
+components (every entailed atom mentions only individuals of one base
+atom).  A partition whose shards are unions of whole components
+therefore preserves certain answers shard-by-shard.
+
+:class:`Partition` tracks components with a union-find over the
+individuals and packs them into ``K`` balanced buckets greedily by
+atom weight (largest component first onto the lightest shard, with a
+hash-stable tie-break), the classical LPT heuristic.  Incremental
+updates keep the invariant:
+
+* an insertion whose atom bridges two shards *merges* their components
+  — the lighter component's atoms move to the heavier one's shard;
+* a deletion may split a component, but the pieces stay co-located, so
+  the union-find is kept as a conservative over-approximation (never
+  split); shards still respect (the refined) components.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..data.abox import ABox, GroundAtom
+
+RowsByShard = Dict[int, List[GroundAtom]]
+
+
+def _stable_hash(constant: str) -> int:
+    """A process-independent hash (``hash(str)`` is salted per run)."""
+    return int.from_bytes(
+        hashlib.blake2b(constant.encode(), digest_size=8).digest(), "big")
+
+
+class Partition:
+    """An assignment of Gaifman components to ``shards`` buckets.
+
+    The partition owns no data: it maps constants to shards and routes
+    atom-level deltas; the master ABox stays with the caller
+    (:class:`~repro.shard.session.ShardedSession`) and per-shard copies
+    live inside the executor workers.
+    """
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        #: union-find parent pointers over the individuals.
+        self._parent: Dict[str, str] = {}
+        #: root -> every constant of the component (merged on union).
+        self._members: Dict[str, Set[str]] = {}
+        #: root -> shard index.
+        self._owner: Dict[str, int] = {}
+        #: atoms currently routed to each shard (balance bookkeeping).
+        self.weights: List[int] = [0] * shards
+
+    # -- union-find --------------------------------------------------------
+
+    def _find(self, constant: str) -> str:
+        parent = self._parent
+        root = constant
+        while parent[root] != root:
+            root = parent[root]
+        while parent[constant] != root:  # path compression
+            parent[constant], constant = root, parent[constant]
+        return root
+
+    def _add_constant(self, constant: str) -> str:
+        if constant not in self._parent:
+            self._parent[constant] = constant
+            self._members[constant] = {constant}
+        return self._find(constant)
+
+    def _union(self, first: str, second: str) -> str:
+        """Merge two components; returns the surviving root.
+
+        The larger member set absorbs the smaller (union by size), and
+        the surviving root keeps its shard assignment when it has one.
+        """
+        root_a, root_b = self._find(first), self._find(second)
+        if root_a == root_b:
+            return root_a
+        if len(self._members[root_a]) < len(self._members[root_b]):
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._members[root_a].update(self._members.pop(root_b))
+        absorbed = self._owner.pop(root_b, None)
+        if root_a not in self._owner and absorbed is not None:
+            self._owner[root_a] = absorbed
+        return root_a
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, abox: ABox, shards: int) -> "Partition":
+        """Partition ``abox``'s components into ``shards`` buckets."""
+        partition = cls(shards)
+        weights: Dict[str, int] = {}
+        for _, args in abox.atoms():
+            root = partition._add_constant(args[0])
+            for constant in args[1:]:
+                partition._add_constant(constant)
+                root = partition._union(args[0], constant)
+            weights[root] = weights.get(root, 0) + 1
+        # re-key the per-root weights (roots may have been merged away)
+        by_root: Dict[str, int] = {}
+        for constant, weight in weights.items():
+            root = partition._find(constant)
+            by_root[root] = by_root.get(root, 0) + weight
+        # LPT packing: heaviest component first onto the lightest
+        # shard; the blake2b tie-break keeps the order independent of
+        # dict iteration and of Python's per-process hash salt
+        ordered = sorted(by_root,
+                         key=lambda root: (-by_root[root],
+                                           _stable_hash(root)))
+        for root in ordered:
+            shard = partition._lightest_shard()
+            partition._owner[root] = shard
+            partition.weights[shard] += by_root[root]
+        return partition
+
+    def _lightest_shard(self) -> int:
+        return min(range(self.shards), key=lambda i: self.weights[i])
+
+    # -- lookups -----------------------------------------------------------
+
+    def owner_of(self, constant: str) -> Optional[int]:
+        """The shard holding ``constant``'s component (None if unseen)."""
+        if constant not in self._parent:
+            return None
+        return self._owner.get(self._find(constant))
+
+    def _atom_shard(self, atom: GroundAtom) -> int:
+        """The owning shard of an atom already covered by the mapping
+        (both constants of a binary atom share a component)."""
+        owner = self.owner_of(atom[1][0])
+        if owner is None:
+            raise KeyError(f"constant {atom[1][0]!r} has no shard")
+        return owner
+
+    def shard_aboxes(self, abox: ABox) -> List[ABox]:
+        """Fresh per-shard ABoxes routing every atom of ``abox``."""
+        shards = [ABox() for _ in range(self.shards)]
+        for predicate, args in abox.atoms():
+            shards[self._atom_shard((predicate, args))].add(predicate, *args)
+        return shards
+
+    def component_count(self) -> int:
+        return len(self._owner)
+
+    def stats(self) -> Dict[str, object]:
+        return {"shards": self.shards,
+                "components": self.component_count(),
+                "weights": list(self.weights)}
+
+    # -- incremental routing ----------------------------------------------
+
+    def route_deletes(self, atoms: Iterable[GroundAtom]) -> RowsByShard:
+        """Route effective deletions to their owning shards.
+
+        Components are never split (a conservative over-approximation:
+        the pieces of a split component stay co-located, which still
+        respects the refined components); weights are decremented.
+        """
+        routed: RowsByShard = {}
+        for atom in atoms:
+            shard = self._atom_shard(atom)
+            routed.setdefault(shard, []).append(atom)
+            self.weights[shard] -= 1
+        return routed
+
+    def route_inserts(self, atoms: Iterable[GroundAtom], master: ABox,
+                      ) -> Tuple[RowsByShard, RowsByShard]:
+        """Route effective insertions, merging components as needed.
+
+        ``master`` is the data *before* these insertions (deletions of
+        the same update already applied).  Two phases, so that every
+        atom — including one processed before a later merge of the same
+        round — lands on its *final* shard: first all insertions are
+        unioned into the component structure and each merged component
+        group is assigned one destination (the shard of its heaviest
+        pre-round member, new-only components opening on the lightest
+        shard); then the pre-round components that changed shard have
+        their master atoms rehomed and the new atoms are routed to the
+        final owners.  Returns ``(inserts, deletes)`` by shard — the
+        deletes are the moved-out atoms; a caller applying both
+        (deletes first) keeps every shard equal to a fresh routing of
+        the final data.
+        """
+        atoms = [(predicate, tuple(args)) for predicate, args in atoms]
+        inserts: RowsByShard = {}
+        deletes: RowsByShard = {}
+        # phase 1a: union everything, snapshotting *move candidates*
+        # only — the sides of a union whose group spans two owners.  A
+        # same-owner union inside an untouched component costs O(1);
+        # once a group is cross-owner its surviving root is marked
+        # ``tainted``, and every owned side merging into a tainted
+        # group is snapshotted too, so no member of a rehomed group is
+        # ever missed (even when an unowned new root survives a union)
+        snapshots: Dict[str, Tuple[int, Set[str]]] = {}
+        tainted: Set[str] = set()
+        for _, args in atoms:
+            for constant in args:
+                self._add_constant(constant)
+            for constant in args[1:]:
+                root_a = self._find(args[0])
+                root_b = self._find(constant)
+                if root_a == root_b:
+                    continue
+                owner_a = self._owner.get(root_a)
+                owner_b = self._owner.get(root_b)
+                if ((owner_a is not None and owner_b is not None
+                        and owner_a != owner_b)
+                        or root_a in tainted or root_b in tainted):
+                    for root, owner in ((root_a, owner_a),
+                                        (root_b, owner_b)):
+                        if owner is not None and root not in snapshots:
+                            snapshots[root] = (
+                                owner, set(self._members[root]))
+                    tainted.add(self._union(args[0], constant))
+                else:
+                    self._union(args[0], constant)
+        # phase 1b: one destination per group and balanced weights.
+        # Cross-owner groups go to the shard of their heaviest
+        # snapshotted side; groups with an inherited owner stay; truly
+        # new components open on the lightest shard — heaviest first
+        # (LPT), with weights updated *as assigned* so a bulk insert of
+        # many new components spreads instead of piling on one shard
+        grouped: Dict[str, List[str]] = {}
+        for old_root in snapshots:
+            grouped.setdefault(self._find(old_root), []).append(old_root)
+        atom_roots = [self._find(args[0]) for _, args in atoms]
+        counts: Dict[str, int] = {}
+        for root in atom_roots:
+            counts[root] = counts.get(root, 0) + 1
+        for final_root in sorted(counts, key=lambda r: (-counts[r],
+                                                        _stable_hash(r))):
+            merged = grouped.get(final_root)
+            if merged:
+                merged.sort(key=lambda r: (-len(snapshots[r][1]),
+                                           _stable_hash(r)))
+                self._owner[final_root] = snapshots[merged[0]][0]
+            elif final_root not in self._owner:
+                self._owner[final_root] = self._lightest_shard()
+            self.weights[self._owner[final_root]] += counts[final_root]
+        # phase 2a: rehome the snapshotted sides that changed shard.
+        # setdefault guards against overlapping snapshots (an owner
+        # propagated through a union can put the same constants into
+        # two entries); all moves share ONE scan of master
+        moves: Dict[str, Tuple[int, int]] = {}
+        for old_root, (source, members) in snapshots.items():
+            destination = self._owner[self._find(old_root)]
+            if source != destination:
+                for constant in members:
+                    moves.setdefault(constant, (source, destination))
+        if moves:
+            self._rehome(moves, master, inserts, deletes)
+        # phase 2b: route the new atoms to their final owners (their
+        # weight contribution was booked in phase 1b)
+        for (predicate, args), root in zip(atoms, atom_roots):
+            shard = self._owner[root]
+            inserts.setdefault(shard, []).append((predicate, args))
+        return inserts, deletes
+
+    def _rehome(self, moves: Dict[str, Tuple[int, int]], master: ABox,
+                inserts: RowsByShard, deletes: RowsByShard) -> None:
+        """Rehome every master atom of the moving constants (recorded
+        as delete + insert pairs) in a single pass over the data —
+        several components merging in one round still cost one scan."""
+        for predicate in master.unary_predicates:
+            for constant in master.unary(predicate):
+                route = moves.get(constant)
+                if route is not None:
+                    self._record_move((predicate, (constant,)), route,
+                                      inserts, deletes)
+        for predicate in master.binary_predicates:
+            for pair in master.binary(predicate):
+                # both endpoints share a component, so args[0] decides
+                route = moves.get(pair[0])
+                if route is not None:
+                    self._record_move((predicate, pair), route,
+                                      inserts, deletes)
+
+    def _record_move(self, atom: GroundAtom, route: Tuple[int, int],
+                     inserts: RowsByShard, deletes: RowsByShard) -> None:
+        source, destination = route
+        deletes.setdefault(source, []).append(atom)
+        inserts.setdefault(destination, []).append(atom)
+        self.weights[source] -= 1
+        self.weights[destination] += 1
+
+    def __repr__(self) -> str:
+        return (f"Partition({self.shards} shards, "
+                f"{self.component_count()} components, "
+                f"weights={self.weights})")

@@ -192,7 +192,8 @@ class TestPlanReuse:
 
     def test_execute_rejects_unknown_target(self):
         plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")))
-        with pytest.raises(TypeError, match="ABox, AnswerSession or"):
+        with pytest.raises(TypeError,
+                           match="ABox, AnswerSession, ShardedSession"):
             plan.execute({"not": "data"})
 
 
