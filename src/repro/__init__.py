@@ -70,7 +70,7 @@ The legacy one-shot :func:`answer` (and ``AnswerSession.answer``,
 """
 
 from .chase import certain_answers, is_certain_answer
-from .client import Client
+from .client import AsyncClient, Client, ServiceError
 from .data import ABox
 from .datalog import (
     NDLQuery,
@@ -118,8 +118,10 @@ __all__ = [
     "AnswerOptions",
     "Answers",
     "AnswerSession",
+    "AsyncClient",
     "CQ",
     "Client",
+    "ServiceError",
     "Database",
     "ENGINES",
     "METHODS",

@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro classify --tbox onto.txt --query "R(x,y), S(y,z)"
     python -m repro landscape
     python -m repro serve --port 8080 --dataset demo=data.txt
+    python -m repro serve --async-io --port 8081   # coalescing asyncio
 
 The TBox file uses the :meth:`repro.ontology.TBox.parse` syntax and the
 data file the :meth:`repro.data.ABox.parse` syntax.  Every pipeline

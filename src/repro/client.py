@@ -23,14 +23,24 @@ Usage::
 the client); text serialisation for the HTTP transport round-trips
 through the same ``TBox.parse`` / ``CQ.parse`` / ``ABox.parse`` syntax
 the CLI and test suite use.
+
+For asyncio code there are two doors: :class:`AsyncClient` speaks the
+HTTP protocol natively on asyncio streams (the natural mate of the
+coalescing ``repro serve --async-io`` front-end), and every blocking
+``Client`` verb has an ``*_async`` twin that runs it on a thread.
+Server rejections surface as :class:`ServiceError` (a ``ValueError``
+carrying the HTTP status, the server's ``error_type`` tag and, for
+429 backpressure rejections, ``retry_after`` seconds).
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 from typing import Dict, Iterable, List, Optional, Tuple
 from urllib import request as urllib_request
 from urllib.error import HTTPError
+from urllib.parse import urlsplit
 
 from .data.abox import ABox
 from .ontology.tbox import TBox
@@ -39,6 +49,44 @@ from .rewriting.api import OMQ
 from .rewriting.plan import AnswerOptions, Answers
 
 GroundAtom = Tuple[str, Tuple[str, ...]]
+
+
+class ServiceError(ValueError):
+    """A request the server rejected, carrying the HTTP ``status``,
+    the server's ``error_type`` tag and (for 429 backpressure
+    rejections) the suggested ``retry_after`` seconds.
+
+    Subclasses :class:`ValueError` so existing callers that catch
+    that keep working.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 error_type: str = "bad_request",
+                 retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.retry_after = retry_after
+
+    @classmethod
+    def from_body(cls, status: int, body, headers=None) -> "ServiceError":
+        """Build from a decoded error body (``{"error": ...,
+        "error_type": ...}``) plus response headers."""
+        if not isinstance(body, dict):
+            body = {}
+        retry_after: Optional[float] = None
+        raw = body.get("retry_after")
+        if raw is None and headers is not None:
+            raw = headers.get("Retry-After")
+        if raw is not None:
+            try:
+                retry_after = float(raw)
+            except (TypeError, ValueError):
+                retry_after = None
+        return cls(str(body.get("error") or f"HTTP {status}"),
+                   status=status,
+                   error_type=str(body.get("error_type") or "error"),
+                   retry_after=retry_after)
 
 
 def tbox_to_text(tbox: TBox) -> str:
@@ -66,6 +114,36 @@ def abox_to_text(abox: ABox) -> str:
 
 def _atom_texts(atoms: Iterable[GroundAtom]) -> List[str]:
     return [f"{predicate}({', '.join(args)})" for predicate, args in atoms]
+
+
+def _request_payload(dataset: Optional[str], omq: OMQ,
+                     options: AnswerOptions) -> Dict[str, object]:
+    """One wire-format answer/explain request (shared by the sync and
+    async HTTP transports)."""
+    payload: Dict[str, object] = {
+        "tbox_text": tbox_to_text(omq.tbox),
+        "query": cq_to_text(omq.query),
+        "answers": list(omq.query.answer_vars),
+        "options": options.as_dict(),
+    }
+    if dataset is not None:
+        payload["dataset"] = dataset
+    return payload
+
+
+def _answers_from_body(body: Dict[str, object],
+                       options: AnswerOptions) -> Answers:
+    """Typed :class:`Answers` from a JSON ``/answer`` response."""
+    return Answers(
+        answers=frozenset(tuple(row) for row in body["answers"]),
+        generated_tuples=int(body.get("generated_tuples", 0)),
+        seconds=float(body.get("seconds", 0.0)),
+        engine=body.get("engine") or "python",
+        method=body.get("method", options.method),
+        plan_fingerprint=body.get("plan_fingerprint", ""),
+        cached_rewriting=bool(body.get("cached_rewriting", False)),
+        timed_out=bool(body.get("timed_out", False)),
+        shards=int(body.get("shards", 0)))
 
 
 class _ServiceTransport:
@@ -138,25 +216,12 @@ class _HTTPTransport:
                 body = json.loads(reply.read().decode())
         except HTTPError as error:
             try:
-                message = json.loads(error.read().decode()).get(
-                    "error", str(error))
+                decoded = json.loads(error.read().decode())
             except Exception:
-                message = str(error)
-            raise ValueError(message) from None
+                decoded = {"error": str(error)}
+            raise ServiceError.from_body(error.code, decoded,
+                                         error.headers) from None
         return body
-
-    @staticmethod
-    def _request_payload(dataset: Optional[str], omq: OMQ,
-                         options: AnswerOptions) -> Dict[str, object]:
-        payload: Dict[str, object] = {
-            "tbox_text": tbox_to_text(omq.tbox),
-            "query": cq_to_text(omq.query),
-            "answers": list(omq.query.answer_vars),
-            "options": options.as_dict(),
-        }
-        if dataset is not None:
-            payload["dataset"] = dataset
-        return payload
 
     # -- surface -----------------------------------------------------------
 
@@ -174,22 +239,13 @@ class _HTTPTransport:
     def answer(self, dataset: str, omq: OMQ,
                options: AnswerOptions) -> Answers:
         body = self._call("/answer",
-                          self._request_payload(dataset, omq, options))
-        return Answers(
-            answers=frozenset(tuple(row) for row in body["answers"]),
-            generated_tuples=int(body.get("generated_tuples", 0)),
-            seconds=float(body.get("seconds", 0.0)),
-            engine=body.get("engine") or "python",
-            method=body.get("method", options.method),
-            plan_fingerprint=body.get("plan_fingerprint", ""),
-            cached_rewriting=bool(body.get("cached_rewriting", False)),
-            timed_out=bool(body.get("timed_out", False)),
-            shards=int(body.get("shards", 0)))
+                          _request_payload(dataset, omq, options))
+        return _answers_from_body(body, options)
 
     def explain(self, omq: OMQ, options: AnswerOptions,
                 dataset: Optional[str]) -> Dict[str, object]:
         return self._call("/explain",
-                          self._request_payload(dataset, omq, options))
+                          _request_payload(dataset, omq, options))
 
     def update(self, dataset: str, inserts: Iterable[GroundAtom],
                deletes: Iterable[GroundAtom]) -> Dict[str, object]:
@@ -307,3 +363,183 @@ class Client:
 
     def __repr__(self) -> str:
         return f"Client({self._transport.__class__.__name__[1:]})"
+
+    # -- async bridge ------------------------------------------------------
+
+    # The blocking surface lifted onto a thread, for event-loop code
+    # that holds a regular (embedded or HTTP) client.  A server-side
+    # event loop should prefer :class:`AsyncClient`, which speaks the
+    # wire protocol natively on asyncio streams.
+
+    async def answer_async(self, dataset: str, omq: OMQ, options=None,
+                           **overrides) -> Answers:
+        return await asyncio.to_thread(self.answer, dataset, omq,
+                                       options, **overrides)
+
+    async def explain_async(self, omq: OMQ, options=None,
+                            dataset: Optional[str] = None,
+                            **overrides) -> Dict[str, object]:
+        return await asyncio.to_thread(self.explain, omq, options,
+                                       dataset, **overrides)
+
+    async def update_async(self, dataset: str,
+                           inserts: Iterable[GroundAtom] = (),
+                           deletes: Iterable[GroundAtom] = ()
+                           ) -> Dict[str, object]:
+        return await asyncio.to_thread(self.update, dataset, inserts,
+                                       deletes)
+
+    async def stats_async(self) -> Dict[str, object]:
+        return await asyncio.to_thread(self.stats)
+
+
+class AsyncClient:
+    """The :class:`Client` surface for asyncio code, over HTTP.
+
+    Speaks the ``repro serve`` JSON protocol on ``asyncio`` streams
+    (stdlib only, one connection per request), so hundreds of requests
+    can be in flight from one event loop — which is exactly what the
+    coalescing server (:mod:`repro.service.aserve`) wants to see.
+    Every method mirrors :class:`Client` but is awaitable::
+
+        async with AsyncClient.connect("http://host:8081") as client:
+            answers = await client.answer("demo", omq, method="tw")
+
+    Server rejections raise :class:`ServiceError`; a 429 backpressure
+    rejection carries ``error.retry_after`` seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        split = urlsplit(url if "//" in url else f"//{url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"AsyncClient speaks plain http, got {url!r}")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self.timeout = timeout
+
+    @classmethod
+    def connect(cls, url: str, timeout: float = 30.0) -> "AsyncClient":
+        """A client for the ``repro serve`` JSON protocol at ``url``."""
+        return cls(url, timeout=timeout)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    # -- wire --------------------------------------------------------------
+
+    async def _call(self, path: str, payload=None) -> Dict[str, object]:
+        return await asyncio.wait_for(self._call_once(path, payload),
+                                      timeout=self.timeout)
+
+    async def _call_once(self, path: str, payload) -> Dict[str, object]:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        method = "GET" if payload is None else "POST"
+        reader, writer = await asyncio.open_connection(self._host,
+                                                       self._port)
+        try:
+            head = (f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {self._host}:{self._port}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n")
+            writer.write(head.encode() + body)
+            await writer.drain()
+            status, headers, raw = await self._read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        try:
+            decoded = json.loads(raw.decode()) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": raw.decode(errors="replace")}
+        if status >= 400:
+            raise ServiceError.from_body(status, decoded, headers)
+        return decoded
+
+    @staticmethod
+    async def _read_response(reader: asyncio.StreamReader):
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceError("malformed HTTP response from server",
+                               status=502, error_type="bad_response")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().title()] = value.strip()
+        length = headers.get("Content-Length")
+        if length is not None and length.isdigit():
+            raw = await reader.readexactly(int(length))
+        else:
+            raw = await reader.read()
+        return status, headers, raw
+
+    # -- surface -----------------------------------------------------------
+
+    async def register_dataset(self, name: str, abox: ABox,
+                               replace: bool = False,
+                               shards: int = 0) -> None:
+        await self._call("/datasets",
+                         {"name": name, "data": abox_to_text(abox),
+                          "replace": replace, "shards": shards})
+
+    async def register_tbox(self, name: str, tbox: TBox) -> None:
+        await self._call("/tboxes",
+                         {"name": name, "tbox": tbox_to_text(tbox)})
+
+    async def datasets(self) -> Tuple[str, ...]:
+        return tuple(sorted((await self.stats()).get("datasets", {})))
+
+    async def answer(self, dataset: str, omq: OMQ, options=None,
+                     **overrides) -> Answers:
+        options = AnswerOptions.coerce(options, **overrides)
+        body = await self._call("/answer",
+                                _request_payload(dataset, omq, options))
+        return _answers_from_body(body, options)
+
+    async def explain(self, omq: OMQ, options=None,
+                      dataset: Optional[str] = None,
+                      **overrides) -> Dict[str, object]:
+        options = AnswerOptions.coerce(options, **overrides)
+        return await self._call("/explain",
+                                _request_payload(dataset, omq, options))
+
+    async def update(self, dataset: str,
+                     inserts: Iterable[GroundAtom] = (),
+                     deletes: Iterable[GroundAtom] = ()
+                     ) -> Dict[str, object]:
+        return await self._call("/update",
+                                {"dataset": dataset,
+                                 "insert": _atom_texts(inserts),
+                                 "delete": _atom_texts(deletes)})
+
+    async def insert_facts(self, dataset: str,
+                           atoms: Iterable[GroundAtom]) -> Dict[str, object]:
+        return await self.update(dataset, inserts=atoms)
+
+    async def delete_facts(self, dataset: str,
+                           atoms: Iterable[GroundAtom]) -> Dict[str, object]:
+        return await self.update(dataset, deletes=atoms)
+
+    async def stats(self) -> Dict[str, object]:
+        return await self._call("/stats")
+
+    async def close(self) -> None:
+        pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        return f"AsyncClient({self.url!r})"

@@ -14,22 +14,36 @@ per-request costs *across* requests and sessions:
 * :mod:`repro.service.updates` — incremental ABox insert/delete that
   patches the interned database, the memoised indexes, the SQLite
   tables and the cached completions in place instead of reloading;
-* :mod:`repro.service.serve` — a JSON-over-HTTP front-end
-  (``python -m repro serve``) on the stdlib ``http.server``.
+* :mod:`repro.service.protocol` — the JSON protocol itself (request
+  decoding, route dispatch, structured errors), shared by both
+  HTTP front-ends so they parse and fail identically;
+* :mod:`repro.service.serve` — the threaded JSON-over-HTTP front-end
+  (``python -m repro serve``) on the stdlib ``http.server``;
+* :mod:`repro.service.aserve` — the asyncio front-end
+  (``python -m repro serve --async-io``): request coalescing of
+  identical in-flight queries, micro-batching into
+  ``answer_batch`` windows, and 429 queue-depth backpressure.
 """
 
+from .aserve import AsyncServiceServer, BackgroundAsyncServer, serve_in_background
 from .cache import CacheStats, RewritingCache, cq_fingerprint, tbox_fingerprint
+from .protocol import ProtocolError, Router
 from .service import BatchRequest, OMQService, ServiceResult
 from .updates import UpdateResult, apply_update
 
 __all__ = [
+    "AsyncServiceServer",
+    "BackgroundAsyncServer",
     "BatchRequest",
     "CacheStats",
     "OMQService",
+    "ProtocolError",
     "RewritingCache",
+    "Router",
     "ServiceResult",
     "UpdateResult",
     "apply_update",
     "cq_fingerprint",
+    "serve_in_background",
     "tbox_fingerprint",
 ]

@@ -1,0 +1,510 @@
+"""Asyncio front-end: request coalescing, micro-batching, backpressure.
+
+The threaded server (:mod:`repro.service.serve`) spends one blocking
+thread per connection and evaluates every request, even when dozens of
+clients ask the same question at the same moment — the norm for a hot
+OMQ under heavy traffic.  This front-end serves the same protocol
+(:mod:`repro.service.protocol`) over stdlib ``asyncio`` streams and
+buys throughput three ways:
+
+* **Request coalescing** — concurrent ``/answer`` requests with the
+  same ``(dataset, data version, engine, timeout, plan-cache key)``
+  await *one* shared execution future instead of running N identical
+  ``Plan.execute`` calls.  The plan-cache key is canonical up to
+  variable renaming, so clients that regenerate variable names still
+  coalesce.  The data version is a per-dataset epoch bumped whenever
+  an update (or re-registration) completes: a request that arrives
+  after an update never joins an execution that read the old data.
+* **Micro-batching** — admitted ``/answer`` requests gather for a
+  short window (``batch_window`` seconds, or until ``max_batch`` are
+  queued) and run as one :meth:`OMQService.answer_batch` call on a
+  bounded worker-thread pool, sharing read locks and in-batch
+  deduplication.
+* **Admission control** — once ``max_pending`` requests are queued or
+  executing, new work is rejected with ``429`` and a ``Retry-After``
+  header instead of growing an unbounded queue.  Joining an in-flight
+  coalesced execution is always admitted: it adds no work.
+
+Counters for all three (plus queue depth high-water marks) are served
+under ``"async_serving"`` in ``GET /stats``.  Start it with
+``python -m repro serve --async-io`` or embed it in tests via
+:func:`serve_in_background`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from .protocol import (
+    ProtocolError,
+    Router,
+    decode_json_body,
+    error_payload,
+    parse_content_length,
+)
+from .service import BatchRequest, OMQService
+
+#: Routes whose successful POST changes what a dataset's answers are —
+#: each bumps the touched dataset's coalescing epoch.
+_DATA_ROUTES = ("/update", "/datasets")
+
+
+class AsyncServiceServer:
+    """The asyncio HTTP server bound to one :class:`OMQService`.
+
+    All mutable coordination state (the in-flight map, the pending
+    micro-batch, the counters) is confined to the event loop thread;
+    only ``OMQService`` calls run on the worker pool, so no locks are
+    needed here.
+    """
+
+    def __init__(self, service: OMQService, host: str = "127.0.0.1",
+                 port: int = 8081, *, workers: int = 4,
+                 max_pending: int = 128, batch_window: float = 0.002,
+                 max_batch: int = 16, verbose: bool = False):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.workers = max(1, workers)
+        self.max_pending = max_pending
+        self.batch_window = max(0.0, batch_window)
+        self.max_batch = max_batch
+        self.verbose = verbose
+        # no extra_stats hook: the counters are event-loop-confined, so
+        # /stats snapshots them on the loop and merges after the
+        # service part is fetched on the worker pool
+        self.router = Router(service)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # event-loop-confined serving state
+        self._inflight: Dict[Tuple, asyncio.Future] = {}
+        self._pending: List[Tuple[Tuple, BatchRequest]] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._executing = 0
+        self._epochs: Dict[str, int] = {}
+        self._connections: set = set()
+        # counters (served under "async_serving" in /stats)
+        self._requests = 0
+        self._coalesced = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._rejected = 0
+        self._peak_pending = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (port 0 auto-assigns) and the
+        worker pool; returns with :attr:`address` resolved."""
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-aserve")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, close open connections, fail queued work,
+        release the worker pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # idle keep-alive connections park their handler tasks in a
+        # readline; they must be cancelled and awaited before the
+        # caller tears the event loop down under them
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        self._connections.clear()
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        for key, _ in self._pending:
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_exception(
+                    ProtocolError("server shutting down", status=503,
+                                  error_type="overloaded"))
+        self._pending.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- coalescing + micro-batching -----------------------------------------
+
+    def _coalesce_key(self, request: BatchRequest) -> Tuple:
+        """Identity of one unit of answer work.
+
+        Folds in everything that changes the bytes of the response:
+        the dataset and its current epoch (updates bump it), the
+        engine, the execution timeout, and the canonical plan-cache
+        key (TBox, CQ up to variable renaming, compile options).
+        """
+        options = request.answer_options()
+        engine = options.engine or self.service.default_engine
+        return (request.dataset, self._epochs.get(request.dataset, 0),
+                engine, options.timeout,
+                self.service.cache.key(request.omq, options))
+
+    def _queue_depth(self) -> int:
+        return len(self._pending) + self._executing
+
+    def _admit(self, units: int = 1) -> None:
+        """Reject new work with 429 once the queue is saturated."""
+        depth = self._queue_depth()
+        if depth + units > self.max_pending:
+            self._rejected += units
+            raise ProtocolError(
+                f"server saturated: {depth} requests queued or "
+                f"executing (max_pending={self.max_pending})",
+                status=429, error_type="overloaded", retry_after=1.0)
+
+    async def _handle_answer(self, payload: Dict) -> Tuple[int, Dict]:
+        request = self.router.decode_answer(payload)
+        key = self._coalesce_key(request)
+        future = self._inflight.get(key)
+        if future is not None:
+            # joining in-flight identical work is free: no admission
+            self._coalesced += 1
+            result = await asyncio.shield(future)
+            body = dict(self.router.result_payload(result))
+            body["coalesced"] = True
+            return 200, body
+        self._admit()
+        future = self._loop.create_future()
+        self._inflight[key] = future
+        self._pending.append((key, request))
+        self._peak_pending = max(self._peak_pending, self._queue_depth())
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = self._loop.call_later(self.batch_window,
+                                                       self._flush)
+        result = await asyncio.shield(future)
+        body = dict(self.router.result_payload(result))
+        body["coalesced"] = False
+        return 200, body
+
+    def _flush(self) -> None:
+        """Hand the gathered micro-batch to the worker pool."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self._executing += len(batch)
+        self._batches += 1
+        self._batched_requests += len(batch)
+        self._loop.create_task(self._run_batch(batch))
+
+    async def _run_batch(self, batch: List[Tuple[Tuple, BatchRequest]]) -> None:
+        requests = [request for _, request in batch]
+        try:
+            results = await self._loop.run_in_executor(
+                self._executor, self.service.answer_batch, requests)
+        except Exception:
+            # answer_batch fails as a unit (e.g. one unknown dataset
+            # aborts lock acquisition for all).  One bad request must
+            # not poison its batchmates: retry each alone so only the
+            # offender's waiters see its error.
+            await self._settle_individually(batch)
+            return
+        finally:
+            self._executing -= len(batch)
+        for (key, _), result in zip(batch, results):
+            # pop before resolving: once resolved the result is no
+            # longer "in flight" and must not absorb later arrivals
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_result(result)
+
+    async def _settle_individually(
+            self, batch: List[Tuple[Tuple, BatchRequest]]) -> None:
+        for key, request in batch:
+            future = self._inflight.pop(key, None)
+            if future is None or future.done():
+                continue
+            try:
+                result = await self._loop.run_in_executor(
+                    self._executor, self._answer_one, request)
+            except Exception as error:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+
+    def _answer_one(self, request: BatchRequest):
+        return self.service.answer(request.dataset, request.omq,
+                                   options=request.answer_options())
+
+    # -- other routes --------------------------------------------------------
+
+    def _counters_payload(self) -> Dict[str, object]:
+        return {"async_serving": {
+            "requests": self._requests,
+            "coalesced": self._coalesced,
+            "batches": self._batches,
+            "batched_requests": self._batched_requests,
+            "rejected": self._rejected,
+            "pending": self._queue_depth(),
+            "peak_pending": self._peak_pending,
+            "max_pending": self.max_pending,
+            "batch_window": self.batch_window,
+            "max_batch": self.max_batch,
+            "workers": self.workers,
+        }}
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, Dict]:
+        self._requests += 1
+        payload = decode_json_body(body)
+        if method == "POST" and path == "/answer":
+            return await self._handle_answer(payload)
+        if method == "GET" and path == "/health":
+            return 200, {"status": "ok"}
+        if method == "POST" and path == "/batch":
+            # decode on the loop (cheap), admit by batch size, run on
+            # the pool; entries coalesce among themselves through
+            # answer_batch's own in-batch deduplication
+            requests = self.router.decode_batch(payload)
+            self._admit(len(requests))
+            self._executing += len(requests)
+            try:
+                results = await self._loop.run_in_executor(
+                    self._executor, self.service.answer_batch, requests)
+            finally:
+                self._executing -= len(requests)
+            return 200, {"results": [self.router.result_payload(result)
+                                     for result in results]}
+        # every remaining route (register/update/explain/stats) may
+        # block on locks or compile, so it runs on the worker pool
+        # through the same Router the threaded server uses
+        counters_snapshot = None  # counters are loop-confined
+        if method == "GET" and path == "/stats":
+            counters_snapshot = self._counters_payload()
+        status, body_payload = await self._loop.run_in_executor(
+            self._executor, self.router.handle, method, path, payload)
+        if counters_snapshot is not None:
+            body_payload = {**body_payload, **counters_snapshot}
+        if method == "POST" and path in _DATA_ROUTES and status < 400:
+            dataset = payload.get("dataset") or payload.get("name")
+            if dataset:
+                self._bump_epoch(str(dataset))
+        return status, body_payload
+
+    def _bump_epoch(self, dataset: str) -> None:
+        """Invalidate coalescing for a dataset whose data changed."""
+        self._epochs[dataset] = self._epochs.get(dataset, 0) + 1
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _handle_one(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> bool:
+        """Serve one request; returns whether to keep the connection."""
+        request_line = await reader.readline()
+        if not request_line or not request_line.strip():
+            return False
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            self._respond(writer, 400,
+                          {"error": "malformed request line",
+                           "error_type": "bad_request"})
+            await writer.drain()
+            return False
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        extra: Dict[str, str] = {}
+        keep_alive = headers.get("connection", "").lower() != "close"
+        try:
+            length = parse_content_length(headers.get("content-length"))
+        except ProtocolError as error:
+            # framing is broken: the body (whose length we cannot
+            # know) is still on the wire, so answering and keeping the
+            # connection would parse those bytes as the next request
+            status, payload, extra = error_payload(error)
+            self._respond(writer, status, payload, extra)
+            await writer.drain()
+            return False
+        try:
+            body = await reader.readexactly(length) if length else b""
+            status, payload = await self._dispatch(method, path, body)
+        except asyncio.IncompleteReadError:
+            raise
+        except Exception as error:
+            status, payload, extra = error_payload(error)
+            if self.verbose and status >= 500:
+                print(f"repro aserve: {method} {path} -> {status}: {error}")
+        self._respond(writer, status, payload, extra)
+        await writer.drain()
+        return keep_alive
+
+    _REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
+                404: "Not Found", 429: "Too Many Requests",
+                500: "Internal Server Error", 503: "Service Unavailable"}
+
+    def _respond(self, writer: asyncio.StreamWriter, status: int,
+                 payload: Dict,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode()
+        reason = self._REASONS.get(status, "OK")
+        head = [f"HTTP/1.1 {status} {reason}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}"]
+        head.extend(f"{name}: {value}"
+                    for name, value in (headers or {}).items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+
+
+class BackgroundAsyncServer:
+    """An :class:`AsyncServiceServer` on its own event-loop thread.
+
+    The synchronous harness the tests and benchmarks need::
+
+        with BackgroundAsyncServer(service, port=0) as handle:
+            Client.connect(handle.url).answer(...)
+    """
+
+    def __init__(self, service: OMQService, **kwargs):
+        kwargs.setdefault("port", 0)
+        self.server = AsyncServiceServer(service, **kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-aserve-loop", daemon=True)
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    def start(self) -> "BackgroundAsyncServer":
+        if not self._thread.is_alive():
+            self._thread.start()
+            asyncio.run_coroutine_threadsafe(self.server.start(),
+                                             self._loop).result(timeout=30)
+        return self
+
+    def stop(self) -> None:
+        if not self._thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                         self._loop).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+
+    def __enter__(self) -> "BackgroundAsyncServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_background(service: OMQService,
+                        **kwargs) -> BackgroundAsyncServer:
+    """Start an async server for ``service`` on a background thread
+    (``port=0`` by default) and return the running handle."""
+    return BackgroundAsyncServer(service, **kwargs).start()
+
+
+def run_async(args, parser=None) -> int:
+    """Run the asyncio front-end from a parsed ``serve`` namespace
+    (the ``--async-io`` path of ``python -m repro serve``)."""
+    from .serve import build_service
+
+    def error(message: str) -> int:
+        if parser is not None:
+            parser.error(message)
+        raise SystemExit(message)
+
+    service = build_service(args, error)
+    try:
+        asyncio.run(_serve_until_signalled(service, args))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    print("repro async service stopped")
+    return 0
+
+
+async def _serve_until_signalled(service: OMQService, args) -> None:
+    import signal
+
+    server = AsyncServiceServer(
+        service, args.host, args.port, workers=args.workers,
+        max_pending=args.max_pending, batch_window=args.batch_window,
+        max_batch=args.max_batch, verbose=True)
+    await server.start()
+    print(f"repro async service on {server.url} "
+          f"(datasets: {', '.join(service.datasets()) or 'none'}; "
+          f"coalescing on, window={server.batch_window * 1000:g}ms, "
+          f"max_pending={server.max_pending})")
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for name in ("SIGTERM", "SIGINT"):
+        signum = getattr(signal, name, None)
+        if signum is None:
+            continue
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            break
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()

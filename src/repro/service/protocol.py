@@ -1,0 +1,301 @@
+"""The JSON/HTTP serving protocol, shared by both front-ends.
+
+:mod:`repro.service.serve` (one thread per request, stdlib
+``http.server``) and :mod:`repro.service.aserve` (asyncio streams with
+request coalescing) speak the same wire protocol.  This module is the
+single definition of that protocol — request decoding, route dispatch
+and error shaping live here so the two servers cannot drift:
+
+* :class:`ProtocolError` — a request failure that already knows its
+  HTTP status and its structured JSON body (``{"error": <message>,
+  "error_type": <kind>}``).  Malformed JSON bodies and non-integer
+  ``Content-Length`` headers become 400s here instead of leaking
+  raw parser messages (or worse, a generic 500) to clients;
+* :func:`parse_content_length` / :func:`decode_json_body` — body
+  framing and decoding with those structured errors;
+* :class:`Router` — decodes payloads into service calls
+  (``/answer``, ``/batch``, ``/datasets``, ...) and renders results.
+  Both servers delegate every route here; the async server only
+  intercepts ``/answer`` to add coalescing and micro-batching around
+  the same :meth:`Router.decode_answer` / :meth:`Router.result_payload`
+  pair.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..data.abox import ABox
+from ..engine import ENGINES
+from ..ontology import TBox
+from ..queries import CQ
+from ..rewriting.api import OMQ
+from ..rewriting.plan import AnswerOptions
+from .service import BatchRequest, OMQService
+
+
+class ProtocolError(ValueError):
+    """A request rejection carrying its HTTP status and error body.
+
+    ``error_type`` is a small machine-readable vocabulary —
+    ``bad_request``, ``not_found``, ``overloaded``, ``internal`` — so
+    clients can branch without parsing prose.  ``retry_after``
+    (seconds) is set on ``overloaded`` rejections and travels both as
+    a body field and as the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 error_type: str = "bad_request",
+                 retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.retry_after = retry_after
+
+    def payload(self) -> Dict[str, object]:
+        body: Dict[str, object] = {"error": str(self),
+                                   "error_type": self.error_type}
+        if self.retry_after is not None:
+            body["retry_after"] = self.retry_after
+        return body
+
+    def headers(self) -> Dict[str, str]:
+        if self.retry_after is None:
+            return {}
+        return {"Retry-After": f"{self.retry_after:g}"}
+
+
+def error_payload(error: Exception) -> Tuple[int, Dict[str, object],
+                                             Dict[str, str]]:
+    """Map any handler exception to ``(status, body, extra_headers)``.
+
+    The one error-shaping path for both servers: client mistakes
+    (``ValueError`` and friends — bad fields, unknown datasets,
+    malformed atoms) are 400s, everything else is a 500 that never
+    drops the connection.
+    """
+    if isinstance(error, ProtocolError):
+        return error.status, error.payload(), error.headers()
+    if isinstance(error, (ValueError, KeyError, TypeError)):
+        return 400, {"error": str(error),
+                     "error_type": "bad_request"}, {}
+    return 500, {"error": f"internal error: {error}",
+                 "error_type": "internal"}, {}
+
+
+def parse_content_length(raw: Optional[str]) -> int:
+    """The request body length; absent/empty means no body.
+
+    A non-integer or negative header is the client's bug and must be
+    a structured 400, not an internal error.
+    """
+    if raw is None or not raw.strip():
+        return 0
+    try:
+        length = int(raw)
+    except ValueError:
+        raise ProtocolError(
+            f"invalid Content-Length header {raw!r}: "
+            "expected a non-negative integer") from None
+    if length < 0:
+        raise ProtocolError(
+            f"invalid Content-Length header {raw!r}: must be >= 0")
+    return length
+
+
+def decode_json_body(body: bytes) -> Dict:
+    """The request payload as a dict (empty body -> ``{}``)."""
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except UnicodeDecodeError as error:
+        raise ProtocolError(f"request body is not valid UTF-8: "
+                            f"{error}") from None
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"malformed JSON body: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object, got "
+                            f"{type(payload).__name__}")
+    return payload
+
+
+def parse_atoms(texts) -> List[Tuple[str, Tuple[str, ...]]]:
+    """Ground atoms from strings like ``"R(a, b)"``."""
+    atoms: List[Tuple[str, Tuple[str, ...]]] = []
+    for text in texts:
+        parsed = list(ABox.parse(text).atoms())
+        if not parsed:
+            raise ProtocolError(f"no ground atom found in {text!r}")
+        atoms.extend(parsed)
+    return atoms
+
+
+def answer_vars(raw) -> List[str]:
+    if raw is None:
+        return []
+    if isinstance(raw, str):
+        return [v.strip() for v in raw.split(",") if v.strip()]
+    if not isinstance(raw, (list, tuple)):
+        raise ProtocolError("'answers' must be a string or a list")
+    return [str(v) for v in raw]
+
+
+class Router:
+    """Decode requests against one :class:`OMQService` and dispatch.
+
+    ``extra_stats`` lets a server merge its own counters into the
+    ``/stats`` payload (the async front-end reports coalescing, batch
+    and queue numbers there).
+    """
+
+    def __init__(self, service: OMQService,
+                 extra_stats: Optional[Callable[[], Dict]] = None):
+        self.service = service
+        self._extra_stats = extra_stats
+
+    # -- request decoding ----------------------------------------------------
+
+    def decode_tbox(self, payload: Dict) -> TBox:
+        """The request ontology: ``tbox_text`` (inline) beats ``tbox``.
+
+        ``tbox`` is a registered name; as a convenience an inline text
+        is also accepted there when it is unambiguous (contains ``<=``
+        or a newline — impossible in a registered name).
+        """
+        text = payload.get("tbox_text")
+        if text is not None:
+            if not isinstance(text, str) or not text.strip():
+                raise ProtocolError("'tbox_text' must be TBox text")
+            return self.service.intern_tbox(TBox.parse(text))
+        spec = payload.get("tbox")
+        if not isinstance(spec, str) or not spec.strip():
+            raise ProtocolError("missing 'tbox' (name) or 'tbox_text'")
+        try:
+            return self.service.named_tbox(spec)
+        except ValueError:
+            if "<=" not in spec and "\n" not in spec:
+                raise
+        return self.service.intern_tbox(TBox.parse(spec))
+
+    @staticmethod
+    def decode_options(payload: Dict) -> AnswerOptions:
+        """The request's :class:`AnswerOptions`: an ``"options"``
+        object, with the legacy flat keys (``method``, ``engine``,
+        ``magic``, ``optimize``) applied on top."""
+        raw = payload.get("options")
+        if raw is not None and not isinstance(raw, dict):
+            raise ProtocolError("'options' must be a JSON object")
+        engine = payload.get("engine")
+        if engine is not None and engine not in ENGINES:
+            raise ProtocolError(f"unknown engine {engine!r}; "
+                                f"expected one of {ENGINES}")
+        overrides: Dict[str, object] = {
+            "method": payload.get("method"), "engine": engine,
+            "timeout": payload.get("timeout")}
+        if "magic" in payload:
+            overrides["magic"] = bool(payload["magic"])
+        if "optimize" in payload:
+            overrides["optimize"] = bool(payload["optimize"])
+        return AnswerOptions.coerce(raw, **overrides)
+
+    def decode_omq(self, payload: Dict) -> OMQ:
+        query = payload.get("query")
+        if not query or not isinstance(query, str):
+            raise ProtocolError("'query' must be a non-empty string")
+        cq = CQ.parse(query, answer_vars=answer_vars(payload.get("answers")))
+        return OMQ(self.decode_tbox(payload), cq)
+
+    def decode_answer(self, payload: Dict) -> BatchRequest:
+        """One ``/answer`` (or ``/batch`` entry) as a ``BatchRequest``."""
+        dataset = payload.get("dataset")
+        if not dataset:
+            raise ProtocolError("missing 'dataset'")
+        options = self.decode_options(payload)
+        return BatchRequest(dataset=dataset, omq=self.decode_omq(payload),
+                            engine=options.engine, options=options)
+
+    @staticmethod
+    def result_payload(result) -> Dict:
+        return {"answers": sorted(list(row) for row in result.answers),
+                "count": len(result.answers),
+                "dataset": result.dataset, "method": result.method,
+                "engine": result.engine,
+                "seconds": round(result.seconds, 6),
+                "cached_rewriting": result.cached_rewriting,
+                "generated_tuples": result.generated_tuples,
+                "plan_fingerprint": result.plan_fingerprint,
+                "timed_out": result.timed_out,
+                "shards": result.shards}
+
+    # -- dispatch ------------------------------------------------------------
+
+    def stats_payload(self) -> Dict:
+        payload = self.service.stats()
+        if self._extra_stats is not None:
+            payload.update(self._extra_stats())
+        return payload
+
+    def handle(self, method: str, path: str,
+               payload: Dict) -> Tuple[int, Dict]:
+        """Dispatch one decoded request; raises on failure (callers
+        shape errors through :func:`error_payload`)."""
+        service = self.service
+        if method == "GET":
+            if path == "/health":
+                return 200, {"status": "ok"}
+            if path == "/stats":
+                return 200, self.stats_payload()
+            raise ProtocolError(f"unknown path {path!r}", status=404,
+                                error_type="not_found")
+        if method != "POST":
+            raise ProtocolError(f"unsupported method {method!r}",
+                                status=404, error_type="not_found")
+        if path == "/datasets":
+            name = payload.get("name")
+            if not name:
+                raise ProtocolError("missing 'name'")
+            service.register_dataset(
+                name, ABox.parse(payload.get("data", "")),
+                replace=bool(payload.get("replace", False)),
+                shards=int(payload.get("shards", 0)))
+            return 201, {"registered": name}
+        if path == "/tboxes":
+            name = payload.get("name")
+            if not name:
+                raise ProtocolError("missing 'name'")
+            service.register_tbox(name, TBox.parse(payload.get("tbox", "")))
+            return 201, {"registered": name}
+        if path == "/answer":
+            request = self.decode_answer(payload)
+            result = service.answer(request.dataset, request.omq,
+                                    options=request.options)
+            return 200, self.result_payload(result)
+        if path == "/explain":
+            report = service.explain(self.decode_omq(payload),
+                                     options=self.decode_options(payload),
+                                     dataset=payload.get("dataset"))
+            return 200, report
+        if path == "/batch":
+            requests = self.decode_batch(payload)
+            results = service.answer_batch(requests)
+            return 200, {"results": [self.result_payload(result)
+                                     for result in results]}
+        if path == "/update":
+            dataset = payload.get("dataset")
+            if not dataset:
+                raise ProtocolError("missing 'dataset'")
+            result = service.update(
+                dataset,
+                inserts=parse_atoms(payload.get("insert", ())),
+                deletes=parse_atoms(payload.get("delete", ())))
+            return 200, result.as_dict()
+        raise ProtocolError(f"unknown path {path!r}", status=404,
+                            error_type="not_found")
+
+    def decode_batch(self, payload: Dict) -> List[BatchRequest]:
+        raw = payload.get("requests")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("'requests' must be a non-empty list")
+        return [self.decode_answer(entry) for entry in raw]

@@ -38,9 +38,16 @@ data-dependent ``adaptive``/``optimize`` stages).
 
 Responses are ``{"answers": [[...], ...], "seconds": ...,
 "cached_rewriting": ...}`` with the answer tuples sorted.  Errors come
-back as ``{"error": ...}`` with a 4xx status.  Inline TBox texts are
-interned by fingerprint, so re-sending the same ontology per request
-costs one parse but never a second completion.
+back as ``{"error": <message>, "error_type": <kind>}`` with a 4xx
+status — including malformed JSON bodies and bad ``Content-Length``
+headers, which are the client's bugs, not internal errors.  Inline
+TBox texts are interned by fingerprint, so re-sending the same
+ontology per request costs one parse but never a second completion.
+
+Request decoding and dispatch live in
+:mod:`repro.service.protocol`, shared with the asyncio front-end
+(:mod:`repro.service.aserve`, ``repro serve --async-io``) so the two
+servers parse and error identically.
 """
 
 from __future__ import annotations
@@ -48,36 +55,19 @@ from __future__ import annotations
 import argparse
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..data.abox import ABox
 from ..engine import ENGINES
 from ..ontology import TBox
-from ..queries import CQ
-from ..rewriting.api import OMQ
-from ..rewriting.plan import AnswerOptions
-from .service import BatchRequest, OMQService
-
-
-def _parse_atoms(texts) -> List[Tuple[str, Tuple[str, ...]]]:
-    """Ground atoms from strings like ``"R(a, b)"``."""
-    atoms: List[Tuple[str, Tuple[str, ...]]] = []
-    for text in texts:
-        parsed = list(ABox.parse(text).atoms())
-        if not parsed:
-            raise ValueError(f"no ground atom found in {text!r}")
-        atoms.extend(parsed)
-    return atoms
-
-
-def _answer_vars(raw) -> List[str]:
-    if raw is None:
-        return []
-    if isinstance(raw, str):
-        return [v.strip() for v in raw.split(",") if v.strip()]
-    if not isinstance(raw, (list, tuple)):
-        raise ValueError("'answers' must be a string or a list")
-    return [str(v) for v in raw]
+from .protocol import (
+    ProtocolError,
+    Router,
+    decode_json_body,
+    error_payload,
+    parse_content_length,
+)
+from .service import OMQService
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -92,164 +82,45 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send(self, payload: Dict, status: int = 200) -> None:
+    def _send(self, payload: Dict, status: int = 200,
+              headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _read_json(self) -> Dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        if not length:
-            return {}
-        payload = json.loads(self.rfile.read(length).decode())
-        if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
-        return payload
-
-    # -- request decoding ----------------------------------------------------
-
-    def _tbox(self, payload: Dict) -> TBox:
-        """The request ontology: ``tbox_text`` (inline) beats ``tbox``.
-
-        ``tbox`` is a registered name; as a convenience an inline text
-        is also accepted there when it is unambiguous (contains ``<=``
-        or a newline — impossible in a registered name).
-        """
-        service = self.server.service
-        text = payload.get("tbox_text")
-        if text is not None:
-            if not isinstance(text, str) or not text.strip():
-                raise ValueError("'tbox_text' must be TBox text")
-            return service.intern_tbox(TBox.parse(text))
-        spec = payload.get("tbox")
-        if not isinstance(spec, str) or not spec.strip():
-            raise ValueError("missing 'tbox' (name) or 'tbox_text'")
         try:
-            return service.named_tbox(spec)
-        except ValueError:
-            if "<=" not in spec and "\n" not in spec:
-                raise
-        return service.intern_tbox(TBox.parse(spec))
+            length = parse_content_length(self.headers.get("Content-Length"))
+        except ProtocolError:
+            # broken framing: the body of unknowable length is still
+            # on the wire, so a kept-alive connection would parse it
+            # as the next request line — close instead
+            self.close_connection = True
+            raise
+        return decode_json_body(self.rfile.read(length) if length else b"")
 
-    @staticmethod
-    def _options(payload: Dict) -> AnswerOptions:
-        """The request's :class:`AnswerOptions`: an ``"options"``
-        object, with the legacy flat keys (``method``, ``engine``,
-        ``magic``, ``optimize``) applied on top."""
-        raw = payload.get("options")
-        if raw is not None and not isinstance(raw, dict):
-            raise ValueError("'options' must be a JSON object")
-        engine = payload.get("engine")
-        if engine is not None and engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; "
-                             f"expected one of {ENGINES}")
-        overrides: Dict[str, object] = {
-            "method": payload.get("method"), "engine": engine,
-            "timeout": payload.get("timeout")}
-        if "magic" in payload:
-            overrides["magic"] = bool(payload["magic"])
-        if "optimize" in payload:
-            overrides["optimize"] = bool(payload["optimize"])
-        return AnswerOptions.coerce(raw, **overrides)
-
-    def _omq(self, payload: Dict) -> OMQ:
-        query = payload.get("query")
-        if not query or not isinstance(query, str):
-            raise ValueError("'query' must be a non-empty string")
-        cq = CQ.parse(query, answer_vars=_answer_vars(payload.get("answers")))
-        return OMQ(self._tbox(payload), cq)
-
-    def _request(self, payload: Dict) -> BatchRequest:
-        dataset = payload.get("dataset")
-        if not dataset:
-            raise ValueError("missing 'dataset'")
-        options = self._options(payload)
-        return BatchRequest(dataset=dataset, omq=self._omq(payload),
-                            engine=options.engine, options=options)
-
-    @staticmethod
-    def _result_payload(result) -> Dict:
-        return {"answers": sorted(list(row) for row in result.answers),
-                "count": len(result.answers),
-                "dataset": result.dataset, "method": result.method,
-                "engine": result.engine,
-                "seconds": round(result.seconds, 6),
-                "cached_rewriting": result.cached_rewriting,
-                "generated_tuples": result.generated_tuples,
-                "plan_fingerprint": result.plan_fingerprint,
-                "timed_out": result.timed_out,
-                "shards": result.shards}
+    def _dispatch(self, method: str) -> None:
+        try:
+            payload = self._read_json() if method == "POST" else {}
+            status, body = self.server.router.handle(method, self.path,
+                                                     payload)
+            self._send(body, status)
+        except Exception as error:  # never drop an answerable request
+            status, body, headers = error_payload(error)
+            self._send(body, status, headers)
 
     # -- verbs ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        try:
-            if self.path == "/health":
-                self._send({"status": "ok"})
-            elif self.path == "/stats":
-                self._send(self.server.service.stats())
-            else:
-                self._send({"error": f"unknown path {self.path!r}"}, 404)
-        except Exception as error:  # never drop the connection
-            self._send({"error": f"internal error: {error}"}, 500)
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        service = self.server.service
-        try:
-            payload = self._read_json()
-            if self.path == "/datasets":
-                name = payload.get("name")
-                if not name:
-                    raise ValueError("missing 'name'")
-                service.register_dataset(
-                    name, ABox.parse(payload.get("data", "")),
-                    replace=bool(payload.get("replace", False)),
-                    shards=int(payload.get("shards", 0)))
-                self._send({"registered": name}, 201)
-            elif self.path == "/tboxes":
-                name = payload.get("name")
-                if not name:
-                    raise ValueError("missing 'name'")
-                service.register_tbox(name,
-                                      TBox.parse(payload.get("tbox", "")))
-                self._send({"registered": name}, 201)
-            elif self.path == "/answer":
-                request = self._request(payload)
-                result = service.answer(request.dataset, request.omq,
-                                        options=request.options)
-                self._send(self._result_payload(result))
-            elif self.path == "/explain":
-                report = service.explain(self._omq(payload),
-                                         options=self._options(payload),
-                                         dataset=payload.get("dataset"))
-                self._send(report)
-            elif self.path == "/batch":
-                raw = payload.get("requests")
-                if not isinstance(raw, list) or not raw:
-                    raise ValueError("'requests' must be a non-empty list")
-                results = service.answer_batch(
-                    [self._request(entry) for entry in raw])
-                self._send({"results": [self._result_payload(result)
-                                        for result in results]})
-            elif self.path == "/update":
-                dataset = payload.get("dataset")
-                if not dataset:
-                    raise ValueError("missing 'dataset'")
-                result = service.update(
-                    dataset,
-                    inserts=_parse_atoms(payload.get("insert", ())),
-                    deletes=_parse_atoms(payload.get("delete", ())))
-                self._send(result.as_dict())
-            else:
-                self._send({"error": f"unknown path {self.path!r}"}, 404)
-        except (ValueError, KeyError, TypeError,
-                json.JSONDecodeError) as error:
-            self._send({"error": str(error)}, 400)
-        except Exception as error:  # never drop the connection
-            self._send({"error": f"internal error: {error}"}, 500)
+        self._dispatch("POST")
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -261,6 +132,7 @@ class ServiceServer(ThreadingHTTPServer):
                  port: int = 8080, verbose: bool = True):
         super().__init__((host, port), _Handler)
         self.service = service
+        self.router = Router(service)
         self.verbose = verbose
 
 
@@ -290,15 +162,26 @@ def add_serve_arguments(parser) -> None:
     parser.add_argument("--tbox", action="append", default=[],
                         metavar="NAME=PATH",
                         help="preload an ontology from a TBox file")
+    parser.add_argument("--async-io", action="store_true",
+                        help="serve on the asyncio front-end (request "
+                             "coalescing, micro-batching, queue-depth "
+                             "backpressure; see repro.service.aserve)")
+    parser.add_argument("--max-pending", type=int, default=128,
+                        help="async front-end: reject new work with 429 "
+                             "once this many requests are queued or "
+                             "executing")
+    parser.add_argument("--batch-window", type=float, default=0.002,
+                        help="async front-end: micro-batch gathering "
+                             "window in seconds")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="async front-end: flush a micro-batch at "
+                             "this many queued requests")
 
 
-def run(args, parser: Optional[argparse.ArgumentParser] = None) -> int:
-    """Run the server from a parsed ``serve`` namespace."""
-    def error(message: str) -> int:
-        if parser is not None:
-            parser.error(message)
-        raise SystemExit(message)
-
+def build_service(args, error) -> OMQService:
+    """An :class:`OMQService` from a parsed ``serve`` namespace, with
+    the ``--dataset``/``--tbox`` preloads applied (shared by the
+    threaded and asyncio front-ends)."""
     service = OMQService(cache_size=args.cache_size,
                          max_workers=args.workers,
                          default_engine=args.engine)
@@ -315,7 +198,22 @@ def run(args, parser: Optional[argparse.ArgumentParser] = None) -> int:
             return error(f"--tbox expects NAME=PATH, got {spec!r}")
         with open(path) as handle:
             service.register_tbox(name, TBox.parse(handle.read()))
+    return service
 
+
+def run(args, parser: Optional[argparse.ArgumentParser] = None) -> int:
+    """Run the server from a parsed ``serve`` namespace."""
+    def error(message: str) -> int:
+        if parser is not None:
+            parser.error(message)
+        raise SystemExit(message)
+
+    if getattr(args, "async_io", False):
+        from .aserve import run_async
+
+        return run_async(args, parser)
+
+    service = build_service(args, error)
     server = build_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"repro service on http://{host}:{port} "
@@ -371,4 +269,3 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 if __name__ == "__main__":
     raise SystemExit(main())
-

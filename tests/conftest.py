@@ -1,0 +1,22 @@
+"""Suite-wide pytest configuration.
+
+Adds the ``--update-golden`` flag: golden-answer regression tests
+(:mod:`tests.test_golden`) normally *compare* against the snapshots in
+``tests/golden/*.json``; with the flag they *rewrite* the snapshots
+from the current engine output instead (then still verify them, so a
+nondeterministic pipeline cannot silently bless itself).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/*.json from current engine output "
+             "instead of comparing against it")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")

@@ -1,9 +1,30 @@
 """Shared fixtures/utilities for the rewriting tests."""
 
+import os
 import random
+
+from hypothesis import HealthCheck, settings
 
 from repro.data import ABox
 from repro.ontology import TBox
+
+
+def hypothesis_settings(max_examples: int) -> settings:
+    """The one hypothesis ``settings`` every property suite uses.
+
+    ``max_examples`` is the suite's full-depth budget; setting
+    ``REPRO_HYPOTHESIS_PROFILE=ci`` caps it (CI trades depth for
+    wall clock, local runs keep the full budget).
+    """
+    profile = os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default")
+    if profile == "ci":
+        max_examples = min(max_examples, 8)
+    elif profile != "default":
+        raise ValueError(
+            f"unknown REPRO_HYPOTHESIS_PROFILE {profile!r}; "
+            "expected 'default' or 'ci'")
+    return settings(max_examples=max_examples, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
 
 
 def example11_tbox() -> TBox:

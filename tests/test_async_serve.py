@@ -1,0 +1,420 @@
+"""The asyncio serving front-end, tested differentially.
+
+The contract: ``repro serve --async-io`` must be *invisible* to a
+correct client — same JSON protocol, same parsing, same errors, same
+answers as the threaded server and the embedded service — while
+coalescing identical in-flight requests, micro-batching, and pushing
+back with 429 when saturated.
+
+The load test drives ~100 concurrent mixed requests (hot repeats,
+renamed-variable repeats, engine variations, cold shapes) through the
+async server in phases with incremental updates interleaved, and
+compares every single response against an embedded
+:class:`~repro.client.Client` answering the same workload over the
+same evolving data.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import OMQ, AsyncClient, Client, ServiceError
+from repro.queries import CQ, chain_cq
+from repro.service import OMQService, serve_in_background
+from repro.service.serve import build_server
+
+from .helpers import example11_tbox, random_data
+
+TBOX = example11_tbox()
+
+
+def _fresh_data():
+    return random_data(1, individuals=8, atoms=30)
+
+
+@pytest.fixture
+def async_stack():
+    """A served async stack plus an embedded reference client over
+    identical data."""
+    service = OMQService(max_workers=4)
+    service.register_dataset("demo", _fresh_data())
+    reference = Client.local(max_workers=2)
+    reference.register_dataset("demo", _fresh_data())
+    with serve_in_background(service, batch_window=0.01,
+                             max_pending=512) as handle:
+        yield handle, reference
+    reference.close()
+    service.close()
+
+
+def _phase_requests(phase: int):
+    """~34 mixed requests: repeats, renamed repeats, engines, cold."""
+    requests = []
+    for index in range(12):  # hot, renamed per request -> coalescable
+        omq = OMQ(TBOX, chain_cq("RS", prefix=f"p{phase}h{index}_"))
+        requests.append((omq, {}))
+    for index in range(8):  # second hot shape, on the SQL engine
+        omq = OMQ(TBOX, chain_cq("RSR", prefix=f"p{phase}s{index}_"))
+        requests.append((omq, {"engine": "sql"}))
+    for index in range(6):  # identical objects (not even renamed)
+        requests.append((OMQ(TBOX, chain_cq("SR")), {}))
+    requests.append((OMQ(TBOX, CQ.parse("A_P(x)", answer_vars=["x"])), {}))
+    requests.append((OMQ(TBOX, CQ.parse("R(x, y)", answer_vars=[])), {}))
+    requests.append((OMQ(TBOX, chain_cq("RS")), {"method": "tw"}))
+    requests.append((OMQ(TBOX, chain_cq("RS")), {"method": "ucq"}))
+    for index, labels in enumerate(("RR", "SS", "RSS", "SRR", "RSRS",
+                                    "SRSR")):  # cold tail
+        omq = OMQ(TBOX, chain_cq(labels, prefix=f"p{phase}c{index}_"))
+        requests.append((omq, {}))
+    return requests
+
+
+_UPDATES = (
+    {"inserts": [("R", ("u1", "u2")), ("S", ("u2", "u3"))]},
+    {"inserts": [("P", ("u3", "u1"))], "deletes": [("R", ("u1", "u2"))]},
+)
+
+
+class TestDifferentialLoad:
+    def test_concurrent_mixed_workload_matches_embedded(self, async_stack):
+        handle, reference = async_stack
+        total = 0
+
+        async def run_phase(client, requests):
+            return await asyncio.gather(
+                *[client.answer("demo", omq, **overrides)
+                  for omq, overrides in requests])
+
+        async def main():
+            nonlocal total
+            async with AsyncClient.connect(handle.url) as client:
+                for phase, update in enumerate(_UPDATES + ({},)):
+                    requests = _phase_requests(phase)
+                    total += len(requests)
+                    got = await run_phase(client, requests)
+                    # the reference answers the same workload serially
+                    # over its own copy of the (identically updated)
+                    # data; every response must match exactly
+                    for (omq, overrides), result in zip(requests, got):
+                        expected = reference.answer("demo", omq,
+                                                    **overrides)
+                        assert result.sorted() == expected.sorted(), \
+                            (phase, str(omq.query))
+                    if update:
+                        await client.update("demo", **update)
+                        reference.update(
+                            "demo", inserts=update.get("inserts", ()),
+                            deletes=update.get("deletes", ()))
+                return await client.stats()
+
+        stats = asyncio.run(main())
+        assert total >= 100
+        serving = stats["async_serving"]
+        # the repeat-heavy workload must actually coalesce
+        assert serving["coalesced"] > 1
+        assert serving["requests"] >= total
+        assert serving["batches"] >= 1
+        assert serving["batched_requests"] >= 1
+        assert serving["rejected"] == 0
+        assert serving["pending"] == 0
+
+    def test_coalesced_requests_share_one_execution(self, async_stack):
+        handle, _ = async_stack
+        omqs = [OMQ(TBOX, chain_cq("RS", prefix=f"v{index}_"))
+                for index in range(24)]
+
+        async def main():
+            async with AsyncClient.connect(handle.url) as client:
+                results = await asyncio.gather(
+                    *[client.answer("demo", omq) for omq in omqs])
+                return results, await client.stats()
+
+        results, stats = asyncio.run(main())
+        assert len({result.answers for result in results}) == 1
+        serving = stats["async_serving"]
+        # 24 in-flight twins; at least one execution was shared (the
+        # scheduler decides how many made it in before the first flush)
+        assert serving["coalesced"] > 1
+        assert serving["batched_requests"] + serving["coalesced"] \
+            >= len(omqs)
+
+    def test_bad_request_does_not_poison_batchmates(self, async_stack):
+        # a request for an unknown dataset aborts the whole
+        # answer_batch call; its batchmates must still be answered
+        handle, reference = async_stack
+        good = [OMQ(TBOX, chain_cq(labels))
+                for labels in ("RS", "RSR", "SR")]
+        bad = OMQ(TBOX, chain_cq("RS", prefix="bad_"))
+
+        async def main():
+            async with AsyncClient.connect(handle.url) as client:
+                return await asyncio.gather(
+                    *([client.answer("demo", omq) for omq in good]
+                      + [client.answer("typo", bad)]),
+                    return_exceptions=True)
+
+        outcomes = asyncio.run(main())
+        assert isinstance(outcomes[-1], ServiceError)
+        assert "unknown dataset" in str(outcomes[-1])
+        for (omq, result) in zip(good, outcomes):
+            assert not isinstance(result, Exception)
+            expected = reference.answer("demo", omq)
+            assert result.answers == expected.answers
+
+    def test_update_invalidates_coalescing(self, async_stack):
+        handle, _ = async_stack
+        omq = OMQ(TBOX, chain_cq("RS"))
+
+        async def main():
+            async with AsyncClient.connect(handle.url) as client:
+                before = await client.answer("demo", omq)
+                await client.update(
+                    "demo", inserts=[("R", ("zz1", "zz2")),
+                                     ("S", ("zz2", "zz3"))])
+                after = await client.answer("demo", omq)
+                return before, after
+
+        before, after = asyncio.run(main())
+        assert ("zz1", "zz3") not in before.answers
+        assert ("zz1", "zz3") in after.answers
+
+
+class TestBackpressure:
+    def test_429_with_retry_after_when_saturated(self):
+        service = OMQService(max_workers=1)
+        service.register_dataset("demo", _fresh_data())
+        omqs = [OMQ(TBOX, chain_cq(labels))
+                for labels in ("RS", "RSR", "SR", "RR", "SS", "RSS")]
+        try:
+            # a long gathering window parks admitted work in the queue,
+            # so the over-limit arrivals deterministically see depth 1
+            with serve_in_background(service, batch_window=0.5,
+                                     max_pending=1, workers=1) as handle:
+                async def main():
+                    async with AsyncClient.connect(handle.url) as client:
+                        outcomes = await asyncio.gather(
+                            *[client.answer("demo", omq) for omq in omqs],
+                            return_exceptions=True)
+                        return outcomes, await client.stats()
+
+                outcomes, stats = asyncio.run(main())
+        finally:
+            service.close()
+        rejected = [error for error in outcomes
+                    if isinstance(error, ServiceError)
+                    and error.status == 429]
+        served = [result for result in outcomes
+                  if not isinstance(result, Exception)]
+        assert served and rejected
+        assert all(error.error_type == "overloaded" for error in rejected)
+        assert all(error.retry_after is not None for error in rejected)
+        assert stats["async_serving"]["rejected"] == len(rejected)
+
+    def test_coalesced_join_admitted_when_saturated(self):
+        service = OMQService(max_workers=1)
+        service.register_dataset("demo", _fresh_data())
+        try:
+            with serve_in_background(service, batch_window=0.5,
+                                     max_pending=1, workers=1) as handle:
+                async def main():
+                    async with AsyncClient.connect(handle.url) as client:
+                        # identical twins: the second joins the first
+                        # in-flight execution instead of being rejected
+                        omq = OMQ(TBOX, chain_cq("RS"))
+                        twin = OMQ(TBOX, chain_cq("RS", prefix="w_"))
+                        return await asyncio.gather(
+                            client.answer("demo", omq),
+                            client.answer("demo", twin))
+
+                first, second = asyncio.run(main())
+        finally:
+            service.close()
+        assert first.answers == second.answers
+
+
+class TestProtocolParity:
+    """Both servers must parse and error identically (shared Router)."""
+
+    @pytest.fixture
+    def thread_server(self):
+        service = OMQService(max_workers=2)
+        service.register_dataset("demo", _fresh_data())
+        server = build_server(service, port=0, verbose=False)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        yield server.server_address[:2]
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    @pytest.fixture
+    def async_server(self):
+        service = OMQService(max_workers=2)
+        service.register_dataset("demo", _fresh_data())
+        with serve_in_background(service) as handle:
+            yield handle.address
+        service.close()
+
+    @pytest.fixture(params=["thread", "async"])
+    def address(self, request):
+        return request.getfixturevalue(f"{request.param}_server")
+
+    @staticmethod
+    def _raw(address, payload: bytes,
+             content_length: str = None) -> tuple:
+        """POST /answer over a raw socket (to control the headers)."""
+        length = (str(len(payload)) if content_length is None
+                  else content_length)
+        head = (f"POST /answer HTTP/1.1\r\nHost: repro\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {length}\r\nConnection: close\r\n\r\n")
+        with socket.create_connection(address, timeout=10) as conn:
+            conn.sendall(head.encode() + payload)
+            conn.settimeout(10)
+            chunks = []
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        raw = b"".join(chunks)
+        status_line, _, rest = raw.partition(b"\r\n")
+        status = int(status_line.split()[1])
+        _, _, body = rest.partition(b"\r\n\r\n")
+        return status, json.loads(body)
+
+    def test_malformed_json_is_structured_400(self, address):
+        status, body = self._raw(address, b"{not json!")
+        assert status == 400
+        assert body["error_type"] == "bad_request"
+        assert "malformed JSON body" in body["error"]
+
+    def test_non_object_body_is_structured_400(self, address):
+        status, body = self._raw(address, b"[1, 2, 3]")
+        assert status == 400
+        assert body["error_type"] == "bad_request"
+        assert "JSON object" in body["error"]
+
+    def test_invalid_utf8_body_is_structured_400(self, address):
+        status, body = self._raw(address, b'{"name": "caf\xe9"}')
+        assert status == 400
+        assert body["error_type"] == "bad_request"
+        assert "UTF-8" in body["error"]
+
+    def test_non_integer_content_length_is_structured_400(self, address):
+        status, body = self._raw(address, b"", content_length="abc")
+        assert status == 400
+        assert body["error_type"] == "bad_request"
+        assert "Content-Length" in body["error"]
+
+    def test_framing_error_closes_the_connection(self, address):
+        # an unreadable body length leaves unknowable bytes on the
+        # wire; keeping the connection would parse them as the next
+        # request line, so the server must close after the 400
+        first = (b"POST /answer HTTP/1.1\r\nHost: repro\r\n"
+                 b"Content-Type: application/json\r\n"
+                 b"Content-Length: 12abc\r\n\r\n"
+                 b'{"dataset": 1}')
+        second = b"GET /health HTTP/1.1\r\nHost: repro\r\n\r\n"
+        with socket.create_connection(address, timeout=10) as conn:
+            conn.sendall(first + second)
+            conn.settimeout(10)
+            chunks = []
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        raw = b"".join(chunks)
+        assert raw.split()[1] == b"400"
+        # exactly one response: the pipelined GET must NOT have been
+        # served from the desynchronized stream
+        assert raw.count(b"HTTP/1.1") == 1
+        assert b'"status": "ok"' not in raw
+
+    def test_unknown_path_is_structured_404(self, address):
+        host, port = address
+        with Client.connect(f"http://{host}:{port}") as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client._transport._call("/nope", {"x": 1})
+        assert excinfo.value.status == 404
+        assert excinfo.value.error_type == "not_found"
+
+    def test_missing_fields_error_identically(self, address):
+        host, port = address
+        with Client.connect(f"http://{host}:{port}") as client:
+            with pytest.raises(ServiceError, match="missing 'dataset'"):
+                client._transport._call(
+                    "/answer", {"tbox_text": "P <= S", "query": "S(x,y)",
+                                "answers": "x"})
+
+
+class TestAsyncClientSurface:
+    def test_full_surface_round_trip(self):
+        service = OMQService(max_workers=2)
+        try:
+            with serve_in_background(service) as handle:
+                async def main():
+                    async with AsyncClient.connect(handle.url) as client:
+                        await client.register_dataset(
+                            "demo", _fresh_data())
+                        await client.register_tbox("uni", TBOX)
+                        assert await client.datasets() == ("demo",)
+                        omq = OMQ(TBOX, chain_cq("RS"))
+                        result = await client.answer("demo", omq,
+                                                     method="tw")
+                        report = await client.explain(omq, method="tw")
+                        stats = await client.stats()
+                        return result, report, stats
+
+                result, report, stats = asyncio.run(main())
+        finally:
+            service.close()
+        assert result.method == "tw"
+        assert report["method"] == "tw"
+        assert report["fingerprint"] == result.plan_fingerprint
+        assert stats["datasets"]["demo"]["requests"] >= 1
+
+    def test_client_async_bridge_matches_sync(self, async_stack):
+        handle, _ = async_stack
+        omq = OMQ(TBOX, chain_cq("RS"))
+        with Client.connect(handle.url) as client:
+            sync_result = client.answer("demo", omq)
+
+            async def main():
+                return (await client.answer_async("demo", omq),
+                        await client.stats_async())
+
+            async_result, stats = asyncio.run(main())
+        assert async_result.answers == sync_result.answers
+        assert stats["requests"] >= 2
+
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError, match="plain http"):
+            AsyncClient.connect("https://example.com")
+
+
+class TestLifecycle:
+    def test_stop_with_open_keepalive_connection(self, capsys):
+        # an idle keep-alive connection parks its handler task in a
+        # readline; stop() must cancel it instead of tearing the loop
+        # down under it
+        service = OMQService(max_workers=1)
+        service.register_dataset("demo", _fresh_data())
+        handle = serve_in_background(service)
+        conn = socket.create_connection(handle.address, timeout=10)
+        try:
+            conn.sendall(b"GET /health HTTP/1.1\r\nHost: repro\r\n\r\n")
+            conn.settimeout(10)
+            assert b"200" in conn.recv(65536)  # served, still open
+            handle.stop()
+        finally:
+            conn.close()
+            service.close()
+        captured = capsys.readouterr()
+        assert "Task was destroyed" not in captured.err
+        assert "Event loop is closed" not in captured.err

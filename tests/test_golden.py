@@ -1,0 +1,107 @@
+"""Golden-answer regression fixtures.
+
+Each case is a (TBox, ABox, queries) triple drawn from the suite's
+example ontologies; its sorted certain answers are snapshotted in
+``tests/golden/<case>.json``.  The tests assert that every engine
+(``python``, ``sql``, ``sql-views``) and the sharded scatter-gather
+path reproduce the snapshots byte-for-byte — the broadest cheap
+tripwire against a rewriting or evaluation regression.
+
+Regenerate deliberately with ``pytest tests/test_golden.py
+--update-golden`` after a change that legitimately alters answers
+(there should be almost none), and review the diff like code.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import OMQ, AnswerSession, ENGINES
+from repro.queries import CQ, chain_cq
+from repro.shard import ShardedSession
+
+from .helpers import deep_tbox, example11_tbox, infinite_tbox, random_data
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+
+def _cases():
+    """name -> (tbox, abox, {query-name: CQ})."""
+    return {
+        "example11": (
+            example11_tbox(), random_data(1),
+            {"chain-RS": chain_cq("RS"),
+             "chain-RSR": chain_cq("RSR"),
+             "unary-AP": CQ.parse("A_P(x)", answer_vars=["x"]),
+             "boolean-R": CQ.parse("R(x, y)", answer_vars=[]),
+             "disconnected": CQ.parse("R(x, y), S(u, v)",
+                                      answer_vars=["x", "u"])}),
+        "deep": (
+            deep_tbox(), random_data(7, atoms=24),
+            {"chain-RS": chain_cq("RS"),
+             "unary-B": CQ.parse("B(x)", answer_vars=["x"]),
+             "pair-RQ": CQ.parse("R(x, y), S(y, z)",
+                                 answer_vars=["x", "z"])}),
+        "infinite": (
+            infinite_tbox(), random_data(3, atoms=20,
+                                         unary=("A", "A_P", "A_P-"),
+                                         binary=("P", "R")),
+            {"role-R": CQ.parse("R(x, y)", answer_vars=["x", "y"]),
+             "chain-RR": chain_cq("RR")}),
+    }
+
+
+def _snapshot(tbox, abox, queries, engine: str):
+    """Sorted answers for every query, via one loaded session."""
+    answers = {}
+    with AnswerSession(abox, engine=engine) as session:
+        for name, query in sorted(queries.items()):
+            result = session.answer(OMQ(tbox, query))
+            answers[name] = sorted(list(row) for row in result.answers)
+    return answers
+
+
+@pytest.mark.parametrize("case", sorted(_cases()))
+def test_golden_answers(case, update_golden):
+    tbox, abox, queries = _cases()[case]
+    path = GOLDEN_DIR / f"{case}.json"
+    produced = _snapshot(tbox, abox, queries, "python")
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        payload = {"queries": {name: {"query": str(queries[name]),
+                                      "answers": produced[name]}
+                               for name in sorted(queries)}}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+
+    assert path.exists(), (
+        f"missing golden file {path.name}; generate it with "
+        "pytest tests/test_golden.py --update-golden")
+    golden = json.loads(path.read_text())
+    expected = {name: entry["answers"]
+                for name, entry in golden["queries"].items()}
+    assert produced == expected
+
+    # every engine must reproduce the snapshot exactly
+    for engine in ENGINES:
+        if engine == "python":
+            continue
+        assert _snapshot(tbox, abox, queries, engine) == expected, engine
+
+    # ... and so must the sharded scatter-gather path
+    with ShardedSession(abox, shards=2, executor="serial") as session:
+        for name, query in sorted(queries.items()):
+            plan = session.compile(OMQ(tbox, query))
+            result = plan.execute(session)
+            assert sorted(list(row) for row in result.answers) \
+                == expected[name], name
+
+
+def test_golden_files_match_cases():
+    """Every golden file belongs to a live case (no orphans rotting)."""
+    if not GOLDEN_DIR.exists():
+        pytest.skip("golden files not generated yet")
+    names = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert names == set(_cases())

@@ -4,7 +4,7 @@ other."""
 
 import math
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.chase import certain_answers
@@ -16,11 +16,12 @@ from repro.ontology.terms import Atomic, Exists, Role
 from repro.queries import CQ, Atom
 from repro.rewriting import lin_rewrite, log_rewrite, tw_rewrite, ucq_rewrite
 
+from .helpers import hypothesis_settings
+
 ROLE_NAMES = ("P", "Q")
 CONCEPT_NAMES = ("A", "B")
 
-SETTINGS = settings(max_examples=25, deadline=None,
-                    suppress_health_check=[HealthCheck.too_slow])
+SETTINGS = hypothesis_settings(25)
 
 
 @st.composite

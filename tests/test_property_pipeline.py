@@ -6,7 +6,7 @@ backend, magic sets, the optimiser and the adaptive planner; every path
 must agree with the chase-based certain-answer oracle.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 
 from repro.chase import certain_answers
 from repro.datalog import evaluate
@@ -15,10 +15,10 @@ from repro.datalog.optimize import optimize
 from repro.rewriting import OMQ, adaptive_rewrite, answer, tw_rewrite
 from repro.sql import evaluate_sql
 
+from .helpers import hypothesis_settings
 from .test_property_based import aboxes, tboxes, tree_queries
 
-SETTINGS = settings(max_examples=20, deadline=None,
-                    suppress_health_check=[HealthCheck.too_slow])
+SETTINGS = hypothesis_settings(20)
 
 
 def _oracle(tbox, query, abox):

@@ -7,7 +7,7 @@ import dataclasses
 import pickle
 import random
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 
 from repro import (
     OMQ,
@@ -22,11 +22,10 @@ from repro.queries import CQ, Atom, chain_cq
 from repro.shard import Partition, ShardedSession
 from repro.shard.executor import SerialExecutor
 
-from .helpers import example11_tbox, random_data
+from .helpers import example11_tbox, hypothesis_settings, random_data
 from .test_property_based import aboxes, tboxes, tree_queries
 
-SETTINGS = settings(max_examples=15, deadline=None,
-                    suppress_health_check=[HealthCheck.too_slow])
+SETTINGS = hypothesis_settings(15)
 
 CONNECTED_QUERIES = (
     chain_cq("RS"),
