@@ -2,7 +2,8 @@
 
 Registers a dataset with an :class:`~repro.service.service.OMQService`,
 shows the rewriting cache recognising a repeat query under fresh
-variable names, answers a deduplicated batch across all three engines,
+variable names, answers a deduplicated batch across every available
+engine,
 applies incremental insertions/deletions (answers track the data with
 no reload), and finally drives the same service over its JSON/HTTP
 front-end on an ephemeral port.
@@ -17,7 +18,7 @@ import threading
 import urllib.request
 
 from repro import ABox, CQ, OMQ, OMQService, TBox
-from repro.engine import ENGINES
+from repro.engine import available_engines
 from repro.service import BatchRequest
 from repro.service.serve import build_server
 
@@ -53,7 +54,7 @@ def main() -> None:
     # -- batch answering with deduplication ----------------------------
     batch = service.answer_batch(
         [BatchRequest("people", OMQ(tbox, query), engine=engine)
-         for engine in ENGINES]
+         for engine in available_engines()]
         + [BatchRequest("people", OMQ(tbox, renamed))])
     print("batch agreement:    "
           f"{len({frozenset(r.answers) for r in batch})} distinct "

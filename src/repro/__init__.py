@@ -81,7 +81,14 @@ from .datalog import (
     magic_transform,
     optimize,
 )
-from .engine import ENGINES, Database, create_engine
+from .engine import (
+    ENGINES,
+    SQL_ENGINES,
+    Database,
+    available_engines,
+    create_engine,
+    engine_available,
+)
 from .ontology import Role, TBox
 from .queries import CQ, chain_cq
 from .rewriting import (
@@ -124,6 +131,9 @@ __all__ = [
     "ServiceError",
     "Database",
     "ENGINES",
+    "SQL_ENGINES",
+    "available_engines",
+    "engine_available",
     "METHODS",
     "NDLQuery",
     "OMQ",

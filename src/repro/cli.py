@@ -32,6 +32,7 @@ from .chase.consistency import is_consistent
 from .data import ABox
 from .ontology import TBox
 from .queries import CQ
+from .engine import ENGINES
 from .rewriting import OMQ, AnswerSession
 from .rewriting.plan import AnswerOptions, compile_omq, format_explain
 from .shard import ShardedSession
@@ -52,6 +53,7 @@ def _options(args, **extra) -> AnswerOptions:
     fields = {"method": getattr(args, "method", None),
               "magic": getattr(args, "magic", None),
               "optimize": getattr(args, "optimize", None),
+              "optimize_sql": getattr(args, "optimize_sql", None),
               "engine": getattr(args, "engine", None),
               "timeout": getattr(args, "timeout", None),
               "over": getattr(args, "over", None)}
@@ -150,7 +152,13 @@ def _cmd_sql(args) -> int:
     tbox = _load_tbox(args.tbox)
     query = _load_query(args.query, args.answers)
     plan = compile_omq(OMQ(tbox, query), _options(args))
-    compilation = compile_query(plan.ndl, materialised=args.materialised)
+    compilation = compile_query(plan.ndl, materialised=args.materialised,
+                                optimize=args.optimize_sql,
+                                dialect=args.dialect)
+    for entry in compilation.passes:
+        mark = " *" if entry.get("changed") else ""
+        print(f"-- pass {entry['pass']}: {entry['before']} -> "
+              f"{entry['after']} nodes{mark}")
     print(compilation.script())
     return 0
 
@@ -230,9 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
     explain_parser.add_argument("--over", default="complete",
                                 choices=("complete", "arbitrary"))
     explain_parser.add_argument("--engine", default=None,
-                                choices=("python", "sql", "sql-views"),
+                                choices=ENGINES,
                                 help="execution engine to record in the "
                                      "plan")
+    explain_parser.add_argument("--optimize-sql", action="store_true",
+                                dest="optimize_sql",
+                                help="run the SQL optimizer pass "
+                                     "pipeline (reported in the plan's "
+                                     "sql section)")
     explain_parser.add_argument("--magic", action="store_true",
                                 help="apply the magic-sets transformation")
     explain_parser.add_argument("--optimize", action="store_true",
@@ -252,8 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="compute certain answers")
     common(answer_parser, with_data=True, multi_query=True)
     answer_parser.add_argument("--engine", default="python",
-                               choices=("python", "sql", "sql-views"),
+                               choices=ENGINES,
                                help="evaluation backend")
+    answer_parser.add_argument("--optimize-sql", action="store_true",
+                               dest="optimize_sql",
+                               help="run the SQL optimizer pass "
+                                    "pipeline on SQL engines")
     answer_parser.add_argument("--shards", type=int, default=0,
                                help="partition the data into this many "
                                     "component shards and evaluate "
@@ -271,6 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
     common(sql_parser)
     sql_parser.add_argument("--materialised", action="store_true",
                             help="CREATE TABLE statements instead of views")
+    sql_parser.add_argument("--optimize-sql", action="store_true",
+                            dest="optimize_sql",
+                            help="run the optimizer pass pipeline first "
+                                 "(pass log printed as -- comments)")
+    sql_parser.add_argument("--dialect", default="sqlite",
+                            choices=("sqlite", "duckdb"),
+                            help="SQL dialect to render")
     sql_parser.set_defaults(func=_cmd_sql)
 
     classify_parser = sub.add_parser("classify",

@@ -7,7 +7,8 @@ The subsystem has two halves:
   indexes memoised by bound-argument positions and shared across
   queries (the native engine's storage);
 * :class:`~repro.engine.backends.Engine` — the common protocol over the
-  native Python evaluator and the two SQLite modes, built via
+  native Python evaluator, the two SQLite modes and the optional
+  DuckDB backend, built via
   :func:`~repro.engine.backends.create_engine`.
 
 :class:`repro.rewriting.api.AnswerSession` sits on top of this layer
@@ -18,18 +19,26 @@ magic sets).
 from .database import Database, build_index
 from .backends import (
     ENGINES,
+    SQL_ENGINES,
+    DuckDBBackend,
     Engine,
     PythonEngine,
     SQLiteEngine,
+    available_engines,
     create_engine,
+    engine_available,
 )
 
 __all__ = [
     "Database",
+    "DuckDBBackend",
     "ENGINES",
     "Engine",
     "PythonEngine",
+    "SQL_ENGINES",
     "SQLiteEngine",
+    "available_engines",
     "build_index",
     "create_engine",
+    "engine_available",
 ]

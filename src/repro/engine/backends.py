@@ -1,4 +1,4 @@
-"""One interface over the Python and SQLite evaluators.
+"""One interface over the Python, SQLite and DuckDB evaluators.
 
 Section 6 compares a materialise-everything datalog engine (the RDFox
 stand-in) with running the rewritings as views in a standard DBMS.
@@ -7,10 +7,17 @@ protocol — build one per data instance, then call
 :meth:`Engine.evaluate` for every rewriting; all backends keep the
 loaded data across calls and return identical answer sets (the parity
 tests in ``tests/test_engine.py`` enforce this).
+
+:data:`ENGINES` is the closed registry of names; the ``duckdb`` entry
+needs the optional ``duckdb`` package, so callers that enumerate
+engines dynamically should use :func:`available_engines` (or check
+:func:`engine_available`) rather than assume every registered name can
+be constructed.
 """
 
 from __future__ import annotations
 
+import importlib.util
 from typing import Iterable, Mapping, Optional, Tuple
 
 from ..data.abox import ABox
@@ -19,9 +26,28 @@ from ..datalog.program import NDLQuery
 from .database import Database
 
 #: The evaluation backends, in the order of Appendix D.4's comparison.
-ENGINES = ("python", "sql", "sql-views")
+ENGINES = ("python", "sql", "sql-views", "duckdb")
+
+#: The backends that evaluate by compiling to SQL (and hence accept the
+#: ``optimize_sql`` knob meaningfully).
+SQL_ENGINES = ("sql", "sql-views", "duckdb")
 
 ExtraRelations = Optional[Mapping[str, Iterable[Tuple[str, ...]]]]
+
+
+def engine_available(name: str) -> bool:
+    """Whether the named backend can be constructed in this
+    environment (``duckdb`` needs its optional package)."""
+    if name not in ENGINES:
+        return False
+    if name == "duckdb":
+        return importlib.util.find_spec("duckdb") is not None
+    return True
+
+
+def available_engines() -> Tuple[str, ...]:
+    """The subset of :data:`ENGINES` constructible right now."""
+    return tuple(name for name in ENGINES if engine_available(name))
 
 
 class Engine:
@@ -35,7 +61,11 @@ class Engine:
     #: The :data:`ENGINES` name this backend answers to.
     name: str = "?"
 
-    def evaluate(self, query: NDLQuery) -> EvaluationResult:
+    def evaluate(self, query: NDLQuery,
+                 optimize_sql: bool = False) -> EvaluationResult:
+        """Evaluate one query.  ``optimize_sql`` asks SQL-compiling
+        backends to run the :mod:`repro.sql.optimize` pass pipeline;
+        non-SQL backends ignore it."""
         raise NotImplementedError
 
     def apply_delta(self, inserts: Mapping[str, Iterable[Tuple[str, ...]]],
@@ -75,7 +105,8 @@ class PythonEngine(Engine):
     def __init__(self, abox: ABox, extra_relations: ExtraRelations = None):
         self.database = Database(abox, extra_relations)
 
-    def evaluate(self, query: NDLQuery) -> EvaluationResult:
+    def evaluate(self, query: NDLQuery,
+                 optimize_sql: bool = False) -> EvaluationResult:
         return evaluate_on(query, self.database)
 
     def apply_delta(self, inserts, deletes, adom_add=(), adom_remove=()):
@@ -94,9 +125,34 @@ class SQLiteEngine(Engine):
         self.name = "sql" if materialised else "sql-views"
         self._engine = SQLEngine(abox, extra_relations)
 
-    def evaluate(self, query: NDLQuery) -> EvaluationResult:
+    def evaluate(self, query: NDLQuery,
+                 optimize_sql: bool = False) -> EvaluationResult:
         return self._engine.evaluate(query,
-                                     materialised=self.materialised)
+                                     materialised=self.materialised,
+                                     optimize_sql=optimize_sql)
+
+    def apply_delta(self, inserts, deletes, adom_add=(), adom_remove=()):
+        self._engine.apply_delta(inserts, deletes, adom_add, adom_remove)
+
+    def close(self) -> None:
+        self._engine.close()
+
+
+class DuckDBBackend(Engine):
+    """The DuckDB backend: one view per IDB predicate on the columnar
+    executor.  Needs the optional ``duckdb`` package."""
+
+    name = "duckdb"
+
+    def __init__(self, abox: ABox, extra_relations: ExtraRelations = None):
+        from ..sql.engine import DuckDBEngine
+
+        self._engine = DuckDBEngine(abox, extra_relations)
+
+    def evaluate(self, query: NDLQuery,
+                 optimize_sql: bool = False) -> EvaluationResult:
+        return self._engine.evaluate(query, materialised=False,
+                                     optimize_sql=optimize_sql)
 
     def apply_delta(self, inserts, deletes, adom_add=(), adom_remove=()):
         self._engine.apply_delta(inserts, deletes, adom_add, adom_remove)
@@ -110,8 +166,9 @@ def create_engine(name: str, abox: ABox,
     """Load ``abox`` into the backend called ``name``.
 
     ``name`` is one of :data:`ENGINES`: ``"python"`` (interned hash-join
-    engine), ``"sql"`` (SQLite, bottom-up materialisation) or
-    ``"sql-views"`` (SQLite, one view per IDB predicate).
+    engine), ``"sql"`` (SQLite, bottom-up materialisation),
+    ``"sql-views"`` (SQLite, one view per IDB predicate) or ``"duckdb"``
+    (DuckDB views; needs the optional ``duckdb`` package).
     """
     if name == "python":
         return PythonEngine(abox, extra_relations)
@@ -119,4 +176,10 @@ def create_engine(name: str, abox: ABox,
         return SQLiteEngine(abox, extra_relations, materialised=True)
     if name == "sql-views":
         return SQLiteEngine(abox, extra_relations, materialised=False)
+    if name == "duckdb":
+        if not engine_available("duckdb"):
+            raise ValueError(
+                "engine 'duckdb' needs the optional 'duckdb' package "
+                "(pip install duckdb)")
+        return DuckDBBackend(abox, extra_relations)
     raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")

@@ -36,7 +36,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ..data.abox import ABox
 from ..datalog.program import NDLQuery
-from ..engine import ENGINES, Engine
+from ..engine import ENGINES, SQL_ENGINES, Engine
 from .api import METHODS, OMQ, AnswerSession, resolve_method, rewrite
 
 #: Everything :class:`AnswerOptions` accepts as a ``method`` — the
@@ -67,6 +67,10 @@ class AnswerOptions:
     ``shards >= 2`` partitions it through a
     :class:`~repro.shard.session.ShardedSession` and scatter-gathers
     (``0``/``1`` keep the monolithic path).
+
+    ``optimize_sql`` runs the :mod:`repro.sql.optimize` pass pipeline
+    over the compiled SQL on SQL-compiling engines (``sql``,
+    ``sql-views``, ``duckdb``); the python engine ignores it.
     """
 
     method: str = "auto"
@@ -76,6 +80,7 @@ class AnswerOptions:
     timeout: Optional[float] = None
     over: str = "complete"
     shards: int = 0
+    optimize_sql: bool = False
 
     def __post_init__(self):
         if self.method not in OPTION_METHODS:
@@ -141,10 +146,14 @@ class AnswerOptions:
         ``engine``, ``timeout`` and ``shards`` are deliberately
         excluded: they do not change the compiled program, and
         including them would fragment the cache (one compiled plan
-        serves every engine and any shard count).
+        serves every engine and any shard count).  ``optimize_sql``
+        *is* included: it does not change the NDL either, but a cached
+        plan's :meth:`Plan.explain` reports the SQL pass log, which
+        must reflect the knob the requester asked for — not the first
+        compiler's.
         """
         return (self.method, bool(self.magic), bool(self.optimize),
-                self.over)
+                self.over, bool(self.optimize_sql))
 
     def as_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -260,19 +269,53 @@ class Plan:
     def depth(self) -> int:
         return self.ndl.depth()
 
+    def sql_report(self, engine: Optional[str] = None,
+                   optimize_sql: Optional[bool] = None) -> Dict[str, object]:
+        """The SQL the plan compiles to on a SQL engine: dialect,
+        optimizer pass log, statements and goal select.
+
+        ``engine`` defaults to the plan's own (or ``sql-views``);
+        ``optimize_sql`` to the plan's knob.  JSON-serialisable.
+        """
+        from ..sql.compile import compile_query
+
+        name = engine or self.options.engine or "sql-views"
+        if name not in SQL_ENGINES:
+            raise ValueError(f"sql_report needs a SQL engine "
+                             f"(one of {SQL_ENGINES}), got {name!r}")
+        if optimize_sql is None:
+            optimize_sql = self.options.optimize_sql
+        compilation = compile_query(
+            self.ndl, materialised=(name == "sql"),
+            optimize=bool(optimize_sql),
+            dialect="duckdb" if name == "duckdb" else "sqlite")
+        return {
+            "engine": name,
+            "dialect": compilation.dialect,
+            "materialised": compilation.materialised,
+            "optimize_sql": bool(optimize_sql),
+            "passes": [dict(entry) for entry in compilation.passes],
+            "statements": list(compilation.statements),
+            "goal_select": compilation.goal_select,
+        }
+
     def explain(self) -> Dict[str, object]:
         """The plan report: what was compiled, how, and how big it is.
 
         JSON-serialisable — the CLI ``explain`` subcommand and the HTTP
-        ``/explain`` endpoint return exactly this dict.
+        ``/explain`` endpoint return exactly this dict.  When the
+        plan's engine compiles to SQL, the report carries a ``"sql"``
+        section (see :meth:`sql_report`) with the optimizer pass log
+        and the final SQL.
         """
-        return {
+        report = {
             "fingerprint": self.fingerprint,
             "omq_class": self.omq.omq_class(),
             "method_requested": self.options.method,
             "method": self.method,
             "magic": self.options.magic,
             "optimize": self.options.optimize,
+            "optimize_sql": self.options.optimize_sql,
             "over": self.options.over,
             "engine": self.options.engine,
             "timeout": self.options.timeout,
@@ -287,6 +330,9 @@ class Plan:
             "stages": {stage: round(seconds, 6)
                        for stage, seconds in self.timings.items()},
         }
+        if self.options.engine in SQL_ENGINES:
+            report["sql"] = self.sql_report()
+        return report
 
     # -- execution ---------------------------------------------------------
 
@@ -350,7 +396,15 @@ class Plan:
     def _finish(self, evaluate, engine_name: str,
                 options: AnswerOptions) -> Answers:
         started = time.perf_counter()
-        result = evaluate(self.ndl)
+        if options.optimize_sql:
+            try:
+                result = evaluate(self.ndl, optimize_sql=True)
+            except TypeError:
+                # duck-typed evaluators without the knob: the pass
+                # pipeline is an SQL-layer concern they cannot honour
+                result = evaluate(self.ndl)
+        else:
+            result = evaluate(self.ndl)
         elapsed = time.perf_counter() - started
         timeout = options.timeout
         return Answers(answers=result.answers,
@@ -441,9 +495,9 @@ def format_explain(report: Mapping[str, object]) -> str:
     non-JSON output)."""
     lines = []
     order = ("omq_class", "method_requested", "method", "magic",
-             "optimize", "over", "engine", "timeout", "shards",
-             "data_bound", "goal", "answer_vars", "rules", "width",
-             "depth", "compile_seconds", "fingerprint")
+             "optimize", "optimize_sql", "over", "engine", "timeout",
+             "shards", "data_bound", "goal", "answer_vars", "rules",
+             "width", "depth", "compile_seconds", "fingerprint")
     for key in order:
         if key not in report:
             continue
@@ -454,4 +508,13 @@ def format_explain(report: Mapping[str, object]) -> str:
     stages = report.get("stages") or {}
     for stage, seconds in stages.items():
         lines.append(f"{'  stage ' + stage:17} {seconds}s")
+    sql = report.get("sql") or {}
+    if sql:
+        lines.append(f"{'sql dialect':17} {sql['dialect']}"
+                     f" ({'tables' if sql['materialised'] else 'views'})")
+        for entry in sql.get("passes", ()):
+            suffix = "  *" if entry.get("changed") else ""
+            lines.append(f"  pass {entry['pass']:16} "
+                         f"{entry['before']:>4} -> {entry['after']:<4}"
+                         f"{suffix}")
     return "\n".join(lines)

@@ -183,7 +183,7 @@ class Router:
     def decode_options(payload: Dict) -> AnswerOptions:
         """The request's :class:`AnswerOptions`: an ``"options"``
         object, with the legacy flat keys (``method``, ``engine``,
-        ``magic``, ``optimize``) applied on top."""
+        ``magic``, ``optimize``, ``optimize_sql``) applied on top."""
         raw = payload.get("options")
         if raw is not None and not isinstance(raw, dict):
             raise ProtocolError("'options' must be a JSON object")
@@ -198,6 +198,8 @@ class Router:
             overrides["magic"] = bool(payload["magic"])
         if "optimize" in payload:
             overrides["optimize"] = bool(payload["optimize"])
+        if "optimize_sql" in payload:
+            overrides["optimize_sql"] = bool(payload["optimize_sql"])
         return AnswerOptions.coerce(raw, **overrides)
 
     def decode_omq(self, payload: Dict) -> OMQ:

@@ -1,4 +1,4 @@
-"""Evaluating NDL queries on SQLite.
+"""Evaluating NDL queries on SQL engines (SQLite, DuckDB).
 
 :func:`evaluate_sql` is a drop-in alternative to
 :func:`repro.datalog.evaluate.evaluate`: same inputs, same
@@ -7,15 +7,22 @@
 * ``materialised=True`` computes every IDB predicate bottom-up into a
   table (the RDFox strategy of Appendix D.4) and reports the exact
   per-predicate relation sizes;
-* ``materialised=False`` installs views and lets SQLite's planner
+* ``materialised=False`` installs views and lets the DBMS's planner
   evaluate the goal lazily (the "views in standard DBMSs" suggestion of
   Section 6) — ``generated_tuples`` then counts only the goal relation,
   as nothing else is materialised.
+
+:class:`SQLEngine` runs on the stdlib SQLite; :class:`DuckDBEngine`
+subclasses it to target DuckDB's columnar executor (the ``duckdb``
+package is imported lazily, so the module works without it).  Both
+accept ``optimize_sql=True`` to run the :mod:`repro.sql.optimize` pass
+pipeline before rendering.
 """
 
 from __future__ import annotations
 
 import sqlite3
+from collections import OrderedDict
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..data.abox import ABox
@@ -29,29 +36,42 @@ from .schema import (
     table_name,
 )
 
+#: Entries kept in each engine's compiled-SQL memo.
+_COMPILATION_CACHE_SIZE = 64
+
 
 class SQLEngine:
     """A loaded SQLite database ready to evaluate NDL queries.
 
     Reusable across queries over the same data: the EDB schema is
     loaded once and per-query views/tables are dropped after each
-    evaluation.
+    evaluation.  Compilations are memoised per (query, mode), so
+    re-evaluating the same plan (the session/service hot path) skips
+    compilation and the optimizer entirely.
     """
+
+    #: The SQL dialect this engine renders (see :mod:`repro.sql.ir`).
+    dialect = "sqlite"
 
     def __init__(self, abox: ABox,
                  extra_relations: Optional[Mapping[str, Iterable[Tuple[str, ...]]]] = None,
                  edb_arities: Optional[Mapping[str, int]] = None):
+        self.connection = self._connect()
+        self._abox = abox
+        self._extra = extra_relations
+        self._loaded: Dict[str, int] = {}
+        self._compilations: "OrderedDict[tuple, SQLCompilation]" = \
+            OrderedDict()
+        if edb_arities:
+            self._ensure_loaded(dict(edb_arities))
+
+    def _connect(self):
+        """Open this engine's DBMS connection (dialect hook)."""
         # check_same_thread=False lets a service session pool hand the
         # engine from one worker thread to another; access is still
         # serialised by the pool (SQLite objects are never used from
         # two threads at once).
-        self.connection = sqlite3.connect(":memory:",
-                                          check_same_thread=False)
-        self._abox = abox
-        self._extra = extra_relations
-        self._loaded: Dict[str, int] = {}
-        if edb_arities:
-            self._ensure_loaded(dict(edb_arities))
+        return sqlite3.connect(":memory:", check_same_thread=False)
 
     def close(self) -> None:
         self.connection.close()
@@ -111,17 +131,23 @@ class SQLEngine:
                         raise ValueError(
                             f"predicate {predicate!r} loaded with arity "
                             f"{arity}, got row of length {len(row)}")
+                if phase == "insert":
+                    # keep base tables duplicate-free (the optimizer's
+                    # DISTINCT elision relies on it): dedupe the batch
+                    # and make each insert idempotent by deleting any
+                    # existing copy first
+                    rows = list(dict.fromkeys(rows))
                 plan.append((phase, predicate, arity, rows))
         cursor = self.connection.cursor()
         try:
             for phase, predicate, arity, rows in plan:
-                if phase == "delete":
-                    condition = " AND ".join(
-                        f"c{i} = ?" for i in range(arity))
-                    cursor.executemany(
-                        f"DELETE FROM {table_name(predicate)} "
-                        f"WHERE {condition}", rows)
-                else:
+                # inserts delete any existing copy first, so both
+                # phases start with the same DELETE
+                condition = " AND ".join(f"c{i} = ?" for i in range(arity))
+                cursor.executemany(
+                    f"DELETE FROM {table_name(predicate)} "
+                    f"WHERE {condition}", rows)
+                if phase == "insert":
                     placeholders = ", ".join("?" * arity)
                     cursor.executemany(
                         f"INSERT INTO {table_name(predicate)} "
@@ -140,26 +166,46 @@ class SQLEngine:
 
     # -- evaluation ----------------------------------------------------------
 
-    def evaluate(self, query: NDLQuery,
-                 materialised: bool = True) -> EvaluationResult:
+    def _compile(self, query: NDLQuery, materialised: bool,
+                 optimize_sql: bool) -> SQLCompilation:
+        key = (query, materialised, optimize_sql)
+        cached = self._compilations.get(key)
+        if cached is not None:
+            self._compilations.move_to_end(key)
+            return cached
+        compilation = compile_query(query, materialised=materialised,
+                                    optimize=optimize_sql,
+                                    dialect=self.dialect)
+        self._compilations[key] = compilation
+        while len(self._compilations) > _COMPILATION_CACHE_SIZE:
+            self._compilations.popitem(last=False)
+        return compilation
+
+    def evaluate(self, query: NDLQuery, materialised: bool = True,
+                 optimize_sql: bool = False) -> EvaluationResult:
         """Evaluate one NDL query and drop its IDB objects afterwards."""
         arities = merged_arities(query, self._abox, self._extra)
         idb = query.program.idb_predicates
         self._ensure_loaded({predicate: arity
                              for predicate, arity in arities.items()
                              if predicate not in idb})
-        compilation = compile_query(query, materialised=materialised)
+        compilation = self._compile(query, materialised, optimize_sql)
         cursor = self.connection.cursor()
         sizes: Dict[str, int] = {}
         try:
-            for predicate, statement in zip(compilation.idb_order,
-                                            compilation.statements):
+            for definition, statement in zip(compilation.ir.definitions,
+                                             compilation.statements):
                 cursor.execute(statement)
-                if materialised:
+                if materialised and not definition.synthetic:
+                    # synthetic (hoisted) relations are an evaluation
+                    # artefact, not program predicates: keep the
+                    # generated_tuples metric comparable across
+                    # optimized and unoptimized runs
                     count = cursor.execute(
-                        f"SELECT COUNT(*) FROM {table_name(predicate)}"
+                        "SELECT COUNT(*) FROM "
+                        f"{table_name(definition.predicate)}"
                     ).fetchone()[0]
-                    sizes[predicate] = count
+                    sizes[definition.predicate] = count
             answers = self._goal_rows(cursor, compilation, query)
             if not materialised:
                 sizes[query.goal] = len(answers)
@@ -192,9 +238,86 @@ class SQLEngine:
         self.connection.commit()
 
 
+class _DuckDBCursor:
+    """A DB-API-shaped cursor over a DuckDB cursor.
+
+    Smooths the two differences the engine relies on: ``execute``
+    returns the cursor (for ``.execute(...).fetchone()`` chaining) and
+    ``executemany`` tolerates empty row batches.
+    """
+
+    def __init__(self, raw):
+        self._raw = raw
+
+    def execute(self, sql, parameters=None):
+        if parameters is None:
+            self._raw.execute(sql)
+        else:
+            self._raw.execute(sql, parameters)
+        return self
+
+    def executemany(self, sql, rows):
+        rows = list(rows)
+        if rows:
+            self._raw.executemany(sql, rows)
+        return self
+
+    def fetchone(self):
+        return self._raw.fetchone()
+
+    def fetchall(self):
+        return self._raw.fetchall()
+
+
+class _DuckDBConnection:
+    """A DB-API-shaped wrapper over a DuckDB connection.
+
+    DuckDB autocommits; ``commit``/``rollback`` outside an explicit
+    transaction raise, so they are no-ops when the engine calls them
+    at its usual transaction boundaries.
+    """
+
+    def __init__(self, raw):
+        self._raw = raw
+
+    def cursor(self) -> _DuckDBCursor:
+        return _DuckDBCursor(self._raw.cursor())
+
+    def commit(self) -> None:
+        try:
+            self._raw.commit()
+        except Exception:
+            pass
+
+    def rollback(self) -> None:
+        try:
+            self._raw.rollback()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        self._raw.close()
+
+
+class DuckDBEngine(SQLEngine):
+    """The same evaluation strategy on DuckDB's columnar executor."""
+
+    dialect = "duckdb"
+
+    def _connect(self):
+        try:
+            import duckdb
+        except ImportError as error:  # pragma: no cover - env dependent
+            raise RuntimeError(
+                "the DuckDB engine needs the optional 'duckdb' package "
+                "(pip install duckdb)") from error
+        return _DuckDBConnection(duckdb.connect(":memory:"))
+
+
 def evaluate_sql(query: NDLQuery, abox: ABox,
                  extra_relations: Optional[Mapping[str, Iterable[Tuple[str, ...]]]] = None,
-                 materialised: bool = True) -> EvaluationResult:
+                 materialised: bool = True,
+                 optimize_sql: bool = False) -> EvaluationResult:
     """One-shot SQL evaluation of ``(Pi, G)`` over ``abox``.
 
     Semantically identical to :func:`repro.datalog.evaluate.evaluate`
@@ -202,4 +325,5 @@ def evaluate_sql(query: NDLQuery, abox: ABox,
     amortise data loading across many queries.
     """
     with SQLEngine(abox, extra_relations) as engine:
-        return engine.evaluate(query, materialised=materialised)
+        return engine.evaluate(query, materialised=materialised,
+                               optimize_sql=optimize_sql)

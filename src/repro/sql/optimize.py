@@ -1,0 +1,424 @@
+"""Semantic optimizer passes over the SQL IR.
+
+Rewritten UCQs come out of the Section 3 rewriters riddled with
+redundancy: duplicate clause-selects, unions where one branch's
+answers are a subset of another's, per-branch ``DISTINCT`` work that
+the enclosing ``UNION`` repeats, OR-chains a DBMS evaluates branch by
+branch.  Each pass here removes one of those anti-patterns from a
+:class:`~repro.sql.ir.QueryIR`, is answer-preserving on every database
+instance (the differential suite in ``tests/test_sql_ir.py`` checks
+optimized == unoptimized == python engine on random programs), and
+logs its before/after IR node counts.
+
+The pipeline, in application order:
+
+``dedup-branches``
+    drop exact duplicate selects inside each union (rewriters emit
+    textually identical clauses after substitution collapses);
+``prune-subsumed``
+    drop a union branch when another branch of the same union maps
+    homomorphically into it (theta-subsumption: every answer of the
+    dropped branch is already produced by the subsuming one);
+``or-to-in``
+    merge branches that differ in exactly one ``=``-comparison on the
+    same left operand into one branch with an ``IN`` list (literal
+    rights) or an OR disjunction;
+``hoist-common``
+    name a join-select that occurs in two or more definitions as its
+    own relation (a CTE in the ``WITH`` form, a view/table in the
+    per-statement form) and scan it where it occurred;
+``elide-distinct``
+    remove ``DISTINCT`` where set semantics are already guaranteed:
+    inside multi-branch unions (``UNION`` deduplicates anyway) and on
+    selects whose projected columns form a key of the join (every
+    column of every scanned relation is equal, via the WHERE
+    equalities, to a projected column or a literal — and every scanned
+    relation is itself duplicate-free, which the loader and the
+    update path guarantee for base relations and the passes preserve
+    for defined ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from .ir import (
+    ColumnRef,
+    Comparison,
+    Definition,
+    Disjunction,
+    InList,
+    OutputColumn,
+    QueryIR,
+    Select,
+    SQLLiteral,
+    TableRef,
+    Union,
+    node_count,
+)
+
+#: Per-pair step budget of the subsumption homomorphism search; a pair
+#: that exhausts it is conservatively treated as not subsumed.
+SUBSUMPTION_STEP_BUDGET = 20000
+
+#: Unions wider than this skip the quadratic subsumption pass.
+SUBSUMPTION_BRANCH_LIMIT = 96
+
+
+# -- semantic views of a select -------------------------------------------
+
+class _SelectFacts:
+    """A select decoded for reasoning: equality classes of its column
+    references, atoms over class ids, head classes and literal-pinned
+    classes.  ``opaque`` selects (non-equality conditions the passes
+    do not model) are left alone by the semantic passes."""
+
+    def __init__(self, select: Select):
+        self.select = select
+        self.opaque = False
+        parent: Dict[Tuple[Optional[str], str], object] = {}
+
+        def find(key):
+            parent.setdefault(key, key)
+            while parent[key] != key:
+                parent[key] = parent[parent[key]]
+                key = parent[key]
+            return key
+
+        def union(a, b):
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        # every column of every scanned relation is a node, even when
+        # no condition or projection mentions it (unreferenced columns
+        # matter for the key check)
+        for table in select.tables:
+            if table.arity is None:
+                self.opaque = True
+                return
+            for index in range(table.arity):
+                find((table.alias, f"c{index}"))
+
+        pinned: List[Tuple[Tuple, str]] = []
+        for condition in select.where:
+            if (isinstance(condition, Comparison) and condition.op == "="
+                    and isinstance(condition.left, ColumnRef)
+                    and isinstance(condition.right, ColumnRef)):
+                union((condition.left.table, condition.left.column),
+                      (condition.right.table, condition.right.column))
+            elif (isinstance(condition, Comparison) and condition.op == "="
+                    and isinstance(condition.left, ColumnRef)
+                    and isinstance(condition.right, SQLLiteral)):
+                key = (condition.left.table, condition.left.column)
+                find(key)
+                pinned.append((key, condition.right.value))
+            else:
+                self.opaque = True
+                return
+
+        roots = sorted({find(key) for key in list(parent)})
+        self.class_of = {key: roots.index(find(key)) for key in parent}
+        self.atoms: List[Tuple[str, Tuple[int, ...]]] = []
+        for table in select.tables:
+            self.atoms.append((
+                table.relation,
+                tuple(self.class_of[(table.alias, f"c{index}")]
+                      for index in range(table.arity))))
+        self.head: List[Tuple[str, object]] = []
+        for column in select.columns:
+            if isinstance(column.expr, ColumnRef):
+                key = (column.expr.table, column.expr.column)
+                if key not in self.class_of:
+                    self.opaque = True
+                    return
+                self.head.append(("class", self.class_of[key]))
+            elif isinstance(column.expr, SQLLiteral):
+                self.head.append(("lit", column.expr.value))
+            else:
+                self.opaque = True
+                return
+        self.pins: FrozenSet[Tuple[int, str]] = frozenset(
+            (self.class_of[key], value) for key, value in pinned)
+        self.covered = {cls for kind, cls in self.head if kind == "class"}
+        self.covered |= {cls for cls, _ in self.pins}
+
+    def key_covers_all_columns(self) -> bool:
+        """Whether the projected (or literal-pinned) classes cover every
+        column of every scanned relation — the 'projection is a key'
+        condition for DISTINCT elision."""
+        if self.opaque:
+            return False
+        return all(cls in self.covered for cls in self.class_of.values())
+
+
+def _subsumes(b: _SelectFacts, a: _SelectFacts) -> bool:
+    """Whether branch ``b`` subsumes branch ``a`` (``answers(a)`` is
+    contained in ``answers(b)`` on every database): a homomorphism from
+    ``b``'s atoms into ``a``'s atoms that matches the heads
+    position-wise and carries ``b``'s literal pins into ``a``'s."""
+    if b.opaque or a.opaque:
+        return False
+    if len(b.head) != len(a.head):
+        return False
+    if not {rel for rel, _ in b.atoms} <= {rel for rel, _ in a.atoms}:
+        return False
+    mapping: Dict[int, int] = {}
+    for (b_kind, b_val), (a_kind, a_val) in zip(b.head, a.head):
+        if b_kind != a_kind:
+            return False
+        if b_kind == "lit":
+            if b_val != a_val:
+                return False
+        else:
+            known = mapping.get(b_val)
+            if known is None:
+                mapping[b_val] = a_val
+            elif known != a_val:
+                return False
+
+    budget = [SUBSUMPTION_STEP_BUDGET]
+
+    def extend(index: int, mapping: Dict[int, int]) -> bool:
+        if index == len(b.atoms):
+            for cls, value in b.pins:
+                if cls not in mapping or (mapping[cls], value) not in a.pins:
+                    return False
+            return True
+        if budget[0] <= 0:
+            return False
+        relation, b_args = b.atoms[index]
+        for a_relation, a_args in a.atoms:
+            if a_relation != relation or len(a_args) != len(b_args):
+                continue
+            budget[0] -= 1
+            candidate = dict(mapping)
+            consistent = True
+            for b_cls, a_cls in zip(b_args, a_args):
+                known = candidate.get(b_cls)
+                if known is None:
+                    candidate[b_cls] = a_cls
+                elif known != a_cls:
+                    consistent = False
+                    break
+            if consistent and extend(index + 1, candidate):
+                return True
+        return False
+
+    return extend(0, mapping)
+
+
+# -- passes ----------------------------------------------------------------
+
+def _map_unions(ir: QueryIR,
+                transform: Callable[[Union], Union]) -> QueryIR:
+    definitions = tuple(
+        replace(definition, union=transform(definition.union))
+        for definition in ir.definitions)
+    return replace(ir, definitions=definitions)
+
+
+def dedup_branches(ir: QueryIR) -> QueryIR:
+    """Drop exact duplicate selects inside each union."""
+    def transform(union: Union) -> Union:
+        seen = []
+        for select in union.selects:
+            if select not in seen:
+                seen.append(select)
+        return Union(tuple(seen))
+    return _map_unions(ir, transform)
+
+
+def prune_subsumed(ir: QueryIR) -> QueryIR:
+    """Drop union branches subsumed by another branch of the union."""
+    def transform(union: Union) -> Union:
+        if not 2 <= len(union.selects) <= SUBSUMPTION_BRANCH_LIMIT:
+            return union
+        facts = [_SelectFacts(select) for select in union.selects]
+        alive = list(range(len(facts)))
+        # smaller branches are cheaper and more likely to subsume;
+        # scan them first so wide branches fall early
+        order = sorted(alive, key=lambda i: len(facts[i].atoms))
+        for winner in order:
+            if winner not in alive:
+                continue
+            for loser in list(alive):
+                if loser == winner:
+                    continue
+                if _subsumes(facts[winner], facts[loser]):
+                    alive.remove(loser)
+        alive.sort()
+        return Union(tuple(union.selects[index] for index in alive))
+    return _map_unions(ir, transform)
+
+
+def merge_or_chains(ir: QueryIR) -> QueryIR:
+    """Merge branches differing in one ``=``-comparison on a shared
+    left operand: ``IN`` for literal rights, ``OR`` otherwise."""
+    def transform(union: Union) -> Union:
+        selects = list(union.selects)
+        changed = True
+        while changed:
+            changed = False
+            groups: Dict[Tuple, List[Tuple[int, Comparison]]] = {}
+            for index, select in enumerate(selects):
+                for position, condition in enumerate(select.where):
+                    if (not isinstance(condition, Comparison)
+                            or condition.op != "="):
+                        continue
+                    rest = (select.where[:position]
+                            + select.where[position + 1:])
+                    key = (select.columns, select.tables, select.distinct,
+                           rest, condition.left)
+                    groups.setdefault(key, []).append((index, condition))
+            # apply at most one merge per round, then rebuild the
+            # groups — a merged select's conditions are stale in every
+            # other group it appeared in
+            for (columns, tables, distinct, rest, _left), members \
+                    in groups.items():
+                live = []
+                seen_indices = set()
+                for index, condition in members:
+                    if index not in seen_indices:
+                        seen_indices.add(index)
+                        live.append((index, condition))
+                if len(live) < 2:
+                    continue
+                rights = []
+                for _, condition in live:
+                    if condition.right not in rights:
+                        rights.append(condition.right)
+                if len(rights) == 1:
+                    merged = live[0][1]
+                elif all(isinstance(right, SQLLiteral)
+                         for right in rights):
+                    merged = InList(live[0][1].left, tuple(rights))
+                else:
+                    merged = Disjunction(tuple(
+                        Comparison(live[0][1].left, "=", right)
+                        for right in rights))
+                keep = live[0][0]
+                dropped = {index for index, _ in live[1:]}
+                selects[keep] = Select(columns, tables,
+                                       rest + (merged,), distinct)
+                selects = [select for index, select in enumerate(selects)
+                           if index not in dropped]
+                changed = True
+                break
+        return Union(tuple(selects))
+    return _map_unions(ir, transform)
+
+
+def hoist_common_subqueries(ir: QueryIR) -> QueryIR:
+    """Give a join-select occurring in two or more definitions its own
+    relation (rendered as a CTE in the ``WITH`` form) and scan it in
+    place of every occurrence."""
+    from .schema import TABLE_PREFIX
+
+    counts: Dict[Select, int] = {}
+    for definition in ir.definitions:
+        for select in definition.union.selects:
+            if len(select.tables) >= 2:
+                counts[select] = counts.get(select, 0) + 1
+    shared = [select for select, count in counts.items() if count >= 2]
+    if not shared:
+        return ir
+
+    taken = ({definition.relation for definition in ir.definitions}
+             | {table.relation for definition in ir.definitions
+                for select in definition.union.selects
+                for table in select.tables})
+    serial = 0
+    definitions = list(ir.definitions)
+    for select in shared:
+        while TABLE_PREFIX + f"_cse{serial}" in taken:
+            serial += 1
+        predicate = f"_cse{serial}"
+        relation = TABLE_PREFIX + predicate
+        taken.add(relation)
+        serial += 1
+        scan = Select(
+            columns=tuple(OutputColumn(ColumnRef("t0", column.alias),
+                                       column.alias)
+                          for column in select.columns),
+            tables=(TableRef(relation, "t0", arity=len(select.columns)),),
+            where=(), distinct=False)
+        hoisted = Definition(predicate=predicate, relation=relation,
+                             union=Union((select,)), synthetic=True)
+        first_use = None
+        for index, definition in enumerate(definitions):
+            if select in definition.union.selects:
+                first_use = index
+                break
+        if first_use is None:
+            continue
+        definitions[first_use:first_use] = [hoisted]
+        for index, definition in enumerate(definitions):
+            if definition.synthetic:
+                continue
+            if select in definition.union.selects:
+                definitions[index] = replace(
+                    definition,
+                    union=Union(tuple(scan if branch == select else branch
+                                      for branch
+                                      in definition.union.selects)))
+    return replace(ir, definitions=tuple(definitions))
+
+
+def elide_distinct(ir: QueryIR) -> QueryIR:
+    """Remove DISTINCT where set semantics are already guaranteed.
+
+    Inside a multi-branch union the enclosing ``UNION`` deduplicates,
+    so per-branch DISTINCT only pays for a second sort.  A
+    single-branch definition (and the goal select) drops DISTINCT when
+    its projection is a key of the join (see
+    :meth:`_SelectFacts.key_covers_all_columns`); every scanned
+    relation is duplicate-free — the loader and delta path keep base
+    relations sets, and every definition's output stays a set under
+    this pass (multi-branch unions deduplicate, single selects keep
+    DISTINCT unless the key condition holds).
+    """
+    def transform(union: Union) -> Union:
+        if len(union.selects) >= 2:
+            return Union(tuple(replace(select, distinct=False)
+                               if select.distinct else select
+                               for select in union.selects))
+        select = union.selects[0]
+        if select.distinct and _SelectFacts(select).key_covers_all_columns():
+            return Union((replace(select, distinct=False),))
+        return union
+
+    ir = _map_unions(ir, transform)
+    goal = ir.goal
+    if goal.distinct and _SelectFacts(goal).key_covers_all_columns():
+        ir = replace(ir, goal=replace(goal, distinct=False))
+    return ir
+
+
+#: The default pipeline, in application order.
+PASSES: Tuple[Tuple[str, Callable[[QueryIR], QueryIR]], ...] = (
+    ("dedup-branches", dedup_branches),
+    ("prune-subsumed", prune_subsumed),
+    ("or-to-in", merge_or_chains),
+    ("hoist-common", hoist_common_subqueries),
+    ("elide-distinct", elide_distinct),
+)
+
+
+def optimize_ir(ir: QueryIR, passes=PASSES
+                ) -> Tuple[QueryIR, Tuple[Dict[str, object], ...]]:
+    """Run the pass pipeline; returns the optimized IR plus the pass
+    log — one ``{"pass", "before", "after", "changed"}`` entry per
+    pass: node counts of the whole query IR, plus whether the pass
+    rewrote anything at all (DISTINCT elision flips flags without
+    changing the node count)."""
+    log: List[Dict[str, object]] = []
+    for name, pass_fn in passes:
+        before = node_count(ir)
+        rewritten = pass_fn(ir)
+        log.append({"pass": name, "before": before,
+                    "after": node_count(rewritten),
+                    "changed": rewritten != ir})
+        ir = rewritten
+    return ir, tuple(log)

@@ -103,7 +103,11 @@ def load_abox(connection: sqlite3.Connection, abox: ABox,
         insert(predicate, abox.binary(predicate))
     if extra_relations:
         for predicate in sorted(extra_relations):
-            rows = [tuple(row) for row in extra_relations[predicate]]
+            # dedupe: relations are sets (the ABox sides already are),
+            # and the optimizer's DISTINCT elision relies on base
+            # tables being duplicate-free
+            rows = list(dict.fromkeys(
+                tuple(row) for row in extra_relations[predicate]))
             insert(predicate, rows)
             for row in rows:
                 adom.update(row)

@@ -10,7 +10,7 @@ import itertools
 import pytest
 
 from repro import ABox, CQ, OMQ, answer, certain_answers, chain_cq
-from repro.rewriting.api import ENGINES
+from repro.engine import available_engines
 
 from .helpers import example11_tbox
 
@@ -29,7 +29,8 @@ def setting():
 class TestPipelineCombinations:
     @pytest.mark.parametrize(
         "engine,optimize_program,magic",
-        list(itertools.product(ENGINES, (False, True), (False, True))))
+        list(itertools.product(available_engines(), (False, True),
+                               (False, True))))
     def test_all_stage_combinations_agree(self, setting, engine,
                                           optimize_program, magic):
         tbox, query, abox, expected = setting
@@ -72,7 +73,7 @@ class TestPipelineOnBooleanQueries:
         tbox = example11_tbox()
         query = CQ.parse("R(x, y), S(y, z)")
         abox = ABox.parse("R(a, b), A_P(b)")
-        for engine in ENGINES:
+        for engine in available_engines():
             result = answer(OMQ(tbox, query), abox, engine=engine)
             assert result.answers == {()}
 
@@ -80,7 +81,7 @@ class TestPipelineOnBooleanQueries:
         tbox = example11_tbox()
         query = CQ.parse("S(x, y), S(y, z)")
         abox = ABox.parse("R(a, b)")
-        for engine in ENGINES:
+        for engine in available_engines():
             result = answer(OMQ(tbox, query), abox, engine=engine,
                             magic=True)
             assert result.answers == frozenset()
@@ -93,7 +94,7 @@ class TestPipelineOnAnonymousWitnesses:
         tbox = example11_tbox()
         query = chain_cq("RSR")
         abox = ABox.parse("A_P-(d0), R(d0, d3)")
-        for engine in ENGINES:
+        for engine in available_engines():
             for magic in (False, True):
                 result = answer(OMQ(tbox, query), abox, engine=engine,
                                 magic=magic)

@@ -8,7 +8,7 @@ import dataclasses
 import pytest
 
 from repro import ABox, OMQ, AnswerOptions, Plan, answer, chain_cq
-from repro.engine import ENGINES, create_engine
+from repro.engine import available_engines, create_engine
 from repro.rewriting import AnswerSession, METHODS
 from repro.rewriting.plan import compile_omq, format_explain
 from repro.service import OMQService, RewritingCache
@@ -111,7 +111,7 @@ class TestCompileExecuteParity:
         _, abox, omqs = setting
         for omq in omqs:
             plan = compile_omq(omq, method=method)
-            for engine in ENGINES:
+            for engine in available_engines():
                 executed = plan.execute(abox, engine=engine)
                 legacy = answer(omq, abox, method=method, engine=engine)
                 assert executed.answers == legacy.answers
@@ -171,7 +171,7 @@ class TestPlanReuse:
         abox = random_data(11)
         with AnswerSession(abox) as session:
             results = {engine: plan.execute(session, engine=engine).answers
-                       for engine in ENGINES}
+                       for engine in available_engines()}
         assert len(set(results.values())) == 1
 
     def test_execute_on_loaded_engine(self):
