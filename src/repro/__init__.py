@@ -42,6 +42,13 @@ The package implements the paper end to end:
   routed to the owning shards — ``shards=K`` at every layer
   (``AnswerOptions``, ``OMQService.register_dataset``, the CLI and
   HTTP front-ends);
+* standing OMQs (:mod:`repro.standing`): subscriptions over a served
+  dataset whose certain answers are maintained *incrementally* on
+  every update — only the disjuncts of the rewriting touching the
+  changed predicates (and, sharded, only the touched shards) are
+  re-evaluated — with exact answer deltas pushed to clients over SSE
+  or long-poll (``Client.subscribe`` / ``AsyncClient.subscribe``,
+  ``python -m repro subscribe``);
 * one compiled query pipeline (:mod:`repro.rewriting.plan`):
   :func:`compile` turns an OMQ plus one
   :class:`~repro.rewriting.plan.AnswerOptions` into a frozen,
@@ -70,7 +77,13 @@ The legacy one-shot :func:`answer` (and ``AnswerSession.answer``,
 """
 
 from .chase import certain_answers, is_certain_answer
-from .client import AsyncClient, Client, ServiceError
+from .client import (
+    AsyncClient,
+    AsyncSubscription,
+    Client,
+    ServiceError,
+    Subscription,
+)
 from .data import ABox
 from .datalog import (
     NDLQuery,
@@ -111,6 +124,7 @@ from .rewriting import (
 from .service import OMQService, RewritingCache
 from .shard import ShardedSession
 from .sql import evaluate_sql
+from .standing import AnswerDelta, StandingQuery, StandingRegistry
 
 #: ``repro.compile(omq, options) -> Plan``: the prepare half of the
 #: pipeline (the module-level name intentionally mirrors SQL's
@@ -122,13 +136,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ABox",
+    "AnswerDelta",
     "AnswerOptions",
     "Answers",
     "AnswerSession",
     "AsyncClient",
+    "AsyncSubscription",
     "CQ",
     "Client",
     "ServiceError",
+    "StandingQuery",
+    "StandingRegistry",
+    "Subscription",
     "Database",
     "ENGINES",
     "SQL_ENGINES",

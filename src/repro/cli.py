@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
     python -m repro landscape
     python -m repro serve --port 8080 --dataset demo=data.txt
     python -m repro serve --async-io --port 8081   # coalescing asyncio
+    python -m repro subscribe --url http://127.0.0.1:8080 \
+        --dataset demo --tbox onto.txt --query "R(x,y)" --answers x,y
 
 The TBox file uses the :meth:`repro.ontology.TBox.parse` syntax and the
 data file the :meth:`repro.data.ABox.parse` syntax.  Every pipeline
@@ -313,6 +315,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_serve_arguments(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
+
+    subscribe_parser = sub.add_parser(
+        "subscribe", help="register a standing query against a running "
+                          "server and print its answer deltas as they "
+                          "arrive (long-poll; see repro.standing)")
+    common(subscribe_parser)
+    subscribe_parser.add_argument("--url", default="http://127.0.0.1:8080",
+                                  help="server base URL")
+    subscribe_parser.add_argument("--dataset", required=True,
+                                  help="registered dataset to watch")
+    subscribe_parser.add_argument("--engine", default=None, choices=ENGINES,
+                                  help="evaluation backend for maintenance")
+    subscribe_parser.add_argument("--poll-timeout", type=float, default=25.0,
+                                  dest="poll_timeout",
+                                  help="seconds each long-poll may block")
+    subscribe_parser.add_argument("--max-deltas", type=int, default=0,
+                                  dest="max_deltas",
+                                  help="exit after this many deltas "
+                                       "(0 = run until interrupted)")
+    subscribe_parser.set_defaults(func=_cmd_subscribe)
     return parser
 
 
@@ -320,6 +342,45 @@ def _cmd_serve(args) -> int:
     from .service.serve import run
 
     return run(args)
+
+
+def _cmd_subscribe(args) -> int:
+    from .client import Client
+
+    tbox = _load_tbox(args.tbox)
+    query = _load_query(args.query, args.answers)
+    client = Client.connect(args.url, timeout=args.poll_timeout + 30.0)
+    sub = client.subscribe(args.dataset, OMQ(tbox, query), _options(args))
+    print(f"# subscribed {sub.subscription_id} to dataset "
+          f"{args.dataset!r} at epoch {sub.epoch} "
+          f"({len(sub.answers)} answers)", file=sys.stderr)
+    for row in sorted(sub.answers):
+        print("\t".join(row) if row else "true")
+    received = 0
+    try:
+        while args.max_deltas <= 0 or received < args.max_deltas:
+            for delta in sub.poll(timeout=args.poll_timeout):
+                received += 1
+                if delta.resync:
+                    print(f"# resync epoch={delta.epoch}")
+                    for row in sorted(delta.answers or ()):
+                        print("= " + ("\t".join(row) if row else "true"))
+                else:
+                    print(f"# delta epoch={delta.epoch}")
+                    for row in sorted(delta.added):
+                        print("+ " + ("\t".join(row) if row else "true"))
+                    for row in sorted(delta.removed):
+                        print("- " + ("\t".join(row) if row else "true"))
+                if args.max_deltas > 0 and received >= args.max_deltas:
+                    break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        try:
+            sub.unsubscribe()
+        except Exception:
+            pass  # server already gone; nothing to clean up
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -47,6 +47,8 @@ from .ontology.tbox import TBox
 from .queries.cq import CQ
 from .rewriting.api import OMQ
 from .rewriting.plan import AnswerOptions, Answers
+from .standing.push import decode_sse
+from .standing.registry import AnswerDelta
 
 GroundAtom = Tuple[str, Tuple[str, ...]]
 
@@ -146,6 +148,101 @@ def _answers_from_body(body: Dict[str, object],
         shards=int(body.get("shards", 0)))
 
 
+class _SubscriptionState:
+    """Shared client-side bookkeeping for one standing query: the live
+    answer set and the epoch watermark, advanced by applying deltas.
+
+    Both the blocking :class:`Subscription` (long-poll) and the
+    asyncio :class:`AsyncSubscription` (SSE or long-poll) mix this in,
+    so resync and duplicate-delta handling cannot drift between them.
+    """
+
+    def _init_state(self, snapshot: Dict[str, object]) -> None:
+        self.subscription_id = str(snapshot["subscription"])
+        self.dataset = str(snapshot["dataset"])
+        self.epoch = int(snapshot.get("epoch", 0))
+        self.answers = frozenset(tuple(row)
+                                 for row in snapshot.get("answers", ()))
+        self.closed = False
+
+    def _apply_delta(self, delta: AnswerDelta) -> bool:
+        """Advance the local state by one delta; ``False`` means the
+        delta was already reflected (e.g. delivered twice around an
+        attach) and should not be surfaced."""
+        if delta.resync:
+            self.answers = delta.answers or frozenset()
+            self.epoch = max(self.epoch, delta.epoch)
+            return True
+        if delta.epoch <= self.epoch:
+            return False
+        self.answers = (self.answers | delta.added) - delta.removed
+        self.epoch = delta.epoch
+        return True
+
+    def _apply_poll(self, body: Dict[str, object]) -> List[AnswerDelta]:
+        """Apply one ``/poll`` response; returns the surfaced deltas
+        (a resync response becomes a single resync delta)."""
+        applied: List[AnswerDelta] = []
+        if body.get("resync"):
+            delta = AnswerDelta(
+                epoch=int(body.get("epoch", 0)), resync=True,
+                answers=frozenset(tuple(row)
+                                  for row in body.get("answers", ())))
+            if self._apply_delta(delta):
+                applied.append(delta)
+        for raw in body.get("deltas", ()):
+            delta = AnswerDelta.from_payload(raw)
+            if self._apply_delta(delta):
+                applied.append(delta)
+        return applied
+
+
+class Subscription(_SubscriptionState):
+    """A blocking standing-query handle (see :mod:`repro.standing`).
+
+    Created by :meth:`Client.subscribe`; tracks the maintained answer
+    set locally.  :meth:`poll` long-polls the service for deltas newer
+    than the watermark and applies them::
+
+        sub = client.subscribe("demo", omq)
+        client.update("demo", inserts=[("R", ("a", "b"))])
+        for delta in sub.poll(timeout=5.0):
+            print(delta.added, delta.removed)
+        sub.unsubscribe()
+    """
+
+    def __init__(self, transport, snapshot: Dict[str, object]):
+        self._transport = transport
+        self._init_state(snapshot)
+
+    def poll(self, timeout: float = 0.0) -> List[AnswerDelta]:
+        """Deltas since the last seen epoch (blocking up to
+        ``timeout`` seconds for one), applied to :attr:`answers`."""
+        body = self._transport.poll(self.subscription_id,
+                                    since_epoch=self.epoch,
+                                    timeout=timeout)
+        return self._apply_poll(body)
+
+    def unsubscribe(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._transport.unsubscribe(self.subscription_id)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.unsubscribe()
+        except Exception:
+            pass  # server gone or subscription already dropped
+
+    def __repr__(self) -> str:
+        return (f"Subscription({self.subscription_id!r}, "
+                f"dataset={self.dataset!r}, epoch={self.epoch}, "
+                f"answers={len(self.answers)})")
+
+
 class _ServiceTransport:
     """The in-process transport: delegates to an ``OMQService``."""
 
@@ -186,6 +283,19 @@ class _ServiceTransport:
         return self.service.update(dataset, inserts=inserts,
                                    deletes=deletes).as_dict()
 
+    def subscribe(self, dataset: str, omq: OMQ,
+                  options: AnswerOptions) -> Dict[str, object]:
+        sub = self.service.subscribe(dataset, omq, options=options)
+        return self.service.standing.snapshot(sub.subscription_id)
+
+    def poll(self, subscription: str, since_epoch: Optional[int] = None,
+             timeout: float = 0.0) -> Dict[str, object]:
+        return self.service.poll(subscription, since_epoch=since_epoch,
+                                 timeout=timeout)
+
+    def unsubscribe(self, subscription: str) -> None:
+        self.service.unsubscribe(subscription)
+
     def stats(self) -> Dict[str, object]:
         return self.service.stats()
 
@@ -203,7 +313,8 @@ class _HTTPTransport:
 
     # -- wire --------------------------------------------------------------
 
-    def _call(self, path: str, payload=None) -> Dict[str, object]:
+    def _call(self, path: str, payload=None,
+              timeout: Optional[float] = None) -> Dict[str, object]:
         url = f"{self.url}{path}"
         if payload is None:
             req = urllib_request.Request(url)
@@ -212,7 +323,8 @@ class _HTTPTransport:
                 url, data=json.dumps(payload).encode(),
                 headers={"Content-Type": "application/json"})
         try:
-            with urllib_request.urlopen(req, timeout=self.timeout) as reply:
+            with urllib_request.urlopen(
+                    req, timeout=timeout or self.timeout) as reply:
                 body = json.loads(reply.read().decode())
         except HTTPError as error:
             try:
@@ -252,6 +364,24 @@ class _HTTPTransport:
         return self._call("/update", {"dataset": dataset,
                                       "insert": _atom_texts(inserts),
                                       "delete": _atom_texts(deletes)})
+
+    def subscribe(self, dataset: str, omq: OMQ,
+                  options: AnswerOptions) -> Dict[str, object]:
+        return self._call("/subscribe",
+                          _request_payload(dataset, omq, options))
+
+    def poll(self, subscription: str, since_epoch: Optional[int] = None,
+             timeout: float = 0.0) -> Dict[str, object]:
+        payload: Dict[str, object] = {"subscription": subscription,
+                                      "timeout": timeout}
+        if since_epoch is not None:
+            payload["since_epoch"] = since_epoch
+        # the HTTP deadline must outlive the server-side park
+        return self._call("/poll", payload,
+                          timeout=max(self.timeout, timeout + 5.0))
+
+    def unsubscribe(self, subscription: str) -> None:
+        self._call("/unsubscribe", {"subscription": subscription})
 
     def stats(self) -> Dict[str, object]:
         return self._call("/stats")
@@ -347,6 +477,21 @@ class Client:
                      atoms: Iterable[GroundAtom]) -> Dict[str, object]:
         return self.update(dataset, deletes=atoms)
 
+    # -- standing queries --------------------------------------------------
+
+    def subscribe(self, dataset: str, omq: OMQ, options=None,
+                  **overrides) -> Subscription:
+        """Register ``omq`` as a standing query over the dataset.
+
+        The returned :class:`Subscription` holds the initial answer
+        set; each update the service applies maintains it
+        incrementally, and :meth:`Subscription.poll` fetches the
+        resulting deltas.
+        """
+        options = AnswerOptions.coerce(options, **overrides)
+        snapshot = self._transport.subscribe(dataset, omq, options)
+        return Subscription(self._transport, snapshot)
+
     # -- stats and lifecycle -----------------------------------------------
 
     def stats(self) -> Dict[str, object]:
@@ -428,9 +573,10 @@ class AsyncClient:
 
     # -- wire --------------------------------------------------------------
 
-    async def _call(self, path: str, payload=None) -> Dict[str, object]:
+    async def _call(self, path: str, payload=None,
+                    timeout: Optional[float] = None) -> Dict[str, object]:
         return await asyncio.wait_for(self._call_once(path, payload),
-                                      timeout=self.timeout)
+                                      timeout=timeout or self.timeout)
 
     async def _call_once(self, path: str, payload) -> Dict[str, object]:
         body = b"" if payload is None else json.dumps(payload).encode()
@@ -529,6 +675,24 @@ class AsyncClient:
                            atoms: Iterable[GroundAtom]) -> Dict[str, object]:
         return await self.update(dataset, deletes=atoms)
 
+    # -- standing queries --------------------------------------------------
+
+    async def subscribe(self, dataset: str, omq: OMQ, options=None,
+                        **overrides) -> "AsyncSubscription":
+        """Register ``omq`` as a standing query; the returned
+        :class:`AsyncSubscription` can :meth:`~AsyncSubscription.poll`
+        (both servers) or :meth:`~AsyncSubscription.stream` deltas
+        over SSE (async server only)::
+
+            sub = await client.subscribe("demo", omq)
+            async for delta in sub.stream():
+                print(delta.added, delta.removed)
+        """
+        options = AnswerOptions.coerce(options, **overrides)
+        snapshot = await self._call(
+            "/subscribe", _request_payload(dataset, omq, options))
+        return AsyncSubscription(self, snapshot)
+
     async def stats(self) -> Dict[str, object]:
         return await self._call("/stats")
 
@@ -543,3 +707,142 @@ class AsyncClient:
 
     def __repr__(self) -> str:
         return f"AsyncClient({self.url!r})"
+
+
+class AsyncSubscription(_SubscriptionState):
+    """The asyncio standing-query handle (see :meth:`AsyncClient.subscribe`).
+
+    Two consumption styles over the same local state:
+
+    * :meth:`stream` — an async iterator of
+      :class:`~repro.standing.registry.AnswerDelta`, fed by the async
+      server's SSE endpoint (``GET /subscribe``); resyncs arrive as a
+      single ``resync`` delta carrying the full answer set.
+    * :meth:`poll` — one long-poll round trip (works on both servers).
+    """
+
+    def __init__(self, client: AsyncClient, snapshot: Dict[str, object]):
+        self._client = client
+        self._init_state(snapshot)
+
+    async def poll(self, timeout: float = 0.0) -> List[AnswerDelta]:
+        """Deltas since the last seen epoch, applied to
+        :attr:`answers` (blocking up to ``timeout`` seconds)."""
+        body = await self._client._call(
+            "/poll", {"subscription": self.subscription_id,
+                      "since_epoch": self.epoch, "timeout": timeout},
+            timeout=max(self._client.timeout, timeout + 5.0))
+        return self._apply_poll(body)
+
+    async def unsubscribe(self) -> None:
+        if not self.closed:
+            self.closed = True
+            await self._client._call(
+                "/unsubscribe", {"subscription": self.subscription_id})
+
+    async def stream(self):
+        """Async-iterate answer deltas pushed over SSE.
+
+        Ends when the subscription is closed server-side (an
+        ``unsubscribe``, a dataset drop, or service shutdown).  Deltas
+        already reflected by the snapshot are skipped by epoch, so no
+        change is ever seen twice.
+        """
+        reader, writer = await asyncio.open_connection(
+            self._client._host, self._client._port)
+        try:
+            host = f"{self._client._host}:{self._client._port}"
+            writer.write(
+                (f"GET /subscribe?subscription={self.subscription_id} "
+                 "HTTP/1.1\r\n"
+                 f"Host: {host}\r\n"
+                 "Accept: text/event-stream\r\n"
+                 "Connection: close\r\n\r\n").encode())
+            await writer.drain()
+            status, headers, err_body = await self._read_stream_head(reader)
+            if status >= 400:
+                try:
+                    decoded = json.loads(err_body.decode())
+                except Exception:
+                    decoded = {"error": err_body.decode(errors="replace")}
+                raise ServiceError.from_body(status, decoded, headers)
+            async for event, data in self._sse_frames(reader):
+                delta = self._decode_event(event, data)
+                if delta is None:
+                    if event == "closed":
+                        self.closed = True
+                        return
+                    continue
+                if self._apply_delta(delta):
+                    yield delta
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_stream_head(reader: asyncio.StreamReader):
+        """Status + headers (+ error body for non-200s)."""
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceError("malformed HTTP response from server",
+                               status=502, error_type="bad_response")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().title()] = value.strip()
+        body = b""
+        if status >= 400:
+            length = headers.get("Content-Length")
+            if length is not None and length.isdigit():
+                body = await reader.readexactly(int(length))
+            else:
+                body = await reader.read()
+        return status, headers, body
+
+    @staticmethod
+    async def _sse_frames(reader: asyncio.StreamReader):
+        """``(event, data)`` pairs until the server closes the stream."""
+        buffer: List[str] = []
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            text = line.decode().rstrip("\r\n")
+            if text:
+                buffer.append(text)
+                continue
+            if buffer:
+                yield decode_sse("\n".join(buffer))
+                buffer = []
+
+    def _decode_event(self, event: str, data: str) -> Optional[AnswerDelta]:
+        """One SSE frame as an :class:`AnswerDelta` (or ``None`` for
+        frames that carry no answer change to surface)."""
+        try:
+            body = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            return None
+        if event == "delta":
+            return AnswerDelta.from_payload(body)
+        if event in ("snapshot", "resync"):
+            answers = frozenset(tuple(row)
+                                for row in body.get("answers", ()))
+            epoch = int(body.get("epoch", 0))
+            if event == "snapshot" and (epoch <= self.epoch
+                                        and answers == self.answers):
+                return None  # nothing moved since we subscribed
+            return AnswerDelta(epoch=epoch, resync=True, answers=answers)
+        return None
+
+    def __repr__(self) -> str:
+        return (f"AsyncSubscription({self.subscription_id!r}, "
+                f"dataset={self.dataset!r}, epoch={self.epoch}, "
+                f"answers={len(self.answers)})")

@@ -23,6 +23,12 @@ per-request costs *across* requests and sessions:
   (``python -m repro serve --async-io``): request coalescing of
   identical in-flight queries, micro-batching into
   ``answer_batch`` windows, and 429 queue-depth backpressure.
+
+Standing queries (:mod:`repro.standing`) plug into the service here:
+``OMQService.subscribe`` registers a compiled plan for incremental
+answer maintenance inside the update path, the threaded server offers
+long-poll (``POST /poll``) and the asyncio server adds SSE streaming
+(``GET /subscribe``).
 """
 
 from .aserve import AsyncServiceServer, BackgroundAsyncServer, serve_in_background

@@ -25,6 +25,12 @@ buys throughput three ways:
   header instead of growing an unbounded queue.  Joining an in-flight
   coalesced execution is always admitted: it adds no work.
 
+Standing queries (:mod:`repro.standing`) get their push transport
+here: ``GET /subscribe?subscription=ID`` streams incremental answer
+deltas as Server-Sent Events (``snapshot``, then ``delta`` /
+``resync`` / ``closed`` frames), and ``POST /poll`` long-polls on a
+dedicated thread so parked pollers never occupy the worker pool.
+
 Counters for all three (plus queue depth high-water marks) are served
 under ``"async_serving"`` in ``GET /stats``.  Start it with
 ``python -m repro serve --async-io`` or embed it in tests via
@@ -39,11 +45,13 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
+from ..standing.push import RESYNC, SubscriberStream, sse_event
 from .protocol import (
     ProtocolError,
     Router,
     decode_json_body,
     error_payload,
+    overloaded_error,
     parse_content_length,
 )
 from .service import BatchRequest, OMQService
@@ -179,10 +187,7 @@ class AsyncServiceServer:
         depth = self._queue_depth()
         if depth + units > self.max_pending:
             self._rejected += units
-            raise ProtocolError(
-                f"server saturated: {depth} requests queued or "
-                f"executing (max_pending={self.max_pending})",
-                status=429, error_type="overloaded", retry_after=1.0)
+            raise overloaded_error(depth, self.max_pending)
 
     async def _handle_answer(self, payload: Dict) -> Tuple[int, Dict]:
         request = self.router.decode_answer(payload)
@@ -301,6 +306,12 @@ class AsyncServiceServer:
                 self._executing -= len(requests)
             return 200, {"results": [self.router.result_payload(result)
                                      for result in results]}
+        if method == "POST" and path == "/poll":
+            # a long-poll may park for up to MAX_POLL_TIMEOUT seconds;
+            # a dedicated thread per poll keeps the bounded worker pool
+            # free for answer/update work
+            return await self._call_in_thread(
+                self.router.handle, method, path, payload)
         # every remaining route (register/update/explain/stats) may
         # block on locks or compile, so it runs on the worker pool
         # through the same Router the threaded server uses
@@ -320,6 +331,91 @@ class AsyncServiceServer:
     def _bump_epoch(self, dataset: str) -> None:
         """Invalidate coalescing for a dataset whose data changed."""
         self._epochs[dataset] = self._epochs.get(dataset, 0) + 1
+
+    def _call_in_thread(self, fn, *args) -> asyncio.Future:
+        """Run ``fn`` on a fresh daemon thread, resolving an asyncio
+        future on the loop — for calls that may block far longer than
+        a bounded pool slot should be held."""
+        future = self._loop.create_future()
+        loop = self._loop
+
+        def settle(resolve) -> None:
+            if not future.done():
+                resolve()
+
+        def work() -> None:
+            try:
+                result = fn(*args)
+            except BaseException as error:  # delivered to the awaiter
+                loop.call_soon_threadsafe(
+                    settle, lambda: future.set_exception(error))
+            else:
+                loop.call_soon_threadsafe(
+                    settle, lambda: future.set_result(result))
+
+        threading.Thread(target=work, name="repro-aserve-poll",
+                         daemon=True).start()
+        return future
+
+    # -- standing-query push (SSE) -------------------------------------------
+
+    async def _handle_subscribe_stream(self, writer: asyncio.StreamWriter,
+                                       path: str) -> bool:
+        """Stream one subscription's deltas as Server-Sent Events.
+
+        The response has no Content-Length, so the connection is
+        single-use: the return value is always ``False`` once the
+        stream head has been written.
+        """
+        self._requests += 1
+        query = path.partition("?")[2]
+        params = dict(pair.split("=", 1)
+                      for pair in query.split("&") if "=" in pair)
+        sid = params.get("subscription", "")
+        registry = self.service.standing
+        stream = SubscriberStream(self._loop)
+        try:
+            if not sid:
+                raise ProtocolError(
+                    "GET /subscribe needs ?subscription=<id> "
+                    "(create one with POST /subscribe)")
+            snapshot = registry.attach(sid, stream.listener)
+        except Exception as error:
+            status, payload, extra = error_payload(error)
+            self._respond(writer, status, payload, extra)
+            await writer.drain()
+            return True
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"Connection: close\r\n\r\n")
+        writer.write(sse_event("snapshot", snapshot))
+        try:
+            await writer.drain()
+            while True:
+                event = await stream.next_event()
+                if event is None:  # subscription closed
+                    writer.write(sse_event("closed",
+                                           {"subscription": sid}))
+                    await writer.drain()
+                    return False
+                if event is RESYNC:
+                    # re-admit deltas *before* snapshotting so nothing
+                    # committed after the snapshot is lost
+                    stream.begin_resync()
+                    registry.record_resync()
+                    body = registry.snapshot(sid)
+                    body["resync"] = True
+                    writer.write(sse_event("resync", body))
+                else:
+                    writer.write(sse_event("delta", event))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception:
+            return False  # e.g. the subscription vanished mid-resync
+        finally:
+            registry.detach(sid, stream.listener)
 
     # -- HTTP plumbing -------------------------------------------------------
 
@@ -366,6 +462,10 @@ class AsyncServiceServer:
             headers[name.strip().lower()] = value.strip()
         extra: Dict[str, str] = {}
         keep_alive = headers.get("connection", "").lower() != "close"
+        if method == "GET" and path.partition("?")[0] == "/subscribe":
+            # SSE: an unframed streaming response, written directly —
+            # _respond's fixed Content-Length cannot carry it
+            return await self._handle_subscribe_stream(writer, path)
         try:
             length = parse_content_length(headers.get("content-length"))
         except ProtocolError as error:
@@ -391,7 +491,8 @@ class AsyncServiceServer:
 
     _REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
                 404: "Not Found", 429: "Too Many Requests",
-                500: "Internal Server Error", 503: "Service Unavailable"}
+                500: "Internal Server Error", 501: "Not Implemented",
+                503: "Service Unavailable"}
 
     def _respond(self, writer: asyncio.StreamWriter, status: int,
                  payload: Dict,

@@ -34,6 +34,11 @@ from ..rewriting.api import OMQ
 from ..rewriting.plan import AnswerOptions
 from .service import BatchRequest, OMQService
 
+#: Cap on long-poll blocking (seconds) — a client asking for more gets
+#: this much; both servers share the bound so neither can be held open
+#: indefinitely by one subscriber.
+MAX_POLL_TIMEOUT = 30.0
+
 
 class ProtocolError(ValueError):
     """A request rejection carrying its HTTP status and error body.
@@ -64,6 +69,18 @@ class ProtocolError(ValueError):
         if self.retry_after is None:
             return {}
         return {"Retry-After": f"{self.retry_after:g}"}
+
+
+def overloaded_error(depth: int, max_pending: int,
+                     retry_after: float = 1.0) -> ProtocolError:
+    """The one 429 both servers raise when their request queue is
+    full, so ``Retry-After`` and the structured body cannot drift
+    between them (clients surface it as
+    ``ServiceError.retry_after``)."""
+    return ProtocolError(
+        f"server overloaded: {depth} requests pending "
+        f"(max {max_pending}); retry later",
+        status=429, error_type="overloaded", retry_after=retry_after)
 
 
 def error_payload(error: Exception) -> Tuple[int, Dict[str, object],
@@ -249,6 +266,14 @@ class Router:
                 return 200, {"status": "ok"}
             if path == "/stats":
                 return 200, self.stats_payload()
+            if path == "/subscribe" or path.startswith("/subscribe?"):
+                # SSE streaming is the async server's job (it
+                # intercepts this path before dispatch); the threaded
+                # server serves standing queries via POST /poll only
+                raise ProtocolError(
+                    "GET /subscribe (SSE) requires the async server "
+                    "(serve --async-io); use POST /poll on this one",
+                    status=501, error_type="unsupported")
             raise ProtocolError(f"unknown path {path!r}", status=404,
                                 error_type="not_found")
         if method != "POST":
@@ -293,8 +318,36 @@ class Router:
                 inserts=parse_atoms(payload.get("insert", ())),
                 deletes=parse_atoms(payload.get("delete", ())))
             return 200, result.as_dict()
+        if path == "/subscribe":
+            dataset = payload.get("dataset")
+            if not dataset:
+                raise ProtocolError("missing 'dataset'")
+            sub = service.subscribe(dataset, self.decode_omq(payload),
+                                    options=self.decode_options(payload))
+            return 201, service.standing.snapshot(sub.subscription_id)
+        if path == "/unsubscribe":
+            service.unsubscribe(self._subscription_id(payload))
+            return 200, {"unsubscribed": payload["subscription"]}
+        if path == "/poll":
+            since = payload.get("since_epoch")
+            if since is not None and not isinstance(since, int):
+                raise ProtocolError("'since_epoch' must be an integer")
+            timeout = payload.get("timeout", 0.0)
+            if not isinstance(timeout, (int, float)) or timeout < 0:
+                raise ProtocolError(
+                    "'timeout' must be a non-negative number")
+            return 200, service.poll(
+                self._subscription_id(payload), since_epoch=since,
+                timeout=min(float(timeout), MAX_POLL_TIMEOUT))
         raise ProtocolError(f"unknown path {path!r}", status=404,
                             error_type="not_found")
+
+    @staticmethod
+    def _subscription_id(payload: Dict) -> str:
+        sid = payload.get("subscription")
+        if not sid or not isinstance(sid, str):
+            raise ProtocolError("missing 'subscription'")
+        return sid
 
     def decode_batch(self, payload: Dict) -> List[BatchRequest]:
         raw = payload.get("requests")

@@ -17,8 +17,23 @@ data use the same surface syntax as the CLI and test suite:
                              the compiled plan's report
 ``POST /batch``              ``{"requests": [<request>, ...]}``
 ``POST /update``             ``{"dataset": ..., "insert": ["R(a,b)",
-                             ...], "delete": [...]}``
+                             ...], "delete": [...]}`` — the response
+                             carries the dataset's new ``epoch``
+``POST /subscribe``          an answer request: register a standing
+                             query, returns the snapshot + ``epoch``
+                             + ``subscription`` id
+``POST /poll``               ``{"subscription": ..., "since_epoch":
+                             N, "timeout": S}`` — long-poll for
+                             answer deltas
+``POST /unsubscribe``        ``{"subscription": ...}``
 ===========================  ============================================
+
+Standing queries are served long-poll only here; SSE streaming
+(``GET /subscribe``) needs the asyncio front-end (``--async-io``).
+POSTs other than ``/poll`` are admission-controlled: past
+``--max-pending`` concurrent requests the server answers 429 with
+``Retry-After`` (the same shape as the async front-end, via
+:func:`repro.service.protocol.overloaded_error`).
 
 An answer request names a dataset and an ontology — ``"tbox"`` is a
 registered name, ``"tbox_text"`` inline TBox text (inline text in
@@ -54,6 +69,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional
 
@@ -65,6 +81,7 @@ from .protocol import (
     Router,
     decode_json_body,
     error_payload,
+    overloaded_error,
     parse_content_length,
 )
 from .service import OMQService
@@ -106,10 +123,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         try:
-            payload = self._read_json() if method == "POST" else {}
-            status, body = self.server.router.handle(method, self.path,
-                                                     payload)
-            self._send(body, status)
+            admitted = self.server.admit(method, self.path)
+            try:
+                payload = self._read_json() if method == "POST" else {}
+                status, body = self.server.router.handle(
+                    method, self.path, payload)
+                self._send(body, status)
+            finally:
+                if admitted:
+                    self.server.release()
         except Exception as error:  # never drop an answerable request
             status, body, headers = error_payload(error)
             self._send(body, status, headers)
@@ -129,17 +151,41 @@ class ServiceServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, service: OMQService, host: str = "127.0.0.1",
-                 port: int = 8080, verbose: bool = True):
+                 port: int = 8080, verbose: bool = True,
+                 max_pending: int = 128):
         super().__init__((host, port), _Handler)
         self.service = service
         self.router = Router(service)
         self.verbose = verbose
+        self.max_pending = max_pending
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    def admit(self, method: str, path: str) -> bool:
+        """Count a request against ``max_pending``; 429 past the cap.
+
+        Only POSTs carry real work; ``/poll`` is exempt so parked
+        long-pollers never eat the admission budget.
+        """
+        if method != "POST" or path == "/poll":
+            return False
+        with self._inflight_lock:
+            if self._inflight >= self.max_pending:
+                raise overloaded_error(self._inflight, self.max_pending)
+            self._inflight += 1
+        return True
+
+    def release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
 
 
 def build_server(service: OMQService, host: str = "127.0.0.1",
-                 port: int = 8080, verbose: bool = True) -> ServiceServer:
+                 port: int = 8080, verbose: bool = True,
+                 max_pending: int = 128) -> ServiceServer:
     """Bind (but do not run) the HTTP front-end; port 0 auto-assigns."""
-    return ServiceServer(service, host, port, verbose=verbose)
+    return ServiceServer(service, host, port, verbose=verbose,
+                         max_pending=max_pending)
 
 
 def add_serve_arguments(parser) -> None:
@@ -167,9 +213,9 @@ def add_serve_arguments(parser) -> None:
                              "coalescing, micro-batching, queue-depth "
                              "backpressure; see repro.service.aserve)")
     parser.add_argument("--max-pending", type=int, default=128,
-                        help="async front-end: reject new work with 429 "
+                        help="reject new POST work with 429 + Retry-After "
                              "once this many requests are queued or "
-                             "executing")
+                             "executing (both front-ends; /poll is exempt)")
     parser.add_argument("--batch-window", type=float, default=0.002,
                         help="async front-end: micro-batch gathering "
                              "window in seconds")
@@ -214,7 +260,8 @@ def run(args, parser: Optional[argparse.ArgumentParser] = None) -> int:
         return run_async(args, parser)
 
     service = build_service(args, error)
-    server = build_server(service, args.host, args.port)
+    server = build_server(service, args.host, args.port,
+                          max_pending=args.max_pending)
     host, port = server.server_address[:2]
     print(f"repro service on http://{host}:{port} "
           f"(datasets: {', '.join(service.datasets()) or 'none'})")

@@ -22,6 +22,7 @@ fingerprint within the batch and fans the unique work out on a
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -32,8 +33,20 @@ from ..data.abox import ABox, GroundAtom
 from ..engine import ENGINES
 from ..rewriting.api import OMQ, AnswerSession
 from ..rewriting.plan import AnswerOptions
+from ..standing.maintain import (
+    initialize,
+    refresh,
+    variant_changed_predicates,
+)
+from ..standing.registry import (
+    AnswerDelta,
+    StandingQuery,
+    StandingRegistry,
+)
 from .cache import RewritingCache
 from .updates import UpdateResult, apply_update
+
+log = logging.getLogger("repro.service")
 
 
 class _RWLock:
@@ -134,6 +147,10 @@ class _Dataset:
         self._pool_lock = threading.Lock()
         self.requests = 0
         self.updates = 0
+        #: Bumped under the write lock on every update attempt; the
+        #: version standing-query watermarks and ``since_epoch`` polls
+        #: speak in.
+        self.epoch = 0
 
     @property
     def sharded(self) -> bool:
@@ -270,6 +287,8 @@ class OMQService:
         #: (``"auto"`` / ``"process"`` / ``"serial"``).
         self.shard_executor = shard_executor
         self.cache = RewritingCache(maxsize=cache_size)
+        #: Standing-query subscriptions (see :mod:`repro.standing`).
+        self.standing = StandingRegistry()
         self._datasets: Dict[str, _Dataset] = {}
         self._tboxes: Dict[str, object] = {}
         self._named_tboxes: Dict[str, object] = {}
@@ -306,11 +325,16 @@ class OMQService:
                 shard_executor=self.shard_executor,
                 default_engine=self.default_engine)
         if existing is not None:
+            # subscriptions materialized the *old* data: close them
+            # (their pollers/streams get an end-of-stream, clients
+            # re-subscribe against the replacement)
+            self.standing.drop_dataset(name)
             self._drain_and_close(existing)
 
     def unregister_dataset(self, name: str) -> None:
         with self._lock:
             dataset = self._datasets.pop(name)
+        self.standing.drop_dataset(name)
         self._drain_and_close(dataset)
 
     @staticmethod
@@ -571,46 +595,72 @@ class OMQService:
         session's loaded backends are patched in place (see
         :mod:`repro.service.updates`), so the next answer reflects the
         update without any reload.
+
+        Standing-query maintenance runs inside the same critical
+        section (see :mod:`repro.standing`): the dataset epoch is
+        bumped, affected subscriptions are delta-maintained and their
+        :class:`~repro.standing.registry.AnswerDelta`\\ s committed
+        before the lock drops, so subscribers can never observe a torn
+        epoch.  The returned result carries the new epoch.
         """
         state = self._dataset(dataset)
         state.lock.acquire_write()
         try:
-            if state.sharded:
-                # the sharded session owns the master ABox and the
-                # component partition: it routes the deltas to the
-                # owning shards itself (at most one session exists —
-                # the single-slot sharded pool)
-                sessions = state.all_sessions()
-                if sessions:
-                    try:
-                        result = sessions[0].apply_update(
-                            inserts=inserts, deletes=deletes)
-                    except Exception:
-                        # the session poisoned itself (some shard may
-                        # have missed its delta) but the master ABox is
-                        # correct — drop the pools so the next answer
-                        # rebuilds a fresh partition over the master
-                        # instead of the dataset staying bricked
-                        state.close()
-                        state.completions.clear()
-                        raise
-                else:
-                    # nothing loaded yet: patch the raw ABox only; the
-                    # first answer builds a fresh partition over it
-                    result = apply_update(state.abox, {}, [],
-                                          inserts=inserts,
-                                          deletes=deletes)
-                # explain()'s master-completion cache is stale now
-                state.completions.clear()
-            else:
-                result = apply_update(state.abox, state.completions,
-                                      state.all_sessions(),
-                                      inserts=inserts, deletes=deletes)
+            try:
+                result = self._apply_update_locked(state, inserts,
+                                                   deletes)
+            except Exception:
+                # the data may have partially changed: version it, and
+                # force every subscription through a full refresh on
+                # the next update
+                state.epoch += 1
+                self.standing.invalidate_dataset(dataset)
+                raise
+            state.epoch += 1
+            result.epoch = state.epoch
+            self._maintain_standing(state, result)
         finally:
             state.lock.release_write()
         with self._lock:
             self._updates += 1
         state.updates += 1
+        return result
+
+    def _apply_update_locked(self, state: _Dataset,
+                             inserts: Iterable[GroundAtom],
+                             deletes: Iterable[GroundAtom]
+                             ) -> UpdateResult:
+        if state.sharded:
+            # the sharded session owns the master ABox and the
+            # component partition: it routes the deltas to the
+            # owning shards itself (at most one session exists —
+            # the single-slot sharded pool)
+            sessions = state.all_sessions()
+            if sessions:
+                try:
+                    result = sessions[0].apply_update(
+                        inserts=inserts, deletes=deletes)
+                except Exception:
+                    # the session poisoned itself (some shard may
+                    # have missed its delta) but the master ABox is
+                    # correct — drop the pools so the next answer
+                    # rebuilds a fresh partition over the master
+                    # instead of the dataset staying bricked
+                    state.close()
+                    state.completions.clear()
+                    raise
+            else:
+                # nothing loaded yet: patch the raw ABox only; the
+                # first answer builds a fresh partition over it
+                result = apply_update(state.abox, {}, [],
+                                      inserts=inserts,
+                                      deletes=deletes)
+            # explain()'s master-completion cache is stale now
+            state.completions.clear()
+        else:
+            result = apply_update(state.abox, state.completions,
+                                  state.all_sessions(),
+                                  inserts=inserts, deletes=deletes)
         return result
 
     def insert_facts(self, dataset: str,
@@ -620,6 +670,142 @@ class OMQService:
     def delete_facts(self, dataset: str,
                      atoms: Iterable[GroundAtom]) -> UpdateResult:
         return self.update(dataset, deletes=atoms)
+
+    # -- standing queries ----------------------------------------------------
+
+    def subscribe(self, dataset: str, omq: OMQ,
+                  options: Optional[AnswerOptions] = None,
+                  engine: Optional[str] = None,
+                  **overrides) -> StandingQuery:
+        """Register a standing query: compile, materialize the current
+        answers, and keep them delta-maintained by every subsequent
+        :meth:`update`.
+
+        Returns the live :class:`~repro.standing.registry.StandingQuery`
+        — consume it via :meth:`poll` (or the servers' SSE/long-poll
+        transports) and release it with :meth:`unsubscribe`.  The
+        materialization happens under the dataset's read lock, so the
+        snapshot and its epoch watermark are consistent: the first
+        delta a subscriber sees corresponds to exactly the first update
+        after its snapshot.
+        """
+        options = AnswerOptions.coerce(options, engine=engine,
+                                       **overrides)
+        state = self._acquire_read(dataset)
+        try:
+            omq = self._canonical_omq(omq)
+            engine_name = options.engine or self.default_engine
+            pool = state.pool(engine_name)
+            session = pool.checkout()
+            try:
+                plan = session.compile(omq, options)
+                sub = StandingQuery(
+                    subscription_id=self.standing.new_id(),
+                    dataset=dataset, plan=plan, options=options,
+                    engine=engine_name, epoch=state.epoch,
+                    oldest_epoch=state.epoch)
+                initialize(sub, session)
+            finally:
+                pool.checkin(session)
+            self.standing.add(sub)
+            return sub
+        finally:
+            state.lock.release_read()
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        """Drop a subscription; blocked pollers and attached streams
+        see end-of-stream."""
+        self.standing.remove(subscription_id)
+
+    def poll(self, subscription_id: str,
+             since_epoch: Optional[int] = None,
+             timeout: float = 0.0) -> Dict[str, object]:
+        """Deltas newer than ``since_epoch`` (long-poll up to
+        ``timeout`` seconds); see
+        :meth:`~repro.standing.registry.StandingRegistry.poll`."""
+        return self.standing.poll(subscription_id,
+                                  since_epoch=since_epoch,
+                                  timeout=timeout)
+
+    def _maintain_standing(self, state: _Dataset,
+                           result: UpdateResult) -> None:
+        """Delta-maintain this dataset's subscriptions after an update
+        (caller holds the write lock; pooled sessions are quiescent and
+        already patched).
+
+        Never raises: a failed refresh marks its subscription stale
+        (healed by the next update) instead of failing the update.
+        """
+        subs = self.standing.for_dataset(state.name)
+        if not subs:
+            return
+        epoch = state.epoch
+        delta = result.delta
+        started = time.perf_counter()
+        try:
+            if delta is None:
+                from .updates import UpdateDelta
+
+                delta = UpdateDelta()
+            # map the delta into each data variant once, not per sub
+            changed_by_variant: Dict[object, FrozenSet[str]] = {}
+            for sub in subs:
+                key = sub.variant_key()
+                if key not in changed_by_variant:
+                    changed_by_variant[key] = variant_changed_predicates(
+                        sub.plan._variant_tbox(), delta)
+            affected = self.standing.affected(state.name,
+                                              changed_by_variant)
+            affected_ids = {sub.subscription_id for sub in affected}
+            for sub in subs:
+                if sub.subscription_id not in affected_ids:
+                    self.standing.advance(sub, epoch)
+            if not affected:
+                return
+            # shared across this update's subscriptions: N subscribers
+            # of one plan cost one evaluation per affected disjunct
+            memo: Dict = {}
+            checked: Dict[int, Tuple[_SessionPool, object]] = {}
+            try:
+                for sub in affected:
+                    try:
+                        pool = state.pool(sub.engine)
+                        entry = checked.get(id(pool))
+                        if entry is None:
+                            entry = (pool, pool.checkout())
+                            checked[id(pool)] = entry
+                        session = entry[1]
+                        changed = changed_by_variant[sub.variant_key()]
+                        old = sub.answers
+                        new_answers, fallback = refresh(
+                            sub, session, delta, changed, memo)
+                        self.standing.commit(
+                            sub,
+                            AnswerDelta(
+                                epoch=epoch,
+                                added=frozenset(new_answers - old),
+                                removed=frozenset(old - new_answers)),
+                            new_answers)
+                        sub.stale = False
+                        if fallback:
+                            self.standing.record_fallback()
+                    except Exception as error:
+                        log.error(
+                            "standing maintenance failed for %s "
+                            "(%s: %s); marked stale",
+                            sub.subscription_id,
+                            type(error).__name__, error)
+                        sub.stale = True
+            finally:
+                for pool, session in checked.values():
+                    pool.checkin(session)
+        except Exception as error:  # pragma: no cover - defensive
+            log.error("standing maintenance pass failed (%s: %s)",
+                      type(error).__name__, error)
+            self.standing.invalidate_dataset(state.name)
+        finally:
+            self.standing.record_maintenance(
+                time.perf_counter() - started)
 
     # -- stats and lifecycle -------------------------------------------------
 
@@ -634,6 +820,7 @@ class OMQService:
                         "uptime_seconds": round(
                             time.time() - self._started, 3)}
         counters["cache"] = self.cache.stats().as_dict()
+        counters["standing"] = self.standing.stats()
         per_dataset: Dict[str, object] = {}
         for name, state in sorted(datasets.items()):
             # the read lock keeps update() from mutating the ABox while
@@ -644,6 +831,7 @@ class OMQService:
                     "facts": len(state.abox),
                     "requests": state.requests,
                     "updates": state.updates,
+                    "epoch": state.epoch,
                     "sessions": state.pool_sizes(),
                     "completions": len(state.completions),
                     "shards": state.shards}
@@ -653,6 +841,9 @@ class OMQService:
         return counters
 
     def close(self) -> None:
+        # close subscriptions first: blocked pollers wake with
+        # end-of-stream instead of waiting out their timeouts
+        self.standing.close_all()
         with self._lock:
             datasets = list(self._datasets.values())
             self._datasets.clear()

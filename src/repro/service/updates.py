@@ -28,12 +28,50 @@ final ABox, on every engine — is enforced by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..data.abox import ABox, GroundAtom
 
 RowsByPredicate = Dict[str, List[Tuple[str, ...]]]
+
+
+@dataclass
+class UpdateDelta:
+    """The shape of one update, as standing-query maintenance needs it.
+
+    ``atoms`` are every effective base atom the update touched —
+    inserts and deletes together, and for sharded datasets also the
+    atoms a rebalance moved between shards (a move changes two shards'
+    local extensions even though the global data is unchanged).
+    ``completed_changed`` maps ``id(tbox)`` to the *exact* set of
+    predicates whose extension changed in that cached completion;
+    variants without an entry fall back to a sound over-approximation
+    (the completion of the touched atoms).
+    """
+
+    atoms: List[GroundAtom] = field(default_factory=list)
+    #: Any deletions applied (inserts alone keep every variant
+    #: monotone).
+    deletes: bool = False
+    #: ``id(tbox) -> frozenset of predicate names`` whose extension
+    #: changed in that completion (exact; an empty set means the
+    #: completion provably did not change).
+    completed_changed: Dict[int, FrozenSet[str]] = field(
+        default_factory=dict)
+    #: Whether the active domain gained or lost individuals.
+    adom_changed: bool = False
+    #: Shards whose local data changed (sharded datasets only).
+    touched_shards: Optional[FrozenSet[int]] = None
+
+    @property
+    def raw_changed(self) -> FrozenSet[str]:
+        """Predicates whose raw extension (may have) changed."""
+        return frozenset(predicate for predicate, _ in self.atoms)
+
+    @property
+    def empty(self) -> bool:
+        return not self.atoms and not self.adom_changed
 
 
 @dataclass
@@ -49,12 +87,20 @@ class UpdateResult:
     completion_deleted: int = 0
     #: Loaded engines that received a delta.
     backends_updated: int = 0
+    #: The dataset's epoch after this update (set by the service layer;
+    #: ``None`` for bare-session updates, which have no epoch).
+    epoch: Optional[int] = None
+    #: The change in the shape maintenance consumes (never on the wire).
+    delta: Optional[UpdateDelta] = None
 
     def as_dict(self) -> Dict[str, int]:
-        return {"inserted": self.inserted, "deleted": self.deleted,
-                "completion_inserted": self.completion_inserted,
-                "completion_deleted": self.completion_deleted,
-                "backends_updated": self.backends_updated}
+        payload = {"inserted": self.inserted, "deleted": self.deleted,
+                   "completion_inserted": self.completion_inserted,
+                   "completion_deleted": self.completion_deleted,
+                   "backends_updated": self.backends_updated}
+        if self.epoch is not None:
+            payload["epoch"] = self.epoch
+        return payload
 
 
 def _dedup(atoms: Iterable[GroundAtom]) -> List[GroundAtom]:
@@ -123,7 +169,7 @@ def apply_update(abox: ABox, completions: Dict[int, Tuple[object, ABox]],
     over ``abox`` and share ``completions`` (the service's pool
     invariant); none may be answering concurrently.
     """
-    result = UpdateResult()
+    result = UpdateResult(delta=UpdateDelta())
     raw_deletes: RowsByPredicate = {}
     raw_inserts: RowsByPredicate = {}
     completed_deletes: Dict[int, RowsByPredicate] = {}
@@ -162,6 +208,14 @@ def apply_update(abox: ABox, completions: Dict[int, Tuple[object, ABox]],
     individuals_after = set(abox.individuals)
     adom_add = sorted(individuals_after - individuals_before)
     adom_remove = sorted(individuals_before - individuals_after)
+
+    result.delta.atoms = effective_deletes + effective_inserts
+    result.delta.deletes = bool(effective_deletes)
+    result.delta.adom_changed = bool(adom_add or adom_remove)
+    for key in completions:
+        changed = set(completed_inserts.get(key, ()))
+        changed.update(completed_deletes.get(key, ()))
+        result.delta.completed_changed[key] = frozenset(changed)
 
     for session in sessions:
         # extra_relations keep their constants in the active domain

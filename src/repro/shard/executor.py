@@ -55,10 +55,23 @@ class Executor:
     def shards(self) -> int:
         raise NotImplementedError
 
-    def execute(self, plan, engine: Optional[str] = None
+    def execute(self, plan, engine: Optional[str] = None,
+                shards: Optional[Sequence[int]] = None
                 ) -> List[ShardResult]:
-        """Broadcast ``plan`` to every shard; gather per-shard results."""
+        """Broadcast ``plan`` and gather per-shard results.
+
+        ``shards`` restricts the round to a subset (standing-query
+        maintenance evaluates restricted plans only on the shards an
+        update touched); ``None`` means every shard.
+        """
         raise NotImplementedError
+
+    def _selected(self, shards: Optional[Sequence[int]]) -> List[int]:
+        if shards is None:
+            return list(range(self.shards))
+        selected = sorted({shard for shard in shards
+                           if 0 <= shard < self.shards})
+        return selected
 
     def apply_deltas(self, deltas: Mapping[int, ShardDelta]
                      ) -> List[Dict[str, int]]:
@@ -111,12 +124,13 @@ class SerialExecutor(Executor):
     def shards(self) -> int:
         return len(self._sessions)
 
-    def execute(self, plan, engine: Optional[str] = None
+    def execute(self, plan, engine: Optional[str] = None,
+                shards: Optional[Sequence[int]] = None
                 ) -> List[ShardResult]:
         results = []
-        for shard, session in enumerate(self._sessions):
+        for shard in self._selected(shards):
             answers, seconds, generated, sizes = _shard_execute(
-                session, plan, engine)
+                self._sessions[shard], plan, engine)
             results.append(ShardResult(shard, answers, seconds,
                                        generated, sizes))
         return results
@@ -282,15 +296,23 @@ class ProcessExecutor(Executor):
                                + "; ".join(errors))
         return payloads
 
-    def execute(self, plan, engine: Optional[str] = None
+    def execute(self, plan, engine: Optional[str] = None,
+                shards: Optional[Sequence[int]] = None
                 ) -> List[ShardResult]:
         with self._lock:
             self._check_usable()
-            self._broadcast(("execute", plan, engine))
-            payloads = self._gather_all(range(self.shards))
+            if shards is None:
+                selected = list(range(self.shards))
+                self._broadcast(("execute", plan, engine))
+            else:
+                selected = self._selected(shards)
+                message = ("execute", plan, engine)
+                self._scatter(selected,
+                              (message for _ in selected))
+            payloads = self._gather_all(selected)
         return [ShardResult(shard, answers, seconds, generated, sizes)
                 for shard, (answers, seconds, generated, sizes)
-                in enumerate(payloads)]
+                in zip(selected, payloads)]
 
     def apply_deltas(self, deltas: Mapping[int, ShardDelta]
                      ) -> List[Dict[str, int]]:

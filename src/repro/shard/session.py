@@ -22,16 +22,18 @@ update round.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import logging
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..data.abox import ABox, GroundAtom
+from ..datalog.program import NDLQuery
 from ..rewriting.api import OMQ, AnswerSession, compile_data_variant
 from ..rewriting.plan import AnswerOptions, Answers, Plan, compile_omq
-from ..service.updates import UpdateResult, _dedup
+from ..service.updates import UpdateDelta, UpdateResult, _dedup
 from .executor import create_executor
 from .partition import Partition
 
@@ -199,6 +201,31 @@ class ShardedSession:
         self._sub_plans[key] = sub_plans
         return sub_plans
 
+    def execute_restricted(self, plan: Plan, ndl: NDLQuery,
+                           engine: Optional[str] = None,
+                           shards: Optional[Sequence[int]] = None
+                           ) -> Dict[int, FrozenSet[Tuple[str, ...]]]:
+        """Scatter a *substituted* NDL query under ``plan``'s identity
+        and return the raw per-shard answer sets (no union).
+
+        Standing-query maintenance evaluates single disjuncts of the
+        plan's rewriting this way, restricted to the shards an update
+        touched (``shards=None`` hits all).  The substituted plan
+        keeps the original's method/options, so each worker picks the
+        same data variant (raw vs completed) the full plan would.
+        Sound for broadcastable plans only — connected CQs — which is
+        exactly when maintenance uses it.
+        """
+        engine_name = engine or self.engine
+        restricted = dataclasses.replace(plan, ndl=ndl)
+        with self._lock:
+            self._check_usable()
+            results = self._executor.execute(restricted,
+                                             engine=engine_name,
+                                             shards=shards)
+        return {result.shard: frozenset(result.answers)
+                for result in results}
+
     def _execute_fallback(self, plan: Plan, engine_name: str,
                           options: Optional[AnswerOptions]) -> Answers:
         if self._fallback is None:
@@ -270,6 +297,22 @@ class ShardedSession:
                 deltas[shard] = (
                     shard_inserts.get(shard, []),
                     shard_deletes.get(shard, []) + moved.get(shard, []))
+            # the delta as standing-query maintenance sees it: every
+            # atom whose *shard-local* extension changed — including
+            # rebalance moves, which relocate atoms of predicates the
+            # global update never named — and both ends of each move.
+            # Completion / adom effects happen inside the shard
+            # workers, so record the sound conservative summary.
+            delta_atoms = list(effective_deletes)
+            moved_atoms = {atom for atoms in moved.values()
+                           for atom in atoms}
+            delta_atoms.extend(moved_atoms)
+            delta_atoms.extend(effective_inserts)
+            result.delta = UpdateDelta(
+                atoms=_dedup(delta_atoms),
+                deletes=bool(effective_deletes or moved_atoms),
+                adom_changed=bool(delta_atoms),
+                touched_shards=frozenset(deltas))
             try:
                 if deltas:
                     for outcome in self._executor.apply_deltas(deltas):

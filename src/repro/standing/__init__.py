@@ -1,0 +1,61 @@
+"""``repro.standing`` — standing OMQs with incremental answer
+maintenance and push delivery.
+
+The paper's compile-once rewriting makes an OMQ a persistent object;
+this package makes its *answers* persistent too.  A subscriber
+registers ``(dataset, OMQ, options)`` once and thereafter receives
+exactly the answer tuples each data update added or removed — N
+subscribers cost one maintenance pass per update, not N re-queries.
+
+Architecture (three modules, wired through the service layer):
+
+* :mod:`repro.standing.registry` — the state.  A
+  :class:`~repro.standing.registry.StandingQuery` holds the compiled
+  plan, the materialized answer set and an *epoch watermark* (the
+  dataset epoch the materialization reflects); the thread-safe
+  :class:`~repro.standing.registry.StandingRegistry` indexes
+  subscriptions per dataset *and* per EDB predicate of the rewriting,
+  so an update only visits the subscriptions it can affect.  Each
+  subscription keeps a bounded
+  :class:`~repro.standing.registry.AnswerDelta` history for long-poll
+  catch-up; polls asking past the history get a full-snapshot resync.
+
+* :mod:`repro.standing.maintain` — the math.  The rewriting's goal
+  clauses split into independently evaluable *disjuncts* (goal clause
+  + its cone of IDB definitions); after an update, only the disjuncts
+  mentioning a changed predicate — mapped through the plan's data
+  variant: raw, completed (exact delta or per-atom-closure
+  over-approximation), plus ``__adom__`` — are re-evaluated, and on
+  sharded datasets only against the shards the update actually
+  touched (PR 4's delta routing).  Per-(disjunct, shard) answer sets
+  are materialized so deletions need no special casing: re-evaluate,
+  replace, re-union, diff.  Whatever resists decomposition (or any
+  evaluation error) falls back to a logged full re-execution.
+
+* :mod:`repro.standing.push` — the plumbing.  SSE streaming over the
+  async server (``GET /subscribe``) with bounded per-subscriber
+  queues that degrade to a ``resync`` snapshot on overflow rather
+  than ever blocking the update path, and long-poll
+  (``POST /poll`` with ``since_epoch``) on both servers.
+
+Maintenance runs inside the service's writer-lock update path — the
+same critical section that bumps the dataset epoch — so a subscriber
+can never observe a torn epoch: every delta it receives corresponds
+to exactly one applied update.
+"""
+
+from .maintain import Disjunct, decompose, variant_changed_predicates
+from .registry import AnswerDelta, StandingQuery, StandingRegistry
+from .push import SubscriberStream, decode_sse, sse_event
+
+__all__ = [
+    "AnswerDelta",
+    "Disjunct",
+    "StandingQuery",
+    "StandingRegistry",
+    "SubscriberStream",
+    "decode_sse",
+    "decompose",
+    "sse_event",
+    "variant_changed_predicates",
+]

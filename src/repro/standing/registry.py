@@ -1,0 +1,443 @@
+"""Standing-query state: subscriptions, deltas, and their registry.
+
+A :class:`StandingQuery` is one live subscription: the compiled
+:class:`~repro.rewriting.plan.Plan`, its execution options and engine,
+the materialized answer set, and an epoch watermark (the dataset epoch
+the materialization reflects).  The :class:`StandingRegistry` owns
+every subscription, indexed per dataset *and* per EDB predicate of the
+subscription's rewriting, so one update only ever touches the
+subscriptions whose answers could have changed.
+
+Maintenance (see :mod:`repro.standing.maintain`) runs inside the
+service's writer-lock update path and commits an
+:class:`AnswerDelta` per affected subscription; unaffected
+subscriptions just advance their watermark.  Consumers read the state
+through :meth:`StandingRegistry.poll` (long-poll with ``since_epoch``)
+or through push listeners (the SSE bridge of
+:mod:`repro.standing.push`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+Row = Tuple[str, ...]
+
+#: Default per-subscription delta history (polls further back resync).
+HISTORY_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class AnswerDelta:
+    """One maintenance step's effect on a subscription's answers.
+
+    ``added``/``removed`` are exact (diffed against the materialized
+    set, so an update that re-derives an existing answer emits
+    nothing).  A ``resync`` delta replaces the subscriber's state with
+    ``answers`` wholesale — emitted when a push queue overflowed or a
+    poll asked for epochs older than the retained history.
+    """
+
+    epoch: int
+    added: FrozenSet[Row] = frozenset()
+    removed: FrozenSet[Row] = frozenset()
+    resync: bool = False
+    answers: Optional[FrozenSet[Row]] = None
+
+    @property
+    def empty(self) -> bool:
+        return not self.added and not self.removed and not self.resync
+
+    def payload(self) -> Dict[str, object]:
+        """The JSON wire shape (rows as sorted lists)."""
+        body: Dict[str, object] = {
+            "epoch": self.epoch,
+            "added": sorted(list(row) for row in self.added),
+            "removed": sorted(list(row) for row in self.removed)}
+        if self.resync:
+            body["resync"] = True
+            body["answers"] = sorted(
+                list(row) for row in (self.answers or frozenset()))
+        return body
+
+    @classmethod
+    def from_payload(cls, body: Dict) -> "AnswerDelta":
+        resync = bool(body.get("resync"))
+        answers = None
+        if resync:
+            answers = frozenset(tuple(row)
+                                for row in body.get("answers", ()))
+        return cls(epoch=int(body.get("epoch", 0)),
+                   added=frozenset(tuple(row)
+                                   for row in body.get("added", ())),
+                   removed=frozenset(tuple(row)
+                                     for row in body.get("removed", ())),
+                   resync=resync, answers=answers)
+
+
+@dataclass
+class StandingQuery:
+    """One live subscription (mutable state guarded by ``condition``).
+
+    ``disjuncts``/``disjunct_answers`` are the incremental-maintenance
+    state managed by :mod:`repro.standing.maintain`:
+
+    * ``disjuncts is None`` — the rewriting did not decompose (or the
+      CQ is disconnected on a sharded dataset): every relevant update
+      re-executes the full plan (the logged fallback);
+    * ``disjunct_answers is None`` — the per-disjunct sets are invalid
+      (a fallback or error ran): the next maintenance rebuilds them.
+
+    ``disjunct_answers[i]`` maps shard id to that disjunct's answers on
+    that shard (monolithic datasets use the single pseudo-shard ``-1``);
+    the materialized :attr:`answers` is the union over everything.
+    """
+
+    subscription_id: str
+    dataset: str
+    plan: object
+    options: object
+    engine: str
+    answers: FrozenSet[Row] = frozenset()
+    #: Dataset epoch the materialization reflects.
+    epoch: int = 0
+    #: Epoch at/below which deltas are no longer retained in history.
+    oldest_epoch: int = 0
+    disjuncts: Optional[Sequence] = None
+    disjunct_answers: Optional[List[Dict[int, FrozenSet[Row]]]] = None
+    #: Set when an update failed partway: the materialization may not
+    #: reflect the data, so the next update must refresh regardless of
+    #: which predicates it touches.
+    stale: bool = False
+    closed: bool = False
+    condition: threading.Condition = field(
+        default_factory=threading.Condition)
+    history: Deque[AnswerDelta] = field(default_factory=deque)
+    listeners: List[Callable[[Optional[Dict]], None]] = field(
+        default_factory=list)
+
+    @property
+    def predicates(self) -> FrozenSet[str]:
+        """EDB predicates of the rewriting — the only relations whose
+        change can move this subscription's answers (``__adom__``
+        included iff the program uses it)."""
+        return self.plan.ndl.program.edb_predicates
+
+    def variant_key(self):
+        """Identity of the data variant the plan evaluates over
+        (``None`` = raw data, else the interned TBox's id)."""
+        tbox = self.plan._variant_tbox()
+        return None if tbox is None else id(tbox)
+
+    def snapshot_payload(self) -> Dict[str, object]:
+        """The JSON shape of ``POST /subscribe`` responses and resyncs
+        (caller holds ``condition`` or tolerates a racy read)."""
+        return {"subscription": self.subscription_id,
+                "dataset": self.dataset,
+                "epoch": self.epoch,
+                "answers": sorted(list(row) for row in self.answers),
+                "count": len(self.answers),
+                "plan_fingerprint": self.plan.fingerprint,
+                "method": self.plan.method,
+                "engine": self.engine}
+
+
+class StandingRegistry:
+    """Thread-safe home of every subscription, with per-dataset and
+    per-predicate indexes.
+
+    The registry never touches dataset locks: maintenance (running
+    under a dataset's write lock) and pollers (holding no dataset
+    lock) only meet on the registry lock and per-subscription
+    conditions, so there is no lock-order cycle.
+    """
+
+    def __init__(self, history_limit: int = HISTORY_LIMIT):
+        self.history_limit = max(1, history_limit)
+        self._lock = threading.RLock()
+        self._subs: Dict[str, StandingQuery] = {}
+        self._by_dataset: Dict[str, Set[str]] = {}
+        #: dataset -> predicate -> subscription ids
+        self._index: Dict[str, Dict[str, Set[str]]] = {}
+        self._counter = itertools.count(1)
+        # counters (served under "standing" in /stats)
+        self._subscribed_total = 0
+        self._deltas_pushed = 0
+        self._tuples_pushed = 0
+        self._resyncs = 0
+        self._fallbacks = 0
+        self._polls = 0
+        self._maintenance_seconds = 0.0
+
+    # -- membership ----------------------------------------------------------
+
+    def new_id(self) -> str:
+        return f"sub-{next(self._counter)}-{uuid.uuid4().hex[:8]}"
+
+    def add(self, sub: StandingQuery) -> None:
+        with self._lock:
+            self._subs[sub.subscription_id] = sub
+            self._by_dataset.setdefault(sub.dataset, set()).add(
+                sub.subscription_id)
+            index = self._index.setdefault(sub.dataset, {})
+            for predicate in sub.predicates:
+                index.setdefault(predicate, set()).add(sub.subscription_id)
+            self._subscribed_total += 1
+
+    def get(self, subscription_id: str) -> StandingQuery:
+        with self._lock:
+            sub = self._subs.get(subscription_id)
+        if sub is None:
+            raise ValueError(
+                f"unknown subscription {subscription_id!r}")
+        return sub
+
+    def remove(self, subscription_id: str) -> StandingQuery:
+        with self._lock:
+            sub = self._subs.pop(subscription_id, None)
+            if sub is None:
+                raise ValueError(
+                    f"unknown subscription {subscription_id!r}")
+            self._unindex(sub)
+        self._close(sub)
+        return sub
+
+    def drop_dataset(self, dataset: str) -> List[StandingQuery]:
+        """Remove (and close) every subscription of a dataset — called
+        when the dataset is unregistered or replaced wholesale."""
+        with self._lock:
+            ids = self._by_dataset.pop(dataset, set())
+            self._index.pop(dataset, None)
+            dropped = [self._subs.pop(sid) for sid in ids
+                       if sid in self._subs]
+        for sub in dropped:
+            self._close(sub)
+        return dropped
+
+    def close_all(self) -> None:
+        with self._lock:
+            subs = list(self._subs.values())
+            self._subs.clear()
+            self._by_dataset.clear()
+            self._index.clear()
+        for sub in subs:
+            self._close(sub)
+
+    def _unindex(self, sub: StandingQuery) -> None:
+        ids = self._by_dataset.get(sub.dataset)
+        if ids is not None:
+            ids.discard(sub.subscription_id)
+            if not ids:
+                self._by_dataset.pop(sub.dataset, None)
+        index = self._index.get(sub.dataset)
+        if index is not None:
+            for predicate in sub.predicates:
+                members = index.get(predicate)
+                if members is not None:
+                    members.discard(sub.subscription_id)
+                    if not members:
+                        index.pop(predicate, None)
+            if not index:
+                self._index.pop(sub.dataset, None)
+
+    @staticmethod
+    def _close(sub: StandingQuery) -> None:
+        with sub.condition:
+            sub.closed = True
+            listeners = list(sub.listeners)
+            sub.listeners.clear()
+            sub.condition.notify_all()
+        for listener in listeners:
+            listener(None)  # None = stream closed
+
+    def for_dataset(self, dataset: str) -> List[StandingQuery]:
+        with self._lock:
+            ids = self._by_dataset.get(dataset, set())
+            return [self._subs[sid] for sid in sorted(ids)
+                    if sid in self._subs]
+
+    def affected(self, dataset: str,
+                 changed_by_variant: Dict[object, FrozenSet[str]]
+                 ) -> List[StandingQuery]:
+        """Subscriptions one update may have moved: looked up through
+        the per-predicate index with each data variant's own changed
+        set, plus any subscription whose maintenance state needs a
+        rebuild (its epoch is behind regardless of predicates)."""
+        with self._lock:
+            index = self._index.get(dataset, {})
+            ids: Set[str] = set()
+            for key, changed in changed_by_variant.items():
+                for predicate in changed:
+                    for sid in index.get(predicate, ()):
+                        sub = self._subs.get(sid)
+                        if sub is not None and sub.variant_key() == key:
+                            ids.add(sid)
+            for sid in self._by_dataset.get(dataset, ()):
+                sub = self._subs.get(sid)
+                if sub is not None and (
+                        sub.stale
+                        or (sub.disjuncts is not None
+                            and sub.disjunct_answers is None)):
+                    ids.add(sid)
+            return [self._subs[sid] for sid in sorted(ids)
+                    if sid in self._subs]
+
+    def invalidate_dataset(self, dataset: str) -> None:
+        """Mark every subscription of a dataset stale (an update failed
+        partway: the next update refreshes them all in full)."""
+        for sub in self.for_dataset(dataset):
+            with sub.condition:
+                sub.stale = True
+                sub.disjunct_answers = None
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    # -- commits (called under the dataset write lock) -----------------------
+
+    def commit(self, sub: StandingQuery, delta: AnswerDelta,
+               new_answers: FrozenSet[Row]) -> None:
+        """Apply one maintenance outcome: update the materialization
+        and watermark, record the delta, wake pollers, push to
+        listeners."""
+        with sub.condition:
+            sub.answers = new_answers
+            sub.epoch = delta.epoch
+            if not delta.empty:
+                sub.history.append(delta)
+                while len(sub.history) > self.history_limit:
+                    dropped = sub.history.popleft()
+                    sub.oldest_epoch = max(sub.oldest_epoch,
+                                           dropped.epoch)
+                listeners = list(sub.listeners)
+            else:
+                listeners = []
+            sub.condition.notify_all()
+        if not delta.empty:
+            payload = delta.payload()
+            with self._lock:
+                self._deltas_pushed += 1
+                self._tuples_pushed += len(delta.added) + len(delta.removed)
+            for listener in listeners:
+                listener(payload)
+
+    def advance(self, sub: StandingQuery, epoch: int) -> None:
+        """Move an unaffected subscription's watermark forward."""
+        with sub.condition:
+            sub.epoch = max(sub.epoch, epoch)
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self._fallbacks += 1
+
+    def record_resync(self) -> None:
+        with self._lock:
+            self._resyncs += 1
+
+    def record_maintenance(self, seconds: float) -> None:
+        with self._lock:
+            self._maintenance_seconds += seconds
+
+    # -- consumption ---------------------------------------------------------
+
+    def attach(self, subscription_id: str,
+               listener: Callable[[Optional[Dict]], None]
+               ) -> Dict[str, object]:
+        """Register a push listener and return the current snapshot,
+        atomically — no delta between snapshot and registration can be
+        missed (a delta committed concurrently is at worst delivered
+        twice; its epoch tells the consumer to skip it)."""
+        sub = self.get(subscription_id)
+        with sub.condition:
+            if sub.closed:
+                raise ValueError(
+                    f"subscription {subscription_id!r} is closed")
+            sub.listeners.append(listener)
+            return sub.snapshot_payload()
+
+    def detach(self, subscription_id: str, listener) -> None:
+        with self._lock:
+            sub = self._subs.get(subscription_id)
+        if sub is None:
+            return
+        with sub.condition:
+            try:
+                sub.listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def snapshot(self, subscription_id: str) -> Dict[str, object]:
+        sub = self.get(subscription_id)
+        with sub.condition:
+            return sub.snapshot_payload()
+
+    def poll(self, subscription_id: str,
+             since_epoch: Optional[int] = None,
+             timeout: float = 0.0) -> Dict[str, object]:
+        """Deltas newer than ``since_epoch`` (default: the watermark —
+        only future changes), blocking up to ``timeout`` seconds for
+        one to arrive.  A ``since_epoch`` older than the retained
+        history returns a full-snapshot resync instead."""
+        import time
+
+        sub = self.get(subscription_id)
+        with self._lock:
+            self._polls += 1
+        deadline = time.monotonic() + max(0.0, timeout)
+        with sub.condition:
+            if since_epoch is None:
+                since_epoch = sub.epoch
+            while True:
+                if sub.closed:
+                    raise ValueError(
+                        f"subscription {subscription_id!r} is closed")
+                if since_epoch < sub.oldest_epoch:
+                    body = sub.snapshot_payload()
+                    body["resync"] = True
+                    body["deltas"] = []
+                    self.record_resync()
+                    return body
+                deltas = [delta for delta in sub.history
+                          if delta.epoch > since_epoch]
+                remaining = deadline - time.monotonic()
+                if deltas or remaining <= 0:
+                    return {"subscription": sub.subscription_id,
+                            "dataset": sub.dataset,
+                            "epoch": sub.epoch,
+                            "resync": False,
+                            "deltas": [delta.payload()
+                                       for delta in deltas]}
+                sub.condition.wait(remaining)
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            per_dataset = {dataset: len(ids) for dataset, ids
+                           in sorted(self._by_dataset.items())}
+            return {"subscriptions": len(self._subs),
+                    "subscribed_total": self._subscribed_total,
+                    "per_dataset": per_dataset,
+                    "deltas_pushed": self._deltas_pushed,
+                    "tuples_pushed": self._tuples_pushed,
+                    "resyncs": self._resyncs,
+                    "fallback_reexecutions": self._fallbacks,
+                    "polls": self._polls,
+                    "maintenance_seconds": round(
+                        self._maintenance_seconds, 6)}

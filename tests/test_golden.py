@@ -18,12 +18,47 @@ import pathlib
 import pytest
 
 from repro import OMQ, AnswerSession, available_engines
+from repro.data import ABox
 from repro.queries import CQ, chain_cq
+from repro.service import OMQService
 from repro.shard import ShardedSession
 
 from .helpers import deep_tbox, example11_tbox, infinite_tbox, random_data
 
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: Binary predicates each case's update script may touch (must be
+#: declared roles of the case's ontology).
+_SCRIPT_ROLES = {"example11": ("P", "R", "S"),
+                 "deep": ("P", "Q"),
+                 "infinite": ("P", "R")}
+
+
+def _update_script(case):
+    """A fixed two-step insert/delete script in the case's vocabulary
+    (the second step deletes what the first inserted, so both delta
+    directions are pinned)."""
+    first, last = _SCRIPT_ROLES[case][0], _SCRIPT_ROLES[case][-1]
+    return (
+        {"insert": ((first, ("g1", "g2")), (last, ("n0", "g1"))),
+         "delete": ()},
+        {"insert": ((last, ("g2", "n1")),),
+         "delete": ((first, ("g1", "g2")),)},
+    )
+
+
+def _apply_script(abox, script):
+    """The script folded into a fresh ABox (the from-scratch oracle
+    for the post-update snapshots; deletions apply first, matching
+    ``OMQService.update``)."""
+    atoms = set(abox.atoms())
+    for step in script:
+        atoms -= set(step["delete"])
+        atoms |= set(step["insert"])
+    updated = ABox()
+    for predicate, args in sorted(atoms):
+        updated.add(predicate, *args)
+    return updated
 
 
 def _cases():
@@ -67,11 +102,17 @@ def test_golden_answers(case, update_golden):
     tbox, abox, queries = _cases()[case]
     path = GOLDEN_DIR / f"{case}.json"
     produced = _snapshot(tbox, abox, queries, "python")
+    script = _update_script(case)
+    # the post-update snapshot is always blessed *from scratch* — the
+    # incremental maintenance under test never blesses itself
+    post_produced = _snapshot(tbox, _apply_script(abox, script),
+                              queries, "python")
 
     if update_golden:
         GOLDEN_DIR.mkdir(exist_ok=True)
         payload = {"queries": {name: {"query": str(queries[name]),
-                                      "answers": produced[name]}
+                                      "answers": produced[name],
+                                      "post_update": post_produced[name]}
                                for name in sorted(queries)}}
         path.write_text(json.dumps(payload, indent=2, sort_keys=True)
                         + "\n")
@@ -83,6 +124,9 @@ def test_golden_answers(case, update_golden):
     expected = {name: entry["answers"]
                 for name, entry in golden["queries"].items()}
     assert produced == expected
+    expected_post = {name: entry["post_update"]
+                     for name, entry in golden["queries"].items()}
+    assert post_produced == expected_post
 
     # every engine must reproduce the snapshot exactly
     for engine in available_engines():
@@ -97,6 +141,25 @@ def test_golden_answers(case, update_golden):
             result = plan.execute(session)
             assert sorted(list(row) for row in result.answers) \
                 == expected[name], name
+
+    # incremental maintenance must land on the same post-update
+    # snapshot: subscribe every query, replay the script as live
+    # updates, compare the delta-maintained sets against the
+    # from-scratch blessing
+    service = OMQService()
+    try:
+        tbox2, abox2, queries2 = _cases()[case]
+        service.register_dataset("g", abox2)
+        subs = {name: service.subscribe("g", OMQ(tbox2, query))
+                for name, query in sorted(queries2.items())}
+        for step in _update_script(case):
+            service.update("g", inserts=step["insert"],
+                           deletes=step["delete"])
+        for name, sub in subs.items():
+            maintained = sorted(list(row) for row in sub.answers)
+            assert maintained == expected_post[name], name
+    finally:
+        service.close()
 
 
 def test_golden_files_match_cases():

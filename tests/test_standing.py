@@ -1,0 +1,533 @@
+"""Standing queries: incremental answer maintenance and push delivery.
+
+The contract under test (see :mod:`repro.standing`): a subscriber's
+maintained answer set must equal a from-scratch execution of the same
+plan after *every* update, and the deltas it receives must be exactly
+the difference between consecutive materializations.  The property
+suites drive random insert/delete sequences through every available
+engine and the sharded path and check both invariants differentially;
+the serving tests cover long-poll and SSE end to end on both HTTP
+front-ends, plus the epoch-in-update-response and unified-429
+satellites.
+"""
+
+import asyncio
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import OMQ, AsyncClient, Client, ServiceError, available_engines
+from repro.data import ABox
+from repro.queries import CQ, chain_cq
+from repro.rewriting.plan import AnswerOptions, compile_omq
+from repro.service import OMQService, serve_in_background
+from repro.service.serve import build_server
+from repro.standing import AnswerDelta, decompose
+from repro.standing.push import decode_sse, sse_event
+
+from .helpers import (
+    engine_params,
+    example11_tbox,
+    hypothesis_settings,
+    random_data,
+)
+
+TBOX = example11_tbox()
+SETTINGS = hypothesis_settings(20)
+
+NAMES = tuple(f"n{i}" for i in range(6))
+BINARY = ("P", "R", "S")
+UNARY = ("A_P", "A_P-")
+
+
+# ---------------------------------------------------------------------------
+# decomposition units
+
+
+class TestDecompose:
+    def test_one_disjunct_per_goal_clause(self):
+        plan = compile_omq(OMQ(TBOX, chain_cq("RS")),
+                           AnswerOptions.coerce({"method": "ucq"}))
+        disjuncts = decompose(plan.ndl)
+        goal = plan.ndl.goal
+        goal_clauses = [clause for clause in plan.ndl.program.clauses
+                        if clause.head.predicate == goal]
+        assert disjuncts is not None
+        assert len(disjuncts) == len(goal_clauses)
+
+    def test_disjunct_union_equals_full_evaluation(self):
+        from repro.datalog import evaluate
+
+        abox = random_data(5)
+        plan = compile_omq(OMQ(TBOX, chain_cq("RS")),
+                           AnswerOptions.coerce({"method": "ucq"}))
+        disjuncts = decompose(plan.ndl)
+        completed = abox.complete(TBOX)
+        full = evaluate(plan.ndl, completed).answers
+        union = frozenset().union(
+            *(evaluate(d.query, completed).answers for d in disjuncts))
+        assert union == full
+
+    def test_disjunct_edb_predicates_cover_program(self):
+        plan = compile_omq(OMQ(TBOX, chain_cq("RSR")),
+                           AnswerOptions.coerce({"method": "lin"}))
+        disjuncts = decompose(plan.ndl)
+        if disjuncts is None:
+            pytest.skip("rewriting did not decompose")
+        covered = frozenset().union(*(d.edb_predicates for d in disjuncts))
+        assert covered <= plan.ndl.program.edb_predicates
+
+
+# ---------------------------------------------------------------------------
+# property: maintained answers == from-scratch execution
+
+
+@st.composite
+def update_scripts(draw):
+    """A short sequence of insert/delete steps over a small universe.
+
+    Deletions pick from a pool that overlaps the likely-present atoms,
+    so both effective and no-op deletes occur.
+    """
+    steps = []
+    for _ in range(draw(st.integers(1, 4))):
+        inserts = []
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                inserts.append((draw(st.sampled_from(BINARY)),
+                                (draw(st.sampled_from(NAMES)),
+                                 draw(st.sampled_from(NAMES)))))
+            else:
+                inserts.append((draw(st.sampled_from(UNARY)),
+                                (draw(st.sampled_from(NAMES)),)))
+        deletes = []
+        for _ in range(draw(st.integers(0, 2))):
+            deletes.append((draw(st.sampled_from(BINARY)),
+                            (draw(st.sampled_from(NAMES)),
+                             draw(st.sampled_from(NAMES)))))
+        steps.append((tuple(inserts), tuple(deletes)))
+    return tuple(steps)
+
+
+QUERIES = (
+    chain_cq("RS"),
+    chain_cq("RSR"),
+    CQ.parse("A_P(x)", answer_vars=["x"]),
+    CQ.parse("R(x, y), S(y, z)", answer_vars=["x", "z"]),
+    CQ.parse("R(x, y), S(u, v)", answer_vars=["x", "u"]),  # disconnected
+)
+
+
+def _drive_and_check(service, dataset, subs, script):
+    """Apply the script; after each step every subscription's
+    maintained answers must equal a from-scratch answer, and its
+    polled deltas must replay to the same set."""
+    replayed = {sid: set(sub.answers) for sid, sub in subs.items()}
+    epochs = {sid: sub.epoch for sid, sub in subs.items()}
+    for inserts, deletes in script:
+        service.update(dataset, inserts=inserts, deletes=deletes)
+        for sid, sub in subs.items():
+            expected = service.answer(
+                dataset, sub_omq(sub), options=sub.options).answers
+            assert sub.answers == expected, (
+                f"maintained != from-scratch after "
+                f"+{inserts} -{deletes}")
+            body = service.poll(sid, since_epoch=epochs[sid])
+            assert not body["resync"]
+            for raw in body["deltas"]:
+                delta = AnswerDelta.from_payload(raw)
+                assert not (delta.added & replayed[sid])
+                assert delta.removed <= replayed[sid]
+                replayed[sid] |= delta.added
+                replayed[sid] -= delta.removed
+            epochs[sid] = body["epoch"]
+            assert replayed[sid] == expected, "deltas do not replay"
+
+
+def sub_omq(sub):
+    return sub._omq
+
+
+def _subscribe_all(service, dataset, engine=None):
+    subs = {}
+    for query in QUERIES:
+        omq = OMQ(TBOX, query)
+        sub = service.subscribe(dataset, omq, engine=engine)
+        sub._omq = omq  # test-side backpointer for the oracle
+        subs[sub.subscription_id] = sub
+    return subs
+
+
+class TestMaintenanceDifferential:
+    @pytest.mark.parametrize("engine", engine_params(available_engines()))
+    @SETTINGS
+    @given(script=update_scripts(), seed=st.integers(0, 5))
+    def test_monolithic_matches_from_scratch(self, engine, script, seed):
+        service = OMQService(default_engine=engine)
+        try:
+            service.register_dataset("d", random_data(seed, atoms=14))
+            subs = _subscribe_all(service, "d", engine=engine)
+            _drive_and_check(service, "d", subs, script)
+        finally:
+            service.close()
+
+    @SETTINGS
+    @given(script=update_scripts(), seed=st.integers(0, 5))
+    def test_sharded_matches_from_scratch(self, script, seed):
+        service = OMQService(shard_executor="serial")
+        try:
+            service.register_dataset("d", random_data(seed, atoms=20),
+                                     shards=3)
+            subs = _subscribe_all(service, "d")
+            _drive_and_check(service, "d", subs, script)
+        finally:
+            service.close()
+
+    def test_sharded_rebalance_keeps_subscription_exact(self):
+        """A component-merging insert moves atoms between shards; the
+        maintained set must still match from-scratch."""
+        service = OMQService(shard_executor="serial")
+        try:
+            abox = ABox()
+            for i in range(6):
+                abox.add("R", f"a{i}", f"b{i}")
+                abox.add("S", f"b{i}", f"c{i}")
+            service.register_dataset("d", abox, shards=3)
+            omq = OMQ(TBOX, chain_cq("RS"))
+            sub = service.subscribe("d", omq)
+            # bridge two components, then grow the merged one
+            service.update("d", inserts=[("R", ("c0", "b3"))])
+            service.update("d", inserts=[("S", ("b3", "zz"))])
+            expected = service.answer("d", omq).answers
+            assert sub.answers == expected
+        finally:
+            service.close()
+
+    def test_counters_track_maintenance(self):
+        service = OMQService()
+        try:
+            service.register_dataset("d", random_data(1))
+            sub = service.subscribe("d", OMQ(TBOX, chain_cq("RS")))
+            service.update("d", inserts=[("P", ("x1", "x2"))])
+            stats = service.stats()["standing"]
+            assert stats["subscriptions"] == 1
+            assert stats["deltas_pushed"] >= 1
+            assert stats["maintenance_seconds"] > 0
+            assert service.stats()["datasets"]["d"]["epoch"] == 1
+            assert sub.epoch == 1
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# poll semantics: watermarks, history bounds, resync
+
+
+class TestPollSemantics:
+    def _service(self):
+        service = OMQService()
+        service.register_dataset("d", random_data(1))
+        return service
+
+    def test_poll_default_watermark_sees_only_future(self):
+        service = self._service()
+        try:
+            sub = service.subscribe("d", OMQ(TBOX, chain_cq("RS")))
+            service.update("d", inserts=[("P", ("x1", "x2"))])
+            # polling from the *current* watermark returns nothing
+            body = service.poll(sub.subscription_id)
+            assert body["deltas"] == [] and not body["resync"]
+        finally:
+            service.close()
+
+    def test_poll_blocks_until_delta(self):
+        service = self._service()
+        try:
+            sub = service.subscribe("d", OMQ(TBOX, chain_cq("RS")))
+
+            def later():
+                time.sleep(0.15)
+                service.update("d", inserts=[("P", ("x1", "x2"))])
+
+            thread = threading.Thread(target=later)
+            thread.start()
+            started = time.monotonic()
+            body = service.poll(sub.subscription_id, since_epoch=0,
+                                timeout=5.0)
+            elapsed = time.monotonic() - started
+            thread.join()
+            assert body["deltas"], "poll returned without the delta"
+            assert elapsed < 5.0
+        finally:
+            service.close()
+
+    def test_history_eviction_forces_resync(self):
+        service = self._service()
+        try:
+            service.standing.history_limit = 2
+            sub = service.subscribe("d", OMQ(TBOX, chain_cq("RS")))
+            for i in range(5):
+                service.update("d", inserts=[("P", (f"h{i}", f"h{i+1}"))])
+            body = service.poll(sub.subscription_id, since_epoch=0)
+            assert body["resync"]
+            answers = frozenset(tuple(row) for row in body["answers"])
+            assert answers == sub.answers
+            assert service.stats()["standing"]["resyncs"] >= 1
+        finally:
+            service.close()
+
+    def test_unsubscribe_wakes_blocked_poller(self):
+        service = self._service()
+        try:
+            sub = service.subscribe("d", OMQ(TBOX, chain_cq("RS")))
+            caught = []
+
+            def poller():
+                try:
+                    service.poll(sub.subscription_id, since_epoch=0,
+                                 timeout=30.0)
+                except ValueError as error:
+                    caught.append(error)
+
+            thread = threading.Thread(target=poller)
+            thread.start()
+            time.sleep(0.1)
+            service.unsubscribe(sub.subscription_id)
+            thread.join(timeout=5.0)
+            assert not thread.is_alive(), "poller still parked"
+            assert caught, "closed subscription should raise"
+        finally:
+            service.close()
+
+    def test_replace_dataset_closes_subscriptions(self):
+        service = self._service()
+        try:
+            sub = service.subscribe("d", OMQ(TBOX, chain_cq("RS")))
+            service.register_dataset("d", random_data(2), replace=True)
+            with pytest.raises(ValueError):
+                service.poll(sub.subscription_id)
+            assert sub.closed
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# wire helpers
+
+
+class TestSSEFrames:
+    def test_event_round_trip(self):
+        frame = sse_event("delta", {"epoch": 3, "added": [["a"]]})
+        event, data = decode_sse(frame.decode().strip("\n"))
+        assert event == "delta"
+        import json
+
+        assert json.loads(data) == {"epoch": 3, "added": [["a"]]}
+
+    def test_multiline_data(self):
+        frame = sse_event("note", "line one\nline two")
+        event, data = decode_sse(frame.decode().strip("\n"))
+        assert (event, data) == ("note", "line one\nline two")
+
+
+# ---------------------------------------------------------------------------
+# end-to-end over both HTTP front-ends
+
+
+@pytest.fixture
+def threaded_stack():
+    service = OMQService()
+    service.register_dataset("demo", random_data(1))
+    server = build_server(service, port=0, verbose=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield service, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+class TestThreadedServing:
+    def test_update_response_carries_epoch(self, threaded_stack):
+        _, url = threaded_stack
+        client = Client.connect(url)
+        body = client.update("demo", inserts=[("P", ("e1", "e2"))])
+        assert body["epoch"] == 1
+        body = client.update("demo", deletes=[("P", ("e1", "e2"))])
+        assert body["epoch"] == 2
+
+    def test_subscribe_poll_unsubscribe_round_trip(self, threaded_stack):
+        service, url = threaded_stack
+        client = Client.connect(url)
+        omq = OMQ(TBOX, chain_cq("RS"))
+        with client.subscribe("demo", omq) as sub:
+            assert sub.answers == client.answer("demo", omq).answers
+            client.update("demo", inserts=[("P", ("w1", "w2"))])
+            deltas = sub.poll(timeout=5.0)
+            assert deltas and sub.epoch == 1
+            assert sub.answers == client.answer("demo", omq).answers
+        # the context manager unsubscribed
+        with pytest.raises(ServiceError):
+            client._transport.poll(sub.subscription_id)
+
+    def test_get_subscribe_is_501_here(self, threaded_stack):
+        _, url = threaded_stack
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{url}/subscribe?subscription=x")
+        assert excinfo.value.code == 501
+
+    def test_saturation_429_carries_retry_after(self):
+        """The threaded server's backpressure must look exactly like
+        the async server's: 429, structured body, Retry-After."""
+        service = OMQService()
+        service.register_dataset("demo", random_data(1))
+        server = build_server(service, port=0, verbose=False,
+                              max_pending=1)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            release = threading.Event()
+            entered = threading.Event()
+            original = server.router.handle
+
+            def slow_handle(method, path, payload):
+                if path == "/answer":
+                    entered.set()
+                    release.wait(5.0)
+                return original(method, path, payload)
+
+            server.router.handle = slow_handle
+            client = Client.connect(f"http://{host}:{port}")
+            omq = OMQ(TBOX, chain_cq("RS"))
+            worker = threading.Thread(
+                target=lambda: client.answer("demo", omq))
+            worker.start()
+            assert entered.wait(5.0)
+            with pytest.raises(ServiceError) as excinfo:
+                client.answer("demo", omq)
+            release.set()
+            worker.join(timeout=5)
+            error = excinfo.value
+            assert error.status == 429
+            assert error.error_type == "overloaded"
+            assert error.retry_after == 1.0
+        finally:
+            release.set()
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=5)
+
+
+class TestAsyncServing:
+    """SSE + long-poll on the asyncio front-end, checked differentially
+    against an embedded client over the same updates (the style of
+    ``tests/test_async_serve.py``)."""
+
+    def test_sse_stream_matches_embedded_reference(self):
+        service = OMQService()
+        service.register_dataset("demo", random_data(1))
+        reference = Client.local()
+        reference.register_dataset("demo", random_data(1))
+        omq = OMQ(TBOX, chain_cq("RS"))
+        script = (
+            {"inserts": [("P", ("s1", "s2"))]},
+            {"inserts": [("R", ("s2", "s3")), ("S", ("s3", "s4"))]},
+            {"deletes": [("P", ("s1", "s2"))]},
+        )
+        try:
+            with serve_in_background(service) as handle:
+                async def main():
+                    async with AsyncClient.connect(handle.url) as client:
+                        sub = await client.subscribe("demo", omq)
+                        assert sub.answers \
+                            == reference.answer("demo", omq).answers
+                        received = []
+
+                        async def consume():
+                            async for delta in sub.stream():
+                                received.append(delta)
+
+                        task = asyncio.create_task(consume())
+                        await asyncio.sleep(0.2)
+                        for step in script:
+                            await client.update(
+                                "demo",
+                                inserts=step.get("inserts", ()),
+                                deletes=step.get("deletes", ()))
+                            reference.update(
+                                "demo",
+                                inserts=step.get("inserts", ()),
+                                deletes=step.get("deletes", ()))
+                            # the maintained set must converge to the
+                            # reference after every step
+                            expected = reference.answer(
+                                "demo", omq).answers
+                            for _ in range(100):
+                                if sub.answers == expected:
+                                    break
+                                await asyncio.sleep(0.05)
+                            assert sub.answers == expected
+                        await sub.unsubscribe()
+                        await asyncio.wait_for(task, timeout=10)
+                        assert sub.closed
+                        # deltas were exact: non-overlapping, replayable
+                        assert all(not delta.resync
+                                   for delta in received)
+
+                asyncio.run(main())
+        finally:
+            reference.close()
+            service.close()
+
+    def test_long_poll_on_async_server(self):
+        service = OMQService()
+        service.register_dataset("demo", random_data(1))
+        omq = OMQ(TBOX, chain_cq("RS"))
+        try:
+            with serve_in_background(service) as handle:
+                async def main():
+                    async with AsyncClient.connect(handle.url) as client:
+                        sub = await client.subscribe("demo", omq)
+                        update_task = asyncio.create_task(
+                            client.update("demo",
+                                          inserts=[("P", ("p1", "p2"))]))
+                        deltas = await sub.poll(timeout=5.0)
+                        await update_task
+                        assert deltas and sub.epoch == 1
+                        await sub.unsubscribe()
+                        with pytest.raises(ServiceError):
+                            await sub.poll()
+
+                asyncio.run(main())
+        finally:
+            service.close()
+
+    def test_sse_unknown_subscription_is_structured_error(self):
+        service = OMQService()
+        service.register_dataset("demo", random_data(1))
+        try:
+            with serve_in_background(service) as handle:
+                async def main():
+                    async with AsyncClient.connect(handle.url) as client:
+                        sub = await client.subscribe(
+                            "demo", OMQ(TBOX, chain_cq("RS")))
+                        await sub.unsubscribe()
+
+                        with pytest.raises(ServiceError) as excinfo:
+                            async for _ in sub.stream():
+                                pass
+                        assert excinfo.value.status == 400
+
+                asyncio.run(main())
+        finally:
+            service.close()
