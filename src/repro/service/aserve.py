@@ -30,6 +30,8 @@ here: ``GET /subscribe?subscription=ID`` streams incremental answer
 deltas as Server-Sent Events (``snapshot``, then ``delta`` /
 ``resync`` / ``closed`` frames), and ``POST /poll`` long-polls on a
 dedicated thread so parked pollers never occupy the worker pool.
+Parked polls are bounded separately (``max_polls``, each costs an OS
+thread): past the cap new polls are rejected with 429.
 
 Counters for all three (plus queue depth high-water marks) are served
 under ``"async_serving"`` in ``GET /stats``.  Start it with
@@ -40,6 +42,7 @@ under ``"async_serving"`` in ``GET /stats``.  Start it with
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -73,11 +76,14 @@ class AsyncServiceServer:
     def __init__(self, service: OMQService, host: str = "127.0.0.1",
                  port: int = 8081, *, workers: int = 4,
                  max_pending: int = 128, batch_window: float = 0.002,
-                 max_batch: int = 16, verbose: bool = False):
+                 max_batch: int = 16, max_polls: int = 64,
+                 verbose: bool = False):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_polls < 1:
+            raise ValueError("max_polls must be >= 1")
         self.service = service
         self.host = host
         self.port = port
@@ -85,6 +91,7 @@ class AsyncServiceServer:
         self.max_pending = max_pending
         self.batch_window = max(0.0, batch_window)
         self.max_batch = max_batch
+        self.max_polls = max_polls
         self.verbose = verbose
         # no extra_stats hook: the counters are event-loop-confined, so
         # /stats snapshots them on the loop and merges after the
@@ -98,6 +105,7 @@ class AsyncServiceServer:
         self._pending: List[Tuple[Tuple, BatchRequest]] = []
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self._executing = 0
+        self._active_polls = 0
         self._epochs: Dict[str, int] = {}
         self._connections: set = set()
         # counters (served under "async_serving" in /stats)
@@ -107,6 +115,7 @@ class AsyncServiceServer:
         self._batched_requests = 0
         self._rejected = 0
         self._peak_pending = 0
+        self._peak_polls = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -279,6 +288,9 @@ class AsyncServiceServer:
             "pending": self._queue_depth(),
             "peak_pending": self._peak_pending,
             "max_pending": self.max_pending,
+            "parked_polls": self._active_polls,
+            "peak_parked_polls": self._peak_polls,
+            "max_polls": self.max_polls,
             "batch_window": self.batch_window,
             "max_batch": self.max_batch,
             "workers": self.workers,
@@ -309,9 +321,19 @@ class AsyncServiceServer:
         if method == "POST" and path == "/poll":
             # a long-poll may park for up to MAX_POLL_TIMEOUT seconds;
             # a dedicated thread per poll keeps the bounded worker pool
-            # free for answer/update work
-            return await self._call_in_thread(
+            # free for answer/update work.  Parked polls have their own
+            # (generous) cap separate from max_pending — each costs an
+            # OS thread, so past max_polls new ones get 429 instead of
+            # growing the thread count without bound
+            if self._active_polls >= self.max_polls:
+                self._rejected += 1
+                raise overloaded_error(self._active_polls, self.max_polls)
+            self._active_polls += 1
+            self._peak_polls = max(self._peak_polls, self._active_polls)
+            future = self._call_in_thread(
                 self.router.handle, method, path, payload)
+            future.add_done_callback(self._poll_finished)
+            return await future
         # every remaining route (register/update/explain/stats) may
         # block on locks or compile, so it runs on the worker pool
         # through the same Router the threaded server uses
@@ -327,6 +349,10 @@ class AsyncServiceServer:
             if dataset:
                 self._bump_epoch(str(dataset))
         return status, body_payload
+
+    def _poll_finished(self, _future: asyncio.Future) -> None:
+        """Release a parked poll's slot (runs on the loop)."""
+        self._active_polls -= 1
 
     def _bump_epoch(self, dataset: str) -> None:
         """Invalidate coalescing for a dataset whose data changed."""
@@ -344,14 +370,18 @@ class AsyncServiceServer:
                 resolve()
 
         def work() -> None:
+            # partial() binds the outcome by value: a closure over the
+            # ``except ... as error`` name would read its cell after
+            # the implicit del at block exit — a NameError race that
+            # leaves the future unresolved and the poller hanging
             try:
                 result = fn(*args)
             except BaseException as error:  # delivered to the awaiter
                 loop.call_soon_threadsafe(
-                    settle, lambda: future.set_exception(error))
+                    settle, functools.partial(future.set_exception, error))
             else:
                 loop.call_soon_threadsafe(
-                    settle, lambda: future.set_result(result))
+                    settle, functools.partial(future.set_result, result))
 
         threading.Thread(target=work, name="repro-aserve-poll",
                          daemon=True).start()
@@ -589,7 +619,8 @@ async def _serve_until_signalled(service: OMQService, args) -> None:
     server = AsyncServiceServer(
         service, args.host, args.port, workers=args.workers,
         max_pending=args.max_pending, batch_window=args.batch_window,
-        max_batch=args.max_batch, verbose=True)
+        max_batch=args.max_batch,
+        max_polls=getattr(args, "max_polls", 64), verbose=True)
     await server.start()
     print(f"repro async service on {server.url} "
           f"(datasets: {', '.join(service.datasets()) or 'none'}; "

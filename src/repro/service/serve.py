@@ -30,10 +30,12 @@ data use the same surface syntax as the CLI and test suite:
 
 Standing queries are served long-poll only here; SSE streaming
 (``GET /subscribe``) needs the asyncio front-end (``--async-io``).
-POSTs other than ``/poll`` are admission-controlled: past
-``--max-pending`` concurrent requests the server answers 429 with
-``Retry-After`` (the same shape as the async front-end, via
-:func:`repro.service.protocol.overloaded_error`).
+POSTs are admission-controlled: past ``--max-pending`` concurrent
+requests the server answers 429 with ``Retry-After`` (the same shape
+as the async front-end, via
+:func:`repro.service.protocol.overloaded_error`).  ``/poll`` counts
+against its own ``--max-polls`` budget instead, so parked long-pollers
+neither starve answer/update work nor park in unbounded numbers.
 
 An answer request names a dataset and an ontology — ``"tbox"`` is a
 registered name, ``"tbox_text"`` inline TBox text (inline text in
@@ -131,7 +133,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(body, status)
             finally:
                 if admitted:
-                    self.server.release()
+                    self.server.release(admitted)
         except Exception as error:  # never drop an answerable request
             status, body, headers = error_payload(error)
             self._send(body, status, headers)
@@ -152,40 +154,57 @@ class ServiceServer(ThreadingHTTPServer):
 
     def __init__(self, service: OMQService, host: str = "127.0.0.1",
                  port: int = 8080, verbose: bool = True,
-                 max_pending: int = 128):
+                 max_pending: int = 128, max_polls: int = 64):
         super().__init__((host, port), _Handler)
         self.service = service
         self.router = Router(service)
         self.verbose = verbose
         self.max_pending = max_pending
+        self.max_polls = max_polls
         self._inflight = 0
+        self._polling = 0
         self._inflight_lock = threading.Lock()
 
-    def admit(self, method: str, path: str) -> bool:
-        """Count a request against ``max_pending``; 429 past the cap.
+    def admit(self, method: str, path: str) -> Optional[str]:
+        """Count a request against its admission budget; 429 past the
+        cap.  Returns the token to pass back to :meth:`release` (or
+        ``None`` for uncounted GETs).
 
-        Only POSTs carry real work; ``/poll`` is exempt so parked
-        long-pollers never eat the admission budget.
+        Only POSTs carry real work.  ``/poll`` has its own (generous)
+        budget, ``max_polls``, separate from ``max_pending``: parked
+        long-pollers must not eat the answer/update budget, but each
+        holds a connection thread for up to its timeout, so they
+        cannot be unbounded either.
         """
-        if method != "POST" or path == "/poll":
-            return False
+        if method != "POST":
+            return None
+        if path == "/poll":
+            with self._inflight_lock:
+                if self._polling >= self.max_polls:
+                    raise overloaded_error(self._polling, self.max_polls)
+                self._polling += 1
+            return "poll"
         with self._inflight_lock:
             if self._inflight >= self.max_pending:
                 raise overloaded_error(self._inflight, self.max_pending)
             self._inflight += 1
-        return True
+        return "work"
 
-    def release(self) -> None:
+    def release(self, token: str) -> None:
         with self._inflight_lock:
-            self._inflight -= 1
+            if token == "poll":
+                self._polling -= 1
+            else:
+                self._inflight -= 1
 
 
 def build_server(service: OMQService, host: str = "127.0.0.1",
                  port: int = 8080, verbose: bool = True,
-                 max_pending: int = 128) -> ServiceServer:
+                 max_pending: int = 128,
+                 max_polls: int = 64) -> ServiceServer:
     """Bind (but do not run) the HTTP front-end; port 0 auto-assigns."""
     return ServiceServer(service, host, port, verbose=verbose,
-                         max_pending=max_pending)
+                         max_pending=max_pending, max_polls=max_polls)
 
 
 def add_serve_arguments(parser) -> None:
@@ -215,7 +234,12 @@ def add_serve_arguments(parser) -> None:
     parser.add_argument("--max-pending", type=int, default=128,
                         help="reject new POST work with 429 + Retry-After "
                              "once this many requests are queued or "
-                             "executing (both front-ends; /poll is exempt)")
+                             "executing (both front-ends; /poll has its "
+                             "own budget, see --max-polls)")
+    parser.add_argument("--max-polls", type=int, default=64,
+                        help="reject new long-polls with 429 once this "
+                             "many are parked (both front-ends; each "
+                             "parked poll holds a thread)")
     parser.add_argument("--batch-window", type=float, default=0.002,
                         help="async front-end: micro-batch gathering "
                              "window in seconds")
@@ -261,7 +285,8 @@ def run(args, parser: Optional[argparse.ArgumentParser] = None) -> int:
 
     service = build_service(args, error)
     server = build_server(service, args.host, args.port,
-                          max_pending=args.max_pending)
+                          max_pending=args.max_pending,
+                          max_polls=getattr(args, "max_polls", 64))
     host, port = server.server_address[:2]
     print(f"repro service on http://{host}:{port} "
           f"(datasets: {', '.join(service.datasets()) or 'none'})")

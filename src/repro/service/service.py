@@ -34,6 +34,7 @@ from ..engine import ENGINES
 from ..rewriting.api import OMQ, AnswerSession
 from ..rewriting.plan import AnswerOptions
 from ..standing.maintain import (
+    full_reexecute,
     initialize,
     refresh,
     variant_changed_predicates,
@@ -610,11 +611,17 @@ class OMQService:
                 result = self._apply_update_locked(state, inserts,
                                                    deletes)
             except Exception:
-                # the data may have partially changed: version it, and
-                # force every subscription through a full refresh on
-                # the next update
+                # the data may have partially changed: version it,
+                # then re-materialize every subscription against
+                # whatever the dataset now holds and push resync
+                # deltas, so subscribers are not left serving answers
+                # that may not reflect the partial application until
+                # a next update that may never come.  Anything the
+                # resync cannot refresh stays stale, which poll and
+                # snapshot bodies surface to the consumer.
                 state.epoch += 1
                 self.standing.invalidate_dataset(dataset)
+                self._resync_standing(state)
                 raise
             state.epoch += 1
             result.epoch = state.epoch
@@ -804,6 +811,62 @@ class OMQService:
                       type(error).__name__, error)
             self.standing.invalidate_dataset(state.name)
         finally:
+            self.standing.record_maintenance(
+                time.perf_counter() - started)
+
+    def _resync_standing(self, state: _Dataset) -> None:
+        """Recover this dataset's subscribers after a *failed* update
+        (caller holds the write lock): re-execute each subscription's
+        plan from scratch against whatever the data now holds and
+        commit a ``resync`` delta carrying the full answer set.
+
+        Never raises — it runs on the exception path of
+        :meth:`update`.  A subscription whose re-execution also fails
+        keeps its ``stale`` flag (set by ``invalidate_dataset``
+        before this runs), which poll and snapshot bodies expose so
+        its consumer knows to re-subscribe or retry.
+        """
+        subs = self.standing.for_dataset(state.name)
+        if not subs:
+            return
+        epoch = state.epoch
+        started = time.perf_counter()
+        checked: Dict[int, Tuple[_SessionPool, object]] = {}
+        try:
+            for sub in subs:
+                try:
+                    pool = state.pool(sub.engine)
+                    entry = checked.get(id(pool))
+                    if entry is None:
+                        entry = (pool, pool.checkout())
+                        checked[id(pool)] = entry
+                    session = entry[1]
+                    new_answers = full_reexecute(sub, session)
+                    # per-disjunct sets are rebuilt by the next
+                    # successful maintenance pass
+                    sub.disjunct_answers = None
+                    self.standing.commit(
+                        sub,
+                        AnswerDelta(epoch=epoch, resync=True,
+                                    answers=new_answers),
+                        new_answers)
+                    self.standing.record_resync()
+                    sub.stale = False
+                except Exception as error:
+                    log.error(
+                        "post-failure resync failed for %s (%s: %s); "
+                        "left stale", sub.subscription_id,
+                        type(error).__name__, error)
+                    sub.stale = True
+        except Exception as error:  # pragma: no cover - defensive
+            log.error("post-failure resync pass failed (%s: %s)",
+                      type(error).__name__, error)
+        finally:
+            for pool, session in checked.values():
+                try:
+                    pool.checkin(session)
+                except Exception:  # pragma: no cover - defensive
+                    log.exception("session checkin failed after resync")
             self.standing.record_maintenance(
                 time.perf_counter() - started)
 

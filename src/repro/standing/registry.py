@@ -152,6 +152,7 @@ class StandingQuery:
                 "epoch": self.epoch,
                 "answers": sorted(list(row) for row in self.answers),
                 "count": len(self.answers),
+                "stale": self.stale,
                 "plan_fingerprint": self.plan.fingerprint,
                 "method": self.plan.method,
                 "engine": self.engine}
@@ -298,8 +299,11 @@ class StandingRegistry:
                     if sid in self._subs]
 
     def invalidate_dataset(self, dataset: str) -> None:
-        """Mark every subscription of a dataset stale (an update failed
-        partway: the next update refreshes them all in full)."""
+        """Mark every subscription of a dataset stale (an update
+        failed partway).  The service follows up with a proactive
+        resync; any subscription that resists it stays stale —
+        surfaced in poll/snapshot bodies — until a later update's
+        maintenance pass succeeds for it."""
         for sub in self.for_dataset(dataset):
             with sub.condition:
                 sub.stale = True
@@ -421,6 +425,7 @@ class StandingRegistry:
                             "dataset": sub.dataset,
                             "epoch": sub.epoch,
                             "resync": False,
+                            "stale": sub.stale,
                             "deltas": [delta.payload()
                                        for delta in deltas]}
                 sub.condition.wait(remaining)

@@ -383,6 +383,44 @@ class TestThreadedServing:
             urllib.request.urlopen(f"{url}/subscribe?subscription=x")
         assert excinfo.value.code == 501
 
+    def test_parked_polls_have_own_budget(self):
+        """Long-polls do not eat the answer/update budget, but they
+        are not unbounded either: past ``max_polls`` parked pollers
+        the threaded server answers the structured 429."""
+        service = OMQService()
+        service.register_dataset("demo", random_data(1))
+        server = build_server(service, port=0, verbose=False,
+                              max_polls=1)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            client = Client.connect(f"http://{host}:{port}")
+            sub = service.subscribe("demo", OMQ(TBOX, chain_cq("RS")))
+            parked = threading.Thread(
+                target=lambda: client._transport.poll(
+                    sub.subscription_id, since_epoch=sub.epoch,
+                    timeout=5.0))
+            parked.start()
+            time.sleep(0.3)
+            with pytest.raises(ServiceError) as excinfo:
+                client._transport.poll(sub.subscription_id, timeout=5.0)
+            assert excinfo.value.status == 429
+            assert excinfo.value.error_type == "overloaded"
+            assert excinfo.value.retry_after == 1.0
+            # the update releases the parked poll and frees the slot
+            service.update("demo", inserts=[("P", ("t1", "t2"))])
+            parked.join(timeout=10)
+            assert not parked.is_alive(), "poll still parked"
+            body = client._transport.poll(sub.subscription_id)
+            assert body["deltas"] == []
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=5)
+
     def test_saturation_429_carries_retry_after(self):
         """The threaded server's backpressure must look exactly like
         the async server's: 429, structured body, Retry-After."""
@@ -426,6 +464,66 @@ class TestThreadedServing:
             server.server_close()
             service.close()
             thread.join(timeout=5)
+
+
+class TestFailedUpdateRecovery:
+    """A failed update may leave the data partially applied; the
+    subscribers must not be left serving a materialization that no
+    longer reflects it (there may never be a next update)."""
+
+    def test_failed_update_pushes_resync(self, monkeypatch):
+        service = OMQService()
+        try:
+            service.register_dataset("d", random_data(1))
+            omq = OMQ(TBOX, chain_cq("RS"))
+            sub = service.subscribe("d", omq)
+
+            def boom(state, inserts, deletes):
+                raise RuntimeError("update exploded")
+
+            monkeypatch.setattr(service, "_apply_update_locked", boom)
+            with pytest.raises(RuntimeError):
+                service.update("d", inserts=[("P", ("x1", "x2"))])
+            # the failure epoch carried a proactive resync delta…
+            body = service.poll(sub.subscription_id, since_epoch=0)
+            deltas = [AnswerDelta.from_payload(raw)
+                      for raw in body["deltas"]]
+            assert any(delta.resync for delta in deltas)
+            assert sub.epoch == 1 and not sub.stale
+            assert not body["stale"]
+            # …and the materialization matches the data as it now is
+            assert sub.answers == service.answer("d", omq).answers
+            assert service.stats()["standing"]["resyncs"] >= 1
+            # the next (successful) update maintains normally again
+            monkeypatch.undo()
+            service.update("d", inserts=[("R", ("y1", "y2")),
+                                         ("S", ("y2", "y3"))])
+            assert sub.answers == service.answer("d", omq).answers
+        finally:
+            service.close()
+
+    def test_unrecoverable_subscription_surfaces_stale(self, monkeypatch):
+        service = OMQService()
+        try:
+            service.register_dataset("d", random_data(1))
+            sub = service.subscribe("d", OMQ(TBOX, chain_cq("RS")))
+
+            def boom(state, inserts, deletes):
+                raise RuntimeError("update exploded")
+
+            monkeypatch.setattr(service, "_apply_update_locked", boom)
+            monkeypatch.setattr(
+                "repro.service.service.full_reexecute",
+                lambda sub, session: (_ for _ in ()).throw(
+                    RuntimeError("resync exploded")))
+            with pytest.raises(RuntimeError):
+                service.update("d", inserts=[("P", ("x1", "x2"))])
+            assert sub.stale
+            assert service.poll(sub.subscription_id)["stale"]
+            assert service.standing.snapshot(
+                sub.subscription_id)["stale"]
+        finally:
+            service.close()
 
 
 class TestAsyncServing:
@@ -507,6 +605,64 @@ class TestAsyncServing:
                         await sub.unsubscribe()
                         with pytest.raises(ServiceError):
                             await sub.poll()
+
+                asyncio.run(main())
+        finally:
+            service.close()
+
+    def test_failing_poll_resolves_promptly(self):
+        """Regression: the async server's thread-to-loop bridge used a
+        closure over an ``except ... as`` name, whose cell is cleared
+        at block exit — a race that could leave the future unresolved
+        and a failing /poll hanging until the client-side timeout."""
+        from repro.service.aserve import AsyncServiceServer
+
+        service = OMQService()
+        try:
+            async def main():
+                server = AsyncServiceServer(service)
+                await server.start()
+
+                def boom():
+                    raise ValueError("kaboom")
+
+                try:
+                    for _ in range(25):
+                        with pytest.raises(ValueError):
+                            await asyncio.wait_for(
+                                server._call_in_thread(boom), timeout=2)
+                finally:
+                    await server.stop()
+
+            asyncio.run(main())
+        finally:
+            service.close()
+
+    def test_parked_polls_are_bounded(self):
+        """Past ``max_polls`` parked long-polls, new ones get the same
+        structured 429 as saturated answer work."""
+        service = OMQService()
+        service.register_dataset("demo", random_data(1))
+        omq = OMQ(TBOX, chain_cq("RS"))
+        try:
+            with serve_in_background(service, max_polls=1) as handle:
+                async def main():
+                    async with AsyncClient.connect(handle.url) as client:
+                        sub = await client.subscribe("demo", omq)
+                        parked = asyncio.create_task(sub.poll(timeout=5.0))
+                        await asyncio.sleep(0.3)
+                        with pytest.raises(ServiceError) as excinfo:
+                            await sub.poll(timeout=5.0)
+                        assert excinfo.value.status == 429
+                        assert excinfo.value.error_type == "overloaded"
+                        assert excinfo.value.retry_after == 1.0
+                        # release the parked poll, then the slot is free
+                        await client.update(
+                            "demo", inserts=[("P", ("q1", "q2"))])
+                        assert await asyncio.wait_for(parked, timeout=10)
+                        deltas = await sub.poll()
+                        assert deltas == []
+                        await sub.unsubscribe()
 
                 asyncio.run(main())
         finally:
