@@ -1,0 +1,50 @@
+"""The shared ``BENCH_*.json`` report envelope.
+
+Every benchmark that records results routes them through
+:func:`write_report`, so all report files share one schema (documented
+in ``benchmarks/README.md``):
+
+* ``schema_version`` — bumped when the envelope shape changes;
+* ``benchmark`` — the report's short name (``BENCH_<name>.json``);
+* ``generated_unix`` — write time, seconds since the epoch;
+* ``host`` — python version, platform, cpu count (numbers from
+  different machines should not be trended against each other);
+* the benchmark's own measurements, flat in the same object.
+
+Reports land in the working directory by default; ``pytest
+benchmarks/... --output DIR`` redirects them (the directory is
+created if missing).
+"""
+
+import json
+import os
+import platform
+import time
+
+SCHEMA_VERSION = 1
+
+
+def host_info() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def write_report(name: str, payload: dict, output: str = None) -> str:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    envelope = {"schema_version": SCHEMA_VERSION, "benchmark": name,
+                "generated_unix": round(time.time(), 3),
+                "host": host_info()}
+    clashes = set(envelope) & set(payload)
+    if clashes:
+        raise ValueError(f"payload keys clash with envelope: {clashes}")
+    envelope.update(payload)
+    directory = output or "."
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(envelope, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -82,7 +82,7 @@ def _bench(url: str, omqs) -> float:
 
 
 @pytest.mark.bench
-def test_async_coalescing_speedup(benchmark):
+def test_async_coalescing_speedup(benchmark, report_writer):
     tbox = example11_tbox()
     abox = random_data(0, individuals=15, atoms=60)
     omqs = _workload(tbox)
@@ -154,9 +154,7 @@ def test_async_coalescing_speedup(benchmark):
         "speedup": round(speedup, 2),
         "speedup_asserted": cores >= MIN_CORES,
     }
-    with open("BENCH_async.json", "w") as handle_file:
-        json.dump(report, handle_file, indent=2)
-        handle_file.write("\n")
+    report_writer("async", report)
 
     # coalescing must have happened regardless of machine size
     assert serving["coalesced"] > 1

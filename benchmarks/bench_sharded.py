@@ -13,7 +13,6 @@ enough cores to parallelise (sharding cannot beat the GIL on one
 core).
 """
 
-import json
 import os
 import time
 
@@ -38,7 +37,7 @@ def _time_rounds(execute) -> float:
     return time.perf_counter() - started
 
 
-def test_sharded_speedup(benchmark):
+def test_sharded_speedup(benchmark, report_writer):
     tbox = example11_tbox()
     # scale=2: ~320 components / ~16k atoms, so per-shard evaluation
     # dwarfs the per-round scatter (pickle + pipe) overhead
@@ -100,9 +99,7 @@ def test_sharded_speedup(benchmark):
         "speedup_vs_monolithic": round(vs_monolithic, 2),
         "speedup_asserted": cores >= SHARDS,
     }
-    with open("BENCH_shard.json", "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    report_writer("shard", report)
 
     if cores >= SHARDS:
         assert speedup >= 2.0, (

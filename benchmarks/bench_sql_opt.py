@@ -13,7 +13,6 @@ speedup for at least one SQL backend (the tentpole's acceptance bar).
 DuckDB rows appear only when the optional package is installed.
 """
 
-import json
 import statistics
 import time
 
@@ -45,7 +44,7 @@ def _median_seconds(engine, ndl, materialised, optimize_sql):
     return statistics.median(samples)
 
 
-def test_sql_optimizer_speedup(benchmark):
+def test_sql_optimizer_speedup(benchmark, report_writer):
     tbox = example11_tbox()
     abox = random_data(seed=0, individuals=60, atoms=1200).complete(tbox)
 
@@ -94,9 +93,7 @@ def test_sql_optimizer_speedup(benchmark):
         "best_speedup": best,
         "speedup_floor": SPEEDUP_FLOOR,
     }
-    with open("BENCH_sql_opt.json", "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    report_writer("sql_opt", report)
 
     assert best >= SPEEDUP_FLOOR, (
         f"expected >= {SPEEDUP_FLOOR}x median speedup on at least one "

@@ -17,7 +17,6 @@ must beat the 50-re-execution baseline by >= 5x (CPU-bound on one
 core, so no core gating).
 """
 
-import json
 import time
 
 from repro import OMQ, TBox
@@ -80,7 +79,7 @@ def _update_stream():
     return steps
 
 
-def test_standing_maintenance_speedup(benchmark):
+def test_standing_maintenance_speedup(benchmark, report_writer):
     service = OMQService()
     service.register_dataset("demo", _abox())
     subs = []
@@ -142,9 +141,7 @@ def test_standing_maintenance_speedup(benchmark):
         "fallback_reexecutions": standing["fallback_reexecutions"],
         "speedup": round(speedup, 2),
     }
-    with open("BENCH_standing.json", "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    report_writer("standing", report)
 
     assert standing["fallback_reexecutions"] == 0, (
         "the family queries must maintain incrementally, not fall back")

@@ -325,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="server base URL")
     subscribe_parser.add_argument("--dataset", required=True,
                                   help="registered dataset to watch")
+    subscribe_parser.add_argument("--tenant", default="",
+                                  help="tenant namespace to subscribe in "
+                                       "(sent as X-Repro-Tenant)")
     subscribe_parser.add_argument("--engine", default=None, choices=ENGINES,
                                   help="evaluation backend for maintenance")
     subscribe_parser.add_argument("--poll-timeout", type=float, default=25.0,
@@ -349,7 +352,8 @@ def _cmd_subscribe(args) -> int:
 
     tbox = _load_tbox(args.tbox)
     query = _load_query(args.query, args.answers)
-    client = Client.connect(args.url, timeout=args.poll_timeout + 30.0)
+    client = Client.connect(args.url, timeout=args.poll_timeout + 30.0,
+                            tenant=args.tenant)
     sub = client.subscribe(args.dataset, OMQ(tbox, query), _options(args))
     print(f"# subscribed {sub.subscription_id} to dataset "
           f"{args.dataset!r} at epoch {sub.epoch} "

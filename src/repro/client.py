@@ -244,26 +244,32 @@ class Subscription(_SubscriptionState):
 
 
 class _ServiceTransport:
-    """The in-process transport: delegates to an ``OMQService``."""
+    """The in-process transport: delegates to an ``OMQService``.
 
-    def __init__(self, service, owned: bool):
+    ``tenant`` scopes every call into that tenant's namespace (the
+    default ``""`` keeps the historical single-tenant behaviour).
+    """
+
+    def __init__(self, service, owned: bool, tenant: str = ""):
         self.service = service
         self._owned = owned
+        self.tenant = tenant
 
     def register_dataset(self, name: str, abox: ABox,
                          replace: bool = False, shards: int = 0) -> None:
         self.service.register_dataset(name, abox, replace=replace,
-                                      shards=shards)
+                                      shards=shards, tenant=self.tenant)
 
     def register_tbox(self, name: str, tbox: TBox) -> None:
-        self.service.register_tbox(name, tbox)
+        self.service.register_tbox(name, tbox, tenant=self.tenant)
 
     def datasets(self) -> Tuple[str, ...]:
-        return self.service.datasets()
+        return self.service.datasets(tenant=self.tenant)
 
     def answer(self, dataset: str, omq: OMQ,
                options: AnswerOptions) -> Answers:
-        result = self.service.answer(dataset, omq, options=options)
+        result = self.service.answer(dataset, omq, options=options,
+                                     tenant=self.tenant)
         return Answers(answers=result.answers,
                        generated_tuples=result.generated_tuples,
                        relation_sizes=dict(result.relation_sizes),
@@ -276,25 +282,28 @@ class _ServiceTransport:
 
     def explain(self, omq: OMQ, options: AnswerOptions,
                 dataset: Optional[str]) -> Dict[str, object]:
-        return self.service.explain(omq, options=options, dataset=dataset)
+        return self.service.explain(omq, options=options, dataset=dataset,
+                                    tenant=self.tenant)
 
     def update(self, dataset: str, inserts: Iterable[GroundAtom],
                deletes: Iterable[GroundAtom]) -> Dict[str, object]:
         return self.service.update(dataset, inserts=inserts,
-                                   deletes=deletes).as_dict()
+                                   deletes=deletes,
+                                   tenant=self.tenant).as_dict()
 
     def subscribe(self, dataset: str, omq: OMQ,
                   options: AnswerOptions) -> Dict[str, object]:
-        sub = self.service.subscribe(dataset, omq, options=options)
+        sub = self.service.subscribe(dataset, omq, options=options,
+                                     tenant=self.tenant)
         return self.service.standing.snapshot(sub.subscription_id)
 
     def poll(self, subscription: str, since_epoch: Optional[int] = None,
              timeout: float = 0.0) -> Dict[str, object]:
         return self.service.poll(subscription, since_epoch=since_epoch,
-                                 timeout=timeout)
+                                 timeout=timeout, tenant=self.tenant)
 
     def unsubscribe(self, subscription: str) -> None:
-        self.service.unsubscribe(subscription)
+        self.service.unsubscribe(subscription, tenant=self.tenant)
 
     def stats(self) -> Dict[str, object]:
         return self.service.stats()
@@ -305,23 +314,29 @@ class _ServiceTransport:
 
 
 class _HTTPTransport:
-    """The remote transport: speaks the ``repro serve`` JSON protocol."""
+    """The remote transport: speaks the ``repro serve`` JSON protocol.
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    A non-default ``tenant`` rides on every request as the
+    ``X-Repro-Tenant`` header, scoping it server-side.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0, tenant: str = ""):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.tenant = tenant
 
     # -- wire --------------------------------------------------------------
 
     def _call(self, path: str, payload=None,
               timeout: Optional[float] = None) -> Dict[str, object]:
         url = f"{self.url}{path}"
+        headers = {"X-Repro-Tenant": self.tenant} if self.tenant else {}
         if payload is None:
-            req = urllib_request.Request(url)
+            req = urllib_request.Request(url, headers=headers)
         else:
+            headers["Content-Type"] = "application/json"
             req = urllib_request.Request(
-                url, data=json.dumps(payload).encode(),
-                headers={"Content-Type": "application/json"})
+                url, data=json.dumps(payload).encode(), headers=headers)
         try:
             with urllib_request.urlopen(
                     req, timeout=timeout or self.timeout) as reply:
@@ -402,26 +417,29 @@ class Client:
         self._transport = transport
 
     @classmethod
-    def local(cls, **service_kwargs) -> "Client":
+    def local(cls, tenant: str = "", **service_kwargs) -> "Client":
         """A client over a fresh embedded
         :class:`~repro.service.service.OMQService` (closed with the
         client); ``service_kwargs`` pass through (``cache_size``,
-        ``max_workers``, ``default_engine``)."""
+        ``max_workers``, ``default_engine``, ``data_dir``, ``quota``).
+        ``tenant`` scopes every call into that tenant's namespace."""
         from .service.service import OMQService
 
         return cls(_ServiceTransport(OMQService(**service_kwargs),
-                                     owned=True))
+                                     owned=True, tenant=tenant))
 
     @classmethod
-    def wrap(cls, service) -> "Client":
+    def wrap(cls, service, tenant: str = "") -> "Client":
         """A client borrowing an existing service (not closed with the
-        client)."""
-        return cls(_ServiceTransport(service, owned=False))
+        client), optionally pinned to one tenant's namespace."""
+        return cls(_ServiceTransport(service, owned=False, tenant=tenant))
 
     @classmethod
-    def connect(cls, url: str, timeout: float = 30.0) -> "Client":
-        """A client speaking the ``repro serve`` JSON protocol."""
-        return cls(_HTTPTransport(url, timeout=timeout))
+    def connect(cls, url: str, timeout: float = 30.0,
+                tenant: str = "") -> "Client":
+        """A client speaking the ``repro serve`` JSON protocol; a
+        non-default ``tenant`` is sent as ``X-Repro-Tenant``."""
+        return cls(_HTTPTransport(url, timeout=timeout, tenant=tenant))
 
     # -- registration ------------------------------------------------------
 
@@ -554,18 +572,21 @@ class AsyncClient:
     rejection carries ``error.retry_after`` seconds.
     """
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    def __init__(self, url: str, timeout: float = 30.0, tenant: str = ""):
         split = urlsplit(url if "//" in url else f"//{url}")
         if split.scheme not in ("", "http"):
             raise ValueError(f"AsyncClient speaks plain http, got {url!r}")
         self._host = split.hostname or "127.0.0.1"
         self._port = split.port or 80
         self.timeout = timeout
+        self.tenant = tenant
 
     @classmethod
-    def connect(cls, url: str, timeout: float = 30.0) -> "AsyncClient":
-        """A client for the ``repro serve`` JSON protocol at ``url``."""
-        return cls(url, timeout=timeout)
+    def connect(cls, url: str, timeout: float = 30.0,
+                tenant: str = "") -> "AsyncClient":
+        """A client for the ``repro serve`` JSON protocol at ``url``;
+        a non-default ``tenant`` rides as ``X-Repro-Tenant``."""
+        return cls(url, timeout=timeout, tenant=tenant)
 
     @property
     def url(self) -> str:
@@ -584,8 +605,11 @@ class AsyncClient:
         reader, writer = await asyncio.open_connection(self._host,
                                                        self._port)
         try:
+            tenant = (f"X-Repro-Tenant: {self.tenant}\r\n"
+                      if self.tenant else "")
             head = (f"{method} {path} HTTP/1.1\r\n"
                     f"Host: {self._host}:{self._port}\r\n"
+                    f"{tenant}"
                     "Content-Type: application/json\r\n"
                     f"Content-Length: {len(body)}\r\n"
                     "Connection: close\r\n\r\n")
@@ -752,10 +776,13 @@ class AsyncSubscription(_SubscriptionState):
             self._client._host, self._client._port)
         try:
             host = f"{self._client._host}:{self._client._port}"
+            tenant = (f"X-Repro-Tenant: {self._client.tenant}\r\n"
+                      if self._client.tenant else "")
             writer.write(
                 (f"GET /subscribe?subscription={self.subscription_id} "
                  "HTTP/1.1\r\n"
                  f"Host: {host}\r\n"
+                 f"{tenant}"
                  "Accept: text/event-stream\r\n"
                  "Connection: close\r\n\r\n").encode())
             await writer.drain()

@@ -50,12 +50,14 @@ from typing import Dict, List, Optional, Tuple
 
 from ..standing.push import RESYNC, SubscriberStream, sse_event
 from .protocol import (
+    TENANT_HEADER,
     ProtocolError,
     Router,
     decode_json_body,
     error_payload,
     overloaded_error,
     parse_content_length,
+    resolve_tenant,
 )
 from .service import BatchRequest, OMQService
 
@@ -106,7 +108,8 @@ class AsyncServiceServer:
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self._executing = 0
         self._active_polls = 0
-        self._epochs: Dict[str, int] = {}
+        #: ``(tenant, dataset)`` -> coalescing epoch.
+        self._epochs: Dict[Tuple[str, str], int] = {}
         self._connections: set = set()
         # counters (served under "async_serving" in /stats)
         self._requests = 0
@@ -168,6 +171,12 @@ class AsyncServiceServer:
                     ProtocolError("server shutting down", status=503,
                                   error_type="overloaded"))
         self._pending.clear()
+        if self.service.store is not None and self._executor is not None:
+            # checkpoint before the pool goes away: a graceful async
+            # stop must leave fully-folded store files, same as the
+            # threaded server's shutdown path
+            await self._loop.run_in_executor(self._executor,
+                                             self.service.checkpoint)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -178,13 +187,16 @@ class AsyncServiceServer:
         """Identity of one unit of answer work.
 
         Folds in everything that changes the bytes of the response:
-        the dataset and its current epoch (updates bump it), the
-        engine, the execution timeout, and the canonical plan-cache
-        key (TBox, CQ up to variable renaming, compile options).
+        the tenant and dataset with its current epoch (updates bump
+        it), the engine, the execution timeout, and the canonical
+        plan-cache key (TBox, CQ up to variable renaming, compile
+        options).  The tenant is part of the identity — two tenants'
+        same-named datasets are different data.
         """
         options = request.answer_options()
         engine = options.engine or self.service.default_engine
-        return (request.dataset, self._epochs.get(request.dataset, 0),
+        scoped = (request.tenant, request.dataset)
+        return (scoped, self._epochs.get(scoped, 0),
                 engine, options.timeout,
                 self.service.cache.key(request.omq, options))
 
@@ -198,8 +210,9 @@ class AsyncServiceServer:
             self._rejected += units
             raise overloaded_error(depth, self.max_pending)
 
-    async def _handle_answer(self, payload: Dict) -> Tuple[int, Dict]:
-        request = self.router.decode_answer(payload)
+    async def _handle_answer(self, payload: Dict,
+                             tenant: str = "") -> Tuple[int, Dict]:
+        request = self.router.decode_answer(payload, tenant=tenant)
         key = self._coalesce_key(request)
         future = self._inflight.get(key)
         if future is not None:
@@ -274,7 +287,8 @@ class AsyncServiceServer:
 
     def _answer_one(self, request: BatchRequest):
         return self.service.answer(request.dataset, request.omq,
-                                   options=request.answer_options())
+                                   options=request.answer_options(),
+                                   tenant=request.tenant)
 
     # -- other routes --------------------------------------------------------
 
@@ -296,19 +310,25 @@ class AsyncServiceServer:
             "workers": self.workers,
         }}
 
-    async def _dispatch(self, method: str, path: str,
-                        body: bytes) -> Tuple[int, Dict]:
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        headers: Optional[Dict[str, str]] = None
+                        ) -> Tuple[int, Dict]:
         self._requests += 1
         payload = decode_json_body(body)
+        tenant = resolve_tenant(
+            (headers or {}).get(TENANT_HEADER.lower()), payload)
+        # same enforcement point as the threaded server: per-tenant
+        # token bucket before any work is queued (429 + Retry-After)
+        self.router.throttle(tenant, method, path)
         if method == "POST" and path == "/answer":
-            return await self._handle_answer(payload)
+            return await self._handle_answer(payload, tenant=tenant)
         if method == "GET" and path == "/health":
-            return 200, {"status": "ok"}
+            return 200, self.router.health_payload()
         if method == "POST" and path == "/batch":
             # decode on the loop (cheap), admit by batch size, run on
             # the pool; entries coalesce among themselves through
             # answer_batch's own in-batch deduplication
-            requests = self.router.decode_batch(payload)
+            requests = self.router.decode_batch(payload, tenant=tenant)
             self._admit(len(requests))
             self._executing += len(requests)
             try:
@@ -331,7 +351,8 @@ class AsyncServiceServer:
             self._active_polls += 1
             self._peak_polls = max(self._peak_polls, self._active_polls)
             future = self._call_in_thread(
-                self.router.handle, method, path, payload)
+                functools.partial(self.router.handle, method, path,
+                                  payload, tenant=tenant))
             future.add_done_callback(self._poll_finished)
             return await future
         # every remaining route (register/update/explain/stats) may
@@ -341,22 +362,25 @@ class AsyncServiceServer:
         if method == "GET" and path == "/stats":
             counters_snapshot = self._counters_payload()
         status, body_payload = await self._loop.run_in_executor(
-            self._executor, self.router.handle, method, path, payload)
+            self._executor,
+            functools.partial(self.router.handle, method, path,
+                              payload, tenant=tenant))
         if counters_snapshot is not None:
             body_payload = {**body_payload, **counters_snapshot}
         if method == "POST" and path in _DATA_ROUTES and status < 400:
             dataset = payload.get("dataset") or payload.get("name")
             if dataset:
-                self._bump_epoch(str(dataset))
+                self._bump_epoch((tenant, str(dataset)))
         return status, body_payload
 
     def _poll_finished(self, _future: asyncio.Future) -> None:
         """Release a parked poll's slot (runs on the loop)."""
         self._active_polls -= 1
 
-    def _bump_epoch(self, dataset: str) -> None:
-        """Invalidate coalescing for a dataset whose data changed."""
-        self._epochs[dataset] = self._epochs.get(dataset, 0) + 1
+    def _bump_epoch(self, scoped: Tuple[str, str]) -> None:
+        """Invalidate coalescing for a ``(tenant, dataset)`` whose
+        data changed."""
+        self._epochs[scoped] = self._epochs.get(scoped, 0) + 1
 
     def _call_in_thread(self, fn, *args) -> asyncio.Future:
         """Run ``fn`` on a fresh daemon thread, resolving an asyncio
@@ -508,7 +532,8 @@ class AsyncServiceServer:
             return False
         try:
             body = await reader.readexactly(length) if length else b""
-            status, payload = await self._dispatch(method, path, body)
+            status, payload = await self._dispatch(method, path, body,
+                                                   headers)
         except asyncio.IncompleteReadError:
             raise
         except Exception as error:
@@ -520,7 +545,8 @@ class AsyncServiceServer:
         return keep_alive
 
     _REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
-                404: "Not Found", 429: "Too Many Requests",
+                403: "Forbidden", 404: "Not Found",
+                429: "Too Many Requests",
                 500: "Internal Server Error", 501: "Not Implemented",
                 503: "Service Unavailable"}
 

@@ -24,14 +24,16 @@ and error shaping live here so the two servers cannot drift:
 from __future__ import annotations
 
 import json
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..data.abox import ABox
-from ..engine import ENGINES
+from ..engine import ENGINES, available_engines
 from ..ontology import TBox
 from ..queries import CQ
 from ..rewriting.api import OMQ
 from ..rewriting.plan import AnswerOptions
+from ..store import DEFAULT_TENANT, QuotaError, RateLimited, TenantManager
 from .service import BatchRequest, OMQService
 
 #: Cap on long-poll blocking (seconds) — a client asking for more gets
@@ -94,11 +96,44 @@ def error_payload(error: Exception) -> Tuple[int, Dict[str, object],
     """
     if isinstance(error, ProtocolError):
         return error.status, error.payload(), error.headers()
+    if isinstance(error, RateLimited):
+        # same wire shape as queue-depth backpressure, so clients
+        # handle both through one ServiceError.retry_after path
+        return 429, {"error": str(error), "error_type": "rate_limited",
+                     "retry_after": error.retry_after}, \
+            {"Retry-After": f"{error.retry_after:g}"}
+    if isinstance(error, QuotaError):
+        return 403, {"error": str(error), "error_type": "quota_exceeded",
+                     "resource": error.resource,
+                     "limit": error.limit}, {}
     if isinstance(error, (ValueError, KeyError, TypeError)):
         return 400, {"error": str(error),
                      "error_type": "bad_request"}, {}
     return 500, {"error": f"internal error: {error}",
                  "error_type": "internal"}, {}
+
+
+#: Request header carrying the caller's tenant (the ``tenant`` payload
+#: field overrides it; absent both, the default tenant is assumed).
+TENANT_HEADER = "X-Repro-Tenant"
+
+
+def resolve_tenant(header: Optional[str], payload: Optional[Dict]) -> str:
+    """The request's tenant from the ``X-Repro-Tenant`` header and/or
+    the payload's ``tenant`` field (field wins), validated."""
+    tenant = None
+    if payload is not None and payload.get("tenant") is not None:
+        tenant = payload["tenant"]
+    elif header is not None:
+        tenant = header.strip()
+    if tenant is None or tenant == DEFAULT_TENANT:
+        return DEFAULT_TENANT
+    if not isinstance(tenant, str):
+        raise ProtocolError("'tenant' must be a string")
+    try:
+        return TenantManager.validate(tenant)
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
 
 
 def parse_content_length(raw: Optional[str]) -> int:
@@ -171,15 +206,33 @@ class Router:
                  extra_stats: Optional[Callable[[], Dict]] = None):
         self.service = service
         self._extra_stats = extra_stats
+        self._started = time.time()
+
+    # -- admission -----------------------------------------------------------
+
+    def throttle(self, tenant: str, method: str, path: str) -> None:
+        """Charge one request against the tenant's token bucket
+        (raises :class:`~repro.store.tenants.RateLimited` -> 429 +
+        ``Retry-After``).  Both servers call this once per admitted
+        request, before dispatch, so enforcement cannot drift.
+
+        ``GET`` routes (health checks, stats scrapes) and ``/poll``
+        (a parked long-poll is idle waiting, not work) are exempt.
+        """
+        if method != "POST" or path == "/poll":
+            return
+        self.service.tenants.throttle(tenant)
 
     # -- request decoding ----------------------------------------------------
 
-    def decode_tbox(self, payload: Dict) -> TBox:
+    def decode_tbox(self, payload: Dict,
+                    tenant: str = DEFAULT_TENANT) -> TBox:
         """The request ontology: ``tbox_text`` (inline) beats ``tbox``.
 
-        ``tbox`` is a registered name; as a convenience an inline text
-        is also accepted there when it is unambiguous (contains ``<=``
-        or a newline — impossible in a registered name).
+        ``tbox`` is a registered name (looked up in the requesting
+        tenant's namespace); as a convenience an inline text is also
+        accepted there when it is unambiguous (contains ``<=`` or a
+        newline — impossible in a registered name).
         """
         text = payload.get("tbox_text")
         if text is not None:
@@ -190,7 +243,7 @@ class Router:
         if not isinstance(spec, str) or not spec.strip():
             raise ProtocolError("missing 'tbox' (name) or 'tbox_text'")
         try:
-            return self.service.named_tbox(spec)
+            return self.service.named_tbox(spec, tenant=tenant)
         except ValueError:
             if "<=" not in spec and "\n" not in spec:
                 raise
@@ -219,21 +272,25 @@ class Router:
             overrides["optimize_sql"] = bool(payload["optimize_sql"])
         return AnswerOptions.coerce(raw, **overrides)
 
-    def decode_omq(self, payload: Dict) -> OMQ:
+    def decode_omq(self, payload: Dict,
+                   tenant: str = DEFAULT_TENANT) -> OMQ:
         query = payload.get("query")
         if not query or not isinstance(query, str):
             raise ProtocolError("'query' must be a non-empty string")
         cq = CQ.parse(query, answer_vars=answer_vars(payload.get("answers")))
-        return OMQ(self.decode_tbox(payload), cq)
+        return OMQ(self.decode_tbox(payload, tenant=tenant), cq)
 
-    def decode_answer(self, payload: Dict) -> BatchRequest:
+    def decode_answer(self, payload: Dict,
+                      tenant: str = DEFAULT_TENANT) -> BatchRequest:
         """One ``/answer`` (or ``/batch`` entry) as a ``BatchRequest``."""
         dataset = payload.get("dataset")
         if not dataset:
             raise ProtocolError("missing 'dataset'")
         options = self.decode_options(payload)
-        return BatchRequest(dataset=dataset, omq=self.decode_omq(payload),
-                            engine=options.engine, options=options)
+        return BatchRequest(dataset=dataset,
+                            omq=self.decode_omq(payload, tenant=tenant),
+                            engine=options.engine, options=options,
+                            tenant=tenant)
 
     @staticmethod
     def result_payload(result) -> Dict:
@@ -256,14 +313,29 @@ class Router:
             payload.update(self._extra_stats())
         return payload
 
-    def handle(self, method: str, path: str,
-               payload: Dict) -> Tuple[int, Dict]:
+    def health_payload(self) -> Dict:
+        """``GET /health``: liveness plus what an orchestrator needs
+        to gate on — engines actually available in this process,
+        storage state, uptime."""
+        return {"status": "ok",
+                "engines": list(available_engines()),
+                "datasets": len(self.service.datasets()),
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "storage": self.service.storage_status()}
+
+    def handle(self, method: str, path: str, payload: Dict,
+               tenant: str = DEFAULT_TENANT) -> Tuple[int, Dict]:
         """Dispatch one decoded request; raises on failure (callers
-        shape errors through :func:`error_payload`)."""
+        shape errors through :func:`error_payload`).
+
+        ``tenant`` (resolved by the server from the ``X-Repro-Tenant``
+        header / ``tenant`` field via :func:`resolve_tenant`) scopes
+        every dataset, ontology and subscription the request names.
+        """
         service = self.service
         if method == "GET":
             if path == "/health":
-                return 200, {"status": "ok"}
+                return 200, self.health_payload()
             if path == "/stats":
                 return 200, self.stats_payload()
             if path == "/subscribe" or path.startswith("/subscribe?"):
@@ -286,26 +358,29 @@ class Router:
             service.register_dataset(
                 name, ABox.parse(payload.get("data", "")),
                 replace=bool(payload.get("replace", False)),
-                shards=int(payload.get("shards", 0)))
+                shards=int(payload.get("shards", 0)), tenant=tenant)
             return 201, {"registered": name}
         if path == "/tboxes":
             name = payload.get("name")
             if not name:
                 raise ProtocolError("missing 'name'")
-            service.register_tbox(name, TBox.parse(payload.get("tbox", "")))
+            service.register_tbox(name, TBox.parse(payload.get("tbox", "")),
+                                  tenant=tenant)
             return 201, {"registered": name}
         if path == "/answer":
-            request = self.decode_answer(payload)
+            request = self.decode_answer(payload, tenant=tenant)
             result = service.answer(request.dataset, request.omq,
-                                    options=request.options)
+                                    options=request.options,
+                                    tenant=tenant)
             return 200, self.result_payload(result)
         if path == "/explain":
-            report = service.explain(self.decode_omq(payload),
+            report = service.explain(self.decode_omq(payload, tenant=tenant),
                                      options=self.decode_options(payload),
-                                     dataset=payload.get("dataset"))
+                                     dataset=payload.get("dataset"),
+                                     tenant=tenant)
             return 200, report
         if path == "/batch":
-            requests = self.decode_batch(payload)
+            requests = self.decode_batch(payload, tenant=tenant)
             results = service.answer_batch(requests)
             return 200, {"results": [self.result_payload(result)
                                      for result in results]}
@@ -316,17 +391,21 @@ class Router:
             result = service.update(
                 dataset,
                 inserts=parse_atoms(payload.get("insert", ())),
-                deletes=parse_atoms(payload.get("delete", ())))
+                deletes=parse_atoms(payload.get("delete", ())),
+                tenant=tenant)
             return 200, result.as_dict()
         if path == "/subscribe":
             dataset = payload.get("dataset")
             if not dataset:
                 raise ProtocolError("missing 'dataset'")
-            sub = service.subscribe(dataset, self.decode_omq(payload),
-                                    options=self.decode_options(payload))
+            sub = service.subscribe(dataset,
+                                    self.decode_omq(payload, tenant=tenant),
+                                    options=self.decode_options(payload),
+                                    tenant=tenant)
             return 201, service.standing.snapshot(sub.subscription_id)
         if path == "/unsubscribe":
-            service.unsubscribe(self._subscription_id(payload))
+            service.unsubscribe(self._subscription_id(payload),
+                                tenant=tenant)
             return 200, {"unsubscribed": payload["subscription"]}
         if path == "/poll":
             since = payload.get("since_epoch")
@@ -338,7 +417,8 @@ class Router:
                     "'timeout' must be a non-negative number")
             return 200, service.poll(
                 self._subscription_id(payload), since_epoch=since,
-                timeout=min(float(timeout), MAX_POLL_TIMEOUT))
+                timeout=min(float(timeout), MAX_POLL_TIMEOUT),
+                tenant=tenant)
         raise ProtocolError(f"unknown path {path!r}", status=404,
                             error_type="not_found")
 
@@ -349,8 +429,10 @@ class Router:
             raise ProtocolError("missing 'subscription'")
         return sid
 
-    def decode_batch(self, payload: Dict) -> List[BatchRequest]:
+    def decode_batch(self, payload: Dict,
+                     tenant: str = DEFAULT_TENANT) -> List[BatchRequest]:
         raw = payload.get("requests")
         if not isinstance(raw, list) or not raw:
             raise ProtocolError("'requests' must be a non-empty list")
-        return [self.decode_answer(entry) for entry in raw]
+        return [self.decode_answer(entry, tenant=tenant)
+                for entry in raw]

@@ -28,6 +28,16 @@ data use the same surface syntax as the CLI and test suite:
 ``POST /unsubscribe``        ``{"subscription": ...}``
 ===========================  ============================================
 
+Every route is tenant-aware: the ``X-Repro-Tenant`` header (or a
+``tenant`` payload field, which wins) scopes dataset/ontology/
+subscription names into that tenant's namespace and charges its
+quotas and token-bucket rate limit (429 + ``Retry-After`` past the
+rate, 403 past a quota); requests without a tenant keep today's
+un-scoped behavior.  ``--data-dir`` makes the service durable: state
+is persisted per tenant as it changes, checkpointed on graceful
+shutdown, and warm-restored on the next start (see
+:mod:`repro.store`).
+
 Standing queries are served long-poll only here; SSE streaming
 (``GET /subscribe``) needs the asyncio front-end (``--async-io``).
 POSTs are admission-controlled: past ``--max-pending`` concurrent
@@ -78,13 +88,16 @@ from typing import Dict, List, Optional
 from ..data.abox import ABox
 from ..engine import ENGINES
 from ..ontology import TBox
+from ..store import TenantQuota
 from .protocol import (
+    TENANT_HEADER,
     ProtocolError,
     Router,
     decode_json_body,
     error_payload,
     overloaded_error,
     parse_content_length,
+    resolve_tenant,
 )
 from .service import OMQService
 
@@ -128,8 +141,11 @@ class _Handler(BaseHTTPRequestHandler):
             admitted = self.server.admit(method, self.path)
             try:
                 payload = self._read_json() if method == "POST" else {}
+                tenant = resolve_tenant(
+                    self.headers.get(TENANT_HEADER), payload)
+                self.server.router.throttle(tenant, method, self.path)
                 status, body = self.server.router.handle(
-                    method, self.path, payload)
+                    method, self.path, payload, tenant=tenant)
                 self._send(body, status)
             finally:
                 if admitted:
@@ -246,22 +262,61 @@ def add_serve_arguments(parser) -> None:
     parser.add_argument("--max-batch", type=int, default=16,
                         help="async front-end: flush a micro-batch at "
                              "this many queued requests")
+    parser.add_argument("--data-dir", default=None, metavar="DIR",
+                        help="persist datasets, ontologies and "
+                             "subscriptions to per-tenant SQLite files "
+                             "under DIR (WAL mode); on startup the "
+                             "server warm-restores everything the "
+                             "directory holds")
+    parser.add_argument("--max-datasets", type=int, default=None,
+                        help="per-tenant dataset quota (403 past it)")
+    parser.add_argument("--max-facts", type=int, default=None,
+                        help="per-tenant stored-fact quota (403 past it)")
+    parser.add_argument("--max-subscriptions", type=int, default=None,
+                        help="per-tenant standing-query quota "
+                             "(403 past it)")
+    parser.add_argument("--rate-limit", type=float, default=None,
+                        metavar="RPS",
+                        help="per-tenant sustained requests/second; a "
+                             "tenant exceeding it gets 429 + "
+                             "Retry-After while others are unaffected")
+    parser.add_argument("--rate-burst", type=float, default=20.0,
+                        help="token-bucket burst headroom on top of "
+                             "--rate-limit")
 
 
 def build_service(args, error) -> OMQService:
     """An :class:`OMQService` from a parsed ``serve`` namespace, with
     the ``--dataset``/``--tbox`` preloads applied (shared by the
     threaded and asyncio front-ends)."""
+    quota = TenantQuota(
+        max_datasets=getattr(args, "max_datasets", None),
+        max_facts=getattr(args, "max_facts", None),
+        max_subscriptions=getattr(args, "max_subscriptions", None),
+        rate_limit=getattr(args, "rate_limit", None),
+        rate_burst=getattr(args, "rate_burst", 20.0))
     service = OMQService(cache_size=args.cache_size,
                          max_workers=args.workers,
-                         default_engine=args.engine)
+                         default_engine=args.engine,
+                         data_dir=getattr(args, "data_dir", None),
+                         quota=quota)
+    if service.store is not None:
+        restored = service.restore()
+        if restored["datasets"] or restored["subscriptions"]:
+            print(f"warm restart: restored {restored['datasets']} "
+                  f"dataset(s), {restored['subscriptions']} "
+                  f"subscription(s) across {restored['tenants']} "
+                  f"tenant(s) from {service.store.data_dir}")
     for spec in args.dataset:
         name, _, path = spec.partition("=")
         if not path:
             return error(f"--dataset expects NAME=PATH, got {spec!r}")
         with open(path) as handle:
+            # an explicit preload wins over a restored copy of the
+            # same name (the file is the operator's source of truth)
             service.register_dataset(name, ABox.parse(handle.read()),
-                                     shards=args.shards)
+                                     shards=args.shards,
+                                     replace=service.store is not None)
     for spec in args.tbox:
         name, _, path = spec.partition("=")
         if not path:

@@ -44,6 +44,13 @@ from ..standing.registry import (
     StandingQuery,
     StandingRegistry,
 )
+from ..store import (
+    DEFAULT_TENANT,
+    DatasetStore,
+    StoredSubscription,
+    TenantManager,
+    TenantQuota,
+)
 from .cache import RewritingCache
 from .updates import UpdateResult, apply_update
 
@@ -132,8 +139,14 @@ class _Dataset:
     def __init__(self, name: str, abox: ABox, cache: RewritingCache,
                  pool_capacity: int, shards: int = 0,
                  shard_executor: str = "auto",
-                 default_engine: str = "python"):
+                 default_engine: str = "python",
+                 tenant: str = DEFAULT_TENANT,
+                 base_name: Optional[str] = None):
         self.name = name
+        #: Owning tenant and the un-scoped name it registered
+        #: (``name`` is the tenant-scoped registry key).
+        self.tenant = tenant
+        self.base_name = base_name if base_name is not None else name
         self.abox = abox
         self.shards = shards
         self.lock = _RWLock()
@@ -229,6 +242,7 @@ class BatchRequest:
     magic: bool = False
     optimize_program: bool = False
     options: Optional[AnswerOptions] = None
+    tenant: str = DEFAULT_TENANT
 
     def answer_options(self) -> AnswerOptions:
         """The request's options (built from the flags when unset)."""
@@ -274,11 +288,25 @@ class OMQService:
 
     ``max_workers`` bounds both the batch executor and the number of
     pooled SQLite sessions per dataset.
+
+    Multi-tenant serving (see :mod:`repro.store`): every public method
+    takes a ``tenant`` keyword (default: the unscoped tenant, which
+    preserves the single-tenant behavior) and scopes dataset/ontology
+    names per tenant; ``quota`` caps per-tenant datasets, facts and
+    subscriptions.  ``data_dir`` (or an explicit ``store``) turns on
+    durability: registrations and updates are persisted as they
+    happen, :meth:`checkpoint` folds the WAL down on shutdown, and
+    :meth:`restore` warm-loads everything — datasets at their
+    persisted epochs and re-armed standing subscriptions — into a
+    fresh service.
     """
 
     def __init__(self, cache_size: int = 256, max_workers: int = 4,
                  default_engine: str = "python",
-                 shard_executor: str = "auto"):
+                 shard_executor: str = "auto",
+                 store: Optional[DatasetStore] = None,
+                 data_dir: Optional[str] = None,
+                 quota: Optional[TenantQuota] = None):
         if default_engine not in ENGINES:
             raise ValueError(f"unknown engine {default_engine!r}; "
                              f"expected one of {ENGINES}")
@@ -290,6 +318,13 @@ class OMQService:
         self.cache = RewritingCache(maxsize=cache_size)
         #: Standing-query subscriptions (see :mod:`repro.standing`).
         self.standing = StandingRegistry()
+        if store is None and data_dir is not None:
+            store = DatasetStore(data_dir)
+        #: Durable backing store (``None`` = in-memory only).
+        self.store = store
+        #: Per-tenant namespaces, quotas and rate limits.
+        self.tenants = TenantManager(quota)
+        self._storage_errors = 0
         self._datasets: Dict[str, _Dataset] = {}
         self._tboxes: Dict[str, object] = {}
         self._named_tboxes: Dict[str, object] = {}
@@ -305,7 +340,9 @@ class OMQService:
     # -- registration --------------------------------------------------------
 
     def register_dataset(self, name: str, abox: ABox,
-                         replace: bool = False, shards: int = 0) -> None:
+                         replace: bool = False, shards: int = 0,
+                         tenant: str = DEFAULT_TENANT,
+                         _persist: bool = True) -> None:
         """Register ``abox`` under ``name`` (the service owns it: it is
         mutated in place by :meth:`update`).
 
@@ -314,29 +351,81 @@ class OMQService:
         partitioned by Gaifman components and every answer runs
         scatter-gather over per-shard engines (updates route their
         deltas to the owning shards, rebalancing on component merges).
+
+        ``tenant`` scopes the name into that tenant's namespace and
+        charges its quota; ``_persist=False`` is the :meth:`restore`
+        path (already durable, quotas accounted but not enforced).
         """
         if shards < 0:
             raise ValueError(f"shards must be >= 0, got {shards}")
+        scoped = TenantManager.scope(tenant, name)
         with self._lock:
-            existing = self._datasets.get(name)
+            existing = self._datasets.get(scoped)
             if existing is not None and not replace:
                 raise ValueError(f"dataset {name!r} already registered")
-            self._datasets[name] = _Dataset(
-                name, abox, self.cache, self.max_workers, shards=shards,
-                shard_executor=self.shard_executor,
-                default_engine=self.default_engine)
+            # may raise QuotaError before anything is registered
+            self.tenants.charge_dataset(
+                tenant, len(abox),
+                replacing_facts=(len(existing.abox)
+                                 if existing is not None else None),
+                enforce=_persist)
+            self._datasets[scoped] = _Dataset(
+                scoped, abox, self.cache, self.max_workers,
+                shards=shards, shard_executor=self.shard_executor,
+                default_engine=self.default_engine, tenant=tenant,
+                base_name=name)
         if existing is not None:
             # subscriptions materialized the *old* data: close them
             # (their pollers/streams get an end-of-stream, clients
             # re-subscribe against the replacement)
-            self.standing.drop_dataset(name)
+            self._drop_subscriptions(scoped)
             self._drain_and_close(existing)
+        if self.store is not None and _persist:
+            self._store_write(
+                f"register {scoped!r}",
+                lambda: self.store.save_dataset(
+                    tenant, name, list(abox.atoms()), shards=shards,
+                    epoch=0))
 
-    def unregister_dataset(self, name: str) -> None:
+    def unregister_dataset(self, name: str,
+                           tenant: str = DEFAULT_TENANT) -> None:
+        scoped = TenantManager.scope(tenant, name)
         with self._lock:
-            dataset = self._datasets.pop(name)
-        self.standing.drop_dataset(name)
+            dataset = self._datasets.pop(scoped)
+        self.tenants.release_dataset(tenant, len(dataset.abox))
+        self._drop_subscriptions(scoped)
         self._drain_and_close(dataset)
+        if self.store is not None:
+            self._store_write(
+                f"unregister {scoped!r}",
+                lambda: self.store.delete_dataset(tenant, name))
+
+    def _drop_subscriptions(self, scoped: str) -> None:
+        """Close every subscription of a (replaced or unregistered)
+        dataset, releasing quota and durable rows."""
+        for sub in self.standing.drop_dataset(scoped):
+            self.tenants.release_subscription(sub.tenant)
+            if self.store is not None:
+                self._store_write(
+                    f"drop subscription {sub.subscription_id!r}",
+                    lambda sub=sub: self.store.delete_subscription(
+                        sub.tenant, sub.subscription_id))
+
+    def _store_write(self, description: str, write) -> bool:
+        """Run one durable write, absorbing failures: serving state is
+        already committed when these run, so a broken disk degrades
+        durability (counted, logged) instead of failing requests."""
+        if self.store is None:
+            return False
+        try:
+            write()
+        except Exception as error:
+            with self._lock:
+                self._storage_errors += 1
+            log.error("dataset store write failed (%s): %s: %s",
+                      description, type(error).__name__, error)
+            return False
+        return True
 
     @staticmethod
     def _drain_and_close(dataset: "_Dataset") -> None:
@@ -352,20 +441,39 @@ class OMQService:
         finally:
             dataset.lock.release_write()
 
-    def datasets(self) -> Tuple[str, ...]:
+    def datasets(self, tenant: Optional[str] = None) -> Tuple[str, ...]:
+        """All registered (tenant-scoped) names, or one tenant's
+        un-scoped names when ``tenant`` is given."""
         with self._lock:
-            return tuple(sorted(self._datasets))
+            names = sorted(self._datasets)
+        if tenant is None:
+            return tuple(names)
+        TenantManager.validate(tenant)
+        return tuple(base for scoped in names
+                     for owner, base in (TenantManager.split(scoped),)
+                     if owner == tenant)
 
-    def register_tbox(self, name: str, tbox) -> None:
+    def register_tbox(self, name: str, tbox,
+                      tenant: str = DEFAULT_TENANT,
+                      _persist: bool = True) -> None:
         """Name an ontology for by-name reference (the HTTP front-end)."""
+        scoped = TenantManager.scope(tenant, name)
         interned = self.intern_tbox(tbox)
         with self._lock:
-            self._named_tboxes[name] = interned
+            self._named_tboxes[scoped] = interned
+        if self.store is not None and _persist:
+            from ..client import tbox_to_text
 
-    def named_tbox(self, name: str):
+            self._store_write(
+                f"tbox {scoped!r}",
+                lambda: self.store.save_tbox(tenant, name,
+                                             tbox_to_text(interned)))
+
+    def named_tbox(self, name: str, tenant: str = DEFAULT_TENANT):
+        scoped = TenantManager.scope(tenant, name)
         with self._lock:
             try:
-                return self._named_tboxes[name]
+                return self._named_tboxes[scoped]
             except KeyError:
                 raise ValueError(f"unknown tbox {name!r}") from None
 
@@ -414,7 +522,8 @@ class OMQService:
     def answer(self, dataset: str, omq: OMQ, method: str = "auto",
                engine: Optional[str] = None, magic: bool = False,
                optimize_program: bool = False,
-               options: Optional[AnswerOptions] = None) -> ServiceResult:
+               options: Optional[AnswerOptions] = None,
+               tenant: str = DEFAULT_TENANT) -> ServiceResult:
         """Certain answers to ``omq`` over the named dataset.
 
         Configure the pipeline with one
@@ -426,7 +535,7 @@ class OMQService:
                                             magic=magic,
                                             optimize=optimize_program,
                                             engine=engine)
-        state = self._acquire_read(dataset)
+        state = self._acquire_read(TenantManager.scope(tenant, dataset))
         try:
             return self._answer_locked(state, omq, options)
         finally:
@@ -473,16 +582,18 @@ class OMQService:
         canonical = [self._canonical_omq(request.omq)
                      for request in requests]
         all_options = [request.answer_options() for request in requests]
-        names = sorted({request.dataset for request in requests})
+        scoped = [TenantManager.scope(request.tenant, request.dataset)
+                  for request in requests]
+        names = sorted(set(scoped))
         unique: Dict[Tuple, List[int]] = {}
-        for position, (request, omq, options) in enumerate(
-                zip(requests, canonical, all_options)):
+        for position, (omq, options) in enumerate(
+                zip(canonical, all_options)):
             engine_name = options.engine or self.default_engine
             # the cache key folds in every compile-relevant option
             # (method, magic, optimize, over); timeout is execution-
             # only but shapes the shared result's timed_out flag, so
             # it must partition the dedup (never the plan cache)
-            key = (request.dataset, engine_name, options.timeout,
+            key = (scoped[position], engine_name, options.timeout,
                    self.cache.key(omq, options))
             unique.setdefault(key, []).append(position)
 
@@ -499,9 +610,9 @@ class OMQService:
 
             def run(job) -> ServiceResult:
                 _, positions = job
-                request = requests[positions[0]]
                 return self._answer_locked(
-                    states[request.dataset], canonical[positions[0]],
+                    states[scoped[positions[0]]],
+                    canonical[positions[0]],
                     all_options[positions[0]])
 
             if len(jobs) == 1:
@@ -524,6 +635,7 @@ class OMQService:
 
     def explain(self, omq: OMQ, options: Optional[AnswerOptions] = None,
                 dataset: Optional[str] = None,
+                tenant: str = DEFAULT_TENANT,
                 **overrides) -> Dict[str, object]:
         """The compiled plan's :meth:`~repro.rewriting.plan.Plan.explain`
         report, without evaluating anything.
@@ -544,7 +656,7 @@ class OMQService:
             raise ValueError(
                 f"options {options.rewrite_fingerprint()} are "
                 "data-dependent: explain needs a dataset")
-        state = self._acquire_read(dataset)
+        state = self._acquire_read(TenantManager.scope(tenant, dataset))
         try:
             if state.sharded:
                 # compilation only consults the master data — don't
@@ -588,7 +700,8 @@ class OMQService:
 
     def update(self, dataset: str,
                inserts: Iterable[GroundAtom] = (),
-               deletes: Iterable[GroundAtom] = ()) -> UpdateResult:
+               deletes: Iterable[GroundAtom] = (),
+               tenant: str = DEFAULT_TENANT) -> UpdateResult:
         """Incrementally mutate a dataset (deletions apply first).
 
         Holds the dataset's write lock: in-flight answers finish first,
@@ -603,8 +716,21 @@ class OMQService:
         :class:`~repro.standing.registry.AnswerDelta`\\ s committed
         before the lock drops, so subscribers can never observe a torn
         epoch.  The returned result carries the new epoch.
+
+        With a backing store the requested delta is appended inside
+        the same critical section — ``DELETE`` then ``INSERT OR
+        IGNORE`` in one transaction reproduces the in-memory
+        deletes-first semantics idempotently, so a crash between the
+        in-memory commit and the durable write loses at most this
+        update, never tears the file.
         """
-        state = self._dataset(dataset)
+        inserts = list(inserts)
+        deletes = list(deletes)
+        scoped = TenantManager.scope(tenant, dataset)
+        # conservative pre-admission: an update can grow the tenant by
+        # at most len(inserts) facts (duplicates make it smaller)
+        self.tenants.charge_facts(tenant, len(inserts))
+        state = self._dataset(scoped)
         state.lock.acquire_write()
         try:
             try:
@@ -620,14 +746,39 @@ class OMQService:
                 # resync cannot refresh stays stale, which poll and
                 # snapshot bodies surface to the consumer.
                 state.epoch += 1
-                self.standing.invalidate_dataset(dataset)
+                self.standing.invalidate_dataset(scoped)
                 self._resync_standing(state)
+                # re-save wholesale: the store must mirror whatever
+                # the partially-applied master ABox now serves
+                self._store_write(
+                    f"post-failure save {scoped!r}",
+                    lambda: self.store.save_dataset(
+                        state.tenant, state.base_name,
+                        list(state.abox.atoms()), shards=state.shards,
+                        epoch=state.epoch))
                 raise
             state.epoch += 1
             result.epoch = state.epoch
+            if self.store is not None:
+                if not self._store_write(
+                        f"delta {scoped!r}",
+                        lambda: self.store.apply_delta(
+                            state.tenant, state.base_name,
+                            inserts=inserts, deletes=deletes,
+                            epoch=state.epoch)):
+                    # delta failed partway (rolled back): fall back to
+                    # rewriting the dataset from the committed ABox
+                    self._store_write(
+                        f"fallback save {scoped!r}",
+                        lambda: self.store.save_dataset(
+                            state.tenant, state.base_name,
+                            list(state.abox.atoms()),
+                            shards=state.shards, epoch=state.epoch))
             self._maintain_standing(state, result)
         finally:
             state.lock.release_write()
+        self.tenants.adjust_facts(tenant,
+                                  result.inserted - result.deleted)
         with self._lock:
             self._updates += 1
         state.updates += 1
@@ -670,19 +821,22 @@ class OMQService:
                                   inserts=inserts, deletes=deletes)
         return result
 
-    def insert_facts(self, dataset: str,
-                     atoms: Iterable[GroundAtom]) -> UpdateResult:
-        return self.update(dataset, inserts=atoms)
+    def insert_facts(self, dataset: str, atoms: Iterable[GroundAtom],
+                     tenant: str = DEFAULT_TENANT) -> UpdateResult:
+        return self.update(dataset, inserts=atoms, tenant=tenant)
 
-    def delete_facts(self, dataset: str,
-                     atoms: Iterable[GroundAtom]) -> UpdateResult:
-        return self.update(dataset, deletes=atoms)
+    def delete_facts(self, dataset: str, atoms: Iterable[GroundAtom],
+                     tenant: str = DEFAULT_TENANT) -> UpdateResult:
+        return self.update(dataset, deletes=atoms, tenant=tenant)
 
     # -- standing queries ----------------------------------------------------
 
     def subscribe(self, dataset: str, omq: OMQ,
                   options: Optional[AnswerOptions] = None,
                   engine: Optional[str] = None,
+                  tenant: str = DEFAULT_TENANT,
+                  subscription_id: Optional[str] = None,
+                  _persist: bool = True,
                   **overrides) -> StandingQuery:
         """Register a standing query: compile, materialize the current
         answers, and keep them delta-maintained by every subsequent
@@ -698,7 +852,14 @@ class OMQService:
         """
         options = AnswerOptions.coerce(options, engine=engine,
                                        **overrides)
-        state = self._acquire_read(dataset)
+        scoped = TenantManager.scope(tenant, dataset)
+        # may raise QuotaError; released again if registration fails
+        self.tenants.charge_subscription(tenant, enforce=_persist)
+        try:
+            state = self._acquire_read(scoped)
+        except Exception:
+            self.tenants.release_subscription(tenant)
+            raise
         try:
             omq = self._canonical_omq(omq)
             engine_name = options.engine or self.default_engine
@@ -707,29 +868,69 @@ class OMQService:
             try:
                 plan = session.compile(omq, options)
                 sub = StandingQuery(
-                    subscription_id=self.standing.new_id(),
-                    dataset=dataset, plan=plan, options=options,
-                    engine=engine_name, epoch=state.epoch,
-                    oldest_epoch=state.epoch)
+                    subscription_id=(subscription_id
+                                     or self.standing.new_id()),
+                    dataset=scoped, plan=plan, options=options,
+                    engine=engine_name, tenant=tenant,
+                    epoch=state.epoch, oldest_epoch=state.epoch)
                 initialize(sub, session)
             finally:
                 pool.checkin(session)
             self.standing.add(sub)
+            if self.store is not None and _persist:
+                from ..client import cq_to_text, tbox_to_text
+
+                stored = StoredSubscription(
+                    subscription_id=sub.subscription_id,
+                    dataset=state.base_name,
+                    tbox_text=tbox_to_text(omq.tbox),
+                    query=cq_to_text(omq.query),
+                    answer_vars=tuple(omq.query.answer_vars),
+                    options=options.as_dict(), engine=engine_name,
+                    epoch=state.epoch)
+                self._store_write(
+                    f"subscription {sub.subscription_id!r}",
+                    lambda: self.store.save_subscription(tenant,
+                                                         stored))
             return sub
+        except Exception:
+            self.tenants.release_subscription(tenant)
+            raise
         finally:
             state.lock.release_read()
 
-    def unsubscribe(self, subscription_id: str) -> None:
+    def _owned_subscription(self, subscription_id: str,
+                            tenant: str) -> StandingQuery:
+        """The live subscription, provided ``tenant`` owns it — a
+        wrong tenant gets the same error as a nonexistent id, so ids
+        cannot be probed across namespaces."""
+        sub = self.standing.get(subscription_id)
+        if sub.tenant != tenant:
+            raise ValueError(
+                f"unknown subscription {subscription_id!r}")
+        return sub
+
+    def unsubscribe(self, subscription_id: str,
+                    tenant: str = DEFAULT_TENANT) -> None:
         """Drop a subscription; blocked pollers and attached streams
         see end-of-stream."""
+        self._owned_subscription(subscription_id, tenant)
         self.standing.remove(subscription_id)
+        self.tenants.release_subscription(tenant)
+        if self.store is not None:
+            self._store_write(
+                f"unsubscribe {subscription_id!r}",
+                lambda: self.store.delete_subscription(
+                    tenant, subscription_id))
 
     def poll(self, subscription_id: str,
              since_epoch: Optional[int] = None,
-             timeout: float = 0.0) -> Dict[str, object]:
+             timeout: float = 0.0,
+             tenant: str = DEFAULT_TENANT) -> Dict[str, object]:
         """Deltas newer than ``since_epoch`` (long-poll up to
         ``timeout`` seconds); see
         :meth:`~repro.standing.registry.StandingRegistry.poll`."""
+        self._owned_subscription(subscription_id, tenant)
         return self.standing.poll(subscription_id,
                                   since_epoch=since_epoch,
                                   timeout=timeout)
@@ -870,6 +1071,114 @@ class OMQService:
             self.standing.record_maintenance(
                 time.perf_counter() - started)
 
+    # -- durability ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Re-save every registered dataset wholesale (under its read
+        lock, so each write sees one consistent epoch).  Registrations,
+        updates and subscriptions are already persisted as they happen;
+        the snapshot exists to fold drift from absorbed write failures
+        back into the store before a checkpoint."""
+        if self.store is None:
+            return {"enabled": False, "datasets": 0}
+        with self._lock:
+            datasets = list(self._datasets.values())
+        saved = 0
+        for state in datasets:
+            state.lock.acquire_read()
+            try:
+                atoms = list(state.abox.atoms())
+                shards, epoch = state.shards, state.epoch
+            finally:
+                state.lock.release_read()
+            if self._store_write(
+                    f"snapshot {state.name!r}",
+                    lambda: self.store.save_dataset(
+                        state.tenant, state.base_name, atoms,
+                        shards=shards, epoch=epoch)):
+                saved += 1
+        return {"enabled": True, "datasets": saved}
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot every dataset, then truncate the WAL files — what
+        the servers run on graceful shutdown, so a clean stop leaves
+        fully-folded database files with no tail to replay."""
+        summary = self.snapshot()
+        if self.store is not None:
+            try:
+                summary.update(self.store.checkpoint())
+            except Exception as error:
+                with self._lock:
+                    self._storage_errors += 1
+                log.error("store checkpoint failed: %s: %s",
+                          type(error).__name__, error)
+        return summary
+
+    def restore(self) -> Dict[str, object]:
+        """Warm-load everything the store holds: every tenant's named
+        ontologies, datasets (re-registered at their persisted epochs)
+        and standing subscriptions (re-armed under their original ids,
+        re-materialized from the restored facts).  Quotas are accounted
+        but not enforced — restores never fail on a tightened quota.
+        """
+        counts = {"tenants": 0, "datasets": 0, "tboxes": 0,
+                  "subscriptions": 0}
+        if self.store is None:
+            return counts
+        from ..ontology import TBox
+        from ..queries import CQ
+
+        for tenant, snap in sorted(self.store.load_all().items()):
+            counts["tenants"] += 1
+            for name, text in snap.tboxes.items():
+                try:
+                    self.register_tbox(name, TBox.parse(text),
+                                       tenant=tenant, _persist=False)
+                    counts["tboxes"] += 1
+                except Exception as error:
+                    log.error("restore of tbox %r/%r failed: %s: %s",
+                              tenant, name, type(error).__name__, error)
+            for name, (atoms, shards, epoch) in snap.datasets.items():
+                try:
+                    self.register_dataset(name, ABox(atoms),
+                                          replace=True, shards=shards,
+                                          tenant=tenant, _persist=False)
+                    scoped = TenantManager.scope(tenant, name)
+                    self._dataset(scoped).epoch = epoch
+                    counts["datasets"] += 1
+                except Exception as error:
+                    log.error("restore of dataset %r/%r failed: %s: %s",
+                              tenant, name, type(error).__name__, error)
+            for stored in snap.subscriptions:
+                try:
+                    omq = OMQ(TBox.parse(stored.tbox_text),
+                              CQ.parse(stored.query,
+                                       answer_vars=stored.answer_vars))
+                    self.subscribe(
+                        stored.dataset, omq,
+                        options=AnswerOptions.coerce(stored.options),
+                        tenant=tenant,
+                        subscription_id=stored.subscription_id,
+                        _persist=False)
+                    counts["subscriptions"] += 1
+                except Exception as error:
+                    log.error("restore of subscription %r failed: "
+                              "%s: %s", stored.subscription_id,
+                              type(error).__name__, error)
+        return counts
+
+    def storage_status(self) -> Dict[str, object]:
+        """The ``storage`` block of ``/health`` and ``/stats``."""
+        if self.store is None:
+            return {"enabled": False}
+        try:
+            status = self.store.status()
+        except Exception as error:  # pragma: no cover - defensive
+            status = {"enabled": True, "error": str(error)}
+        with self._lock:
+            status["write_errors"] = self._storage_errors
+        return status
+
     # -- stats and lifecycle -------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
@@ -884,6 +1193,8 @@ class OMQService:
                             time.time() - self._started, 3)}
         counters["cache"] = self.cache.stats().as_dict()
         counters["standing"] = self.standing.stats()
+        counters["tenants"] = self.tenants.stats()
+        counters["storage"] = self.storage_status()
         per_dataset: Dict[str, object] = {}
         for name, state in sorted(datasets.items()):
             # the read lock keeps update() from mutating the ABox while
@@ -904,6 +1215,10 @@ class OMQService:
         return counters
 
     def close(self) -> None:
+        # checkpoint while the datasets are still registered, so a
+        # graceful stop leaves fully-folded store files behind
+        if self.store is not None:
+            self.checkpoint()
         # close subscriptions first: blocked pollers wake with
         # end-of-stream instead of waiting out their timeouts
         self.standing.close_all()
@@ -916,6 +1231,8 @@ class OMQService:
             state.close()
         if executor is not None:
             executor.shutdown(wait=True)
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "OMQService":
         return self

@@ -113,6 +113,9 @@ class StandingQuery:
     plan: object
     options: object
     engine: str
+    #: Owning tenant (see :mod:`repro.store.tenants`): poll and
+    #: unsubscribe reject callers presenting another tenant's id.
+    tenant: str = ""
     answers: FrozenSet[Row] = frozenset()
     #: Dataset epoch the materialization reflects.
     epoch: int = 0

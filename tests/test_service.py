@@ -158,7 +158,11 @@ class TestServeHTTP:
             return json.loads(response.read())
 
     def test_round_trip(self, server):
-        assert self._call(server, "/health") == {"status": "ok"}
+        health = self._call(server, "/health")
+        assert health["status"] == "ok"
+        assert health["engines"]  # at least one engine is always available
+        assert health["storage"] == {"enabled": False}
+        assert health["uptime_seconds"] >= 0
         self._call(server, "/datasets",
                    {"name": "demo", "data": "R(a,b), A_P(b)"})
         self._call(server, "/tboxes",

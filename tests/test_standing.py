@@ -437,11 +437,11 @@ class TestThreadedServing:
             entered = threading.Event()
             original = server.router.handle
 
-            def slow_handle(method, path, payload):
+            def slow_handle(method, path, payload, **kwargs):
                 if path == "/answer":
                     entered.set()
                     release.wait(5.0)
-                return original(method, path, payload)
+                return original(method, path, payload, **kwargs)
 
             server.router.handle = slow_handle
             client = Client.connect(f"http://{host}:{port}")
