@@ -1,0 +1,191 @@
+"""Per-route request latency on both HTTP front-ends, plus the cost
+of the observability layer itself.
+
+Two measurements land in ``BENCH_latency.json``:
+
+* **Route latency** — a golden workload (hot cached ``/answer``
+  shapes, a cold shape, ``/stats``, ``/health``, an ``/update``) is
+  driven sequentially against the threaded server and the asyncio
+  server; client-side p50/p95/p99 per route are reported for each,
+  next to the server's own ``repro_http_request_seconds`` summary
+  (the ``/stats`` latency block) so the exported histogram can be
+  sanity-checked against ground truth.
+* **Instrumentation overhead** — the embedded answer loop timed with
+  tracing off (the no-op span fast path every production request
+  takes) versus tracing on, plus a microbenchmark of the inactive
+  ``span()`` call itself.  The reported ``overhead_percent`` is the
+  traced-vs-bare delta; the fast path is the one that must stay free.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import OMQ, Client
+from repro.experiments import print_table
+from repro.obs.trace import span
+from repro.queries import chain_cq
+from repro.service import OMQService, serve_in_background
+from repro.service.serve import build_server
+
+from tests.helpers import example11_tbox, random_data
+
+TBOX = example11_tbox()
+TBOX_TEXT = "roles: P, R, S\nP <= S\nP <= R-"
+
+#: (route, repetitions, payload factory) — the golden workload.
+ANSWER_REPS = 40
+STATS_REPS = 15
+HEALTH_REPS = 15
+UPDATE_REPS = 8
+
+
+def _answer_payload(labels: str) -> dict:
+    cq = chain_cq(labels)
+    return {"dataset": "demo", "tbox_text": TBOX_TEXT,
+            "query": ", ".join(str(atom) for atom in cq.atoms),
+            "answers": list(cq.answer_vars)}
+
+
+def _post(url: str, path: str, payload=None) -> float:
+    """One request; returns its wall-clock seconds."""
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url + path, data, {"Content-Type": "application/json"})
+    started = time.perf_counter()
+    with urllib.request.urlopen(request) as response:
+        response.read()
+    return time.perf_counter() - started
+
+
+def _percentiles(samples) -> dict:
+    ordered = sorted(samples)
+
+    def at(q: float) -> float:
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return round(ordered[index] * 1000, 3)
+
+    return {"count": len(ordered), "p50_ms": at(0.50),
+            "p95_ms": at(0.95), "p99_ms": at(0.99)}
+
+
+def _drive(url: str) -> dict:
+    """The golden workload, sequentially (latency, not throughput);
+    per-route client-side samples."""
+    samples = {"/answer": [], "/stats": [], "/health": [],
+               "/update": []}
+    hot = [_answer_payload("RS"), _answer_payload("SR")]
+    cold = _answer_payload("RSR")
+    for payload in (*hot, cold):  # warm the plan cache + sessions
+        _post(url, "/answer", payload)
+    for index in range(ANSWER_REPS):
+        payload = cold if index % 8 == 7 else hot[index % 2]
+        samples["/answer"].append(_post(url, "/answer", payload))
+    for _ in range(STATS_REPS):
+        samples["/stats"].append(_post(url, "/stats"))
+    for _ in range(HEALTH_REPS):
+        samples["/health"].append(_post(url, "/health"))
+    for index in range(UPDATE_REPS):
+        samples["/update"].append(_post(
+            url, "/update",
+            {"dataset": "demo",
+             "insert": [f"R(lat{index}, lat{index + 1})"]}))
+    return {route: _percentiles(route_samples)
+            for route, route_samples in samples.items()}
+
+
+def _server_side_latency(url: str) -> dict:
+    """The server's own view: the ``/stats`` latency block, fed by
+    the ``repro_http_request_seconds`` histogram."""
+    stats = json.loads(urllib.request.urlopen(url + "/stats").read())
+    return {route: {key: round(value * 1000, 3) if key != "count"
+                    else value for key, value in summary.items()}
+            for route, summary in stats["observability"]["latency"].items()}
+
+
+def _overhead() -> dict:
+    """Embedded answer loop, tracing off vs on, plus the inactive
+    span() microcost."""
+    with Client.local(max_workers=1) as client:
+        client.register_dataset("demo", random_data(2))
+        omq = OMQ(TBOX, chain_cq("RS"))
+        client.answer("demo", omq)  # warm cache + session
+
+        def loop(traced: bool, reps: int = 40) -> float:
+            started = time.perf_counter()
+            for _ in range(reps):
+                client.answer("demo", omq, trace=traced)
+            return (time.perf_counter() - started) / reps
+
+        loop(False), loop(True)  # warm both paths
+        bare = min(loop(False) for _ in range(3))
+        traced = min(loop(True) for _ in range(3))
+
+    iterations = 100_000
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with span("x"):
+            pass
+    noop_nanos = (time.perf_counter() - started) / iterations * 1e9
+    return {
+        "bare_us_per_answer": round(bare * 1e6, 2),
+        "traced_us_per_answer": round(traced * 1e6, 2),
+        "overhead_percent": round(max(0.0, traced / bare - 1.0) * 100, 2),
+        "inactive_span_nanos": round(noop_nanos, 1),
+    }
+
+
+@pytest.mark.bench
+def test_latency_profile(report_writer):
+    report = {"routes": {}, "server_side": {}}
+
+    threaded_service = OMQService(max_workers=4)
+    threaded_service.register_dataset("demo", random_data(1))
+    server = build_server(threaded_service, port=0, verbose=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        url = f"http://{host}:{port}"
+        report["routes"]["threaded"] = _drive(url)
+        report["server_side"]["threaded"] = _server_side_latency(url)
+    finally:
+        server.shutdown()
+        server.server_close()
+        threaded_service.close()
+
+    async_service = OMQService(max_workers=4)
+    async_service.register_dataset("demo", random_data(1))
+    with serve_in_background(async_service) as handle:
+        report["routes"]["async"] = _drive(handle.url)
+        report["server_side"]["async"] = _server_side_latency(handle.url)
+    async_service.close()
+
+    report["overhead"] = _overhead()
+
+    rows = []
+    for front_end, routes in report["routes"].items():
+        for route, summary in sorted(routes.items()):
+            rows.append([front_end, route, summary["p50_ms"],
+                         summary["p95_ms"], summary["p99_ms"]])
+    print_table("request latency per route (client-side, ms)",
+                ["server", "route", "p50", "p95", "p99"], rows)
+    overhead = report["overhead"]
+    print(f"tracing overhead: {overhead['bare_us_per_answer']:.0f}us "
+          f"bare vs {overhead['traced_us_per_answer']:.0f}us traced "
+          f"({overhead['overhead_percent']:.1f}%); inactive span: "
+          f"{overhead['inactive_span_nanos']:.0f}ns")
+    report_writer("latency", report)
+
+    # every route produced a full percentile row on both servers, and
+    # the servers' own histograms saw the same routes
+    for front_end in ("threaded", "async"):
+        for route in ("/answer", "/stats", "/health", "/update"):
+            assert report["routes"][front_end][route]["count"] > 0
+            assert route in report["server_side"][front_end]
+    # the inactive fast path stays sub-microsecond-ish; generous cap
+    # to keep slow CI machines green
+    assert overhead["inactive_span_nanos"] < 10_000

@@ -130,8 +130,17 @@ def _cmd_answer(args) -> int:
         session = AnswerSession(abox, engine=args.engine)
     with session:
         for position, query in enumerate(queries):
-            plan = session.compile(OMQ(tbox, query), options)
-            result = plan.execute(session)
+            active = None
+            if getattr(args, "trace", False):
+                from .obs.trace import Trace, tracing
+
+                active = Trace(wanted=True)
+                with tracing(active):
+                    plan = session.compile(OMQ(tbox, query), options)
+                    result = plan.execute(session)
+            else:
+                plan = session.compile(OMQ(tbox, query), options)
+                result = plan.execute(session)
             if len(queries) > 1:
                 print(f"# [{position}] {query}")
             for row in sorted(result.answers):
@@ -145,6 +154,12 @@ def _cmd_answer(args) -> int:
                   f"{result.generated_tuples} tuples materialised, "
                   f"{elapsed * 1000:.1f} ms",
                   file=sys.stderr)
+            if active is not None:
+                print(f"# trace {active.trace_id}", file=sys.stderr)
+                for entry in active.flat_spans():
+                    print(f"#   {entry['name']}: "
+                          f"{entry['seconds'] * 1000:.2f} ms",
+                          file=sys.stderr)
     return 0
 
 
@@ -280,6 +295,10 @@ def build_parser() -> argparse.ArgumentParser:
     answer_parser.add_argument("--optimize", action="store_true",
                                help="run the Appendix D.4 optimiser on "
                                     "the rewriting first")
+    answer_parser.add_argument("--trace", action="store_true",
+                               help="print a per-span timing breakdown "
+                                    "(compile stages, cache lookups, "
+                                    "per-shard execution) to stderr")
     answer_parser.add_argument("--magic", action="store_true",
                                help="apply the magic-sets transformation")
     answer_parser.set_defaults(func=_cmd_answer)

@@ -43,6 +43,7 @@ from urllib.error import HTTPError
 from urllib.parse import urlsplit
 
 from .data.abox import ABox
+from .obs.trace import Trace, tracing
 from .ontology.tbox import TBox
 from .queries.cq import CQ
 from .rewriting.api import OMQ
@@ -51,6 +52,9 @@ from .standing.push import decode_sse
 from .standing.registry import AnswerDelta
 
 GroundAtom = Tuple[str, Tuple[str, ...]]
+
+#: Response header echoing the request's trace ID (both servers).
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 
 class ServiceError(ValueError):
@@ -64,11 +68,16 @@ class ServiceError(ValueError):
 
     def __init__(self, message: str, status: int = 400,
                  error_type: str = "bad_request",
-                 retry_after: Optional[float] = None):
+                 retry_after: Optional[float] = None,
+                 trace_id: Optional[str] = None):
         super().__init__(message)
         self.status = status
         self.error_type = error_type
         self.retry_after = retry_after
+        #: The server-assigned request trace ID (from the error body or
+        #: the echoed ``X-Repro-Trace-Id`` header) — quote it when
+        #: reporting a failed request so the server side can find it.
+        self.trace_id = trace_id
 
     @classmethod
     def from_body(cls, status: int, body, headers=None) -> "ServiceError":
@@ -85,10 +94,14 @@ class ServiceError(ValueError):
                 retry_after = float(raw)
             except (TypeError, ValueError):
                 retry_after = None
+        trace_id = body.get("trace_id")
+        if trace_id is None and headers is not None:
+            trace_id = headers.get(TRACE_HEADER)
         return cls(str(body.get("error") or f"HTTP {status}"),
                    status=status,
                    error_type=str(body.get("error_type") or "error"),
-                   retry_after=retry_after)
+                   retry_after=retry_after,
+                   trace_id=str(trace_id) if trace_id else None)
 
 
 def tbox_to_text(tbox: TBox) -> str:
@@ -119,7 +132,8 @@ def _atom_texts(atoms: Iterable[GroundAtom]) -> List[str]:
 
 
 def _request_payload(dataset: Optional[str], omq: OMQ,
-                     options: AnswerOptions) -> Dict[str, object]:
+                     options: AnswerOptions,
+                     trace: bool = False) -> Dict[str, object]:
     """One wire-format answer/explain request (shared by the sync and
     async HTTP transports)."""
     payload: Dict[str, object] = {
@@ -130,6 +144,8 @@ def _request_payload(dataset: Optional[str], omq: OMQ,
     }
     if dataset is not None:
         payload["dataset"] = dataset
+    if trace:
+        payload["trace"] = True
     return payload
 
 
@@ -145,7 +161,8 @@ def _answers_from_body(body: Dict[str, object],
         plan_fingerprint=body.get("plan_fingerprint", ""),
         cached_rewriting=bool(body.get("cached_rewriting", False)),
         timed_out=bool(body.get("timed_out", False)),
-        shards=int(body.get("shards", 0)))
+        shards=int(body.get("shards", 0)),
+        trace=body.get("trace"))
 
 
 class _SubscriptionState:
@@ -266,10 +283,20 @@ class _ServiceTransport:
     def datasets(self) -> Tuple[str, ...]:
         return self.service.datasets(tenant=self.tenant)
 
-    def answer(self, dataset: str, omq: OMQ,
-               options: AnswerOptions) -> Answers:
-        result = self.service.answer(dataset, omq, options=options,
-                                     tenant=self.tenant)
+    def answer(self, dataset: str, omq: OMQ, options: AnswerOptions,
+               trace: bool = False) -> Answers:
+        active: Optional[Trace] = None
+        if trace:
+            # no HTTP layer here, so the client starts the trace
+            # itself and harvests the span payload directly
+            active = Trace(wanted=True)
+            with tracing(active):
+                result = self.service.answer(dataset, omq,
+                                             options=options,
+                                             tenant=self.tenant)
+        else:
+            result = self.service.answer(dataset, omq, options=options,
+                                         tenant=self.tenant)
         return Answers(answers=result.answers,
                        generated_tuples=result.generated_tuples,
                        relation_sizes=dict(result.relation_sizes),
@@ -278,7 +305,8 @@ class _ServiceTransport:
                        plan_fingerprint=result.plan_fingerprint or "",
                        cached_rewriting=result.cached_rewriting,
                        timed_out=result.timed_out,
-                       shards=result.shards)
+                       shards=result.shards,
+                       trace=active.payload() if active else None)
 
     def explain(self, omq: OMQ, options: AnswerOptions,
                 dataset: Optional[str]) -> Dict[str, object]:
@@ -324,6 +352,8 @@ class _HTTPTransport:
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.tenant = tenant
+        #: Trace ID echoed by the last response (success or error).
+        self.last_trace_id: Optional[str] = None
 
     # -- wire --------------------------------------------------------------
 
@@ -340,8 +370,10 @@ class _HTTPTransport:
         try:
             with urllib_request.urlopen(
                     req, timeout=timeout or self.timeout) as reply:
+                self.last_trace_id = reply.headers.get(TRACE_HEADER)
                 body = json.loads(reply.read().decode())
         except HTTPError as error:
+            self.last_trace_id = error.headers.get(TRACE_HEADER)
             try:
                 decoded = json.loads(error.read().decode())
             except Exception:
@@ -363,10 +395,11 @@ class _HTTPTransport:
     def datasets(self) -> Tuple[str, ...]:
         return tuple(sorted(self.stats().get("datasets", {})))
 
-    def answer(self, dataset: str, omq: OMQ,
-               options: AnswerOptions) -> Answers:
+    def answer(self, dataset: str, omq: OMQ, options: AnswerOptions,
+               trace: bool = False) -> Answers:
         body = self._call("/answer",
-                          _request_payload(dataset, omq, options))
+                          _request_payload(dataset, omq, options,
+                                           trace=trace))
         return _answers_from_body(body, options)
 
     def explain(self, omq: OMQ, options: AnswerOptions,
@@ -459,15 +492,17 @@ class Client:
     # -- the pipeline ------------------------------------------------------
 
     def answer(self, dataset: str, omq: OMQ, options=None,
-               **overrides) -> Answers:
+               trace: bool = False, **overrides) -> Answers:
         """Certain answers to ``omq`` over the named dataset.
 
         ``options`` / ``overrides`` build one
         :class:`~repro.rewriting.plan.AnswerOptions` (e.g.
         ``client.answer("demo", omq, method="tw", engine="sql")``).
+        ``trace=True`` asks for the request's span breakdown, returned
+        as ``Answers.trace`` (a nested name/seconds tree).
         """
         options = AnswerOptions.coerce(options, **overrides)
-        return self._transport.answer(dataset, omq, options)
+        return self._transport.answer(dataset, omq, options, trace=trace)
 
     def explain(self, omq: OMQ, options=None, dataset: Optional[str] = None,
                 **overrides) -> Dict[str, object]:
@@ -515,6 +550,12 @@ class Client:
     def stats(self) -> Dict[str, object]:
         return self._transport.stats()
 
+    @property
+    def last_trace_id(self) -> Optional[str]:
+        """The ``X-Repro-Trace-Id`` echoed by the last HTTP response
+        (``None`` for embedded transports)."""
+        return getattr(self._transport, "last_trace_id", None)
+
     def close(self) -> None:
         self._transport.close()
 
@@ -535,9 +576,9 @@ class Client:
     # wire protocol natively on asyncio streams.
 
     async def answer_async(self, dataset: str, omq: OMQ, options=None,
-                           **overrides) -> Answers:
+                           trace: bool = False, **overrides) -> Answers:
         return await asyncio.to_thread(self.answer, dataset, omq,
-                                       options, **overrides)
+                                       options, trace, **overrides)
 
     async def explain_async(self, omq: OMQ, options=None,
                             dataset: Optional[str] = None,
@@ -580,6 +621,8 @@ class AsyncClient:
         self._port = split.port or 80
         self.timeout = timeout
         self.tenant = tenant
+        #: Trace ID echoed by the last response (success or error).
+        self.last_trace_id: Optional[str] = None
 
     @classmethod
     def connect(cls, url: str, timeout: float = 30.0,
@@ -616,6 +659,7 @@ class AsyncClient:
             writer.write(head.encode() + body)
             await writer.drain()
             status, headers, raw = await self._read_response(reader)
+            self.last_trace_id = headers.get(TRACE_HEADER)
         finally:
             writer.close()
             try:
@@ -669,10 +713,11 @@ class AsyncClient:
         return tuple(sorted((await self.stats()).get("datasets", {})))
 
     async def answer(self, dataset: str, omq: OMQ, options=None,
-                     **overrides) -> Answers:
+                     trace: bool = False, **overrides) -> Answers:
         options = AnswerOptions.coerce(options, **overrides)
         body = await self._call("/answer",
-                                _request_payload(dataset, omq, options))
+                                _request_payload(dataset, omq, options,
+                                                 trace=trace))
         return _answers_from_body(body, options)
 
     async def explain(self, omq: OMQ, options=None,

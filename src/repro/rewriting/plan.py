@@ -37,6 +37,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 from ..data.abox import ABox
 from ..datalog.program import NDLQuery
 from ..engine import ENGINES, SQL_ENGINES, Engine
+from ..obs import trace as _trace
 from .api import METHODS, OMQ, AnswerSession, resolve_method, rewrite
 
 #: Everything :class:`AnswerOptions` accepts as a ``method`` — the
@@ -189,6 +190,10 @@ class Answers:
     #: (``0`` means monolithic) and each shard's evaluation seconds.
     shards: int = 0
     shard_seconds: Dict[int, float] = field(default_factory=dict)
+    #: The request's span breakdown (a ``Trace.payload()`` dict) when
+    #: the caller asked for it — e.g. ``Client.answer(trace=True)``.
+    trace: Optional[Dict[str, object]] = field(default=None,
+                                               compare=False, repr=False)
 
     def __iter__(self):
         return iter(self.answers)
@@ -332,6 +337,9 @@ class Plan:
         }
         if self.options.engine in SQL_ENGINES:
             report["sql"] = self.sql_report()
+        active = _trace.current_trace()
+        if active is not None:
+            report["trace"] = active.payload()
         return report
 
     # -- execution ---------------------------------------------------------
@@ -396,15 +404,18 @@ class Plan:
     def _finish(self, evaluate, engine_name: str,
                 options: AnswerOptions) -> Answers:
         started = time.perf_counter()
-        if options.optimize_sql:
-            try:
-                result = evaluate(self.ndl, optimize_sql=True)
-            except TypeError:
-                # duck-typed evaluators without the knob: the pass
-                # pipeline is an SQL-layer concern they cannot honour
+        with _trace.span("execute") as exec_span:
+            exec_span.attrs["engine"] = engine_name
+            if options.optimize_sql:
+                try:
+                    result = evaluate(self.ndl, optimize_sql=True)
+                except TypeError:
+                    # duck-typed evaluators without the knob: the pass
+                    # pipeline is an SQL-layer concern they cannot
+                    # honour
+                    result = evaluate(self.ndl)
+            else:
                 result = evaluate(self.ndl)
-        else:
-            result = evaluate(self.ndl)
         elapsed = time.perf_counter() - started
         timeout = options.timeout
         return Answers(answers=result.answers,
@@ -486,6 +497,8 @@ def _compile(omq: OMQ, options: AnswerOptions, data) -> Plan:
         ndl = magic_transform(ndl).query
         timings["magic"] = time.perf_counter() - started
 
+    for stage, seconds in timings.items():
+        _trace.record(stage, seconds)
     return Plan(omq=omq, options=options, ndl=ndl, method=method,
                 timings=timings, data_bound=data_bound)
 

@@ -34,7 +34,10 @@ Parked polls are bounded separately (``max_polls``, each costs an OS
 thread): past the cap new polls are rejected with 429.
 
 Counters for all three (plus queue depth high-water marks) are served
-under ``"async_serving"`` in ``GET /stats``.  Start it with
+under ``"async_serving"`` in ``GET /stats`` and as ``repro_async_*``
+families on ``GET /metrics`` (Prometheus text format, identical
+family set to the threaded server).  Every response echoes the
+request's trace ID as ``X-Repro-Trace-Id``.  Start it with
 ``python -m repro serve --async-io`` or embed it in tests via
 :func:`serve_in_background`.
 """
@@ -42,18 +45,24 @@ under ``"async_serving"`` in ``GET /stats``.  Start it with
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import dataclasses
 import functools
-import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import Trace, span, tracing
 from ..standing.push import RESYNC, SubscriberStream, sse_event
 from .protocol import (
     TENANT_HEADER,
+    TRACE_HEADER,
     ProtocolError,
     Router,
+    begin_trace,
     decode_json_body,
+    encode_body,
     error_payload,
     overloaded_error,
     parse_content_length,
@@ -111,12 +120,11 @@ class AsyncServiceServer:
         #: ``(tenant, dataset)`` -> coalescing epoch.
         self._epochs: Dict[Tuple[str, str], int] = {}
         self._connections: set = set()
-        # counters (served under "async_serving" in /stats)
-        self._requests = 0
-        self._coalesced = 0
-        self._batches = 0
-        self._batched_requests = 0
-        self._rejected = 0
+        # counters live in the service's metrics registry (and are
+        # served both under "async_serving" in /stats and as the
+        # repro_async_* families on GET /metrics); the high-water
+        # marks stay loop-confined ints mirrored into gauges
+        self._obs = service.obs
         self._peak_pending = 0
         self._peak_polls = 0
 
@@ -203,30 +211,48 @@ class AsyncServiceServer:
     def _queue_depth(self) -> int:
         return len(self._pending) + self._executing
 
+    def _note_depth(self) -> None:
+        """Mirror the queue depth (and its high-water mark) into the
+        ``repro_async_pending`` / ``repro_async_peak_pending`` gauges."""
+        depth = self._queue_depth()
+        self._obs.async_pending.set(depth)
+        if depth > self._peak_pending:
+            self._peak_pending = depth
+            self._obs.async_peak_pending.set(depth)
+
     def _admit(self, units: int = 1) -> None:
         """Reject new work with 429 once the queue is saturated."""
         depth = self._queue_depth()
         if depth + units > self.max_pending:
-            self._rejected += units
+            self._obs.async_rejected.inc(units)
             raise overloaded_error(depth, self.max_pending)
 
-    async def _handle_answer(self, payload: Dict,
-                             tenant: str = "") -> Tuple[int, Dict]:
-        request = self.router.decode_answer(payload, tenant=tenant)
+    async def _handle_answer(self, payload: Dict, tenant: str = "",
+                             trace: Optional[Trace] = None
+                             ) -> Tuple[int, Dict]:
+        with span("decode"):
+            request = self.router.decode_answer(payload, tenant=tenant)
         key = self._coalesce_key(request)
         future = self._inflight.get(key)
         if future is not None:
-            # joining in-flight identical work is free: no admission
-            self._coalesced += 1
+            # joining in-flight identical work is free: no admission.
+            # The joiner's trace stays shallow (decode + encode only);
+            # the execution spans belong to the leader's trace.
+            self._obs.async_coalesced.inc()
             result = await asyncio.shield(future)
             body = dict(self.router.result_payload(result))
             body["coalesced"] = True
             return 200, body
         self._admit()
+        # the worker thread that runs the micro-batch activates this
+        # trace around the leader's job, so execute/cache spans and
+        # plan-fingerprint annotations land on the originating request
+        if trace is not None:
+            request = dataclasses.replace(request, trace=trace)
         future = self._loop.create_future()
         self._inflight[key] = future
         self._pending.append((key, request))
-        self._peak_pending = max(self._peak_pending, self._queue_depth())
+        self._note_depth()
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._flush_handle is None:
@@ -246,8 +272,8 @@ class AsyncServiceServer:
             return
         batch, self._pending = self._pending, []
         self._executing += len(batch)
-        self._batches += 1
-        self._batched_requests += len(batch)
+        self._obs.async_batches.inc()
+        self._obs.async_batched_requests.inc(len(batch))
         self._loop.create_task(self._run_batch(batch))
 
     async def _run_batch(self, batch: List[Tuple[Tuple, BatchRequest]]) -> None:
@@ -264,6 +290,7 @@ class AsyncServiceServer:
             return
         finally:
             self._executing -= len(batch)
+            self._note_depth()
         for (key, _), result in zip(batch, results):
             # pop before resolving: once resolved the result is no
             # longer "in flight" and must not absorb later arrivals
@@ -293,12 +320,13 @@ class AsyncServiceServer:
     # -- other routes --------------------------------------------------------
 
     def _counters_payload(self) -> Dict[str, object]:
+        obs = self._obs
         return {"async_serving": {
-            "requests": self._requests,
-            "coalesced": self._coalesced,
-            "batches": self._batches,
-            "batched_requests": self._batched_requests,
-            "rejected": self._rejected,
+            "requests": int(obs.async_requests.value),
+            "coalesced": int(obs.async_coalesced.value),
+            "batches": int(obs.async_batches.value),
+            "batched_requests": int(obs.async_batched_requests.value),
+            "rejected": int(obs.async_rejected.value),
             "pending": self._queue_depth(),
             "peak_pending": self._peak_pending,
             "max_pending": self.max_pending,
@@ -310,32 +338,48 @@ class AsyncServiceServer:
             "workers": self.workers,
         }}
 
+    def _traced(self, fn):
+        """Bind the current context (the request's active trace) to
+        ``fn`` — worker threads reached through ``run_in_executor`` or
+        :meth:`_call_in_thread` don't inherit the loop task's
+        contextvars on their own."""
+        ctx = contextvars.copy_context()
+        return functools.partial(ctx.run, fn)
+
     async def _dispatch(self, method: str, path: str, body: bytes,
-                        headers: Optional[Dict[str, str]] = None
-                        ) -> Tuple[int, Dict]:
-        self._requests += 1
+                        headers: Optional[Dict[str, str]] = None,
+                        trace: Optional[Trace] = None) -> Tuple[int, Dict]:
+        self._obs.async_requests.inc()
         payload = decode_json_body(body)
+        if trace is not None:
+            trace.wanted = bool(payload.get("trace"))
         tenant = resolve_tenant(
             (headers or {}).get(TENANT_HEADER.lower()), payload)
         # same enforcement point as the threaded server: per-tenant
         # token bucket before any work is queued (429 + Retry-After)
         self.router.throttle(tenant, method, path)
         if method == "POST" and path == "/answer":
-            return await self._handle_answer(payload, tenant=tenant)
+            return await self._handle_answer(payload, tenant=tenant,
+                                             trace=trace)
         if method == "GET" and path == "/health":
             return 200, self.router.health_payload()
         if method == "POST" and path == "/batch":
             # decode on the loop (cheap), admit by batch size, run on
             # the pool; entries coalesce among themselves through
             # answer_batch's own in-batch deduplication
-            requests = self.router.decode_batch(payload, tenant=tenant)
+            with span("decode"):
+                requests = self.router.decode_batch(payload, tenant=tenant)
             self._admit(len(requests))
             self._executing += len(requests)
+            self._note_depth()
             try:
                 results = await self._loop.run_in_executor(
-                    self._executor, self.service.answer_batch, requests)
+                    self._executor,
+                    self._traced(functools.partial(
+                        self.service.answer_batch, requests)))
             finally:
                 self._executing -= len(requests)
+                self._note_depth()
             return 200, {"results": [self.router.result_payload(result)
                                      for result in results]}
         if method == "POST" and path == "/poll":
@@ -346,13 +390,16 @@ class AsyncServiceServer:
             # OS thread, so past max_polls new ones get 429 instead of
             # growing the thread count without bound
             if self._active_polls >= self.max_polls:
-                self._rejected += 1
+                self._obs.async_rejected.inc()
                 raise overloaded_error(self._active_polls, self.max_polls)
             self._active_polls += 1
             self._peak_polls = max(self._peak_polls, self._active_polls)
+            self._obs.async_parked_polls.set(self._active_polls)
+            self._obs.async_peak_polls.set(self._peak_polls)
             future = self._call_in_thread(
-                functools.partial(self.router.handle, method, path,
-                                  payload, tenant=tenant))
+                self._traced(functools.partial(self.router.handle,
+                                               method, path, payload,
+                                               tenant=tenant)))
             future.add_done_callback(self._poll_finished)
             return await future
         # every remaining route (register/update/explain/stats) may
@@ -363,8 +410,9 @@ class AsyncServiceServer:
             counters_snapshot = self._counters_payload()
         status, body_payload = await self._loop.run_in_executor(
             self._executor,
-            functools.partial(self.router.handle, method, path,
-                              payload, tenant=tenant))
+            self._traced(functools.partial(self.router.handle, method,
+                                           path, payload,
+                                           tenant=tenant)))
         if counters_snapshot is not None:
             body_payload = {**body_payload, **counters_snapshot}
         if method == "POST" and path in _DATA_ROUTES and status < 400:
@@ -376,6 +424,7 @@ class AsyncServiceServer:
     def _poll_finished(self, _future: asyncio.Future) -> None:
         """Release a parked poll's slot (runs on the loop)."""
         self._active_polls -= 1
+        self._obs.async_parked_polls.set(self._active_polls)
 
     def _bump_epoch(self, scoped: Tuple[str, str]) -> None:
         """Invalidate coalescing for a ``(tenant, dataset)`` whose
@@ -421,7 +470,7 @@ class AsyncServiceServer:
         single-use: the return value is always ``False`` once the
         stream head has been written.
         """
-        self._requests += 1
+        self._obs.async_requests.inc()
         query = path.partition("?")[2]
         params = dict(pair.split("=", 1)
                       for pair in query.split("&") if "=" in pair)
@@ -514,34 +563,55 @@ class AsyncServiceServer:
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        extra: Dict[str, str] = {}
         keep_alive = headers.get("connection", "").lower() != "close"
         if method == "GET" and path.partition("?")[0] == "/subscribe":
             # SSE: an unframed streaming response, written directly —
             # _respond's fixed Content-Length cannot carry it
             return await self._handle_subscribe_stream(writer, path)
+        started = time.perf_counter()
+        trace = begin_trace(headers.get(TRACE_HEADER.lower()))
+        extra: Dict[str, str] = {TRACE_HEADER: trace.trace_id}
+        if method == "GET" and path.partition("?")[0] == "/metrics":
+            body_bytes, content_type = self.router.metrics_text()
+            self._write_head(writer, 200, len(body_bytes),
+                             content_type, extra)
+            writer.write(body_bytes)
+            await writer.drain()
+            self.router.observe_request(method, path, 200,
+                                        time.perf_counter() - started,
+                                        trace)
+            return keep_alive
         try:
             length = parse_content_length(headers.get("content-length"))
         except ProtocolError as error:
             # framing is broken: the body (whose length we cannot
             # know) is still on the wire, so answering and keeping the
             # connection would parse those bytes as the next request
-            status, payload, extra = error_payload(error)
+            status, payload, more = error_payload(error, trace.trace_id)
+            extra.update(more)
             self._respond(writer, status, payload, extra)
             await writer.drain()
+            self.router.observe_request(method, path, status,
+                                        time.perf_counter() - started,
+                                        trace)
             return False
         try:
             body = await reader.readexactly(length) if length else b""
-            status, payload = await self._dispatch(method, path, body,
-                                                   headers)
+            with tracing(trace):
+                status, payload = await self._dispatch(method, path,
+                                                       body, headers,
+                                                       trace)
         except asyncio.IncompleteReadError:
             raise
         except Exception as error:
-            status, payload, extra = error_payload(error)
+            status, payload, more = error_payload(error, trace.trace_id)
+            extra.update(more)
             if self.verbose and status >= 500:
                 print(f"repro aserve: {method} {path} -> {status}: {error}")
-        self._respond(writer, status, payload, extra)
+        self._respond(writer, status, payload, extra, trace=trace)
         await writer.drain()
+        self.router.observe_request(method, path, status,
+                                    time.perf_counter() - started, trace)
         return keep_alive
 
     _REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
@@ -550,17 +620,25 @@ class AsyncServiceServer:
                 500: "Internal Server Error", 501: "Not Implemented",
                 503: "Service Unavailable"}
 
-    def _respond(self, writer: asyncio.StreamWriter, status: int,
-                 payload: Dict,
-                 headers: Optional[Dict[str, str]] = None) -> None:
-        body = json.dumps(payload).encode()
+    def _write_head(self, writer: asyncio.StreamWriter, status: int,
+                    length: int, content_type: str,
+                    headers: Optional[Dict[str, str]] = None) -> None:
         reason = self._REASONS.get(status, "OK")
         head = [f"HTTP/1.1 {status} {reason}",
-                "Content-Type: application/json",
-                f"Content-Length: {len(body)}"]
+                f"Content-Type: {content_type}",
+                f"Content-Length: {length}"]
         head.extend(f"{name}: {value}"
                     for name, value in (headers or {}).items())
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
+
+    def _respond(self, writer: asyncio.StreamWriter, status: int,
+                 payload: Dict,
+                 headers: Optional[Dict[str, str]] = None,
+                 trace: Optional[Trace] = None) -> None:
+        body = encode_body(payload, trace)
+        self._write_head(writer, status, len(body), "application/json",
+                         headers)
+        writer.write(body)
 
 
 class BackgroundAsyncServer:

@@ -25,7 +25,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
+
+from ..obs import Observability
+from ..obs.trace import span
 
 # Re-exported for backwards compatibility: the canonical fingerprint
 # implementation moved to :mod:`repro.fingerprint` (one code path for
@@ -63,15 +66,18 @@ class CacheStats:
 class RewritingCache:
     """A thread-safe LRU cache from OMQ fingerprints to compiled plans."""
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256,
+                 obs: Optional[Observability] = None):
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._obs = obs or Observability()
+        self._hits = self._obs.cache_hits
+        self._misses = self._obs.cache_misses
+        self._evictions = self._obs.cache_evictions
+        self._size_gauge = self._obs.cache_entries
 
     def key(self, omq, options=None, method: str = "auto",
             magic: bool = False) -> Tuple:
@@ -90,13 +96,16 @@ class RewritingCache:
 
     def get(self, key: Tuple):
         """The cached plan for ``key`` (``None`` on a miss)."""
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
+        with span("cache-lookup") as entry_span:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self._misses.inc()
+                    entry_span.attrs["hit"] = False
+                    return None
+                self._entries.move_to_end(key)
+                self._hits.inc()
+            entry_span.attrs["hit"] = True
             return entry
 
     def put(self, key: Tuple, value) -> None:
@@ -109,7 +118,8 @@ class RewritingCache:
         self._entries[key] = value
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
-            self._evictions += 1
+            self._evictions.inc()
+        self._size_gauge.set(len(self._entries))
 
     def get_or_compute(self, key: Tuple, compute: Callable[[], object]):
         """The cached value for ``key``, filling it via ``compute``.
@@ -133,11 +143,13 @@ class RewritingCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._size_gauge.set(0)
 
     def stats(self) -> CacheStats:
         with self._lock:
-            return CacheStats(hits=self._hits, misses=self._misses,
-                              evictions=self._evictions,
+            return CacheStats(hits=int(self._hits.value),
+                              misses=int(self._misses.value),
+                              evictions=int(self._evictions.value),
                               size=len(self._entries),
                               maxsize=self.maxsize)
 

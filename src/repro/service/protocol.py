@@ -29,6 +29,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..data.abox import ABox
 from ..engine import ENGINES, available_engines
+from ..obs import PROMETHEUS_CONTENT_TYPE, Trace
+from ..obs.trace import mint_trace_id, span, valid_trace_id
 from ..ontology import TBox
 from ..queries import CQ
 from ..rewriting.api import OMQ
@@ -40,6 +42,55 @@ from .service import BatchRequest, OMQService
 #: this much; both servers share the bound so neither can be held open
 #: indefinitely by one subscriber.
 MAX_POLL_TIMEOUT = 30.0
+
+#: Request/response header carrying the trace ID.  Honored inbound
+#: (clients correlate their logs with the server's), echoed on every
+#: response — including errors — and minted when absent.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: The routes both servers serve; anything else is folded into
+#: ``"other"`` for metric labels, so hostile paths cannot explode the
+#: ``route`` label's cardinality.
+KNOWN_ROUTES = frozenset({
+    "/health", "/stats", "/metrics", "/datasets", "/tboxes", "/answer",
+    "/explain", "/batch", "/update", "/subscribe", "/unsubscribe",
+    "/poll"})
+
+
+def begin_trace(header: Optional[str]) -> Trace:
+    """The request's :class:`~repro.obs.trace.Trace`: the inbound
+    ``X-Repro-Trace-Id`` is honored when it is a sane header value,
+    a fresh ID is minted otherwise."""
+    trace_id = None
+    if header is not None and valid_trace_id(header.strip()):
+        trace_id = header.strip()
+    return Trace(trace_id or mint_trace_id())
+
+
+def metric_route(path: str) -> str:
+    """``path`` reduced to a bounded metric label."""
+    base = path.split("?", 1)[0]
+    return base if base in KNOWN_ROUTES else "other"
+
+
+def encode_body(payload: Dict, trace: Optional[Trace] = None) -> bytes:
+    """Serialize a response body, timing it as the ``encode`` span.
+
+    When the client asked for the trace (``"trace": true`` in the
+    request payload), the trace payload — including this encode span —
+    is spliced into the body, at the cost of serialising twice; the
+    common untraced path serialises once.
+    """
+    if trace is None:
+        return json.dumps(payload).encode("utf-8")
+    if trace.wanted:
+        with trace.span("encode"):
+            json.dumps(payload)
+        enriched = dict(payload)
+        enriched["trace"] = trace.payload()
+        return json.dumps(enriched).encode("utf-8")
+    with trace.span("encode"):
+        return json.dumps(payload).encode("utf-8")
 
 
 class ProtocolError(ValueError):
@@ -85,32 +136,42 @@ def overloaded_error(depth: int, max_pending: int,
         status=429, error_type="overloaded", retry_after=retry_after)
 
 
-def error_payload(error: Exception) -> Tuple[int, Dict[str, object],
-                                             Dict[str, str]]:
+def error_payload(error: Exception,
+                  trace_id: Optional[str] = None
+                  ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
     """Map any handler exception to ``(status, body, extra_headers)``.
 
     The one error-shaping path for both servers: client mistakes
     (``ValueError`` and friends — bad fields, unknown datasets,
     malformed atoms) are 400s, everything else is a 500 that never
-    drops the connection.
+    drops the connection.  ``trace_id`` lands in the body (and the
+    caller echoes it as the header), so 429/403/500s are attributable
+    in client logs.
     """
     if isinstance(error, ProtocolError):
-        return error.status, error.payload(), error.headers()
-    if isinstance(error, RateLimited):
+        status, body, headers = (error.status, error.payload(),
+                                 error.headers())
+    elif isinstance(error, RateLimited):
         # same wire shape as queue-depth backpressure, so clients
         # handle both through one ServiceError.retry_after path
-        return 429, {"error": str(error), "error_type": "rate_limited",
-                     "retry_after": error.retry_after}, \
+        status, body, headers = 429, \
+            {"error": str(error), "error_type": "rate_limited",
+             "retry_after": error.retry_after}, \
             {"Retry-After": f"{error.retry_after:g}"}
-    if isinstance(error, QuotaError):
-        return 403, {"error": str(error), "error_type": "quota_exceeded",
-                     "resource": error.resource,
-                     "limit": error.limit}, {}
-    if isinstance(error, (ValueError, KeyError, TypeError)):
-        return 400, {"error": str(error),
-                     "error_type": "bad_request"}, {}
-    return 500, {"error": f"internal error: {error}",
-                 "error_type": "internal"}, {}
+    elif isinstance(error, QuotaError):
+        status, body, headers = 403, \
+            {"error": str(error), "error_type": "quota_exceeded",
+             "resource": error.resource, "limit": error.limit}, {}
+    elif isinstance(error, (ValueError, KeyError, TypeError)):
+        status, body, headers = 400, \
+            {"error": str(error), "error_type": "bad_request"}, {}
+    else:
+        status, body, headers = 500, \
+            {"error": f"internal error: {error}",
+             "error_type": "internal"}, {}
+    if trace_id is not None:
+        body["trace_id"] = trace_id
+    return status, body, headers
 
 
 #: Request header carrying the caller's tenant (the ``tenant`` payload
@@ -207,6 +268,24 @@ class Router:
         self.service = service
         self._extra_stats = extra_stats
         self._started = time.time()
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_text(self) -> Tuple[bytes, str]:
+        """``GET /metrics``: the service registry in Prometheus text
+        format, plus its content type.  Both servers serve this from
+        the same shared registry, so the exposed metric families are
+        identical by construction."""
+        text = self.service.obs.render_prometheus()
+        return text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+
+    def observe_request(self, method: str, path: str, status: int,
+                        seconds: float,
+                        trace: Optional[Trace] = None) -> None:
+        """Account one finished request (HTTP metric families + the
+        slow-query log); both servers call this once per response."""
+        self.service.obs.observe_http(metric_route(path), method,
+                                      status, seconds, trace)
 
     # -- admission -----------------------------------------------------------
 
@@ -368,19 +447,23 @@ class Router:
                                   tenant=tenant)
             return 201, {"registered": name}
         if path == "/answer":
-            request = self.decode_answer(payload, tenant=tenant)
+            with span("decode"):
+                request = self.decode_answer(payload, tenant=tenant)
             result = service.answer(request.dataset, request.omq,
                                     options=request.options,
                                     tenant=tenant)
             return 200, self.result_payload(result)
         if path == "/explain":
-            report = service.explain(self.decode_omq(payload, tenant=tenant),
-                                     options=self.decode_options(payload),
+            with span("decode"):
+                omq = self.decode_omq(payload, tenant=tenant)
+                options = self.decode_options(payload)
+            report = service.explain(omq, options=options,
                                      dataset=payload.get("dataset"),
                                      tenant=tenant)
             return 200, report
         if path == "/batch":
-            requests = self.decode_batch(payload, tenant=tenant)
+            with span("decode"):
+                requests = self.decode_batch(payload, tenant=tenant)
             results = service.answer_batch(requests)
             return 200, {"results": [self.result_payload(result)
                                      for result in results]}

@@ -80,20 +80,25 @@ servers parse and error identically.
 from __future__ import annotations
 
 import argparse
-import json
+import time
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional
 
 from ..data.abox import ABox
 from ..engine import ENGINES
+from ..obs import configure_logging
+from ..obs.trace import tracing
 from ..ontology import TBox
 from ..store import TenantQuota
 from .protocol import (
     TENANT_HEADER,
+    TRACE_HEADER,
     ProtocolError,
     Router,
+    begin_trace,
     decode_json_body,
+    encode_body,
     error_payload,
     overloaded_error,
     parse_content_length,
@@ -115,10 +120,15 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send(self, payload: Dict, status: int = 200,
-              headers: Optional[Dict[str, str]] = None) -> None:
-        body = json.dumps(payload).encode()
+              headers: Optional[Dict[str, str]] = None,
+              trace=None) -> None:
+        self._send_bytes(encode_body(payload, trace), status,
+                         "application/json", headers)
+
+    def _send_bytes(self, body: bytes, status: int, content_type: str,
+                    headers: Optional[Dict[str, str]] = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -137,22 +147,45 @@ class _Handler(BaseHTTPRequestHandler):
         return decode_json_body(self.rfile.read(length) if length else b"")
 
     def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        trace = begin_trace(self.headers.get(TRACE_HEADER))
+        echo = {TRACE_HEADER: trace.trace_id}
+        status = 500
         try:
-            admitted = self.server.admit(method, self.path)
-            try:
-                payload = self._read_json() if method == "POST" else {}
-                tenant = resolve_tenant(
-                    self.headers.get(TENANT_HEADER), payload)
-                self.server.router.throttle(tenant, method, self.path)
-                status, body = self.server.router.handle(
-                    method, self.path, payload, tenant=tenant)
-                self._send(body, status)
-            finally:
-                if admitted:
-                    self.server.release(admitted)
-        except Exception as error:  # never drop an answerable request
-            status, body, headers = error_payload(error)
-            self._send(body, status, headers)
+            with tracing(trace):
+                try:
+                    if (method == "GET"
+                            and self.path.split("?", 1)[0] == "/metrics"):
+                        body, content_type = \
+                            self.server.router.metrics_text()
+                        status = 200
+                        self._send_bytes(body, status, content_type,
+                                         echo)
+                        return
+                    admitted = self.server.admit(method, self.path)
+                    try:
+                        payload = (self._read_json()
+                                   if method == "POST" else {})
+                        trace.wanted = bool(payload.get("trace"))
+                        tenant = resolve_tenant(
+                            self.headers.get(TENANT_HEADER), payload)
+                        self.server.router.throttle(tenant, method,
+                                                    self.path)
+                        status, body = self.server.router.handle(
+                            method, self.path, payload, tenant=tenant)
+                        self._send(body, status, echo, trace=trace)
+                    finally:
+                        if admitted:
+                            self.server.release(admitted)
+                except Exception as error:  # never drop a request
+                    status, body, headers = error_payload(
+                        error, trace.trace_id)
+                    headers.update(echo)
+                    self._send(body, status, headers, trace=trace)
+        finally:
+            self.server.router.observe_request(
+                method, self.path, status,
+                time.perf_counter() - started, trace)
 
     # -- verbs ---------------------------------------------------------------
 
@@ -283,6 +316,19 @@ def add_serve_arguments(parser) -> None:
     parser.add_argument("--rate-burst", type=float, default=20.0,
                         help="token-bucket burst headroom on top of "
                              "--rate-limit")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        metavar="MS",
+                        help="log requests slower than MS milliseconds "
+                             "(trace ID, plan fingerprint and per-span "
+                             "timings; also kept in /stats under "
+                             "observability.slow_query_log)")
+    parser.add_argument("--log-level", default="info",
+                        choices=["debug", "info", "warning", "error"],
+                        help="repro.* logger level")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured JSON log lines (one "
+                             "object per line, trace-aware) instead of "
+                             "plain text")
 
 
 def build_service(args, error) -> OMQService:
@@ -323,6 +369,9 @@ def build_service(args, error) -> OMQService:
             return error(f"--tbox expects NAME=PATH, got {spec!r}")
         with open(path) as handle:
             service.register_tbox(name, TBox.parse(handle.read()))
+    slow_ms = getattr(args, "slow_query_ms", None)
+    if slow_ms is not None:
+        service.obs.slow_query_ms = float(slow_ms)
     return service
 
 
@@ -333,6 +382,8 @@ def run(args, parser: Optional[argparse.ArgumentParser] = None) -> int:
             parser.error(message)
         raise SystemExit(message)
 
+    configure_logging(getattr(args, "log_level", "info"),
+                      bool(getattr(args, "log_json", False)))
     if getattr(args, "async_io", False):
         from .aserve import run_async
 

@@ -31,6 +31,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..data.abox import ABox, GroundAtom
 from ..engine import ENGINES
+from ..obs import Observability
+from ..obs import trace as _trace
 from ..rewriting.api import OMQ, AnswerSession
 from ..rewriting.plan import AnswerOptions
 from ..standing.maintain import (
@@ -243,6 +245,11 @@ class BatchRequest:
     optimize_program: bool = False
     options: Optional[AnswerOptions] = None
     tenant: str = DEFAULT_TENANT
+    #: Optional :class:`~repro.obs.trace.Trace` to record this entry's
+    #: spans under — the batching front-ends thread each request's
+    #: trace through here (the worker thread running the job activates
+    #: it; identity only, so it never partitions the dedup).
+    trace: Optional[object] = field(default=None, compare=False)
 
     def answer_options(self) -> AnswerOptions:
         """The request's options (built from the flags when unset)."""
@@ -306,7 +313,8 @@ class OMQService:
                  shard_executor: str = "auto",
                  store: Optional[DatasetStore] = None,
                  data_dir: Optional[str] = None,
-                 quota: Optional[TenantQuota] = None):
+                 quota: Optional[TenantQuota] = None,
+                 obs: Optional[Observability] = None):
         if default_engine not in ENGINES:
             raise ValueError(f"unknown engine {default_engine!r}; "
                              f"expected one of {ENGINES}")
@@ -315,26 +323,29 @@ class OMQService:
         #: Executor kind for datasets registered with ``shards >= 2``
         #: (``"auto"`` / ``"process"`` / ``"serial"``).
         self.shard_executor = shard_executor
-        self.cache = RewritingCache(maxsize=cache_size)
+        #: The service-wide metrics registry + slow-query log (see
+        #: :mod:`repro.obs`); every subsystem below shares it.
+        self.obs = obs or Observability()
+        self.cache = RewritingCache(maxsize=cache_size, obs=self.obs)
         #: Standing-query subscriptions (see :mod:`repro.standing`).
-        self.standing = StandingRegistry()
+        self.standing = StandingRegistry(obs=self.obs)
         if store is None and data_dir is not None:
             store = DatasetStore(data_dir)
         #: Durable backing store (``None`` = in-memory only).
         self.store = store
         #: Per-tenant namespaces, quotas and rate limits.
-        self.tenants = TenantManager(quota)
-        self._storage_errors = 0
+        self.tenants = TenantManager(quota, obs=self.obs)
+        self._storage_errors = self.obs.storage_write_errors
         self._datasets: Dict[str, _Dataset] = {}
         self._tboxes: Dict[str, object] = {}
         self._named_tboxes: Dict[str, object] = {}
         self._lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._requests = 0
-        self._batches = 0
-        self._batch_requests = 0
-        self._batch_deduped = 0
-        self._updates = 0
+        self._requests = self.obs.service_requests
+        self._batches = self.obs.service_batches
+        self._batch_requests = self.obs.service_batch_requests
+        self._batch_deduped = self.obs.service_batch_deduped
+        self._updates = self.obs.service_updates
         self._started = time.time()
 
     # -- registration --------------------------------------------------------
@@ -420,8 +431,7 @@ class OMQService:
         try:
             write()
         except Exception as error:
-            with self._lock:
-                self._storage_errors += 1
+            self._storage_errors.inc()
             log.error("dataset store write failed (%s): %s: %s",
                       description, type(error).__name__, error)
             return False
@@ -555,8 +565,11 @@ class OMQService:
         finally:
             pool.checkin(session)
         elapsed = time.perf_counter() - start
-        with self._lock:
-            self._requests += 1
+        self._requests.inc()
+        self.obs.answer_seconds.labels(engine=engine_name).observe(elapsed)
+        _trace.annotate("plan_fingerprint", result.plan_fingerprint)
+        _trace.annotate("dataset", state.name)
+        _trace.annotate("cached_rewriting", was_cached)
         state.requests += 1
         return ServiceResult(answers=result.answers, dataset=state.name,
                              method=options.method, engine=engine_name,
@@ -610,6 +623,17 @@ class OMQService:
 
             def run(job) -> ServiceResult:
                 _, positions = job
+                request = requests[positions[0]]
+                if request.trace is not None:
+                    # the job runs on a pool thread with no ambient
+                    # trace: activate the originating request's
+                    # (contexts are per-thread, so concurrent jobs
+                    # record into distinct traces)
+                    with _trace.tracing(request.trace):
+                        return self._answer_locked(
+                            states[scoped[positions[0]]],
+                            canonical[positions[0]],
+                            all_options[positions[0]])
                 return self._answer_locked(
                     states[scoped[positions[0]]],
                     canonical[positions[0]],
@@ -627,10 +651,9 @@ class OMQService:
         for (_, positions), outcome in zip(jobs, outcomes):
             for position in positions:
                 results[position] = outcome
-        with self._lock:
-            self._batches += 1
-            self._batch_requests += len(requests)
-            self._batch_deduped += len(requests) - len(jobs)
+        self._batches.inc()
+        self._batch_requests.inc(len(requests))
+        self._batch_deduped.inc(len(requests) - len(jobs))
         return results
 
     def explain(self, omq: OMQ, options: Optional[AnswerOptions] = None,
@@ -779,8 +802,7 @@ class OMQService:
             state.lock.release_write()
         self.tenants.adjust_facts(tenant,
                                   result.inserted - result.deleted)
-        with self._lock:
-            self._updates += 1
+        self._updates.inc()
         state.updates += 1
         return result
 
@@ -1108,8 +1130,7 @@ class OMQService:
             try:
                 summary.update(self.store.checkpoint())
             except Exception as error:
-                with self._lock:
-                    self._storage_errors += 1
+                self._storage_errors.inc()
                 log.error("store checkpoint failed: %s: %s",
                           type(error).__name__, error)
         return summary
@@ -1175,8 +1196,7 @@ class OMQService:
             status = self.store.status()
         except Exception as error:  # pragma: no cover - defensive
             status = {"enabled": True, "error": str(error)}
-        with self._lock:
-            status["write_errors"] = self._storage_errors
+        status["write_errors"] = int(self._storage_errors.value)
         return status
 
     # -- stats and lifecycle -------------------------------------------------
@@ -1184,17 +1204,18 @@ class OMQService:
     def stats(self) -> Dict[str, object]:
         with self._lock:
             datasets = dict(self._datasets)
-            counters = {"requests": self._requests,
-                        "batches": self._batches,
-                        "batch_requests": self._batch_requests,
-                        "batch_deduplicated": self._batch_deduped,
-                        "updates": self._updates,
-                        "uptime_seconds": round(
-                            time.time() - self._started, 3)}
+        counters = {"requests": int(self._requests.value),
+                    "batches": int(self._batches.value),
+                    "batch_requests": int(self._batch_requests.value),
+                    "batch_deduplicated": int(self._batch_deduped.value),
+                    "updates": int(self._updates.value),
+                    "uptime_seconds": round(
+                        time.time() - self._started, 3)}
         counters["cache"] = self.cache.stats().as_dict()
         counters["standing"] = self.standing.stats()
         counters["tenants"] = self.tenants.stats()
         counters["storage"] = self.storage_status()
+        counters["observability"] = self.obs.stats()
         per_dataset: Dict[str, object] = {}
         for name, state in sorted(datasets.items()):
             # the read lock keeps update() from mutating the ABox while
@@ -1243,6 +1264,6 @@ class OMQService:
     def __repr__(self) -> str:
         with self._lock:
             names = sorted(self._datasets)
-            requests = self._requests
+        requests = int(self._requests.value)
         return (f"OMQService({len(names)} datasets, {requests} requests, "
                 f"cache={self.cache.stats().size})")

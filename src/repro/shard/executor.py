@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..data.abox import ABox, GroundAtom
+from ..obs.trace import Trace, current_trace_id, tracing
 from ..rewriting.api import AnswerSession
 
 ShardDelta = Tuple[Sequence[GroundAtom], Sequence[GroundAtom]]
@@ -44,6 +45,9 @@ class ShardResult:
     seconds: float
     generated_tuples: int = 0
     relation_sizes: Dict[str, int] = field(default_factory=dict)
+    #: span payload dicts recorded inside the shard (worker-local
+    #: trace), grafted into the caller's trace as ``shard-N`` children
+    spans: Tuple = ()
 
 
 class Executor:
@@ -102,12 +106,22 @@ def _intern_plan_tbox(plan, tboxes: Dict[str, object]):
 
 
 def _shard_execute(session: AnswerSession, plan,
-                   engine: Optional[str]) -> Tuple:
+                   engine: Optional[str],
+                   trace_id: Optional[str] = None) -> Tuple:
     started = time.perf_counter()
-    result = plan.execute(session, engine=engine)
+    if trace_id is not None:
+        # record spans under a shard-local trace (the parent's trace
+        # object never crosses the pickle boundary — only its ID does)
+        local = Trace(trace_id)
+        with tracing(local):
+            result = plan.execute(session, engine=engine)
+        spans = [entry.payload() for entry in local.spans]
+    else:
+        result = plan.execute(session, engine=engine)
+        spans = []
     elapsed = time.perf_counter() - started
     return (result.answers, elapsed, result.generated_tuples,
-            dict(result.relation_sizes))
+            dict(result.relation_sizes), spans)
 
 
 class SerialExecutor(Executor):
@@ -127,12 +141,13 @@ class SerialExecutor(Executor):
     def execute(self, plan, engine: Optional[str] = None,
                 shards: Optional[Sequence[int]] = None
                 ) -> List[ShardResult]:
+        trace_id = current_trace_id()
         results = []
         for shard in self._selected(shards):
-            answers, seconds, generated, sizes = _shard_execute(
-                self._sessions[shard], plan, engine)
+            answers, seconds, generated, sizes, spans = _shard_execute(
+                self._sessions[shard], plan, engine, trace_id)
             results.append(ShardResult(shard, answers, seconds,
-                                       generated, sizes))
+                                       generated, sizes, tuple(spans)))
         return results
 
     def apply_deltas(self, deltas: Mapping[int, ShardDelta]
@@ -162,10 +177,11 @@ def _worker_main(connection, abox: ABox, engine: str) -> None:
                 break
             try:
                 if command == "execute":
-                    _, plan, engine_name = message
+                    _, plan, engine_name, trace_id = message
                     plan = _intern_plan_tbox(plan, tboxes)
                     connection.send(
-                        ("ok", _shard_execute(session, plan, engine_name)))
+                        ("ok", _shard_execute(session, plan,
+                                              engine_name, trace_id)))
                 elif command == "update":
                     _, inserts, deletes = message
                     outcome = session.apply_update(inserts=inserts,
@@ -299,19 +315,21 @@ class ProcessExecutor(Executor):
     def execute(self, plan, engine: Optional[str] = None,
                 shards: Optional[Sequence[int]] = None
                 ) -> List[ShardResult]:
+        trace_id = current_trace_id()
         with self._lock:
             self._check_usable()
             if shards is None:
                 selected = list(range(self.shards))
-                self._broadcast(("execute", plan, engine))
+                self._broadcast(("execute", plan, engine, trace_id))
             else:
                 selected = self._selected(shards)
-                message = ("execute", plan, engine)
+                message = ("execute", plan, engine, trace_id)
                 self._scatter(selected,
                               (message for _ in selected))
             payloads = self._gather_all(selected)
-        return [ShardResult(shard, answers, seconds, generated, sizes)
-                for shard, (answers, seconds, generated, sizes)
+        return [ShardResult(shard, answers, seconds, generated, sizes,
+                            tuple(spans))
+                for shard, (answers, seconds, generated, sizes, spans)
                 in zip(selected, payloads)]
 
     def apply_deltas(self, deltas: Mapping[int, ShardDelta]

@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..data.abox import ABox, GroundAtom
 from ..datalog.program import NDLQuery
+from ..obs import trace as _trace
 from ..rewriting.api import OMQ, AnswerSession, compile_data_variant
 from ..rewriting.plan import AnswerOptions, Answers, Plan, compile_omq
 from ..service.updates import UpdateDelta, UpdateResult, _dedup
@@ -147,30 +148,42 @@ class ShardedSession:
         with self._lock:
             self._check_usable()
             started = time.perf_counter()
-            if cq.is_connected:
-                rounds = [self._executor.execute(plan, engine=engine_name)]
-                answers = frozenset().union(
-                    *(result.answers for result in rounds[0]))
-            else:
-                try:
-                    sub_plans = self._component_plans(plan)
-                except Exception as error:
-                    log.warning(
-                        "disconnected CQ %s does not decompose (%s); "
-                        "falling back to monolithic execution", cq, error)
-                    return self._execute_fallback(plan, engine_name,
-                                                  options)
-                rounds = []
-                component_sets = []
-                for _, sub_plan in sub_plans:
-                    results = self._executor.execute(sub_plan,
-                                                     engine=engine_name)
-                    rounds.append(results)
-                    component_sets.append(frozenset().union(
-                        *(result.answers for result in results)))
-                answers = _cross_product(
-                    cq.answer_vars,
-                    [vars_t for vars_t, _ in sub_plans], component_sets)
+            with _trace.span("execute") as exec_span:
+                exec_span.attrs["shards"] = self.shards
+                exec_span.attrs["engine"] = engine_name
+                if cq.is_connected:
+                    rounds = [self._executor.execute(plan,
+                                                     engine=engine_name)]
+                    answers = frozenset().union(
+                        *(result.answers for result in rounds[0]))
+                else:
+                    try:
+                        sub_plans = self._component_plans(plan)
+                    except Exception as error:
+                        log.warning(
+                            "disconnected CQ %s does not decompose (%s); "
+                            "falling back to monolithic execution",
+                            cq, error)
+                        return self._execute_fallback(plan, engine_name,
+                                                      options)
+                    rounds = []
+                    component_sets = []
+                    for _, sub_plan in sub_plans:
+                        results = self._executor.execute(
+                            sub_plan, engine=engine_name)
+                        rounds.append(results)
+                        component_sets.append(frozenset().union(
+                            *(result.answers for result in results)))
+                    answers = _cross_product(
+                        cq.answer_vars,
+                        [vars_t for vars_t, _ in sub_plans],
+                        component_sets)
+                # graft each shard's worker-recorded spans in as
+                # ``shard-N`` children of the open ``execute`` span
+                for results in rounds:
+                    for result in results:
+                        _trace.record(f"shard-{result.shard}",
+                                      result.seconds, result.spans)
             elapsed = time.perf_counter() - started
         return self._merge(plan, answers, rounds, elapsed, engine_name,
                            effective)

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 from ..data.abox import ABox
 from ..datalog.evaluate import EvaluationResult
 from ..datalog.program import ADOM, NDLQuery
+from ..obs.trace import span as _span
 from .compile import SQLCompilation, compile_query
 from .schema import (
     create_schema,
@@ -173,9 +174,10 @@ class SQLEngine:
         if cached is not None:
             self._compilations.move_to_end(key)
             return cached
-        compilation = compile_query(query, materialised=materialised,
-                                    optimize=optimize_sql,
-                                    dialect=self.dialect)
+        with _span("sql-compile"):
+            compilation = compile_query(query, materialised=materialised,
+                                        optimize=optimize_sql,
+                                        dialect=self.dialect)
         self._compilations[key] = compilation
         while len(self._compilations) > _COMPILATION_CACHE_SIZE:
             self._compilations.popitem(last=False)

@@ -36,6 +36,8 @@ from typing import (
     Tuple,
 )
 
+from ..obs import Observability
+
 Row = Tuple[str, ...]
 
 #: Default per-subscription delta history (polls further back resync).
@@ -171,7 +173,8 @@ class StandingRegistry:
     conditions, so there is no lock-order cycle.
     """
 
-    def __init__(self, history_limit: int = HISTORY_LIMIT):
+    def __init__(self, history_limit: int = HISTORY_LIMIT,
+                 obs: Optional[Observability] = None):
         self.history_limit = max(1, history_limit)
         self._lock = threading.RLock()
         self._subs: Dict[str, StandingQuery] = {}
@@ -179,14 +182,16 @@ class StandingRegistry:
         #: dataset -> predicate -> subscription ids
         self._index: Dict[str, Dict[str, Set[str]]] = {}
         self._counter = itertools.count(1)
-        # counters (served under "standing" in /stats)
-        self._subscribed_total = 0
-        self._deltas_pushed = 0
-        self._tuples_pushed = 0
-        self._resyncs = 0
-        self._fallbacks = 0
-        self._polls = 0
-        self._maintenance_seconds = 0.0
+        # counters (served under "standing" in /stats and as
+        # ``repro_standing_*`` metric families)
+        self._obs = obs or Observability()
+        self._subscribed_total = self._obs.standing_subscribed
+        self._deltas_pushed = self._obs.standing_deltas
+        self._tuples_pushed = self._obs.standing_tuples
+        self._resyncs = self._obs.standing_resyncs
+        self._fallbacks = self._obs.standing_fallbacks
+        self._polls = self._obs.standing_polls
+        self._maintenance_seconds = self._obs.standing_maintenance_seconds
 
     # -- membership ----------------------------------------------------------
 
@@ -201,7 +206,7 @@ class StandingRegistry:
             index = self._index.setdefault(sub.dataset, {})
             for predicate in sub.predicates:
                 index.setdefault(predicate, set()).add(sub.subscription_id)
-            self._subscribed_total += 1
+            self._subscribed_total.inc()
 
     def get(self, subscription_id: str) -> StandingQuery:
         with self._lock:
@@ -338,9 +343,8 @@ class StandingRegistry:
             sub.condition.notify_all()
         if not delta.empty:
             payload = delta.payload()
-            with self._lock:
-                self._deltas_pushed += 1
-                self._tuples_pushed += len(delta.added) + len(delta.removed)
+            self._deltas_pushed.inc()
+            self._tuples_pushed.inc(len(delta.added) + len(delta.removed))
             for listener in listeners:
                 listener(payload)
 
@@ -350,16 +354,13 @@ class StandingRegistry:
             sub.epoch = max(sub.epoch, epoch)
 
     def record_fallback(self) -> None:
-        with self._lock:
-            self._fallbacks += 1
+        self._fallbacks.inc()
 
     def record_resync(self) -> None:
-        with self._lock:
-            self._resyncs += 1
+        self._resyncs.inc()
 
     def record_maintenance(self, seconds: float) -> None:
-        with self._lock:
-            self._maintenance_seconds += seconds
+        self._maintenance_seconds.inc(seconds)
 
     # -- consumption ---------------------------------------------------------
 
@@ -404,8 +405,7 @@ class StandingRegistry:
         import time
 
         sub = self.get(subscription_id)
-        with self._lock:
-            self._polls += 1
+        self._polls.inc()
         deadline = time.monotonic() + max(0.0, timeout)
         with sub.condition:
             if since_epoch is None:
@@ -440,12 +440,12 @@ class StandingRegistry:
             per_dataset = {dataset: len(ids) for dataset, ids
                            in sorted(self._by_dataset.items())}
             return {"subscriptions": len(self._subs),
-                    "subscribed_total": self._subscribed_total,
+                    "subscribed_total": int(self._subscribed_total.value),
                     "per_dataset": per_dataset,
-                    "deltas_pushed": self._deltas_pushed,
-                    "tuples_pushed": self._tuples_pushed,
-                    "resyncs": self._resyncs,
-                    "fallback_reexecutions": self._fallbacks,
-                    "polls": self._polls,
+                    "deltas_pushed": int(self._deltas_pushed.value),
+                    "tuples_pushed": int(self._tuples_pushed.value),
+                    "resyncs": int(self._resyncs.value),
+                    "fallback_reexecutions": int(self._fallbacks.value),
+                    "polls": int(self._polls.value),
                     "maintenance_seconds": round(
-                        self._maintenance_seconds, 6)}
+                        self._maintenance_seconds.value, 6)}

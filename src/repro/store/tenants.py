@@ -32,6 +32,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs import Observability
+
 #: The unscoped tenant every existing caller implicitly uses.
 DEFAULT_TENANT = ""
 
@@ -115,10 +117,14 @@ class TenantManager:
     enforce identical limits.
     """
 
-    def __init__(self, quota: Optional[TenantQuota] = None):
+    def __init__(self, quota: Optional[TenantQuota] = None,
+                 obs: Optional[Observability] = None):
         self.quota = quota or TenantQuota()
         self._lock = threading.Lock()
         self._tenants: Dict[str, _TenantState] = {}
+        # the per-tenant ints in _TenantState stay authoritative for
+        # /stats; the labeled families mirror them for /metrics
+        self._obs = obs or Observability()
 
     # -- namespaces ----------------------------------------------------------
 
@@ -172,6 +178,8 @@ class TenantManager:
         if rate is None:
             with self._lock:
                 self._state(tenant).requests += 1
+            self._obs.tenant_requests.labels(
+                tenant=tenant or "default").inc()
             return
         burst = self.quota.rate_burst
         now = time.monotonic()
@@ -183,9 +191,16 @@ class TenantManager:
             if state.tokens >= cost:
                 state.tokens -= cost
                 state.requests += 1
-                return
-            state.rate_limited += 1
-            retry_after = (cost - state.tokens) / rate
+                admitted = True
+            else:
+                state.rate_limited += 1
+                retry_after = (cost - state.tokens) / rate
+                admitted = False
+        label = tenant or "default"
+        if admitted:
+            self._obs.tenant_requests.labels(tenant=label).inc()
+            return
+        self._obs.tenant_rate_limited.labels(tenant=label).inc()
         raise RateLimited(tenant, retry_after)
 
     # -- quotas --------------------------------------------------------------
@@ -253,6 +268,8 @@ class TenantManager:
                requested: int, limit: Optional[int]) -> None:
         if limit is not None and requested > limit:
             state.quota_rejections += 1
+            self._obs.tenant_quota_rejections.labels(
+                tenant=tenant or "default").inc()
             raise QuotaError(tenant, resource, limit, requested)
 
     def _state(self, tenant: str) -> _TenantState:

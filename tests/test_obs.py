@@ -1,0 +1,467 @@
+"""The observability layer: metrics, tracing, logging, export surfaces.
+
+Four contracts:
+
+* the metrics registry's histogram percentile math and Prometheus
+  text rendering are correct;
+* both HTTP front-ends serve ``GET /metrics`` with an *identical*
+  family set (they share the service registry, so this holds by
+  construction — the test pins it at the wire level);
+* every response echoes ``X-Repro-Trace-Id`` (honoring a sane inbound
+  ID), error bodies carry ``trace_id``, and a traced ``/answer``
+  returns a span breakdown that reaches through the micro-batch pool
+  and the sharded process executor;
+* the no-trace fast path is a shared no-op, so instrumentation stays
+  out of the way when nobody asked for a trace.
+"""
+
+import io
+import json
+import logging
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import OMQ, Client, ServiceError
+from repro.obs import (Observability, configure_logging, get_logger,
+                       parse_prometheus_families)
+from repro.obs import logs as obs_logs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import _NULL_SPAN, Trace, span, tracing
+from repro.queries import chain_cq
+from repro.service import OMQService, serve_in_background
+from repro.service.serve import build_server
+
+from .helpers import example11_tbox, random_data
+
+TBOX = example11_tbox()
+
+QUERY_PAYLOAD = {
+    "dataset": "demo",
+    "tbox_text": "roles: P, R, S\nP <= S\nP <= R-",
+    "query": "R(x, y), S(y, z)",
+    "answers": ["x", "z"],
+}
+
+
+def _http(base, path, payload=None, headers=None):
+    """One raw HTTP round trip: ``(status, headers, decoded body)``."""
+    all_headers = {"Content-Type": "application/json"}
+    all_headers.update(headers or {})
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(base + path, data, all_headers)
+    try:
+        with urllib.request.urlopen(request) as response:
+            raw = response.read()
+            status, reply_headers = response.status, dict(response.headers)
+    except urllib.error.HTTPError as error:
+        raw, status, reply_headers = error.read(), error.code, \
+            dict(error.headers)
+    content_type = reply_headers.get("Content-Type", "")
+    if content_type.startswith("application/json"):
+        return status, reply_headers, json.loads(raw)
+    return status, reply_headers, raw.decode()
+
+
+@pytest.fixture
+def threaded_url():
+    service = OMQService(max_workers=2)
+    service.register_dataset("demo", random_data(1))
+    server = build_server(service, port=0, verbose=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", service
+    server.shutdown()
+    thread.join(timeout=10)
+    server.server_close()
+    service.close()
+
+
+@pytest.fixture
+def async_url():
+    service = OMQService(max_workers=2)
+    service.register_dataset("demo", random_data(1))
+    with serve_in_background(service) as handle:
+        yield handle.url, service
+    service.close()
+
+
+# -- histogram math ---------------------------------------------------------
+
+
+class TestHistogramPercentiles:
+    def test_single_observation_is_exact(self):
+        hist = MetricsRegistry().histogram("h_seconds", "test")
+        hist.observe(0.0421)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["p50"] == pytest.approx(0.0421)
+        assert summary["p95"] == pytest.approx(0.0421)
+        assert summary["p99"] == pytest.approx(0.0421)
+
+    def test_percentiles_ordered_and_bounded(self):
+        hist = MetricsRegistry().histogram("h_seconds", "test")
+        values = [0.001 * i for i in range(1, 101)]
+        for value in values:
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(sum(values) / 100,
+                                                rel=1e-6)
+        assert min(values) <= summary["p50"] <= summary["p95"] \
+            <= summary["p99"] <= max(values)
+        # the median of 1..100 ms is ~50ms; the log buckets put it in
+        # [25ms, 50ms], so interpolation must land in that vicinity
+        assert 0.02 <= summary["p50"] <= 0.06
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = MetricsRegistry().histogram("h_seconds", "test")
+        for _ in range(50):
+            hist.observe(0.003)
+        summary = hist.summary()
+        assert summary["p99"] == pytest.approx(0.003)
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total", "test")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_registry_rejects_type_conflicts(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "test")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "test")
+
+
+class TestPrometheusRendering:
+    def test_text_format(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("demo_total", "A demo counter.",
+                                   ("kind",))
+        counter.labels(kind="a").inc(3)
+        hist = registry.histogram("demo_seconds", "A demo histogram.")
+        hist.observe(0.004)
+        hist.observe(0.2)
+        text = registry.render_prometheus()
+        assert "# HELP demo_total A demo counter." in text
+        assert "# TYPE demo_total counter" in text
+        assert 'demo_total{kind="a"} 3' in text
+        assert "# TYPE demo_seconds histogram" in text
+        assert 'demo_seconds_bucket{le="+Inf"} 2' in text
+        assert "demo_seconds_count 2" in text
+        assert "demo_seconds_sum" in text
+        # buckets are cumulative: the 0.25s bucket holds both samples
+        assert 'demo_seconds_bucket{le="0.25"} 2' in text
+
+    def test_parse_families_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "test")
+        registry.gauge("b", "test")
+        registry.histogram("c_seconds", "test")
+        families = parse_prometheus_families(
+            registry.render_prometheus())
+        assert families == {"a_total": "counter", "b": "gauge",
+                            "c_seconds": "histogram"}
+
+
+# -- /metrics on both front-ends -------------------------------------------
+
+
+class TestMetricsEndpoint:
+    def test_threaded_metrics(self, threaded_url):
+        url, _ = threaded_url
+        status, headers, text = _http(url, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        assert "repro_http_requests_total" in text
+
+    def test_family_parity_threaded_vs_async(self, threaded_url,
+                                             async_url):
+        threaded, _ = threaded_url
+        asynced, _ = async_url
+        # exercise different routes on each before scraping: families
+        # are created eagerly, so the sets must match anyway
+        _http(threaded, "/answer", QUERY_PAYLOAD)
+        _http(asynced, "/stats")
+        _, _, threaded_text = _http(threaded, "/metrics")
+        _, _, async_text = _http(asynced, "/metrics")
+        threaded_families = parse_prometheus_families(threaded_text)
+        async_families = parse_prometheus_families(async_text)
+        assert threaded_families == async_families
+        assert "repro_answer_seconds" in threaded_families
+        assert "repro_async_requests_total" in threaded_families
+
+    def test_http_counters_move(self, async_url):
+        url, service = async_url
+        before = int(service.obs.http_requests.labels(
+            route="/answer", method="POST", status="200").value)
+        status, _, _ = _http(url, "/answer", QUERY_PAYLOAD)
+        assert status == 200
+        # accounting runs in the handler's finally, after the response
+        # bytes go out — poll briefly instead of racing it
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            after = int(service.obs.http_requests.labels(
+                route="/answer", method="POST", status="200").value)
+            if after == before + 1:
+                break
+            time.sleep(0.01)
+        assert after == before + 1
+        assert service.obs.http_seconds.labels(
+            route="/answer").summary()["count"] >= 1
+
+
+# -- trace IDs on the wire --------------------------------------------------
+
+
+class _TraceWireContract:
+    """Header echo + error attribution, run against both servers."""
+
+    def test_response_echoes_minted_trace_id(self, server_url):
+        url, _ = server_url
+        status, headers, _ = _http(url, "/health")
+        assert status == 200
+        assert headers.get("X-Repro-Trace-Id")
+
+    def test_inbound_trace_id_is_honored(self, server_url):
+        url, _ = server_url
+        status, headers, _ = _http(
+            url, "/answer", QUERY_PAYLOAD,
+            headers={"X-Repro-Trace-Id": "req-12345"})
+        assert status == 200
+        assert headers["X-Repro-Trace-Id"] == "req-12345"
+
+    def test_error_body_carries_trace_id(self, server_url):
+        url, _ = server_url
+        payload = dict(QUERY_PAYLOAD, dataset="missing")
+        status, headers, body = _http(
+            url, "/answer", payload,
+            headers={"X-Repro-Trace-Id": "err-42"})
+        assert status >= 400
+        assert body["trace_id"] == "err-42"
+        assert headers["X-Repro-Trace-Id"] == "err-42"
+
+    def test_client_surfaces_trace_id(self, server_url):
+        url, _ = server_url
+        client = Client.connect(url)
+        omq = OMQ(TBOX, chain_cq("RS"))
+        client.answer("demo", omq)
+        assert client.last_trace_id
+        with pytest.raises(ServiceError) as info:
+            client.answer("missing", omq)
+        assert info.value.trace_id == client.last_trace_id
+
+    def test_traced_answer_returns_spans(self, server_url):
+        url, _ = server_url
+        client = Client.connect(url)
+        omq = OMQ(TBOX, chain_cq("RS"))
+        client.answer("demo", omq)  # warm the rewriting cache
+        result = client.answer("demo", omq, trace=True)
+        assert result.trace is not None
+        assert result.trace["trace_id"] == client.last_trace_id
+        names = {entry["name"] for entry in result.trace["spans"]}
+        assert {"decode", "cache-lookup", "execute",
+                "encode"} <= names
+        untraced = client.answer("demo", omq)
+        assert untraced.trace is None
+
+
+class TestThreadedTraceWire(_TraceWireContract):
+    @pytest.fixture
+    def server_url(self, threaded_url):
+        return threaded_url
+
+
+class TestAsyncTraceWire(_TraceWireContract):
+    @pytest.fixture
+    def server_url(self, async_url):
+        return async_url
+
+
+# -- end-to-end through the sharded process executor ------------------------
+
+
+class TestShardedTrace:
+    @pytest.fixture
+    def sharded_service(self):
+        service = OMQService(max_workers=2, shard_executor="process")
+        service.register_dataset(
+            "demo", random_data(3, individuals=24, atoms=120), shards=3)
+        yield service
+        service.close()
+
+    def test_trace_reaches_shard_workers(self, sharded_service):
+        omq = OMQ(TBOX, chain_cq("RS"))
+        active = Trace(wanted=True)
+        with tracing(active):
+            sharded_service.answer("demo", omq)
+        payload = active.payload()
+        execute = [entry for entry in payload["spans"]
+                   if entry["name"] == "execute"]
+        assert execute, payload
+        children = {child["name"]
+                    for child in execute[0].get("children", ())}
+        shard_spans = {name for name in children
+                       if name.startswith("shard-")}
+        assert len(shard_spans) >= 2, children
+        assert payload["annotations"]["plan_fingerprint"]
+
+    def test_http_trace_covers_wall_time(self, sharded_service):
+        server = build_server(sharded_service, port=0, verbose=False)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            _http(url, "/answer", QUERY_PAYLOAD)  # warm plan + workers
+            started = time.perf_counter()
+            status, headers, body = _http(
+                url, "/answer", dict(QUERY_PAYLOAD, trace=True))
+            wall = time.perf_counter() - started
+            assert status == 200
+            trace = body["trace"]
+            assert trace["trace_id"] == headers["X-Repro-Trace-Id"]
+            names = [entry["name"] for entry in trace["spans"]]
+            assert len(set(names)) >= 4, names
+            total = sum(entry["seconds"] for entry in trace["spans"])
+            # the spans must cover the bulk of the request; the
+            # uncovered remainder is connection setup + header
+            # parsing, which stays small next to sharded execution
+            assert total <= wall * 1.2
+            assert total >= wall * 0.5 - 0.005, (total, wall, names)
+            assert body["cached_rewriting"] is True
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+
+
+# -- slow-query log ---------------------------------------------------------
+
+
+class TestSlowQueryLog:
+    def test_slow_requests_are_logged_with_trace(self, threaded_url):
+        url, service = threaded_url
+        service.obs.slow_query_ms = 0.0  # everything is "slow"
+        status, headers, _ = _http(
+            url, "/answer", QUERY_PAYLOAD,
+            headers={"X-Repro-Trace-Id": "slow-1"})
+        assert status == 200
+        # the request is accounted *after* the response bytes go out,
+        # so the log entry can trail the client's read by a beat
+        deadline = time.perf_counter() + 5.0
+        entries = []
+        while not entries and time.perf_counter() < deadline:
+            entries = [entry for entry in service.obs.slow_query_log()
+                       if entry.get("trace_id") == "slow-1"]
+            if not entries:
+                time.sleep(0.01)
+        service.obs.slow_query_ms = None
+        assert entries, service.obs.slow_query_log()
+        entry = entries[0]
+        assert entry["route"] == "/answer"
+        assert entry["plan_fingerprint"]
+        assert any(span_entry["name"] == "execute"
+                   for span_entry in entry["spans"])
+        _, _, stats = _http(url, "/stats")
+        obs_stats = stats["observability"]
+        assert obs_stats["slow_queries"] >= 1
+        assert any(item.get("trace_id") == "slow-1"
+                   for item in obs_stats["slow_query_log"])
+        assert "/answer" in obs_stats["latency"]
+
+
+# -- overhead guard ---------------------------------------------------------
+
+
+class TestOverheadGuard:
+    def test_inactive_span_is_shared_noop(self):
+        assert span("anything") is _NULL_SPAN
+        with span("anything") as entry:
+            assert entry is _NULL_SPAN
+
+    def test_inactive_span_is_cheap(self):
+        started = time.perf_counter()
+        for _ in range(20000):
+            with span("x"):
+                pass
+        # 20k no-op spans in well under a second: the instrumented
+        # hot path costs microseconds when no trace is active
+        assert time.perf_counter() - started < 1.0
+
+    def test_tracing_overhead_within_noise(self):
+        with Client.local(max_workers=1) as client:
+            client.register_dataset("demo", random_data(2))
+            omq = OMQ(TBOX, chain_cq("RS"))
+            client.answer("demo", omq)  # warm cache + session
+
+            def loop(traced: bool) -> float:
+                started = time.perf_counter()
+                for _ in range(20):
+                    client.answer("demo", omq, trace=traced)
+                return time.perf_counter() - started
+
+            loop(False)  # fully warm both paths before timing
+            loop(True)
+            bare = min(loop(False), loop(False))
+            traced = min(loop(True), loop(True))
+            # tracing records a handful of spans per request — the
+            # cost must stay within scheduler noise of the bare loop
+            assert traced <= bare * 3 + 0.05, (bare, traced)
+
+
+# -- logging ----------------------------------------------------------------
+
+
+class TestLogging:
+    def teardown_method(self):
+        obs_logs._reset_for_tests()
+
+    def test_json_lines_with_trace_id(self):
+        stream = io.StringIO()
+        configure_logging("info", json_output=True, stream=stream)
+        logger = get_logger("test")
+        active = Trace()
+        with tracing(active):
+            logger.info("hello %s", "world", extra={"route": "/answer"})
+        record = json.loads(stream.getvalue().strip())
+        assert record["message"] == "hello world"
+        assert record["logger"] == "repro.test"
+        assert record["level"] == "INFO"
+        assert record["trace_id"] == active.trace_id
+        assert record["route"] == "/answer"
+
+    def test_plain_format_appends_trace_id(self):
+        stream = io.StringIO()
+        configure_logging("info", json_output=False, stream=stream)
+        active = Trace()
+        with tracing(active):
+            get_logger("test").warning("careful")
+        line = stream.getvalue()
+        assert "careful" in line
+        assert active.trace_id in line
+
+    def test_level_filtering_and_idempotent_reconfigure(self):
+        stream = io.StringIO()
+        configure_logging("warning", json_output=True, stream=stream)
+        configure_logging("warning", json_output=True, stream=stream)
+        logger = get_logger("test")
+        logger.info("dropped")
+        logger.warning("kept")
+        lines = [line for line in stream.getvalue().splitlines() if line]
+        assert len(lines) == 1  # one handler, info filtered out
+        assert json.loads(lines[0])["message"] == "kept"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_repro_loggers_share_hierarchy(self):
+        assert get_logger("service").name == "repro.service"
+        assert isinstance(get_logger("obs"), logging.Logger)
