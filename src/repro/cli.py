@@ -50,6 +50,17 @@ def _load_query(text: str, answers: Optional[str]) -> CQ:
     return CQ.parse(text, answer_vars=answer_vars)
 
 
+def shard_count(value: str):
+    """``--shards`` values: a non-negative int or the string 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}") from None
+
+
 def _options(args, **extra) -> AnswerOptions:
     """One ``AnswerOptions`` from a parsed namespace's pipeline flags."""
     fields = {"method": getattr(args, "method", None),
@@ -121,11 +132,12 @@ def _cmd_answer(args) -> int:
     options = _options(args)
     # one session for all queries: the data is completed, loaded and
     # indexed once, each --query only pays compilation + evaluation
-    # (--shards >= 2 partitions the data by Gaifman components and
-    # scatter-gathers every plan over per-shard engines)
-    if args.shards >= 2:
-        session = ShardedSession(abox, shards=args.shards,
-                                 engine=args.engine)
+    # (--shards >= 2, or 'auto', partitions the data by Gaifman
+    # components and scatter-gathers every plan over per-shard engines)
+    if args.shards == "auto" or args.shards >= 2:
+        session = ShardedSession(
+            abox, shards=args.shards, engine=args.engine,
+            start_method=getattr(args, "start_method", None))
     else:
         session = AnswerSession(abox, engine=args.engine)
     with session:
@@ -288,10 +300,18 @@ def build_parser() -> argparse.ArgumentParser:
                                dest="optimize_sql",
                                help="run the SQL optimizer pass "
                                     "pipeline on SQL engines")
-    answer_parser.add_argument("--shards", type=int, default=0,
+    answer_parser.add_argument("--shards", type=shard_count, default=0,
                                help="partition the data into this many "
                                     "component shards and evaluate "
-                                    "scatter-gather (>= 2 to enable)")
+                                    "scatter-gather (>= 2 to enable, "
+                                    "'auto' to size from CPUs and "
+                                    "component skew)")
+    answer_parser.add_argument("--start-method", default=None,
+                               dest="start_method",
+                               choices=("fork", "forkserver", "spawn"),
+                               help="worker start method for process-"
+                                    "backed sharding (default: auto-"
+                                    "select)")
     answer_parser.add_argument("--optimize", action="store_true",
                                help="run the Appendix D.4 optimiser on "
                                     "the rewriting first")

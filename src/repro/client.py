@@ -43,7 +43,7 @@ from urllib.error import HTTPError
 from urllib.parse import urlsplit
 
 from .data.abox import ABox
-from .obs.trace import Trace, tracing
+from .obs.trace import Trace, current_trace_id, tracing
 from .ontology.tbox import TBox
 from .queries.cq import CQ
 from .rewriting.api import OMQ
@@ -277,6 +277,9 @@ class _ServiceTransport:
         self.service.register_dataset(name, abox, replace=replace,
                                       shards=shards, tenant=self.tenant)
 
+    def unregister_dataset(self, name: str) -> None:
+        self.service.unregister_dataset(name, tenant=self.tenant)
+
     def register_tbox(self, name: str, tbox: TBox) -> None:
         self.service.register_tbox(name, tbox, tenant=self.tenant)
 
@@ -361,6 +364,11 @@ class _HTTPTransport:
               timeout: Optional[float] = None) -> Dict[str, object]:
         url = f"{self.url}{path}"
         headers = {"X-Repro-Tenant": self.tenant} if self.tenant else {}
+        trace_id = current_trace_id()
+        if trace_id:
+            # propagate the ambient trace so server-side spans and
+            # slow-query log lines correlate with this caller
+            headers[TRACE_HEADER] = trace_id
         if payload is None:
             req = urllib_request.Request(url, headers=headers)
         else:
@@ -388,6 +396,9 @@ class _HTTPTransport:
                          replace: bool = False, shards: int = 0) -> None:
         self._call("/datasets", {"name": name, "data": abox_to_text(abox),
                                  "replace": replace, "shards": shards})
+
+    def unregister_dataset(self, name: str) -> None:
+        self._call("/datasets/drop", {"name": name})
 
     def register_tbox(self, name: str, tbox: TBox) -> None:
         self._call("/tboxes", {"name": name, "tbox": tbox_to_text(tbox)})
@@ -479,9 +490,15 @@ class Client:
     def register_dataset(self, name: str, abox: ABox,
                          replace: bool = False, shards: int = 0) -> None:
         """Register a dataset; ``shards >= 2`` serves it scatter-gather
-        over a component partition (see :mod:`repro.shard`)."""
+        over a component partition (see :mod:`repro.shard`), and
+        ``shards="auto"`` sizes the partition from the live CPU count
+        and component skew, resharding as updates rebalance."""
         self._transport.register_dataset(name, abox, replace=replace,
                                          shards=shards)
+
+    def unregister_dataset(self, name: str) -> None:
+        """Drop a registered dataset (and its subscriptions)."""
+        self._transport.unregister_dataset(name)
 
     def register_tbox(self, name: str, tbox: TBox) -> None:
         self._transport.register_tbox(name, tbox)
@@ -650,9 +667,13 @@ class AsyncClient:
         try:
             tenant = (f"X-Repro-Tenant: {self.tenant}\r\n"
                       if self.tenant else "")
+            trace_id = current_trace_id()
+            # propagate the ambient trace so server-side spans and
+            # slow-query log lines correlate with this caller
+            trace = (f"{TRACE_HEADER}: {trace_id}\r\n" if trace_id else "")
             head = (f"{method} {path} HTTP/1.1\r\n"
                     f"Host: {self._host}:{self._port}\r\n"
-                    f"{tenant}"
+                    f"{tenant}{trace}"
                     "Content-Type: application/json\r\n"
                     f"Content-Length: {len(body)}\r\n"
                     "Connection: close\r\n\r\n")
@@ -704,6 +725,9 @@ class AsyncClient:
         await self._call("/datasets",
                          {"name": name, "data": abox_to_text(abox),
                           "replace": replace, "shards": shards})
+
+    async def unregister_dataset(self, name: str) -> None:
+        await self._call("/datasets/drop", {"name": name})
 
     async def register_tbox(self, name: str, tbox: TBox) -> None:
         await self._call("/tboxes",

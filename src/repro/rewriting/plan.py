@@ -67,7 +67,11 @@ class AnswerOptions:
     sharded execution: ``Plan.execute`` over a bare ABox with
     ``shards >= 2`` partitions it through a
     :class:`~repro.shard.session.ShardedSession` and scatter-gathers
-    (``0``/``1`` keep the monolithic path).
+    (``0``/``1`` keep the monolithic path).  ``shards="auto"`` sizes
+    the partition from the live CPU count and the component-weight
+    skew (:func:`repro.shard.partition.auto_shards`).  ``start_method``
+    picks the worker start method for process-backed sharding
+    (``fork``/``forkserver``/``spawn``; ``None`` auto-selects).
 
     ``optimize_sql`` runs the :mod:`repro.sql.optimize` pass pipeline
     over the compiled SQL on SQL-compiling engines (``sql``,
@@ -80,8 +84,12 @@ class AnswerOptions:
     engine: Optional[str] = None
     timeout: Optional[float] = None
     over: str = "complete"
-    shards: int = 0
+    #: ``0``/``1`` monolithic, ``>= 2`` that many shards, ``"auto"``
+    #: adaptive (sized from CPUs and component skew, resharding on
+    #: rebalancing updates)
+    shards: object = 0
     optimize_sql: bool = False
+    start_method: Optional[str] = None
 
     def __post_init__(self):
         if self.method not in OPTION_METHODS:
@@ -95,9 +103,14 @@ class AnswerOptions:
                              f"got {self.over!r}")
         if self.timeout is not None and self.timeout < 0:
             raise ValueError("timeout must be non-negative")
-        if not isinstance(self.shards, int) or self.shards < 0:
-            raise ValueError("shards must be a non-negative int, "
-                             f"got {self.shards!r}")
+        if self.shards != "auto" and (
+                not isinstance(self.shards, int) or self.shards < 0):
+            raise ValueError("shards must be a non-negative int or "
+                             f"'auto', got {self.shards!r}")
+        if self.start_method not in (None, "fork", "forkserver", "spawn"):
+            raise ValueError("start_method must be None, 'fork', "
+                             "'forkserver' or 'spawn', "
+                             f"got {self.start_method!r}")
 
     @classmethod
     def from_legacy(cls, options=None, method: str = "auto",
@@ -325,6 +338,7 @@ class Plan:
             "engine": self.options.engine,
             "timeout": self.options.timeout,
             "shards": self.options.shards,
+            "start_method": self.options.start_method,
             "data_bound": self.data_bound,
             "goal": self.ndl.goal,
             "answer_vars": list(self.ndl.answer_vars),
@@ -382,9 +396,10 @@ class Plan:
         effective = self.options if options is None else options
         if isinstance(data, ABox):
             name = engine or effective.engine or "python"
-            if effective.shards >= 2:
-                with ShardedSession(data, shards=effective.shards,
-                                    engine=name) as session:
+            if effective.shards == "auto" or effective.shards >= 2:
+                with ShardedSession(
+                        data, shards=effective.shards, engine=name,
+                        start_method=effective.start_method) as session:
                     return session.execute_plan(self, engine=name,
                                                 options=options)
             with AnswerSession(data, engine=name) as session:
@@ -509,7 +524,8 @@ def format_explain(report: Mapping[str, object]) -> str:
     lines = []
     order = ("omq_class", "method_requested", "method", "magic",
              "optimize", "optimize_sql", "over", "engine", "timeout",
-             "shards", "data_bound", "goal", "answer_vars", "rules",
+             "shards", "start_method", "data_bound", "goal",
+             "answer_vars", "rules",
              "width", "depth", "compile_seconds", "fingerprint")
     for key in order:
         if key not in report:

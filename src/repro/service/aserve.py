@@ -40,6 +40,13 @@ family set to the threaded server).  Every response echoes the
 request's trace ID as ``X-Repro-Trace-Id``.  Start it with
 ``python -m repro serve --async-io`` or embed it in tests via
 :func:`serve_in_background`.
+
+The async front-end is also the natural *shard worker* for multi-node
+sharded execution: a front node running an
+:class:`~repro.shard.executor.HttpExecutor` registers one dataset per
+shard on a pool of these servers and scatter-gathers ``/answer``
+requests over them concurrently, trace IDs riding along — see
+``repro serve --shard-executor http://worker1,http://worker2``.
 """
 
 from __future__ import annotations

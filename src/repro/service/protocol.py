@@ -52,7 +52,8 @@ TRACE_HEADER = "X-Repro-Trace-Id"
 #: ``"other"`` for metric labels, so hostile paths cannot explode the
 #: ``route`` label's cardinality.
 KNOWN_ROUTES = frozenset({
-    "/health", "/stats", "/metrics", "/datasets", "/tboxes", "/answer",
+    "/health", "/stats", "/metrics", "/datasets", "/datasets/drop",
+    "/tboxes", "/answer",
     "/explain", "/batch", "/update", "/subscribe", "/unsubscribe",
     "/poll"})
 
@@ -434,11 +435,23 @@ class Router:
             name = payload.get("name")
             if not name:
                 raise ProtocolError("missing 'name'")
+            raw_shards = payload.get("shards", 0)
             service.register_dataset(
                 name, ABox.parse(payload.get("data", "")),
                 replace=bool(payload.get("replace", False)),
-                shards=int(payload.get("shards", 0)), tenant=tenant)
+                shards="auto" if raw_shards == "auto" else int(raw_shards),
+                tenant=tenant)
             return 201, {"registered": name}
+        if path == "/datasets/drop":
+            name = payload.get("name")
+            if not name:
+                raise ProtocolError("missing 'name'")
+            try:
+                service.unregister_dataset(name, tenant=tenant)
+            except KeyError:
+                raise ProtocolError(f"unknown dataset {name!r}",
+                                    status=404, error_type="not_found")
+            return 200, {"unregistered": name}
         if path == "/tboxes":
             name = payload.get("name")
             if not name:

@@ -266,10 +266,20 @@ def add_serve_arguments(parser) -> None:
                         help="rewriting cache entries")
     parser.add_argument("--workers", type=int, default=4,
                         help="batch threads / SQLite sessions per dataset")
-    parser.add_argument("--shards", type=int, default=0,
+    from ..cli import shard_count
+
+    parser.add_argument("--shards", type=shard_count, default=0,
                         help="serve preloaded --dataset instances over "
                              "this many component shards (>= 2 enables "
-                             "scatter-gather execution)")
+                             "scatter-gather execution, 'auto' sizes "
+                             "from CPUs and component skew)")
+    parser.add_argument("--shard-executor", default="auto",
+                        dest="shard_executor",
+                        help="executor for sharded datasets: 'auto', "
+                             "'serial', 'process', or comma-separated "
+                             "http:// worker URLs for multi-node "
+                             "scatter-gather over other repro serve "
+                             "instances")
     parser.add_argument("--dataset", action="append", default=[],
                         metavar="NAME=PATH",
                         help="preload a dataset from an ABox file")
@@ -345,7 +355,9 @@ def build_service(args, error) -> OMQService:
                          max_workers=args.workers,
                          default_engine=args.engine,
                          data_dir=getattr(args, "data_dir", None),
-                         quota=quota)
+                         quota=quota,
+                         shard_executor=getattr(args, "shard_executor",
+                                                "auto"))
     if service.store is not None:
         restored = service.restore()
         if restored["datasets"] or restored["subscriptions"]:

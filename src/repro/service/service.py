@@ -170,7 +170,7 @@ class _Dataset:
 
     @property
     def sharded(self) -> bool:
-        return self.shards >= 2
+        return self.shards == "auto" or self.shards >= 2
 
     def pool(self, engine: str) -> _SessionPool:
         with self._pool_lock:
@@ -366,9 +366,13 @@ class OMQService:
         ``tenant`` scopes the name into that tenant's namespace and
         charges its quota; ``_persist=False`` is the :meth:`restore`
         path (already durable, quotas accounted but not enforced).
+        ``shards="auto"`` sizes the partition adaptively from live
+        CPUs and component skew.
         """
-        if shards < 0:
-            raise ValueError(f"shards must be >= 0, got {shards}")
+        if shards != "auto" and (not isinstance(shards, int)
+                                 or shards < 0):
+            raise ValueError(
+                f"shards must be >= 0 or 'auto', got {shards!r}")
         scoped = TenantManager.scope(tenant, name)
         with self._lock:
             existing = self._datasets.get(scoped)

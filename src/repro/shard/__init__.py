@@ -25,24 +25,45 @@ shards; an insertion that merges two components rebalances (the
 lighter component's atoms move to the heavier one's shard), while a
 deletion that splits a component leaves the pieces co-located — a
 conservative refinement that still respects components.
+
+Constant factors are engineered down at three points.  Worker
+start-up under ``spawn``/``forkserver`` ships each shard through the
+shared-memory fact transport (:mod:`repro.shard.transport`): one
+``multiprocessing.shared_memory`` segment of interned fact arrays per
+shard, attached and decoded by the worker with no per-atom pickling,
+and adopted wholesale by the engine layer
+(:meth:`~repro.engine.database.Database.from_arrays`).  The gather
+side streams answer tuples back in fixed-size chunks, so the parent
+unions incrementally instead of unpickling one monolithic frozenset
+per shard.  And ``shards="auto"`` sizes the partition from the live
+CPU count and the component-weight skew
+(:func:`~repro.shard.partition.auto_shards`), resharding in place
+when a rebalancing update changes the layout.  Beyond one machine,
+:class:`~repro.shard.executor.HttpExecutor` runs the same
+scatter-gather contract over remote ``repro serve`` instances as
+shard workers (asyncio fan-out, trace-ID propagation), selected by
+passing comma-separated ``http://`` URLs as the executor kind.
 """
 
 from .executor import (
     Executor,
+    HttpExecutor,
     ProcessExecutor,
     SerialExecutor,
     ShardResult,
     create_executor,
 )
-from .partition import Partition
+from .partition import Partition, auto_shards
 from .session import ShardedSession
 
 __all__ = [
     "Executor",
+    "HttpExecutor",
     "Partition",
     "ProcessExecutor",
     "SerialExecutor",
     "ShardResult",
     "ShardedSession",
+    "auto_shards",
     "create_executor",
 ]

@@ -1,8 +1,8 @@
 """Scatter-gather executors over per-shard engines.
 
-Two interchangeable implementations of one small contract — broadcast
-a compiled :class:`~repro.rewriting.plan.Plan` to every shard and
-gather the per-shard results, or push per-shard data deltas:
+Three interchangeable implementations of one small contract —
+broadcast a compiled :class:`~repro.rewriting.plan.Plan` to every
+shard and gather the per-shard results, or push per-shard data deltas:
 
 * :class:`SerialExecutor` — per-shard
   :class:`~repro.rewriting.api.AnswerSession`\\ s evaluated in-process,
@@ -13,7 +13,16 @@ gather the per-shard results, or push per-shard data deltas:
   pipes.  Evaluation is CPU-bound pure Python, so processes (not
   threads) are what buys wall-clock parallelism; workers stay alive
   across calls, so the per-shard load/completion/indexing cost is paid
-  once, exactly like a monolithic session.
+  once, exactly like a monolithic session.  Under ``spawn`` /
+  ``forkserver`` the shard data travels through the shared-memory fact
+  transport (:mod:`repro.shard.transport`) instead of pickle, and
+  answer sets stream back in fixed-size chunks so the parent unions
+  incrementally.
+* :class:`HttpExecutor` — multi-node mode: each shard's data lives as
+  a dataset on a remote ``repro serve`` instance and every round
+  scatter-gathers ``/answer`` requests concurrently over asyncio
+  (:class:`~repro.client.AsyncClient`), with the caller's trace ID
+  propagated on ``X-Repro-Trace-Id``.
 
 Workers intern TBoxes by fingerprint: sessions key completions by
 object identity, and every ``execute`` delivers a freshly unpickled
@@ -32,8 +41,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..data.abox import ABox, GroundAtom
 from ..obs.trace import Trace, current_trace_id, tracing
 from ..rewriting.api import AnswerSession
+from .transport import SharedABox, ShmDescriptor, attach_abox
 
 ShardDelta = Tuple[Sequence[GroundAtom], Sequence[GroundAtom]]
+
+#: Answer tuples per streamed reply chunk (see ``_worker_main``).
+CHUNK_ROWS = 8192
 
 
 @dataclass(frozen=True)
@@ -51,9 +64,13 @@ class ShardResult:
 
 
 class Executor:
-    """The scatter-gather contract both implementations satisfy."""
+    """The scatter-gather contract every implementation satisfies."""
 
     kind: str = "?"
+    #: Whether ``execute`` accepts plans whose NDL was substituted
+    #: after compilation (standing-query maintenance); remote
+    #: executors cannot ship a bare NDL over the wire.
+    supports_restricted: bool = True
 
     @property
     def shards(self) -> int:
@@ -73,9 +90,22 @@ class Executor:
     def _selected(self, shards: Optional[Sequence[int]]) -> List[int]:
         if shards is None:
             return list(range(self.shards))
-        selected = sorted({shard for shard in shards
-                           if 0 <= shard < self.shards})
-        return selected
+        requested = set(shards)
+        invalid = sorted(s for s in requested
+                         if not 0 <= s < self.shards)
+        if invalid:
+            # silently dropping these would skip evaluation — e.g.
+            # maintenance routed to a stale shard id after a rebalance
+            raise ValueError(
+                f"shard index(es) {invalid} out of range for "
+                f"{self.shards} shard(s)")
+        return sorted(requested)
+
+    def _check_open(self) -> None:
+        if getattr(self, "_closed", False):
+            raise RuntimeError(
+                "executor is closed; build a fresh executor (or "
+                "ShardedSession) over the data")
 
     def apply_deltas(self, deltas: Mapping[int, ShardDelta]
                      ) -> List[Dict[str, int]]:
@@ -131,6 +161,7 @@ class SerialExecutor(Executor):
 
     def __init__(self, shard_aboxes: Sequence[ABox],
                  engine: str = "python"):
+        self._closed = False
         self._sessions = [AnswerSession(abox, engine=engine)
                           for abox in shard_aboxes]
 
@@ -141,6 +172,7 @@ class SerialExecutor(Executor):
     def execute(self, plan, engine: Optional[str] = None,
                 shards: Optional[Sequence[int]] = None
                 ) -> List[ShardResult]:
+        self._check_open()
         trace_id = current_trace_id()
         results = []
         for shard in self._selected(shards):
@@ -152,6 +184,8 @@ class SerialExecutor(Executor):
 
     def apply_deltas(self, deltas: Mapping[int, ShardDelta]
                      ) -> List[Dict[str, int]]:
+        self._check_open()
+        self._selected(sorted(deltas))
         results = []
         for shard, (inserts, deletes) in sorted(deltas.items()):
             outcome = self._sessions[shard].apply_update(
@@ -160,14 +194,37 @@ class SerialExecutor(Executor):
         return results
 
     def close(self) -> None:
+        self._closed = True
         for session in self._sessions:
             session.close()
         self._sessions = []
 
 
-def _worker_main(connection, abox: ABox, engine: str) -> None:
-    """The per-shard worker loop: load once, serve commands forever."""
-    session = AnswerSession(abox, engine=engine)
+def _worker_main(connection, payload, engine: str) -> None:
+    """The per-shard worker loop: load once, serve commands forever.
+
+    ``payload`` is either the shard ABox itself (``pickle`` transport,
+    or inherited memory under ``fork``) or a
+    :class:`~repro.shard.transport.ShmDescriptor` pointing at the
+    shared-memory fact arrays to attach and decode.
+
+    ``execute`` replies stream: zero or more ``("chunk", rows)``
+    messages followed by one terminal ``("ok", (count, seconds,
+    generated, sizes, spans))`` — or a single ``("error", text)``.
+    """
+    try:
+        if isinstance(payload, ShmDescriptor):
+            abox = attach_abox(payload)
+        else:
+            abox = payload
+        session = AnswerSession(abox, engine=engine)
+    except Exception as error:
+        try:
+            connection.send(("error", "worker start-up failed: "
+                             f"{type(error).__name__}: {error}"))
+        finally:
+            connection.close()
+        return
     tboxes: Dict[str, object] = {}
     try:
         while True:
@@ -179,9 +236,15 @@ def _worker_main(connection, abox: ABox, engine: str) -> None:
                 if command == "execute":
                     _, plan, engine_name, trace_id = message
                     plan = _intern_plan_tbox(plan, tboxes)
-                    connection.send(
-                        ("ok", _shard_execute(session, plan,
-                                              engine_name, trace_id)))
+                    answers, seconds, generated, sizes, spans = \
+                        _shard_execute(session, plan, engine_name,
+                                       trace_id)
+                    rows = tuple(answers)
+                    for start in range(0, len(rows), CHUNK_ROWS):
+                        connection.send(
+                            ("chunk", rows[start:start + CHUNK_ROWS]))
+                    connection.send(("ok", (len(rows), seconds,
+                                            generated, sizes, spans)))
                 elif command == "update":
                     _, inserts, deletes = message
                     outcome = session.apply_update(inserts=inserts,
@@ -206,24 +269,35 @@ class ProcessExecutor(Executor):
     """One persistent worker process per shard, driven over pipes.
 
     ``execute`` scatters the (pickled) plan to every worker and blocks
-    gathering the answers; the workers run truly in parallel.  A lock
-    serialises scatter rounds, so the executor is safe to share across
-    threads (concurrent callers queue per round, not per shard).
+    gathering the answers; the workers run truly in parallel.  Answer
+    sets stream back in :data:`CHUNK_ROWS`-sized chunks, so the parent
+    unions incrementally instead of materialising one pickled
+    frozenset per shard.  A lock serialises scatter rounds, so the
+    executor is safe to share across threads (concurrent callers queue
+    per round, not per shard).
 
     Start method: ``fork`` where available (workers inherit the shard
     data for free) — but only while the parent is single-threaded;
     forking a multithreaded process (e.g. building the executor lazily
     inside an HTTP handler thread) can deadlock the child on a lock
     some other thread held at fork time, so ``forkserver``/``spawn``
-    take over there (the shard ABox is then pickled to each worker
-    once, at start-up).
+    take over there.
+
+    Transport: under ``forkserver``/``spawn`` the shard ABoxes default
+    to the shared-memory fact transport (``transport="shm"``) — each
+    shard is encoded once into a segment, the worker attaches and
+    decodes interned arrays, and once every worker confirmed its
+    attach the segments are unlinked.  ``transport="pickle"`` forces
+    the legacy path (under ``fork`` it is free: the arguments are
+    inherited, not pickled).
     """
 
     kind = "process"
 
     def __init__(self, shard_aboxes: Sequence[ABox],
                  engine: str = "python",
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 transport: Optional[str] = None):
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             if "fork" in methods and threading.active_count() == 1:
@@ -232,30 +306,71 @@ class ProcessExecutor(Executor):
                 start_method = "forkserver"
             else:
                 start_method = "spawn"
+        if transport is None:
+            transport = "pickle" if start_method == "fork" else "shm"
+        if transport not in ("shm", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}; "
+                             "expected 'shm' or 'pickle'")
+        self.start_method = start_method
+        self.transport = transport
         context = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()
         self._broken = False
+        self._closed = False
         self._connections = []
         self._processes = []
+        self._segments: List[SharedABox] = []
         try:
             for abox in shard_aboxes:
                 parent, child = context.Pipe()
+                if transport == "shm":
+                    shared = SharedABox(abox)
+                    self._segments.append(shared)
+                    payload: object = shared.descriptor
+                else:
+                    payload = abox
                 process = context.Process(
-                    target=_worker_main, args=(child, abox, engine),
+                    target=_worker_main, args=(child, payload, engine),
                     daemon=True, name=f"repro-shard-{len(self._processes)}")
                 process.start()
                 child.close()
                 self._connections.append(parent)
                 self._processes.append(process)
+            if self._segments:
+                # barrier: a segment may only be unlinked once its
+                # worker confirmed the attach + decode
+                self._confirm_startup()
+                for segment in self._segments:
+                    segment.close()
+                self._segments = []
         except Exception:
             self.close()
             raise
+
+    def _confirm_startup(self) -> None:
+        for shard, connection in enumerate(self._connections):
+            try:
+                connection.send(("ping",))
+                status, payload = connection.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                detail = ""
+                try:  # a start-up error report may still be buffered
+                    _, payload = connection.recv()
+                    detail = f": {payload}"
+                except Exception:
+                    pass
+                raise RuntimeError(f"shard {shard} worker died during "
+                                   f"start-up{detail}") from None
+            if status != "ok":
+                raise RuntimeError(
+                    f"shard {shard} worker failed to start: {payload}")
 
     @property
     def shards(self) -> int:
         return len(self._processes)
 
     def _check_usable(self) -> None:
+        self._check_open()
         if self._broken:
             raise RuntimeError(
                 "a shard worker died in an earlier round; close this "
@@ -312,6 +427,43 @@ class ProcessExecutor(Executor):
                                + "; ".join(errors))
         return payloads
 
+    def _gather_execute(self, shards: Sequence[int]) -> List[Tuple]:
+        """Drain one streamed ``execute`` reply per shard: chunks are
+        unioned incrementally until the terminal ``ok``/``error``; the
+        full-drain and breakage semantics of :meth:`_gather_all`."""
+        payloads: List[Tuple] = []
+        errors: List[str] = []
+        for shard in shards:
+            rows: List[tuple] = []
+            while True:
+                try:
+                    status, payload = self._connections[shard].recv()
+                except (EOFError, OSError):
+                    self._broken = True
+                    errors.append(f"shard {shard}: worker died "
+                                  "(pipe EOF)")
+                    break
+                if status == "chunk":
+                    rows.extend(payload)
+                    continue
+                if status == "ok":
+                    count, seconds, generated, sizes, spans = payload
+                    if count != len(rows):
+                        self._broken = True
+                        errors.append(
+                            f"shard {shard}: gather desync "
+                            f"({len(rows)} rows, {count} announced)")
+                    else:
+                        payloads.append((frozenset(rows), seconds,
+                                         generated, sizes, spans))
+                else:
+                    errors.append(f"shard {shard}: {payload}")
+                break
+        if errors:
+            raise RuntimeError("shard worker(s) failed: "
+                               + "; ".join(errors))
+        return payloads
+
     def execute(self, plan, engine: Optional[str] = None,
                 shards: Optional[Sequence[int]] = None
                 ) -> List[ShardResult]:
@@ -326,7 +478,7 @@ class ProcessExecutor(Executor):
                 message = ("execute", plan, engine, trace_id)
                 self._scatter(selected,
                               (message for _ in selected))
-            payloads = self._gather_all(selected)
+            payloads = self._gather_execute(selected)
         return [ShardResult(shard, answers, seconds, generated, sizes,
                             tuple(spans))
                 for shard, (answers, seconds, generated, sizes, spans)
@@ -336,7 +488,7 @@ class ProcessExecutor(Executor):
                      ) -> List[Dict[str, int]]:
         with self._lock:
             self._check_usable()
-            touched = sorted(deltas)
+            touched = self._selected(sorted(deltas))
             self._scatter(touched,
                           (("update", list(deltas[shard][0]),
                             list(deltas[shard][1]))
@@ -345,6 +497,7 @@ class ProcessExecutor(Executor):
 
     def close(self) -> None:
         with self._lock:
+            self._closed = True
             for connection in self._connections:
                 try:
                     connection.send(("stop",))
@@ -355,24 +508,166 @@ class ProcessExecutor(Executor):
                 if process.is_alive():
                     process.terminate()
                     process.join(timeout=1)
+                if process.is_alive():
+                    # terminate() can be masked by a SIGTERM handler
+                    # or a blocked signal; SIGKILL cannot — escalate
+                    # rather than leak the worker
+                    process.kill()
+                    process.join(timeout=1)
             for connection in self._connections:
                 connection.close()
             self._connections = []
             self._processes = []
+            for segment in self._segments:
+                segment.close()
+            self._segments = []
+
+
+class HttpExecutor(Executor):
+    """Multi-node scatter-gather over remote ``repro serve`` workers.
+
+    Each shard's ABox is registered as a private dataset on one of the
+    worker ``urls`` (round-robin), and every ``execute`` round sends
+    the plan's OMQ + options for the worker to compile and evaluate
+    monolithically over its shard — plans travel as canonical text,
+    so the workers' rewriting caches turn recompilation into a
+    fingerprint lookup after the first round.  Requests fan out
+    concurrently on asyncio streams (:class:`~repro.client
+    .AsyncClient`) and the caller's ambient trace ID rides along on
+    ``X-Repro-Trace-Id``, so worker-side slow-query logs correlate
+    with the front node's request.
+
+    Restricted (substituted-NDL) plans cannot travel this way —
+    :attr:`supports_restricted` is ``False`` and
+    :meth:`~repro.shard.session.ShardedSession.execute_restricted`
+    rejects them with a clear error, so standing-query maintenance
+    needs a local executor.
+
+    ``close`` drops the per-shard datasets from the workers (best
+    effort: an unreachable worker does not fail the close).
+    """
+
+    kind = "http"
+    supports_restricted = False
+
+    def __init__(self, shard_aboxes: Sequence[ABox],
+                 engine: str = "python",
+                 urls: Sequence[str] = (),
+                 timeout: float = 60.0):
+        import uuid
+
+        from ..client import Client
+
+        cleaned = [url.strip().rstrip("/") for url in urls if url.strip()]
+        if not cleaned:
+            raise ValueError("HttpExecutor needs at least one worker URL")
+        for url in cleaned:
+            if not url.startswith("http://"):
+                raise ValueError(
+                    f"HttpExecutor speaks plain http, got {url!r}")
+        self._engine = engine
+        self._timeout = timeout
+        self._closed = False
+        self._shards = len(shard_aboxes)
+        prefix = f"__shard__{uuid.uuid4().hex[:12]}"
+        #: shard -> (worker base URL, dataset name on that worker)
+        self._homes: List[Tuple[str, str]] = []
+        self._clients: Dict[str, Client] = {
+            url: Client.connect(url, timeout=timeout) for url in cleaned}
+        for shard, abox in enumerate(shard_aboxes):
+            url = cleaned[shard % len(cleaned)]
+            name = f"{prefix}-{shard}"
+            self._clients[url].register_dataset(name, abox)
+            self._homes.append((url, name))
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    def execute(self, plan, engine: Optional[str] = None,
+                shards: Optional[Sequence[int]] = None
+                ) -> List[ShardResult]:
+        import asyncio
+
+        self._check_open()
+        selected = self._selected(shards)
+        engine_name = engine or self._engine
+        # each worker evaluates its shard monolithically; knobs that
+        # only steer the front node's orchestration are stripped
+        options = plan.options.replace(engine=engine_name, shards=0,
+                                       start_method=None)
+        results = asyncio.run(
+            self._fan_out(selected, plan.omq, options))
+        return [ShardResult(shard, answers.answers, answers.seconds,
+                            answers.generated_tuples)
+                for shard, answers in zip(selected, results)]
+
+    async def _fan_out(self, selected: Sequence[int], omq, options):
+        import asyncio
+
+        from ..client import AsyncClient
+
+        clients = {url: AsyncClient.connect(url, timeout=self._timeout)
+                   for url in {self._homes[shard][0]
+                               for shard in selected}}
+        return await asyncio.gather(
+            *(clients[self._homes[shard][0]].answer(
+                self._homes[shard][1], omq, options)
+              for shard in selected))
+
+    def apply_deltas(self, deltas: Mapping[int, ShardDelta]
+                     ) -> List[Dict[str, int]]:
+        self._check_open()
+        touched = self._selected(sorted(deltas))
+        results = []
+        for shard in touched:
+            url, name = self._homes[shard]
+            inserts, deletes = deltas[shard]
+            results.append(self._clients[url].update(
+                name, inserts=inserts, deletes=deletes))
+        return results
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for url, name in self._homes:
+            try:
+                self._clients[url].unregister_dataset(name)
+            except Exception:
+                pass  # worker gone or dataset already dropped
+        for client in self._clients.values():
+            client.close()
+        self._clients = {}
+        self._homes = []
 
 
 def create_executor(kind: str, shard_aboxes: Sequence[ABox],
-                    engine: str = "python") -> Executor:
-    """Build the requested executor; ``"auto"`` picks processes on
-    multi-core machines and the serial path on single-core ones (where
-    worker processes cost start-up and pickling but cannot overlap)."""
+                    engine: str = "python",
+                    start_method: Optional[str] = None,
+                    transport: Optional[str] = None) -> Executor:
+    """Build the requested executor.
+
+    ``"auto"`` picks processes on multi-core machines and the serial
+    path on single-core ones (where worker processes cost start-up but
+    cannot overlap).  A ``kind`` of comma-separated ``http://`` URLs
+    builds the multi-node :class:`HttpExecutor` over those worker
+    servers.  ``start_method`` and ``transport`` configure the
+    :class:`ProcessExecutor` (ignored by the other kinds).
+    """
     import os
 
+    if kind.startswith(("http://", "https://")):
+        return HttpExecutor(shard_aboxes, engine=engine,
+                            urls=kind.split(","))
     if kind == "auto":
         kind = "process" if (os.cpu_count() or 1) > 1 else "serial"
     if kind == "serial":
         return SerialExecutor(shard_aboxes, engine=engine)
     if kind == "process":
-        return ProcessExecutor(shard_aboxes, engine=engine)
-    raise ValueError(f"unknown executor {kind!r}; "
-                     "expected 'auto', 'serial' or 'process'")
+        return ProcessExecutor(shard_aboxes, engine=engine,
+                               start_method=start_method,
+                               transport=transport)
+    raise ValueError(f"unknown executor {kind!r}; expected 'auto', "
+                     "'serial', 'process' or comma-separated "
+                     "http:// worker URLs")

@@ -36,6 +36,67 @@ def _stable_hash(constant: str) -> int:
         hashlib.blake2b(constant.encode(), digest_size=8).digest(), "big")
 
 
+def component_weights(abox: ABox) -> List[int]:
+    """Atom weights of ``abox``'s Gaifman components, descending."""
+    partition = Partition.build(abox, 1)
+    by_root: Dict[str, int] = {}
+    for _, args in abox.atoms():
+        root = partition._find(args[0])
+        by_root[root] = by_root.get(root, 0) + 1
+    return sorted(by_root.values(), reverse=True)
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process: the scheduler affinity
+    mask where the platform exposes it, else ``os.cpu_count()``."""
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _lpt_imbalance(weights: List[int], shards: int) -> float:
+    """Imbalance ratio (max shard load over the ideal ``total/K``) of
+    packing ``weights`` (descending) onto ``shards`` buckets by LPT —
+    the same heuristic :meth:`Partition.build` uses, so the prediction
+    matches what the real partition would do."""
+    total = sum(weights)
+    if not total:
+        return 1.0
+    loads = [0] * shards
+    for weight in weights:
+        loads[loads.index(min(loads))] += weight
+    return max(loads) / (total / shards)
+
+
+def auto_shards(abox: ABox, available: Optional[int] = None,
+                max_imbalance: float = 1.5,
+                min_shard_weight: int = 256) -> int:
+    """Pick a shard count for ``abox`` from live CPUs and skew.
+
+    The candidate ceiling is the smallest of the usable CPUs
+    (``available``, defaulting to :func:`available_cpus`), the number
+    of Gaifman components (more shards than components can only sit
+    idle) and ``total_atoms // min_shard_weight`` (tiny shards pay
+    scatter-gather overhead for no win).  From the ceiling downward,
+    the first ``K`` whose predicted LPT imbalance stays within
+    ``max_imbalance`` wins — a dominating giant component defeats any
+    split, in which case the answer is ``1`` (monolithic).
+    """
+    weights = component_weights(abox)
+    if available is None:
+        available = available_cpus()
+    total = sum(weights)
+    ceiling = min(available, len(weights),
+                  max(1, total // min_shard_weight))
+    for shards in range(ceiling, 1, -1):
+        if _lpt_imbalance(weights, shards) <= max_imbalance:
+            return shards
+    return 1
+
+
 class Partition:
     """An assignment of Gaifman components to ``shards`` buckets.
 

@@ -36,7 +36,7 @@ from ..rewriting.api import OMQ, AnswerSession, compile_data_variant
 from ..rewriting.plan import AnswerOptions, Answers, Plan, compile_omq
 from ..service.updates import UpdateDelta, UpdateResult, _dedup
 from .executor import create_executor
-from .partition import Partition
+from .partition import Partition, auto_shards
 
 log = logging.getLogger("repro.shard")
 
@@ -51,21 +51,41 @@ class ShardedSession:
     ``Plan.execute`` dispatches to.
 
     ``executor`` is ``"process"`` (persistent worker processes, true
-    parallelism), ``"serial"`` (in-process reference implementation)
-    or ``"auto"`` (processes on multi-core machines).  The session
-    owns the master ABox: updates mutate it in place and route deltas
-    to the owning shards.
+    parallelism), ``"serial"`` (in-process reference implementation),
+    ``"auto"`` (processes on multi-core machines) or comma-separated
+    ``http://`` worker URLs (multi-node scatter-gather over remote
+    ``repro serve`` instances).  The session owns the master ABox:
+    updates mutate it in place and route deltas to the owning shards.
+
+    ``shards`` may be ``"auto"``: the count is picked by
+    :func:`~repro.shard.partition.auto_shards` from the usable CPUs
+    and the component-weight skew, and re-evaluated whenever an update
+    rebalances components across shards (the session reshards in
+    place).  ``start_method`` and ``transport`` configure
+    process-backed executors (see
+    :class:`~repro.shard.executor.ProcessExecutor`).
     """
 
-    def __init__(self, abox: ABox, shards: int, engine: str = "python",
-                 executor: str = "auto", rewriting_cache=None):
+    def __init__(self, abox: ABox, shards, engine: str = "python",
+                 executor: str = "auto", rewriting_cache=None,
+                 start_method: Optional[str] = None,
+                 transport: Optional[str] = None):
         self.abox = abox
         self.engine = engine
+        self.adaptive_shards = shards == "auto"
+        if self.adaptive_shards:
+            shards = auto_shards(abox)
         self.shards = shards
         self.rewriting_cache = rewriting_cache
+        self._executor_kind_requested = executor
+        self._start_method = start_method
+        self._transport = transport
+        #: times the session re-partitioned itself (``shards="auto"``)
+        self.reshards = 0
         self.partition = Partition.build(abox, shards)
         self._executor = create_executor(
-            executor, self.partition.shard_aboxes(abox), engine)
+            executor, self.partition.shard_aboxes(abox), engine,
+            start_method=start_method, transport=transport)
         #: one loaded backend per shard (surface parity with
         #: ``AnswerSession.data_loads``)
         self.data_loads = shards
@@ -230,6 +250,12 @@ class ShardedSession:
         exactly when maintenance uses it.
         """
         engine_name = engine or self.engine
+        if not getattr(self._executor, "supports_restricted", True):
+            raise RuntimeError(
+                f"the {self._executor.kind!r} executor cannot evaluate "
+                "restricted (substituted-NDL) plans — standing-query "
+                "maintenance needs a local executor "
+                "('serial'/'process')")
         restricted = dataclasses.replace(plan, ndl=ndl)
         with self._lock:
             self._check_usable()
@@ -354,7 +380,40 @@ class ShardedSession:
                     self._fallback = None
                 self._completions.clear()
                 self._sub_plans.clear()
+            if self.adaptive_shards and moved:
+                # a rebalancing update changed the component layout:
+                # re-evaluate the adaptive count and reshard if it
+                # moved.  Old shard indexes are meaningless afterwards,
+                # so the delta conservatively touches every new shard.
+                wanted = auto_shards(self.abox)
+                if wanted != self.shards:
+                    self._reshard(wanted)
+                    result.delta = dataclasses.replace(
+                        result.delta,
+                        touched_shards=frozenset(range(self.shards)))
             return result
+
+    def _reshard(self, shards: int) -> None:
+        """Swap in a fresh partition + executor over ``shards`` buckets
+        (build first, then tear down the old executor, so a failed
+        build leaves the session running at the old count)."""
+        partition = Partition.build(self.abox, shards)
+        executor = create_executor(
+            self._executor_kind_requested,
+            partition.shard_aboxes(self.abox), self.engine,
+            start_method=self._start_method, transport=self._transport)
+        old = self._executor
+        self.partition = partition
+        self._executor = executor
+        self.shards = shards
+        self.reshards += 1
+        self.data_loads += shards
+        log.info("resharded to %d shard(s) after rebalancing update",
+                 shards)
+        try:
+            old.close()
+        except Exception:
+            log.exception("closing the pre-reshard executor failed")
 
     def _check_usable(self) -> None:
         if self._poisoned is not None:
@@ -381,6 +440,11 @@ class ShardedSession:
         stats = self.partition.stats()
         stats["executor"] = self._executor.kind
         stats["facts"] = len(self.abox)
+        stats["adaptive"] = self.adaptive_shards
+        stats["reshards"] = self.reshards
+        transport = getattr(self._executor, "transport", None)
+        if transport is not None:
+            stats["transport"] = transport
         return stats
 
     def close(self) -> None:

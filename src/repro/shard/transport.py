@@ -1,0 +1,161 @@
+"""Shared-memory ABox transport for shard-worker start-up.
+
+Under the ``spawn``/``forkserver`` start methods every worker process
+used to receive its full shard ABox by pickle — per-atom tuples
+serialised, shipped down a pipe and deserialised, dominating start-up
+for large shards.  This module replaces that with one contiguous
+``multiprocessing.shared_memory`` segment per shard holding the
+shard's interned fact arrays (a names table plus per-predicate
+``array('I')`` code rows, see :class:`~repro.data.abox.FactArrays`).
+Only a tiny :class:`ShmDescriptor` crosses the process boundary; the
+worker attaches, decodes the arrays straight out of the mapped buffer
+and rebuilds its ABox and (via
+:meth:`~repro.engine.database.Database.from_arrays`) its database
+without re-interning a single constant.
+
+The byte layout is machine-local (native endianness and ``array('I')``
+item size) — the segment never leaves the host, so portability would
+buy nothing.  Layout::
+
+    magic 'RFA1' | u32 name count
+    u32[name count] utf-8 byte lengths | the utf-8 name bytes
+    u32 relation count
+    per relation: u32 name length, u32 arity, u32 rows
+                  | name bytes | rows*arity codes ('I')
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..data.abox import ABox, FactArrays
+
+_MAGIC = b"RFA1"
+_HEADER = struct.Struct("<4sI")    # magic, name count
+_COUNT = struct.Struct("<I")       # relation count
+_RELATION = struct.Struct("<III")  # name length, arity, row count
+
+
+def encode_fact_arrays(arrays: FactArrays) -> bytes:
+    """Serialise :class:`FactArrays` to one contiguous buffer."""
+    encoded_names = [name.encode("utf-8") for name in arrays.names]
+    parts: List[bytes] = [_HEADER.pack(_MAGIC, len(encoded_names)),
+                          array("I", map(len, encoded_names)).tobytes()]
+    parts.extend(encoded_names)
+    relations = (
+        [(name, 1, codes) for name, codes in sorted(arrays.unary.items())]
+        + [(name, 2, codes) for name, codes in sorted(arrays.binary.items())])
+    parts.append(_COUNT.pack(len(relations)))
+    for name, arity, codes in relations:
+        raw = name.encode("utf-8")
+        parts.append(_RELATION.pack(len(raw), arity, len(codes) // arity))
+        parts.append(raw)
+        parts.append(codes.tobytes())
+    return b"".join(parts)
+
+
+def decode_fact_arrays(buffer) -> FactArrays:
+    """Deserialise a buffer written by :func:`encode_fact_arrays`.
+
+    Accepts any object with the buffer protocol (``bytes`` or a
+    ``memoryview`` over a shared-memory segment); the code arrays are
+    bulk-loaded with ``array.frombytes`` — no per-atom unpickling.
+    """
+    view = memoryview(buffer)
+    magic, name_count = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise ValueError("not a fact-array buffer (bad magic)")
+    offset = _HEADER.size
+    lengths = array("I")
+    size = name_count * lengths.itemsize
+    lengths.frombytes(view[offset:offset + size])
+    offset += size
+    names: List[str] = []
+    for length in lengths:
+        names.append(bytes(view[offset:offset + length]).decode("utf-8"))
+        offset += length
+    arrays = FactArrays(names)
+    (relation_count,) = _COUNT.unpack_from(view, offset)
+    offset += _COUNT.size
+    for _ in range(relation_count):
+        name_length, arity, rows = _RELATION.unpack_from(view, offset)
+        offset += _RELATION.size
+        name = bytes(view[offset:offset + name_length]).decode("utf-8")
+        offset += name_length
+        codes = array("I")
+        size = rows * arity * codes.itemsize
+        codes.frombytes(view[offset:offset + size])
+        offset += size
+        (arrays.unary if arity == 1 else arrays.binary)[name] = codes
+    return arrays
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """The picklable pointer that crosses the process boundary instead
+    of the ABox: a shared-memory segment name plus payload length."""
+
+    name: str
+    size: int
+
+
+class SharedABox:
+    """Parent-side handle on one shard ABox published in shared memory.
+
+    The parent keeps the handle until every worker confirmed its
+    attach, then :meth:`close` drops the mapping *and unlinks* the
+    segment — attached workers keep their mappings alive (POSIX shm
+    semantics), so nothing leaks even if the parent dies afterwards.
+    """
+
+    def __init__(self, abox: ABox):
+        from multiprocessing import shared_memory
+
+        payload = encode_fact_arrays(abox.to_fact_arrays())
+        # SharedMemory rejects size=0, hence the max(1, ...)
+        self._segment: Optional[shared_memory.SharedMemory] = \
+            shared_memory.SharedMemory(create=True,
+                                       size=max(1, len(payload)))
+        self._segment.buf[:len(payload)] = payload
+        self.descriptor = ShmDescriptor(self._segment.name, len(payload))
+
+    def close(self) -> None:
+        """Drop the parent mapping and unlink the segment (idempotent)."""
+        if self._segment is None:
+            return
+        segment, self._segment = self._segment, None
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def attach_abox(descriptor: ShmDescriptor) -> ABox:
+    """Worker side: attach to a published segment and decode the ABox.
+
+    Attaching registers the name with the multiprocessing resource
+    tracker again — but spawned/forked workers share the *parent's*
+    tracker process (its fd travels in the spawn preparation data), so
+    the duplicate registration is a set no-op there and the parent's
+    unlink after the start-up barrier balances the books.  Explicitly
+    unregistering here would instead cancel the parent's registration
+    in that shared tracker.  The segment's byte lifetime is safe either
+    way: every attached mapping keeps the data alive after the unlink
+    (POSIX shm semantics).
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=descriptor.name)
+    try:
+        view = memoryview(segment.buf)
+        try:
+            arrays = decode_fact_arrays(view[:descriptor.size])
+        finally:
+            view.release()
+        return ABox.from_fact_arrays(arrays)
+    finally:
+        segment.close()

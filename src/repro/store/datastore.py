@@ -170,10 +170,12 @@ class DatasetStore:
     # -- writes --------------------------------------------------------------
 
     def save_dataset(self, tenant: str, name: str,
-                     atoms: Iterable[GroundAtom], shards: int = 0,
+                     atoms: Iterable[GroundAtom], shards=0,
                      epoch: int = 0) -> None:
         """Persist a dataset wholesale (registration and checkpoints);
-        one transaction replaces any previous facts and metadata."""
+        one transaction replaces any previous facts and metadata.
+        ``shards`` may be the string ``"auto"`` (SQLite's dynamic
+        typing stores it in the integer column as-is)."""
         rows = list(_atom_rows(name, atoms))
         with self._pool(tenant).connection() as connection:
             with connection:
@@ -275,7 +277,8 @@ class DatasetStore:
             for name, shards, epoch in connection.execute(
                     "SELECT name, shards, epoch FROM datasets "
                     "ORDER BY name"):
-                snapshot.datasets[name] = ([], int(shards), int(epoch))
+                decoded = "auto" if shards == "auto" else int(shards)
+                snapshot.datasets[name] = ([], decoded, int(epoch))
             for dataset, predicate, arity, arg0, arg1 in connection.execute(
                     "SELECT dataset, predicate, arity, arg0, arg1 "
                     "FROM facts"):

@@ -604,3 +604,321 @@ class TestSerialExecutorContract:
             assert all(result.seconds >= 0 for result in results)
         finally:
             executor.close()
+
+
+class TestExecutorGuards:
+    """Regression coverage for satellite fixes: out-of-range shard
+    selection must raise, closed executors must refuse clearly, and
+    ``create_executor`` must honour ``start_method``/``transport``."""
+
+    def test_selected_rejects_out_of_range(self):
+        abox = multi_component_abox(4, 4, shape="chain", seed=2)
+        partition = Partition.build(abox, 2)
+        executor = SerialExecutor(partition.shard_aboxes(abox))
+        try:
+            plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")),
+                               method="lin")
+            for bad in ([2], [-1], [0, 5]):
+                try:
+                    executor.execute(plan, shards=bad)
+                    raise AssertionError(f"{bad} must be rejected")
+                except ValueError as error:
+                    assert "out of range" in str(error)
+            # in-range restriction still works
+            assert len(executor.execute(plan, shards=[1])) == 1
+        finally:
+            executor.close()
+
+    def test_closed_serial_executor_refuses(self):
+        executor = SerialExecutor([ABox([("R", ("a", "b"))])])
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")),
+                           method="lin")
+        executor.close()
+        for call in (lambda: executor.execute(plan),
+                     lambda: executor.apply_deltas({})):
+            try:
+                call()
+                raise AssertionError("closed executor must refuse")
+            except RuntimeError as error:
+                assert "closed" in str(error)
+
+    def test_closed_process_executor_refuses(self):
+        from repro.shard.executor import ProcessExecutor
+
+        executor = ProcessExecutor([ABox([("R", ("a", "b"))])])
+        plan = compile_omq(OMQ(example11_tbox(), chain_cq("RS")),
+                           method="lin")
+        executor.close()
+        executor.close()  # idempotent
+        try:
+            executor.execute(plan)
+            raise AssertionError("closed executor must refuse")
+        except RuntimeError as error:
+            assert "closed" in str(error)
+
+    def test_create_executor_start_method_passthrough(self):
+        from repro.shard.executor import create_executor
+
+        aboxes = [ABox([("R", ("a", "b"))])]
+        executor = create_executor("process", aboxes,
+                                   start_method="spawn")
+        try:
+            assert executor.start_method == "spawn"
+            assert executor.transport == "shm"
+        finally:
+            executor.close()
+        executor = create_executor("process", aboxes,
+                                   start_method="fork")
+        try:
+            assert executor.start_method == "fork"
+            assert executor.transport == "pickle"  # fork inherits free
+        finally:
+            executor.close()
+
+    def test_create_executor_rejects_https(self):
+        from repro.shard.executor import create_executor
+
+        try:
+            create_executor("https://worker", [ABox()])
+            raise AssertionError("https URLs must be rejected")
+        except ValueError as error:
+            assert "http" in str(error)
+
+    def test_session_start_method_reaches_executor(self):
+        abox = ABox([("R", ("a", "b")), ("R", ("c", "d"))])
+        with ShardedSession(abox, shards=2, executor="process",
+                            start_method="forkserver") as session:
+            assert session._executor.start_method == "forkserver"
+            assert session.stats()["transport"] == "shm"
+
+
+class TestShmTransport:
+    def test_fact_array_roundtrip(self):
+        from repro.shard.transport import (decode_fact_arrays,
+                                           encode_fact_arrays)
+
+        abox = random_data(31, individuals=12, atoms=40)
+        abox.add("Solo", "☃ unicode name")
+        clone = ABox.from_fact_arrays(
+            decode_fact_arrays(encode_fact_arrays(abox.to_fact_arrays())))
+        assert set(clone.atoms()) == set(abox.atoms())
+
+    def test_empty_abox_roundtrip(self):
+        from repro.shard.transport import SharedABox, attach_abox
+
+        shared = SharedABox(ABox())
+        try:
+            assert len(attach_abox(shared.descriptor)) == 0
+        finally:
+            shared.close()
+            shared.close()  # idempotent
+
+    def test_shared_segment_attach_parity(self):
+        from repro.shard.transport import SharedABox, attach_abox
+
+        abox = random_data(32, individuals=10, atoms=30)
+        shared = SharedABox(abox)
+        try:
+            clone = attach_abox(shared.descriptor)
+            assert set(clone.atoms()) == set(abox.atoms())
+        finally:
+            shared.close()
+
+    def test_database_from_arrays_parity(self):
+        from repro.engine.database import Database
+
+        abox = random_data(33, individuals=10, atoms=30)
+        fresh = Database(abox)
+        adopted = Database.from_arrays(abox.to_fact_arrays())
+        assert set(adopted.predicates) == set(fresh.predicates)
+        for predicate in fresh.predicates:
+            assert (adopted.decode_rows(adopted.relation(predicate))
+                    == fresh.decode_rows(fresh.relation(predicate)))
+
+
+class TestShmParity:
+    """The tentpole invariant: shm transport == pickle transport ==
+    monolithic, for random data and after random update sequences."""
+
+    @SETTINGS
+    @given(tbox=tboxes(), query=tree_queries(), abox=aboxes())
+    def test_transports_agree_with_monolithic(self, tbox, query, abox):
+        rng = random.Random(1)
+        omq = OMQ(tbox, query)
+        names = [f"c{i}" for i in range(6)] + ["fresh0", "fresh1"]
+        sessions = [
+            ShardedSession(ABox(abox.atoms()), shards=2,
+                           executor="process", start_method="fork",
+                           transport=transport)
+            for transport in ("shm", "pickle")]
+        try:
+            expected = answer(omq, abox).answers
+            for session in sessions:
+                assert session.answer(omq).answers == expected
+            inserts = [(rng.choice(("P", "Q")),
+                        (rng.choice(names), rng.choice(names)))
+                       for _ in range(3)]
+            deletes = ([rng.choice(list(abox.atoms()))]
+                       if len(abox) else [])
+            for session in sessions:
+                session.apply_update(inserts=inserts, deletes=deletes)
+            final = ABox(sessions[0].abox.atoms())
+            expected = answer(omq, final).answers
+            for session in sessions:
+                assert set(session.abox.atoms()) == set(final.atoms())
+                assert session.answer(omq).answers == expected
+        finally:
+            for session in sessions:
+                session.close()
+
+    def test_engines_agree_under_shm(self):
+        tbox = example11_tbox()
+        abox = workload_abox("mixed-small", scale=0.5, seed=34)
+        omq = OMQ(tbox, chain_cq("RS"))
+        with ShardedSession(abox, shards=3, executor="process",
+                            start_method="fork",
+                            transport="shm") as session:
+            for engine in ("python", "sql"):
+                expected = answer(omq, abox, engine=engine).answers
+                assert (session.answer(omq, engine=engine).answers
+                        == expected), engine
+
+
+class TestAutoShards:
+    def test_auto_shards_uses_cpu_and_weight_floor(self):
+        from repro.shard.partition import auto_shards
+
+        # 4 equal components x 128 atoms: the 256-atom weight floor
+        # caps the count at 2 even with 4 CPUs and 4 components
+        abox = multi_component_abox(4, 129, shape="chain", seed=1,
+                                    mark_probability=0.0)
+        assert auto_shards(abox, available=4) == 2
+        assert auto_shards(abox, available=1) == 1
+
+    def test_auto_shards_backs_off_on_skew(self):
+        from repro.shard.partition import auto_shards
+
+        # one dominant component: any K >= 2 is hopelessly imbalanced
+        abox = multi_component_abox(1, 600, shape="chain", seed=2,
+                                    mark_probability=0.0)
+        for index in range(3):
+            abox.add("R", f"t{index}_0", f"t{index}_1")
+        assert auto_shards(abox, available=8) == 1
+
+    def test_auto_shards_empty_abox(self):
+        from repro.shard.partition import auto_shards
+
+        assert auto_shards(ABox(), available=8) == 1
+
+    def test_session_accepts_auto(self):
+        tbox = example11_tbox()
+        abox = multi_component_abox(4, 129, shape="chain", seed=3)
+        omq = OMQ(tbox, chain_cq("RS"))
+        with sharded(abox, shards="auto") as session:
+            stats = session.stats()
+            assert stats["adaptive"] is True
+            assert session.shards >= 1
+            assert (session.answer(omq).answers
+                    == answer(omq, abox).answers)
+
+    def test_options_accept_auto(self):
+        assert AnswerOptions(shards="auto").shards == "auto"
+        for bad in ("bogus", 1.5, -2):
+            try:
+                AnswerOptions(shards=bad)
+                raise AssertionError(f"{bad!r} must be rejected")
+            except ValueError:
+                pass
+        # orchestration knobs never partition the plan cache
+        assert (AnswerOptions(shards="auto",
+                              start_method="spawn").rewrite_fingerprint()
+                == AnswerOptions().rewrite_fingerprint())
+
+    def test_options_validate_start_method(self):
+        assert AnswerOptions(start_method="spawn").start_method == "spawn"
+        try:
+            AnswerOptions(start_method="threads")
+            raise AssertionError("bad start_method must be rejected")
+        except ValueError:
+            pass
+
+
+class TestHttpExecutor:
+    def test_differential_vs_serial_with_updates(self):
+        from repro.service.aserve import serve_in_background
+
+        tbox = example11_tbox()
+        data = random_data(21, individuals=12, atoms=36)
+        omq = OMQ(tbox, chain_cq("RS"))
+        with OMQService() as worker:
+            with serve_in_background(worker) as server:
+                http_session = ShardedSession(
+                    ABox(data.atoms()), shards=2, executor=server.url)
+                reference = sharded(ABox(data.atoms()), shards=2)
+                try:
+                    assert http_session._executor.kind == "http"
+                    assert (http_session.answer(omq).answers
+                            == reference.answer(omq).answers)
+                    victim = next(iter(data.atoms()))
+                    for session in (http_session, reference):
+                        session.insert_facts([("R", ("h1", "h2")),
+                                              ("S", ("h2", "h3"))])
+                        session.delete_facts([victim])
+                    assert (http_session.answer(omq).answers
+                            == reference.answer(omq).answers)
+                finally:
+                    reference.close()
+                    http_session.close()
+                # closing unregisters the per-shard scratch datasets
+                assert not [name for name in worker.datasets()
+                            if "__shard__" in name]
+
+    def test_restricted_plans_refused(self):
+        from repro.service.aserve import serve_in_background
+
+        with OMQService() as worker:
+            with serve_in_background(worker) as server:
+                with ShardedSession(ABox([("R", ("a", "b"))]), shards=1,
+                                    executor=server.url) as session:
+                    plan = compile_omq(OMQ(example11_tbox(),
+                                           chain_cq("RS")),
+                                       method="lin")
+                    try:
+                        session.execute_restricted(plan, plan.ndl)
+                        raise AssertionError("restricted execution on "
+                                             "http must be refused")
+                    except RuntimeError as error:
+                        assert "local executor" in str(error)
+
+
+class TestDatasetDrop:
+    def test_local_unregister(self):
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        with Client.local() as client:
+            client.register_dataset("d", ABox([("R", ("a", "b")),
+                                               ("S", ("b", "c"))]))
+            assert ("a", "c") in client.answer("d", omq).answers
+            client.unregister_dataset("d")
+            try:
+                client.answer("d", omq)
+                raise AssertionError("dropped dataset must be unknown")
+            except (KeyError, ValueError) as error:
+                assert "d" in str(error)
+
+    def test_http_unregister(self):
+        from repro.service.aserve import serve_in_background
+
+        omq = OMQ(example11_tbox(), chain_cq("RS"))
+        with OMQService() as service:
+            with serve_in_background(service) as server:
+                with Client.connect(server.url) as client:
+                    client.register_dataset(
+                        "d", ABox([("R", ("a", "b")), ("S", ("b", "c"))]))
+                    assert ("a", "c") in client.answer("d", omq).answers
+                    client.unregister_dataset("d")
+                    assert "d" not in service.datasets()
+                    try:
+                        client.unregister_dataset("d")
+                        raise AssertionError("double drop must 404")
+                    except Exception as error:
+                        assert "unknown dataset" in str(error)
